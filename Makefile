@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test test-short test-race cover bench verify results clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The benchmark harness: one testing.B benchmark per experiment plus
+# micro-benchmarks. See bench_output.txt for a recorded run.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Numeric verification of every lemma/claim (exhaustive small instances).
+verify:
+	$(GO) run ./cmd/dut-verify
+
+# Regenerate every experiment table quoted in EXPERIMENTS.md.
+results:
+	$(GO) run ./cmd/dut-bench -scale 1 -seed 1 -out results -csv
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,93 @@
+// Command dut-bench regenerates the experiment tables reported in
+// EXPERIMENTS.md: one table per theorem/lemma of Meir-Minzer-Oshman
+// (PODC 2019), written as markdown (and optionally CSV) under -out.
+//
+// Usage:
+//
+//	dut-bench [-run E1,E2] [-scale 1.0] [-seed 1] [-out results] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale   = flag.Float64("scale", 1, "trial-count multiplier; <1 for smoke runs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		outDir  = flag.String("out", "results", "output directory")
+		csv     = flag.Bool("csv", false, "also write CSV files")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	return benchMain(*runList, *scale, *seed, *outDir, *csv, *list)
+}
+
+// benchMain is the flag-free body of the command; tests call it directly.
+func benchMain(runList string, scale float64, seed uint64, outDir string, csv, list bool) int {
+	if list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %-55s reproduces %s\n", e.ID, e.Title, e.Reproduces)
+		}
+		return 0
+	}
+
+	wanted := map[string]bool{}
+	if runList != "" {
+		for _, id := range strings.Split(runList, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "dut-bench: %v\n", err)
+		return 1
+	}
+
+	cfg := experiments.Config{Scale: scale, Seed: seed}
+	failures := 0
+	for _, e := range experiments.Registry() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s: %s (reproduces %s)\n", e.ID, e.Title, e.Reproduces)
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dut-bench: %s failed: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		md := table.Markdown()
+		fmt.Println(md)
+		fmt.Printf("   (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		path := filepath.Join(outDir, e.ID+".md")
+		if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dut-bench: write %s: %v\n", path, err)
+			failures++
+		}
+		if csv {
+			path := filepath.Join(outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dut-bench: write %s: %v\n", path, err)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

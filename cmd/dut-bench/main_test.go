@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchMainList(t *testing.T) {
+	if code := benchMain("", 1, 1, t.TempDir(), false, true); code != 0 {
+		t.Errorf("list exit = %d", code)
+	}
+}
+
+func TestBenchMainRunsOneExperiment(t *testing.T) {
+	dir := t.TempDir()
+	// E10 is exact and fast at any scale.
+	if code := benchMain("E10", 0.05, 1, dir, true, false); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "E10.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "E10") {
+		t.Error("markdown output missing experiment content")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "E10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "residual") {
+		t.Error("csv output missing header")
+	}
+	// Unselected experiments must not be written.
+	if _, err := os.Stat(filepath.Join(dir, "E1.md")); !os.IsNotExist(err) {
+		t.Error("unselected experiment was written")
+	}
+}
+
+func TestBenchMainUnknownIDWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	if code := benchMain("E99", 0.05, 1, dir, false, false); code != 0 {
+		t.Errorf("unknown id exit = %d (selection simply matches nothing)", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("unexpected outputs: %v", entries)
+	}
+}
+
+func TestBenchMainBadOutputDir(t *testing.T) {
+	// A file in place of the output directory must fail cleanly.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := benchMain("E10", 0.05, 1, blocker, false, false); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}

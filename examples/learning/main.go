@@ -1,0 +1,65 @@
+// Learning: k one-bit-per-player nodes jointly learn an unknown
+// distribution (Theorem 1.4's task). The example sweeps the player count
+// and prints the measured L1 error next to the paper's k = Omega(n^2/q^2)
+// lower bound for the same accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dut "github.com/distributed-uniformity/dut"
+)
+
+func main() {
+	const (
+		n = 16
+		q = 4 // samples per player
+	)
+	truth, err := dut.Zipf(n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("learning a Zipf(1) distribution over %d items, %d samples/player, 1 bit/player\n\n", n, q)
+	fmt.Printf("%8s  %12s\n", "players", "mean L1 err")
+	var lastErr float64
+	for _, groups := range []int{4, 16, 64, 256, 1024} {
+		k := groups * n
+		learner, err := dut.NewGroupLearner(n, k, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meanErr, err := learner.EstimateL1Error(truth, 40, uint64(groups))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %12.3f\n", k, meanErr)
+		lastErr = meanErr
+	}
+
+	floor, err := dut.LearningLowerBound(n, q, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat the final size the estimate is within %.3f of the truth in L1;\n", lastErr)
+	fmt.Printf("Theorem 1.4 lower bound for constant accuracy with q=%d: k >= %.0f players\n", q, floor)
+
+	// Show the final learned distribution next to the truth.
+	learner, err := dut.NewGroupLearner(n, 1024*n, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampler, err := dut.NewSampler(truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := learner.Learn(sampler, dut.NewRand(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%6s  %8s  %8s\n", "item", "truth", "learned")
+	for i := 0; i < n; i++ {
+		fmt.Printf("%6d  %8.4f  %8.4f\n", i, truth.Prob(i), est.Prob(i))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/distributed-uniformity/dut
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package boolfn implements analysis of Boolean functions on the hypercube
+// {-1,1}^m, as used throughout the lower-bound machinery of Meir, Minzer and
+// Oshman, "Can Distributed Uniformity Testing Be Local?" (PODC 2019).
+//
+// A function is stored as a dense truth table indexed by an m-bit integer.
+// The package follows the sign convention
+//
+//	bit j of the index is 0  <=>  x_j = +1
+//	bit j of the index is 1  <=>  x_j = -1
+//
+// so that the character chi_S(x) = prod_{j in S} x_j evaluates to
+// (-1)^popcount(index & S), which is exactly the kernel of the Walsh-Hadamard
+// transform. All expectations are with respect to the uniform distribution on
+// the cube, matching the paper's Section 2.
+//
+// The central objects are:
+//
+//   - Func: a real-valued function on the cube (players' decision functions
+//     G are {0,1}-valued instances).
+//   - Spectrum: the Fourier transform of a Func; coefficient hat f(S) is
+//     indexed by the subset bitmask S.
+//   - Restrictions: Func.Restrict fixes a subset of coordinates, which is how
+//     the paper passes from G(x, s) to the per-x slice G_x(s) in Section 4.
+//   - Level inequalities: KKLLevelBound implements the bound of Lemma 5.4
+//     (after Kahn-Kalai-Linial), used against biased local decision bits.
+package boolfn

@@ -1,0 +1,218 @@
+package boolfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxVars is the largest number of variables a dense Func may have. A table
+// with 26 variables occupies 512 MiB of float64s, which is past what the
+// exhaustive lower-bound computations need; the cap exists to turn accidental
+// exponential blowups into errors instead of OOM kills.
+const MaxVars = 26
+
+// Func is a real-valued function on the Boolean cube {-1,1}^m, stored as a
+// dense truth table of length 2^m. The zero value is the empty function on
+// zero variables; use the constructors for anything else.
+//
+// Func values are immutable by convention: all operations return new
+// functions and accessors never expose the backing array for writing.
+type Func struct {
+	m    int
+	vals []float64
+}
+
+// New returns the identically-zero function on m variables.
+func New(m int) (Func, error) {
+	if err := checkVars(m); err != nil {
+		return Func{}, err
+	}
+	return Func{m: m, vals: make([]float64, 1<<m)}, nil
+}
+
+// FromValues builds a function on m variables from a truth table of length
+// 2^m. The slice is copied.
+func FromValues(m int, vals []float64) (Func, error) {
+	if err := checkVars(m); err != nil {
+		return Func{}, err
+	}
+	if len(vals) != 1<<m {
+		return Func{}, fmt.Errorf("boolfn: truth table has %d entries, want %d", len(vals), 1<<m)
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	return Func{m: m, vals: cp}, nil
+}
+
+// FromOracle builds a function on m variables by evaluating oracle at every
+// point of the cube. The oracle receives the point encoded as an index
+// (bit j set <=> x_j = -1).
+func FromOracle(m int, oracle func(x uint64) float64) (Func, error) {
+	if err := checkVars(m); err != nil {
+		return Func{}, err
+	}
+	vals := make([]float64, 1<<m)
+	for i := range vals {
+		vals[i] = oracle(uint64(i))
+	}
+	return Func{m: m, vals: vals}, nil
+}
+
+// FromIndicator builds a {0,1}-valued function from a predicate, the natural
+// encoding for a player's decision function G.
+func FromIndicator(m int, pred func(x uint64) bool) (Func, error) {
+	return FromOracle(m, func(x uint64) float64 {
+		if pred(x) {
+			return 1
+		}
+		return 0
+	})
+}
+
+func checkVars(m int) error {
+	if m < 0 {
+		return fmt.Errorf("boolfn: negative variable count %d", m)
+	}
+	if m > MaxVars {
+		return fmt.Errorf("boolfn: %d variables exceeds MaxVars=%d", m, MaxVars)
+	}
+	return nil
+}
+
+// Vars returns the number of variables m.
+func (f Func) Vars() int { return f.m }
+
+// Len returns the size of the truth table, 2^m.
+func (f Func) Len() int { return len(f.vals) }
+
+// At returns f at the point encoded by index x (bit set <=> coordinate -1).
+func (f Func) At(x uint64) float64 { return f.vals[x] }
+
+// Values returns a copy of the truth table.
+func (f Func) Values() []float64 {
+	cp := make([]float64, len(f.vals))
+	copy(cp, f.vals)
+	return cp
+}
+
+// Mean returns E[f] over the uniform distribution on the cube; the paper
+// writes this mu(f).
+func (f Func) Mean() float64 {
+	if len(f.vals) == 0 {
+		return 0
+	}
+	// Pairwise summation keeps the error of the 2^m-term sum small without
+	// the constant-factor cost of full Kahan compensation.
+	return pairwiseSum(f.vals) / float64(len(f.vals))
+}
+
+// Variance returns Var[f] = E[f^2] - E[f]^2 over the uniform distribution.
+func (f Func) Variance() float64 {
+	if len(f.vals) == 0 {
+		return 0
+	}
+	mean := f.Mean()
+	var acc float64
+	for _, v := range f.vals {
+		d := v - mean
+		acc += d * d
+	}
+	return acc / float64(len(f.vals))
+}
+
+// SquaredNorm returns ||f||_2^2 = E[f^2].
+func (f Func) SquaredNorm() float64 {
+	var acc float64
+	for _, v := range f.vals {
+		acc += v * v
+	}
+	if len(f.vals) == 0 {
+		return 0
+	}
+	return acc / float64(len(f.vals))
+}
+
+// InnerProduct returns <f,g> = E[f*g]. The functions must have the same
+// number of variables.
+func (f Func) InnerProduct(g Func) (float64, error) {
+	if f.m != g.m {
+		return 0, fmt.Errorf("boolfn: inner product of functions on %d and %d variables", f.m, g.m)
+	}
+	var acc float64
+	for i, v := range f.vals {
+		acc += v * g.vals[i]
+	}
+	if len(f.vals) == 0 {
+		return 0, nil
+	}
+	return acc / float64(len(f.vals)), nil
+}
+
+// Add returns f+g pointwise.
+func (f Func) Add(g Func) (Func, error) {
+	if f.m != g.m {
+		return Func{}, fmt.Errorf("boolfn: adding functions on %d and %d variables", f.m, g.m)
+	}
+	out := make([]float64, len(f.vals))
+	for i, v := range f.vals {
+		out[i] = v + g.vals[i]
+	}
+	return Func{m: f.m, vals: out}, nil
+}
+
+// Sub returns f-g pointwise.
+func (f Func) Sub(g Func) (Func, error) {
+	if f.m != g.m {
+		return Func{}, fmt.Errorf("boolfn: subtracting functions on %d and %d variables", f.m, g.m)
+	}
+	out := make([]float64, len(f.vals))
+	for i, v := range f.vals {
+		out[i] = v - g.vals[i]
+	}
+	return Func{m: f.m, vals: out}, nil
+}
+
+// Scale returns c*f pointwise.
+func (f Func) Scale(c float64) Func {
+	out := make([]float64, len(f.vals))
+	for i, v := range f.vals {
+		out[i] = c * v
+	}
+	return Func{m: f.m, vals: out}
+}
+
+// Complement returns 1-f pointwise; for a {0,1}-valued decision function
+// this is the negated decision, used when reducing to the mu(G) <= 1/2 case
+// in the proof of Lemma 4.3.
+func (f Func) Complement() Func {
+	out := make([]float64, len(f.vals))
+	for i, v := range f.vals {
+		out[i] = 1 - v
+	}
+	return Func{m: f.m, vals: out}
+}
+
+// IsBoolean reports whether every value of f is 0 or 1 (up to tol).
+func (f Func) IsBoolean(tol float64) bool {
+	for _, v := range f.vals {
+		if math.Abs(v) > tol && math.Abs(v-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// pairwiseSum sums a slice with pairwise (cascade) summation for improved
+// numerical accuracy on long vectors.
+func pairwiseSum(v []float64) float64 {
+	const base = 64
+	if len(v) <= base {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	half := len(v) / 2
+	return pairwiseSum(v[:half]) + pairwiseSum(v[half:])
+}

@@ -1,0 +1,230 @@
+package boolfn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+const tol = 1e-12
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func TestNewRejectsBadVarCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		m    int
+	}{
+		{name: "negative", m: -1},
+		{name: "too large", m: MaxVars + 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.m); err == nil {
+				t.Fatalf("New(%d) succeeded, want error", tt.m)
+			}
+		})
+	}
+}
+
+func TestNewZeroFunction(t *testing.T) {
+	f, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Vars() != 3 || f.Len() != 8 {
+		t.Fatalf("got vars=%d len=%d, want 3, 8", f.Vars(), f.Len())
+	}
+	if f.Mean() != 0 || f.Variance() != 0 {
+		t.Fatalf("zero function has mean=%v var=%v", f.Mean(), f.Variance())
+	}
+}
+
+func TestFromValuesCopies(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	f, err := FromValues(2, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	if f.At(0) != 1 {
+		t.Fatalf("FromValues aliased its input: f(0)=%v", f.At(0))
+	}
+	got := f.Values()
+	got[1] = -7
+	if f.At(1) != 2 {
+		t.Fatalf("Values aliased the table: f(1)=%v", f.At(1))
+	}
+}
+
+func TestFromValuesLengthMismatch(t *testing.T) {
+	if _, err := FromValues(3, []float64{1, 2}); err == nil {
+		t.Fatal("FromValues accepted a short table")
+	}
+}
+
+func TestMeanAndVarianceKnown(t *testing.T) {
+	tests := []struct {
+		name     string
+		vals     []float64
+		m        int
+		mean     float64
+		variance float64
+	}{
+		{name: "constant one", m: 2, vals: []float64{1, 1, 1, 1}, mean: 1, variance: 0},
+		{name: "single point", m: 2, vals: []float64{1, 0, 0, 0}, mean: 0.25, variance: 0.1875},
+		{name: "balanced", m: 1, vals: []float64{0, 1}, mean: 0.5, variance: 0.25},
+		{name: "pm one parity", m: 2, vals: []float64{1, -1, -1, 1}, mean: 0, variance: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f, err := FromValues(tt.m, tt.vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(f.Mean(), tt.mean, tol) {
+				t.Errorf("mean = %v, want %v", f.Mean(), tt.mean)
+			}
+			if !almostEqual(f.Variance(), tt.variance, tol) {
+				t.Errorf("variance = %v, want %v", f.Variance(), tt.variance)
+			}
+		})
+	}
+}
+
+func TestInnerProductAndNorm(t *testing.T) {
+	f, err := FromValues(2, []float64{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromValues(2, []float64{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := f.InnerProduct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ip, 0.25, tol) {
+		t.Errorf("<f,g> = %v, want 0.25", ip)
+	}
+	if !almostEqual(f.SquaredNorm(), 0.5, tol) {
+		t.Errorf("||f||^2 = %v, want 0.5", f.SquaredNorm())
+	}
+}
+
+func TestInnerProductDimensionMismatch(t *testing.T) {
+	f, _ := New(2)
+	g, _ := New(3)
+	if _, err := f.InnerProduct(g); err == nil {
+		t.Fatal("inner product across dimensions succeeded")
+	}
+	if _, err := f.Add(g); err == nil {
+		t.Fatal("Add across dimensions succeeded")
+	}
+	if _, err := f.Sub(g); err == nil {
+		t.Fatal("Sub across dimensions succeeded")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	f, _ := FromValues(1, []float64{1, 2})
+	g, _ := FromValues(1, []float64{10, 20})
+	sum, err := f.Add(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0) != 11 || sum.At(1) != 22 {
+		t.Errorf("Add = %v", sum.Values())
+	}
+	diff, err := g.Sub(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.At(0) != 9 || diff.At(1) != 18 {
+		t.Errorf("Sub = %v", diff.Values())
+	}
+	sc := f.Scale(3)
+	if sc.At(0) != 3 || sc.At(1) != 6 {
+		t.Errorf("Scale = %v", sc.Values())
+	}
+}
+
+func TestComplement(t *testing.T) {
+	f, _ := FromValues(1, []float64{0, 1})
+	c := f.Complement()
+	if c.At(0) != 1 || c.At(1) != 0 {
+		t.Errorf("Complement = %v", c.Values())
+	}
+	// Complement preserves non-empty Fourier weight levels.
+	sf, sc := Transform(f), Transform(c)
+	if !almostEqual(sf.Variance(), sc.Variance(), tol) {
+		t.Errorf("variance changed under complement: %v vs %v", sf.Variance(), sc.Variance())
+	}
+}
+
+func TestIsBoolean(t *testing.T) {
+	b, _ := FromValues(1, []float64{0, 1})
+	if !b.IsBoolean(tol) {
+		t.Error("indicator not recognized as Boolean")
+	}
+	r, _ := FromValues(1, []float64{0.5, 1})
+	if r.IsBoolean(tol) {
+		t.Error("real-valued function recognized as Boolean")
+	}
+}
+
+func TestFromIndicatorMatchesOracle(t *testing.T) {
+	pred := func(x uint64) bool { return x%3 == 0 }
+	f, err := FromIndicator(4, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 16; x++ {
+		want := 0.0
+		if pred(x) {
+			want = 1.0
+		}
+		if f.At(x) != want {
+			t.Fatalf("f(%d) = %v, want %v", x, f.At(x), want)
+		}
+	}
+}
+
+func TestPairwiseSumMatchesNaive(t *testing.T) {
+	rng := testRand(7)
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := make([]float64, n)
+		var naive float64
+		for i := range v {
+			v[i] = rng.Float64() - 0.5
+			naive += v[i]
+		}
+		if got := pairwiseSum(v); !almostEqual(got, naive, 1e-9) {
+			t.Errorf("pairwiseSum len %d = %v, naive %v", n, got, naive)
+		}
+	}
+}
+
+func TestMeanVarianceAgainstSpectrum(t *testing.T) {
+	rng := testRand(11)
+	for m := 0; m <= 8; m++ {
+		f, err := RandomReal(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Transform(f)
+		if !almostEqual(f.Mean(), s.Mean(), 1e-9) {
+			t.Errorf("m=%d: mean %v vs spectral %v", m, f.Mean(), s.Mean())
+		}
+		if !almostEqual(f.Variance(), s.Variance(), 1e-9) {
+			t.Errorf("m=%d: var %v vs spectral %v", m, f.Variance(), s.Variance())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package boolfn
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Influence returns the Fourier-analytic influence of variable j on f:
+// Inf_j[f] = sum_{S ∋ j} hat f(S)^2. For Boolean-valued f this is the
+// probability that flipping coordinate j changes the value.
+func (s Spectrum) Influence(j int) (float64, error) {
+	if j < 0 || j >= s.m {
+		return 0, fmt.Errorf("boolfn: influence of variable %d on a %d-variable function", j, s.m)
+	}
+	var acc float64
+	bit := uint64(1) << j
+	for i, c := range s.coeff {
+		if uint64(i)&bit != 0 {
+			acc += c * c
+		}
+	}
+	return acc, nil
+}
+
+// TotalInfluence returns I[f] = sum_S |S| hat f(S)^2.
+func (s Spectrum) TotalInfluence() float64 {
+	var acc float64
+	for i, c := range s.coeff {
+		acc += float64(bits.OnesCount64(uint64(i))) * c * c
+	}
+	return acc
+}
+
+// NoiseStability returns Stab_rho[f] = sum_S rho^{|S|} hat f(S)^2, the
+// correlation of f under rho-correlated inputs.
+func (s Spectrum) NoiseStability(rho float64) float64 {
+	var acc float64
+	for i, c := range s.coeff {
+		acc += math.Pow(rho, float64(bits.OnesCount64(uint64(i)))) * c * c
+	}
+	return acc
+}
+
+// NoiseOperator returns T_rho f, the function with spectrum
+// rho^{|S|} hat f(S). It smooths f toward its mean.
+func (s Spectrum) NoiseOperator(rho float64) Spectrum {
+	out := make([]float64, len(s.coeff))
+	for i, c := range s.coeff {
+		out[i] = math.Pow(rho, float64(bits.OnesCount64(uint64(i)))) * c
+	}
+	return Spectrum{m: s.m, coeff: out}
+}
+
+// InfluenceNaive computes Inf_j[f] directly as the second moment of the
+// discrete derivative, E[((f(x) - f(x + e_j))/2)^2], which equals the
+// spectral influence sum_{S ∋ j} hat f(S)^2 for any real-valued f. It is
+// the test oracle for Spectrum.Influence.
+func InfluenceNaive(f Func, j int) (float64, error) {
+	if j < 0 || j >= f.m {
+		return 0, fmt.Errorf("boolfn: influence of variable %d on a %d-variable function", j, f.m)
+	}
+	bit := uint64(1) << j
+	var acc float64
+	for x := uint64(0); x < uint64(len(f.vals)); x++ {
+		d := f.vals[x] - f.vals[x^bit]
+		acc += d * d
+	}
+	if len(f.vals) == 0 {
+		return 0, nil
+	}
+	// E[ ((f(x) - f(x^j))/2)^2 ] equals the spectral influence.
+	return acc / (4 * float64(len(f.vals))), nil
+}

@@ -1,0 +1,78 @@
+package boolfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// KKLLevelBound evaluates the right-hand side of the level inequality the
+// paper states as Lemma 5.4 (after Kahn, Kalai and Linial): for a
+// {0,1}-valued f with mean mu <= 1/2, the Fourier weight up to level r is at
+// most delta^{-r} * mu^{2/(1+delta)} for every delta in (0,1].
+func KKLLevelBound(mu float64, r int, delta float64) (float64, error) {
+	if mu < 0 || mu > 1 {
+		return 0, fmt.Errorf("boolfn: KKL bound with mean %v outside [0,1]", mu)
+	}
+	if delta <= 0 || delta > 1 {
+		return 0, fmt.Errorf("boolfn: KKL bound with delta %v outside (0,1]", delta)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("boolfn: KKL bound with negative level %d", r)
+	}
+	return math.Pow(delta, -float64(r)) * math.Pow(mu, 2/(1+delta)), nil
+}
+
+// KKLReport is the outcome of checking the Lemma 5.4 level inequality on a
+// concrete function.
+type KKLReport struct {
+	Mean      float64 // mean of the checked function (or its complement)
+	Level     int     // level r checked
+	Delta     float64 // delta used
+	Weight    float64 // measured W^{<=r} excluding the empty set
+	Bound     float64 // delta^{-r} mu^{2/(1+delta)}
+	Ratio     float64 // Weight / Bound (<= 1 when the inequality holds)
+	Satisfied bool
+}
+
+// CheckKKL verifies the Lemma 5.4 level inequality for a {0,1}-valued
+// function f at level r with parameter delta. As in the paper's proof of
+// Lemma 4.3, when mu(f) > 1/2 the check is applied to 1-f, which has the
+// same Fourier weight on every non-empty level.
+func CheckKKL(f Func, r int, delta float64) (KKLReport, error) {
+	if !f.IsBoolean(1e-12) {
+		return KKLReport{}, fmt.Errorf("boolfn: CheckKKL requires a {0,1}-valued function")
+	}
+	g := f
+	if f.Mean() > 0.5 {
+		g = f.Complement()
+	}
+	spec := Transform(g)
+	mu := spec.Mean()
+	weight := spec.LowLevelWeight(r, false)
+	bound, err := KKLLevelBound(mu, r, delta)
+	if err != nil {
+		return KKLReport{}, err
+	}
+	ratio := 0.0
+	if bound > 0 {
+		ratio = weight / bound
+	} else if weight > 0 {
+		ratio = math.Inf(1)
+	}
+	return KKLReport{
+		Mean:      mu,
+		Level:     r,
+		Delta:     delta,
+		Weight:    weight,
+		Bound:     bound,
+		Ratio:     ratio,
+		Satisfied: weight <= bound*(1+1e-9),
+	}, nil
+}
+
+// VarianceLowerBoundFromMean returns the bound var(g) >= mu/2 used in the
+// proof of Lemma 4.3 for a {0,1}-valued g with mu(g) <= 1/2: there
+// var(g) = mu(1-mu) >= mu/2.
+func VarianceLowerBoundFromMean(mu float64) float64 {
+	return mu / 2
+}

@@ -1,0 +1,193 @@
+package boolfn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKKLLevelBoundArguments(t *testing.T) {
+	tests := []struct {
+		name  string
+		mu    float64
+		r     int
+		delta float64
+	}{
+		{name: "negative mean", mu: -0.1, r: 1, delta: 0.5},
+		{name: "mean above one", mu: 1.1, r: 1, delta: 0.5},
+		{name: "zero delta", mu: 0.5, r: 1, delta: 0},
+		{name: "delta above one", mu: 0.5, r: 1, delta: 1.5},
+		{name: "negative level", mu: 0.5, r: -1, delta: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := KKLLevelBound(tt.mu, tt.r, tt.delta); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestKKLLevelBoundValues(t *testing.T) {
+	got, err := KKLLevelBound(0.25, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.5, -2) * math.Pow(0.25, 2/1.5)
+	if !almostEqual(got, want, tol) {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestCheckKKLOnRandomBiasedFunctions(t *testing.T) {
+	rng := testRand(31)
+	for _, p := range []float64{0.01, 0.05, 0.1, 0.3, 0.5, 0.9} {
+		for trial := 0; trial < 5; trial++ {
+			f, err := RandomBiased(8, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []int{1, 2, 3} {
+				for _, delta := range []float64{0.2, 0.5, 1} {
+					rep, err := CheckKKL(f, r, delta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.Satisfied {
+						t.Errorf("p=%v r=%d delta=%v: level inequality violated, weight %v > bound %v",
+							p, r, delta, rep.Weight, rep.Bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckKKLOnStructuredFunctions(t *testing.T) {
+	mks := map[string]func() (Func, error){
+		"dictator":   func() (Func, error) { return Dictator(6, 0, true) },
+		"majority":   func() (Func, error) { return Majority(7) },
+		"threshold5": func() (Func, error) { return ThresholdCount(7, 5) },
+		"and":        func() (Func, error) { return ThresholdCount(6, 6) },
+	}
+	for name, mk := range mks {
+		f, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []int{1, 2} {
+			for _, delta := range []float64{0.3, 1} {
+				rep, err := CheckKKL(f, r, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Satisfied {
+					t.Errorf("%s r=%d delta=%v: weight %v > bound %v", name, r, delta, rep.Weight, rep.Bound)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckKKLHandlesHighMeanViaComplement(t *testing.T) {
+	// A function with mean 0.9: the check must use the complement, whose
+	// mean is 0.1, and still bound the (identical) non-empty level weights.
+	rng := testRand(32)
+	f, err := RandomBiased(8, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckKKL(f, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mean > 0.5 {
+		t.Errorf("reported mean %v, want complemented mean <= 0.5", rep.Mean)
+	}
+	if !rep.Satisfied {
+		t.Errorf("inequality violated: weight %v > bound %v", rep.Weight, rep.Bound)
+	}
+}
+
+func TestCheckKKLRejectsNonBoolean(t *testing.T) {
+	f, _ := FromValues(2, []float64{0.5, 0, 1, 0})
+	if _, err := CheckKKL(f, 1, 0.5); err == nil {
+		t.Fatal("CheckKKL accepted a non-Boolean function")
+	}
+}
+
+func TestVarianceLowerBoundFromMean(t *testing.T) {
+	// For mu <= 1/2: var = mu(1-mu) >= mu/2.
+	for _, mu := range []float64{0, 0.1, 0.25, 0.5} {
+		variance := mu * (1 - mu)
+		if lb := VarianceLowerBoundFromMean(mu); variance < lb-tol {
+			t.Errorf("mu=%v: var %v below claimed bound %v", mu, variance, lb)
+		}
+	}
+}
+
+func TestInfluenceMatchesNaive(t *testing.T) {
+	rng := testRand(33)
+	for trial := 0; trial < 5; trial++ {
+		f, _ := RandomReal(6, rng)
+		spec := Transform(f)
+		for j := 0; j < 6; j++ {
+			spectral, err := spec.Influence(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := InfluenceNaive(f, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(spectral, naive, 1e-9) {
+				t.Errorf("var %d: spectral %v, naive %v", j, spectral, naive)
+			}
+		}
+	}
+}
+
+func TestTotalInfluenceIsSumOfInfluences(t *testing.T) {
+	rng := testRand(34)
+	f, _ := RandomReal(7, rng)
+	spec := Transform(f)
+	var sum float64
+	for j := 0; j < 7; j++ {
+		inf, err := spec.Influence(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += inf
+	}
+	if !almostEqual(sum, spec.TotalInfluence(), 1e-9) {
+		t.Errorf("sum of influences %v, total influence %v", sum, spec.TotalInfluence())
+	}
+}
+
+func TestInfluenceRangeCheck(t *testing.T) {
+	f, _ := New(3)
+	spec := Transform(f)
+	if _, err := spec.Influence(3); err == nil {
+		t.Fatal("Influence accepted out-of-range variable")
+	}
+	if _, err := InfluenceNaive(f, -1); err == nil {
+		t.Fatal("InfluenceNaive accepted negative variable")
+	}
+}
+
+func TestParityInfluence(t *testing.T) {
+	p, _ := Parity(5, 0b10110)
+	spec := Transform(p)
+	for j := 0; j < 5; j++ {
+		inf, err := spec.Influence(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		if 0b10110&(1<<j) != 0 {
+			want = 1.0
+		}
+		if !almostEqual(inf, want, tol) {
+			t.Errorf("parity influence of %d = %v, want %v", j, inf, want)
+		}
+	}
+}

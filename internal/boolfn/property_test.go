@@ -1,0 +1,208 @@
+package boolfn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// genFunc derives a deterministic random function on m variables from a
+// seed, for use inside testing/quick properties.
+func genFunc(m int, seed uint64) Func {
+	rng := rand.New(rand.NewPCG(seed, ^seed))
+	f, err := RandomReal(m, rng)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func quickCfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n}
+}
+
+func TestQuickParseval(t *testing.T) {
+	prop := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw % 9)
+		f := genFunc(m, seed)
+		s := Transform(f)
+		return math.Abs(f.SquaredNorm()-s.SquaredNorm()) < 1e-9
+	}
+	if err := quick.Check(prop, quickCfg(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransformLinear(t *testing.T) {
+	prop := func(seed uint64, mRaw uint8, aRaw, bRaw int16) bool {
+		m := int(mRaw % 8)
+		a := float64(aRaw) / 256
+		b := float64(bRaw) / 256
+		f := genFunc(m, seed)
+		g := genFunc(m, seed^0xdeadbeef)
+		combo, err := f.Scale(a).Add(g.Scale(b))
+		if err != nil {
+			return false
+		}
+		sc := Transform(combo)
+		sf, sg := Transform(f), Transform(g)
+		for i := 0; i < sc.Len(); i++ {
+			want := a*sf.Coeff(uint64(i)) + b*sg.Coeff(uint64(i))
+			if math.Abs(sc.Coeff(uint64(i))-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(40)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw % 10)
+		f := genFunc(m, seed)
+		back := Synthesize(Transform(f))
+		for x := uint64(0); x < uint64(f.Len()); x++ {
+			if math.Abs(f.At(x)-back.At(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(50)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	prop := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw % 10)
+		f := genFunc(m, seed)
+		return f.Variance() >= -1e-12
+	}
+	if err := quick.Check(prop, quickCfg(50)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBooleanMeanVarianceIdentity(t *testing.T) {
+	// For {0,1}-valued f: var(f) = mu(1-mu).
+	prop := func(seed uint64, mRaw, pRaw uint8) bool {
+		m := int(mRaw % 9)
+		p := float64(pRaw) / 255
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		f, err := RandomBiased(m, p, rng)
+		if err != nil {
+			return false
+		}
+		mu := f.Mean()
+		return math.Abs(f.Variance()-mu*(1-mu)) < 1e-9
+	}
+	if err := quick.Check(prop, quickCfg(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRestrictionPreservesRange(t *testing.T) {
+	prop := func(seed uint64, maskRaw uint16) bool {
+		const m = 8
+		rng := rand.New(rand.NewPCG(seed, seed*3))
+		f, err := RandomBoolean(m, rng)
+		if err != nil {
+			return false
+		}
+		mask := uint64(maskRaw) % (1 << m)
+		ok := true
+		err = f.Slices(mask, func(_ uint64, slice Func) error {
+			if !slice.IsBoolean(1e-12) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, quickCfg(40)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKKLRandomBiased(t *testing.T) {
+	// The Lemma 5.4 level inequality holds for random biased functions over
+	// the whole (r, delta) test grid.
+	prop := func(seed uint64, pRaw uint8, rRaw uint8, dRaw uint8) bool {
+		p := 0.01 + 0.98*float64(pRaw)/255
+		r := 1 + int(rRaw%3)
+		delta := 0.1 + 0.9*float64(dRaw)/255
+		rng := rand.New(rand.NewPCG(seed, seed<<1|1))
+		f, err := RandomBiased(7, p, rng)
+		if err != nil {
+			return false
+		}
+		rep, err := CheckKKL(f, r, delta)
+		return err == nil && rep.Satisfied
+	}
+	if err := quick.Check(prop, quickCfg(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCharacterOrthonormality(t *testing.T) {
+	prop := func(aRaw, bRaw uint8) bool {
+		const m = 6
+		a := uint64(aRaw) % (1 << m)
+		b := uint64(bRaw) % (1 << m)
+		fa, err := Parity(m, a)
+		if err != nil {
+			return false
+		}
+		fb, err := Parity(m, b)
+		if err != nil {
+			return false
+		}
+		ip, err := fa.InnerProduct(fb)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		if a == b {
+			want = 1.0
+		}
+		return math.Abs(ip-want) < 1e-12
+	}
+	if err := quick.Check(prop, quickCfg(100)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExtendPreservesSpectrumInsideMask(t *testing.T) {
+	prop := func(seed uint64, maskRaw uint8) bool {
+		const m = 7
+		mask := uint64(maskRaw) % (1 << m)
+		inner := genFunc(popcount(mask), seed)
+		f, err := Extend(m, mask, inner)
+		if err != nil {
+			return false
+		}
+		spec := Transform(f)
+		for s := uint64(0); s < uint64(spec.Len()); s++ {
+			if s&^mask != 0 && math.Abs(spec.Coeff(s)) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(f.Mean()-inner.Mean()) < 1e-9
+	}
+	if err := quick.Check(prop, quickCfg(40)); err != nil {
+		t.Error(err)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

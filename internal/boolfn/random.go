@@ -1,0 +1,91 @@
+package boolfn
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RandomBoolean returns a uniformly random {0,1}-valued function on m
+// variables: each truth-table entry is an independent fair coin from rng.
+func RandomBoolean(m int, rng *rand.Rand) (Func, error) {
+	return RandomBiased(m, 0.5, rng)
+}
+
+// RandomBiased returns a random {0,1}-valued function whose entries are
+// independent Bernoulli(p) coins. Small p produces the highly-biased
+// decision bits that Lemma 4.3 targets.
+func RandomBiased(m int, p float64, rng *rand.Rand) (Func, error) {
+	if p < 0 || p > 1 {
+		return Func{}, fmt.Errorf("boolfn: bias %v outside [0,1]", p)
+	}
+	return FromIndicator(m, func(uint64) bool { return rng.Float64() < p })
+}
+
+// RandomReal returns a random real-valued function with entries uniform in
+// [-1, 1], useful for exercising the transform on non-Boolean tables.
+func RandomReal(m int, rng *rand.Rand) (Func, error) {
+	return FromOracle(m, func(uint64) float64 { return 2*rng.Float64() - 1 })
+}
+
+// Dictator returns the function x_j (as a {0,1}-valued indicator of
+// x_j = -1 when indicator is true, or the ±1-valued coordinate itself when
+// indicator is false).
+func Dictator(m, j int, indicator bool) (Func, error) {
+	if j < 0 || j >= m {
+		return Func{}, fmt.Errorf("boolfn: dictator on variable %d of %d", j, m)
+	}
+	bit := uint64(1) << j
+	return FromOracle(m, func(x uint64) float64 {
+		neg := x&bit != 0
+		if indicator {
+			if neg {
+				return 1
+			}
+			return 0
+		}
+		if neg {
+			return -1
+		}
+		return 1
+	})
+}
+
+// Parity returns chi_S as a Func (±1-valued).
+func Parity(m int, set uint64) (Func, error) {
+	if m > 0 && set >= uint64(1)<<m {
+		return Func{}, fmt.Errorf("boolfn: parity mask %#x out of range for %d variables", set, m)
+	}
+	return FromOracle(m, func(x uint64) float64 { return Character(set, x) })
+}
+
+// Majority returns the {0,1}-valued majority indicator on m variables
+// (value 1 when strictly more coordinates are -1 than +1; ties, possible
+// only for even m, resolve to 0).
+func Majority(m int) (Func, error) {
+	return FromIndicator(m, func(x uint64) bool {
+		neg := 0
+		for j := 0; j < m; j++ {
+			if x&(1<<j) != 0 {
+				neg++
+			}
+		}
+		return 2*neg > m
+	})
+}
+
+// ThresholdCount returns the {0,1}-valued indicator of "at least t
+// coordinates equal -1", a symmetric slice family used in tests.
+func ThresholdCount(m, t int) (Func, error) {
+	if t < 0 {
+		return Func{}, fmt.Errorf("boolfn: negative threshold %d", t)
+	}
+	return FromIndicator(m, func(x uint64) bool {
+		neg := 0
+		for j := 0; j < m; j++ {
+			if x&(1<<j) != 0 {
+				neg++
+			}
+		}
+		return neg >= t
+	})
+}

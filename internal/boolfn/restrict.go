@@ -1,0 +1,117 @@
+package boolfn
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Restrict fixes the variables selected by fixedMask to the values given by
+// fixedBits (only bits inside fixedMask are consulted) and returns the
+// restricted function on the remaining variables. Free variables keep their
+// relative order: the lowest free variable of f becomes variable 0 of the
+// restriction, and so on.
+//
+// This is the operation the paper uses in Section 4 to pass from a player's
+// decision function G(x, s) to the slice G_x(s) with the sample names x
+// fixed and only the sign bits s free.
+func (f Func) Restrict(fixedMask, fixedBits uint64) (Func, error) {
+	if f.m > 0 && fixedMask >= uint64(1)<<f.m {
+		return Func{}, fmt.Errorf("boolfn: restriction mask %#x out of range for %d variables", fixedMask, f.m)
+	}
+	if f.m == 0 && fixedMask != 0 {
+		return Func{}, fmt.Errorf("boolfn: restriction mask %#x on 0 variables", fixedMask)
+	}
+	fixedBits &= fixedMask
+	freeCount := f.m - bits.OnesCount64(fixedMask)
+	out := make([]float64, 1<<freeCount)
+	freePos := freePositions(f.m, fixedMask)
+	for j := range out {
+		out[j] = f.vals[fixedBits|scatterBits(uint64(j), freePos)]
+	}
+	return Func{m: freeCount, vals: out}, nil
+}
+
+// freePositions lists the bit positions not covered by fixedMask, ascending.
+func freePositions(m int, fixedMask uint64) []int {
+	pos := make([]int, 0, m)
+	for j := 0; j < m; j++ {
+		if fixedMask&(1<<j) == 0 {
+			pos = append(pos, j)
+		}
+	}
+	return pos
+}
+
+// scatterBits places bit i of compact at position pos[i].
+func scatterBits(compact uint64, pos []int) uint64 {
+	var out uint64
+	for i, p := range pos {
+		if compact&(1<<i) != 0 {
+			out |= 1 << p
+		}
+	}
+	return out
+}
+
+// Slices enumerates all restrictions of f over the variables in fixedMask:
+// it calls visit once per assignment a to the fixed variables, with the
+// restricted function on the free variables. Enumeration order is the
+// natural ascending order of the compact assignment index.
+//
+// The restricted Func passed to visit is freshly allocated each call and may
+// be retained.
+func (f Func) Slices(fixedMask uint64, visit func(assignment uint64, slice Func) error) error {
+	if f.m > 0 && fixedMask >= uint64(1)<<f.m {
+		return fmt.Errorf("boolfn: slice mask %#x out of range for %d variables", fixedMask, f.m)
+	}
+	fixedPos := make([]int, 0, f.m)
+	for j := 0; j < f.m; j++ {
+		if fixedMask&(1<<j) != 0 {
+			fixedPos = append(fixedPos, j)
+		}
+	}
+	for a := uint64(0); a < 1<<len(fixedPos); a++ {
+		fixedBits := scatterBits(a, fixedPos)
+		slice, err := f.Restrict(fixedMask, fixedBits)
+		if err != nil {
+			return err
+		}
+		if err := visit(fixedBits, slice); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Extend is the inverse-direction helper of Restrict: it builds a function
+// on m variables whose value depends only on the variables in mask,
+// according to g on the compacted variables. Every variable outside mask is
+// ignored (a "junta" extension).
+func Extend(m int, mask uint64, g Func) (Func, error) {
+	if err := checkVars(m); err != nil {
+		return Func{}, err
+	}
+	if m > 0 && mask >= uint64(1)<<m {
+		return Func{}, fmt.Errorf("boolfn: junta mask %#x out of range for %d variables", mask, m)
+	}
+	if got := bits.OnesCount64(mask); got != g.m {
+		return Func{}, fmt.Errorf("boolfn: junta mask selects %d variables, inner function has %d", got, g.m)
+	}
+	maskPos := make([]int, 0, g.m)
+	for j := 0; j < m; j++ {
+		if mask&(1<<j) != 0 {
+			maskPos = append(maskPos, j)
+		}
+	}
+	vals := make([]float64, 1<<m)
+	for x := uint64(0); x < uint64(len(vals)); x++ {
+		var compact uint64
+		for i, p := range maskPos {
+			if x&(1<<p) != 0 {
+				compact |= 1 << i
+			}
+		}
+		vals[x] = g.vals[compact]
+	}
+	return Func{m: m, vals: vals}, nil
+}

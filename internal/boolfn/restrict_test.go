@@ -1,0 +1,209 @@
+package boolfn
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestRestrictPointwise(t *testing.T) {
+	// f(x0,x1,x2) identified by index; fix x1 = -1 (bit 1 set).
+	f, err := FromOracle(3, func(x uint64) float64 { return float64(x) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Restrict(1<<1, 1<<1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vars() != 2 {
+		t.Fatalf("restricted vars = %d, want 2", r.Vars())
+	}
+	// Free variables are x0 (new bit 0) and x2 (new bit 1).
+	wants := map[uint64]float64{
+		0b00: 0b010, // x0=+1, x2=+1
+		0b01: 0b011, // x0=-1
+		0b10: 0b110, // x2=-1
+		0b11: 0b111,
+	}
+	for in, want := range wants {
+		if got := r.At(in); got != want {
+			t.Errorf("r(%02b) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRestrictIgnoresBitsOutsideMask(t *testing.T) {
+	f, _ := FromOracle(3, func(x uint64) float64 { return float64(x * x) })
+	a, err := f.Restrict(0b010, 0b010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Restrict(0b010, 0b111) // stray bits outside the mask
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < uint64(a.Len()); x++ {
+		if a.At(x) != b.At(x) {
+			t.Fatalf("stray fixedBits changed the restriction at %d", x)
+		}
+	}
+}
+
+func TestRestrictMaskOutOfRange(t *testing.T) {
+	f, _ := New(2)
+	if _, err := f.Restrict(0b100, 0); err == nil {
+		t.Fatal("Restrict accepted out-of-range mask")
+	}
+}
+
+func TestRestrictAllAndNone(t *testing.T) {
+	f, _ := FromOracle(2, func(x uint64) float64 { return float64(3 * x) })
+	full, err := f.Restrict(0b11, 0b10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Vars() != 0 || full.At(0) != 6 {
+		t.Errorf("full restriction = %v on %d vars", full.At(0), full.Vars())
+	}
+	none, err := f.Restrict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < uint64(f.Len()); x++ {
+		if none.At(x) != f.At(x) {
+			t.Fatalf("empty restriction changed value at %d", x)
+		}
+	}
+}
+
+func TestRestrictMeanDecomposition(t *testing.T) {
+	// E[f] equals the average over assignments of the restricted means —
+	// the tower property the paper uses (Jensen step in Proposition 5.3).
+	rng := testRand(21)
+	f, _ := RandomReal(6, rng)
+	mask := uint64(0b101010)
+	var acc float64
+	count := 0
+	err := f.Slices(mask, func(_ uint64, slice Func) error {
+		acc += slice.Mean()
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("visited %d slices, want 8", count)
+	}
+	if !almostEqual(acc/float64(count), f.Mean(), 1e-9) {
+		t.Errorf("slice mean average %v, global mean %v", acc/float64(count), f.Mean())
+	}
+}
+
+func TestSliceVarianceJensen(t *testing.T) {
+	// E_x[var(f_x)] <= var(f): the inequality from Proposition 5.3.
+	rng := testRand(22)
+	for trial := 0; trial < 10; trial++ {
+		f, _ := RandomBoolean(8, rng)
+		mask := uint64(rng.Uint64N(1 << 8))
+		var acc float64
+		n := 0
+		if err := f.Slices(mask, func(_ uint64, slice Func) error {
+			acc += slice.Variance()
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if avg := acc / float64(n); avg > f.Variance()+1e-9 {
+			t.Errorf("trial %d mask %#x: E[var(f_x)] = %v > var(f) = %v", trial, mask, avg, f.Variance())
+		}
+	}
+}
+
+func TestRestrictSpectrumConsistency(t *testing.T) {
+	// Restricting to x_j = b and transforming matches collapsing the full
+	// spectrum: hat{f|_{x_j=b}}(S) = hat f(S) + x_j(b) * hat f(S + j).
+	rng := testRand(23)
+	f, _ := RandomReal(5, rng)
+	spec := Transform(f)
+	j := 3
+	for _, bitVal := range []uint64{0, 1} {
+		r, err := f.Restrict(1<<j, bitVal<<j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := Transform(r)
+		sign := 1.0
+		if bitVal == 1 {
+			sign = -1.0
+		}
+		for s := uint64(0); s < uint64(rs.Len()); s++ {
+			// Map the restricted mask back to the original variables:
+			// bits below j stay, bits at or above j shift up by one.
+			low := s & ((1 << j) - 1)
+			high := (s >> j) << (j + 1)
+			orig := low | high
+			want := spec.Coeff(orig) + sign*spec.Coeff(orig|1<<j)
+			if !almostEqual(rs.Coeff(s), want, 1e-9) {
+				t.Fatalf("bit=%d S=%#x: got %v want %v", bitVal, s, rs.Coeff(s), want)
+			}
+		}
+	}
+}
+
+func TestExtendJunta(t *testing.T) {
+	g, _ := FromValues(2, []float64{10, 20, 30, 40})
+	f, err := Extend(4, 0b1010, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 16; x++ {
+		var compact uint64
+		if x&(1<<1) != 0 {
+			compact |= 1
+		}
+		if x&(1<<3) != 0 {
+			compact |= 2
+		}
+		if f.At(x) != g.At(compact) {
+			t.Fatalf("junta value at %04b = %v, want %v", x, f.At(x), g.At(compact))
+		}
+	}
+	// The junta's spectrum is supported inside the mask.
+	spec := Transform(f)
+	for s := uint64(0); s < 16; s++ {
+		if s&^uint64(0b1010) != 0 && !almostEqual(spec.Coeff(s), 0, tol) {
+			t.Errorf("junta has weight %v outside its mask at %#x", spec.Coeff(s), s)
+		}
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	g, _ := New(2)
+	if _, err := Extend(3, 0b111, g); err == nil {
+		t.Fatal("Extend accepted mask/vars mismatch")
+	}
+	if _, err := Extend(2, 0b100, g); err == nil {
+		t.Fatal("Extend accepted out-of-range mask")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	pos := []int{1, 3, 4}
+	for compact := uint64(0); compact < 8; compact++ {
+		scattered := scatterBits(compact, pos)
+		if bits.OnesCount64(scattered) != bits.OnesCount64(compact) {
+			t.Fatalf("popcount changed: %b -> %b", compact, scattered)
+		}
+		var back uint64
+		for i, p := range pos {
+			if scattered&(1<<p) != 0 {
+				back |= 1 << i
+			}
+		}
+		if back != compact {
+			t.Fatalf("round trip %b -> %b -> %b", compact, scattered, back)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package boolfn
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Spectrum holds the Fourier transform of a function on m variables. The
+// coefficient hat f(S) is stored at index S, where S is the bitmask of the
+// character's variable set.
+type Spectrum struct {
+	m     int
+	coeff []float64
+}
+
+// Transform computes the Fourier transform of f with the fast Walsh-Hadamard
+// transform in O(m 2^m) time. By orthonormality of the characters,
+// hat f(S) = <f, chi_S> = 2^-m * sum_x f(x) chi_S(x).
+func Transform(f Func) Spectrum {
+	coeff := make([]float64, len(f.vals))
+	copy(coeff, f.vals)
+	wht(coeff)
+	inv := 1.0
+	if len(coeff) > 0 {
+		inv = 1 / float64(len(coeff))
+	}
+	for i := range coeff {
+		coeff[i] *= inv
+	}
+	return Spectrum{m: f.m, coeff: coeff}
+}
+
+// Synthesize inverts the transform: f(x) = sum_S hat f(S) chi_S(x). Because
+// the WHT kernel is its own inverse up to scaling, this is a single
+// unnormalized WHT of the coefficient table.
+func Synthesize(s Spectrum) Func {
+	vals := make([]float64, len(s.coeff))
+	copy(vals, s.coeff)
+	wht(vals)
+	return Func{m: s.m, vals: vals}
+}
+
+// wht applies the in-place unnormalized Walsh-Hadamard butterfly.
+func wht(a []float64) {
+	n := len(a)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := a[j], a[j+h]
+				a[j], a[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// Vars returns the number of variables of the underlying function.
+func (s Spectrum) Vars() int { return s.m }
+
+// Len returns the number of coefficients, 2^m.
+func (s Spectrum) Len() int { return len(s.coeff) }
+
+// Coeff returns hat f(S) for the character bitmask S.
+func (s Spectrum) Coeff(set uint64) float64 { return s.coeff[set] }
+
+// Coeffs returns a copy of all coefficients indexed by subset mask.
+func (s Spectrum) Coeffs() []float64 {
+	cp := make([]float64, len(s.coeff))
+	copy(cp, s.coeff)
+	return cp
+}
+
+// Mean returns hat f(empty) = E[f] (Fact 2.2).
+func (s Spectrum) Mean() float64 {
+	if len(s.coeff) == 0 {
+		return 0
+	}
+	return s.coeff[0]
+}
+
+// Variance returns sum_{S != empty} hat f(S)^2 (Fact 2.2).
+func (s Spectrum) Variance() float64 {
+	var acc float64
+	for i := 1; i < len(s.coeff); i++ {
+		acc += s.coeff[i] * s.coeff[i]
+	}
+	return acc
+}
+
+// SquaredNorm returns sum_S hat f(S)^2, which equals E[f^2] by Parseval
+// (Fact 2.1).
+func (s Spectrum) SquaredNorm() float64 {
+	var acc float64
+	for _, c := range s.coeff {
+		acc += c * c
+	}
+	return acc
+}
+
+// LevelWeight returns W^{=r}[f] = sum_{|S| = r} hat f(S)^2.
+func (s Spectrum) LevelWeight(r int) float64 {
+	var acc float64
+	for i, c := range s.coeff {
+		if bits.OnesCount64(uint64(i)) == r {
+			acc += c * c
+		}
+	}
+	return acc
+}
+
+// LowLevelWeight returns W^{<=r}[f] = sum_{1 <= |S| <= r} hat f(S)^2 when
+// includeEmpty is false, or sum_{|S| <= r} when it is true.
+func (s Spectrum) LowLevelWeight(r int, includeEmpty bool) float64 {
+	var acc float64
+	for i, c := range s.coeff {
+		pc := bits.OnesCount64(uint64(i))
+		if pc > r {
+			continue
+		}
+		if pc == 0 && !includeEmpty {
+			continue
+		}
+		acc += c * c
+	}
+	return acc
+}
+
+// LevelProfile returns the full weight profile W^{=0..m}[f] as a slice of
+// length m+1.
+func (s Spectrum) LevelProfile() []float64 {
+	prof := make([]float64, s.m+1)
+	for i, c := range s.coeff {
+		prof[bits.OnesCount64(uint64(i))] += c * c
+	}
+	return prof
+}
+
+// Degree returns the Fourier degree of f: the largest |S| with a coefficient
+// of magnitude above tol, or 0 for the zero/constant function.
+func (s Spectrum) Degree(tol float64) int {
+	deg := 0
+	for i, c := range s.coeff {
+		if c > tol || c < -tol {
+			if pc := bits.OnesCount64(uint64(i)); pc > deg {
+				deg = pc
+			}
+		}
+	}
+	return deg
+}
+
+// CoeffNaive computes hat f(S) directly from the definition in O(2^m) time.
+// It is the test oracle for Transform.
+func CoeffNaive(f Func, set uint64) (float64, error) {
+	if set >= uint64(len(f.vals)) && len(f.vals) > 0 {
+		return 0, fmt.Errorf("boolfn: character mask %#x out of range for %d variables", set, f.m)
+	}
+	var acc float64
+	for x := uint64(0); x < uint64(len(f.vals)); x++ {
+		acc += f.vals[x] * Character(set, x)
+	}
+	if len(f.vals) == 0 {
+		return 0, nil
+	}
+	return acc / float64(len(f.vals)), nil
+}
+
+// Character evaluates chi_S(x) = prod_{j in S} x_j under the package's sign
+// convention (index bit set <=> coordinate value -1).
+func Character(set, x uint64) float64 {
+	if bits.OnesCount64(set&x)%2 == 1 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,274 @@
+package boolfn
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestTransformMatchesNaive(t *testing.T) {
+	rng := testRand(1)
+	for m := 0; m <= 8; m++ {
+		f, err := RandomReal(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Transform(f)
+		for set := uint64(0); set < uint64(f.Len()); set++ {
+			want, err := CoeffNaive(f, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(spec.Coeff(set), want, 1e-10) {
+				t.Fatalf("m=%d S=%#x: WHT %v, naive %v", m, set, spec.Coeff(set), want)
+			}
+		}
+	}
+}
+
+func TestSynthesizeInvertsTransform(t *testing.T) {
+	rng := testRand(2)
+	for m := 0; m <= 10; m++ {
+		f, err := RandomReal(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := Synthesize(Transform(f))
+		for x := uint64(0); x < uint64(f.Len()); x++ {
+			if !almostEqual(f.At(x), back.At(x), 1e-9) {
+				t.Fatalf("m=%d x=%d: round trip %v, want %v", m, x, back.At(x), f.At(x))
+			}
+		}
+	}
+}
+
+func TestParityHasSingleCoefficient(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		for set := uint64(0); set < 1<<m; set++ {
+			p, err := Parity(m, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := Transform(p)
+			for s2 := uint64(0); s2 < uint64(p.Len()); s2++ {
+				want := 0.0
+				if s2 == set {
+					want = 1.0
+				}
+				if !almostEqual(spec.Coeff(s2), want, tol) {
+					t.Fatalf("m=%d parity %#x coeff at %#x = %v, want %v", m, set, s2, spec.Coeff(s2), want)
+				}
+			}
+		}
+	}
+}
+
+func TestDictatorSpectrum(t *testing.T) {
+	// Indicator of x_1 = -1 on 3 variables: hat f = 1/2 on empty set,
+	// -1/2 on {1} under the convention chi_{1}(x) = x_1.
+	f, err := Dictator(3, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Transform(f)
+	if !almostEqual(spec.Coeff(0), 0.5, tol) {
+		t.Errorf("empty coeff %v, want 0.5", spec.Coeff(0))
+	}
+	if !almostEqual(spec.Coeff(1<<1), -0.5, tol) {
+		t.Errorf("coeff({1}) = %v, want -0.5", spec.Coeff(1<<1))
+	}
+	if !almostEqual(spec.Variance(), 0.25, tol) {
+		t.Errorf("variance %v, want 0.25", spec.Variance())
+	}
+}
+
+func TestParsevalRandomFunctions(t *testing.T) {
+	rng := testRand(3)
+	for m := 0; m <= 10; m++ {
+		f, err := RandomReal(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Transform(f)
+		if !almostEqual(f.SquaredNorm(), spec.SquaredNorm(), 1e-9) {
+			t.Errorf("m=%d: E[f^2]=%v, sum coeff^2=%v", m, f.SquaredNorm(), spec.SquaredNorm())
+		}
+	}
+}
+
+func TestPlancherelRandomPairs(t *testing.T) {
+	rng := testRand(4)
+	for m := 1; m <= 8; m++ {
+		f, _ := RandomReal(m, rng)
+		g, _ := RandomReal(m, rng)
+		ip, err := f.InnerProduct(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, sg := Transform(f), Transform(g)
+		var spectral float64
+		for i := 0; i < sf.Len(); i++ {
+			spectral += sf.Coeff(uint64(i)) * sg.Coeff(uint64(i))
+		}
+		if !almostEqual(ip, spectral, 1e-9) {
+			t.Errorf("m=%d: <f,g>=%v, spectral=%v", m, ip, spectral)
+		}
+	}
+}
+
+func TestLevelWeightsSumToNorm(t *testing.T) {
+	rng := testRand(5)
+	for m := 0; m <= 8; m++ {
+		f, _ := RandomReal(m, rng)
+		spec := Transform(f)
+		prof := spec.LevelProfile()
+		if len(prof) != m+1 {
+			t.Fatalf("m=%d: profile length %d", m, len(prof))
+		}
+		var total float64
+		for r, w := range prof {
+			total += w
+			if !almostEqual(w, spec.LevelWeight(r), tol) {
+				t.Errorf("m=%d level %d: profile %v vs LevelWeight %v", m, r, w, spec.LevelWeight(r))
+			}
+		}
+		if !almostEqual(total, spec.SquaredNorm(), 1e-9) {
+			t.Errorf("m=%d: level weights sum %v, norm %v", m, total, spec.SquaredNorm())
+		}
+	}
+}
+
+func TestLowLevelWeight(t *testing.T) {
+	f, _ := Majority(5)
+	spec := Transform(f)
+	for r := 0; r <= 5; r++ {
+		var wantWith, wantWithout float64
+		for i := 0; i < spec.Len(); i++ {
+			pc := bits.OnesCount64(uint64(i))
+			if pc > r {
+				continue
+			}
+			c2 := spec.Coeff(uint64(i)) * spec.Coeff(uint64(i))
+			wantWith += c2
+			if pc > 0 {
+				wantWithout += c2
+			}
+		}
+		if got := spec.LowLevelWeight(r, true); !almostEqual(got, wantWith, tol) {
+			t.Errorf("r=%d with empty: %v want %v", r, got, wantWith)
+		}
+		if got := spec.LowLevelWeight(r, false); !almostEqual(got, wantWithout, tol) {
+			t.Errorf("r=%d without empty: %v want %v", r, got, wantWithout)
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func() (Func, error)
+		want int
+	}{
+		{name: "constant", mk: func() (Func, error) { return FromValues(3, []float64{1, 1, 1, 1, 1, 1, 1, 1}) }, want: 0},
+		{name: "dictator", mk: func() (Func, error) { return Dictator(3, 2, false) }, want: 1},
+		{name: "full parity", mk: func() (Func, error) { return Parity(4, 0xF) }, want: 4},
+		{name: "majority5", mk: func() (Func, error) { return Majority(5) }, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f, err := tt.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Transform(f).Degree(1e-9); got != tt.want {
+				t.Errorf("degree = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCharacterMultiplicative(t *testing.T) {
+	// chi_S(x XOR y) = chi_S(x) chi_S(y): characters are homomorphisms of
+	// the XOR group.
+	for set := uint64(0); set < 16; set++ {
+		for x := uint64(0); x < 16; x++ {
+			for y := uint64(0); y < 16; y++ {
+				if Character(set, x^y) != Character(set, x)*Character(set, y) {
+					t.Fatalf("character not multiplicative at S=%d x=%d y=%d", set, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestCoeffNaiveRangeCheck(t *testing.T) {
+	f, _ := New(2)
+	if _, err := CoeffNaive(f, 4); err == nil {
+		t.Fatal("CoeffNaive accepted an out-of-range mask")
+	}
+}
+
+func TestMajorityMeanIsHalfOddVars(t *testing.T) {
+	for _, m := range []int{1, 3, 5, 7} {
+		f, err := Majority(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(f.Mean(), 0.5, tol) {
+			t.Errorf("majority on %d vars has mean %v", m, f.Mean())
+		}
+	}
+}
+
+func TestNoiseStabilityEndpoints(t *testing.T) {
+	rng := testRand(6)
+	f, _ := RandomReal(6, rng)
+	spec := Transform(f)
+	if !almostEqual(spec.NoiseStability(1), spec.SquaredNorm(), 1e-9) {
+		t.Errorf("Stab_1 = %v, want E[f^2] = %v", spec.NoiseStability(1), spec.SquaredNorm())
+	}
+	mean := spec.Mean()
+	if !almostEqual(spec.NoiseStability(0), mean*mean, 1e-9) {
+		t.Errorf("Stab_0 = %v, want mean^2 = %v", spec.NoiseStability(0), mean*mean)
+	}
+}
+
+func TestNoiseOperatorContractsVariance(t *testing.T) {
+	rng := testRand(8)
+	f, _ := RandomReal(7, rng)
+	spec := Transform(f)
+	prev := spec.Variance()
+	for _, rho := range []float64{0.9, 0.5, 0.1} {
+		v := spec.NoiseOperator(rho).Variance()
+		if v > prev+tol {
+			t.Errorf("rho=%v: variance grew from %v to %v", rho, prev, v)
+		}
+		prev = v
+	}
+	if !almostEqual(spec.NoiseOperator(0).Variance(), 0, tol) {
+		t.Error("T_0 f should be constant")
+	}
+}
+
+func TestThresholdCountMonotone(t *testing.T) {
+	m := 6
+	prev := math.Inf(1)
+	for th := 0; th <= m+1; th++ {
+		f, err := ThresholdCount(m, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mean() > prev+tol {
+			t.Errorf("threshold %d: mean %v not monotone", th, f.Mean())
+		}
+		prev = f.Mean()
+	}
+	f0, _ := ThresholdCount(m, 0)
+	if f0.Mean() != 1 {
+		t.Errorf("threshold 0 mean %v, want 1", f0.Mean())
+	}
+	fm, _ := ThresholdCount(m, m+1)
+	if fm.Mean() != 0 {
+		t.Errorf("threshold m+1 mean %v, want 0", fm.Mean())
+	}
+}

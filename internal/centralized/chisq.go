@@ -1,0 +1,120 @@
+package centralized
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// ChiSquaredStatistic computes the identity-testing statistic of
+// Diakonikolas-Kane / Valiant-Valiant against a known target p:
+//
+//	Z = sum_i ((N_i - q p_i)^2 - N_i) / (q p_i)
+//
+// over the histogram counts N_i, skipping zero-mass target elements (a
+// sample landing on one is an immediate, infinite rejection signal and
+// yields +Inf). Subtracting N_i de-biases the statistic: under p exactly,
+// E[Z] = 0, while under a distribution with chi-squared divergence D from
+// p, E[Z] = q*D.
+func ChiSquaredStatistic(samples []int, target dist.Dist) (float64, error) {
+	n := target.N()
+	if err := checkSamples(samples, n); err != nil {
+		return 0, err
+	}
+	h, err := dist.Histogram(samples, n)
+	if err != nil {
+		return 0, err
+	}
+	q := float64(len(samples))
+	var z float64
+	for i, c := range h {
+		pi := target.Prob(i)
+		if pi == 0 {
+			if c > 0 {
+				return math.Inf(1), nil
+			}
+			continue
+		}
+		expect := q * pi
+		diff := float64(c) - expect
+		z += (diff*diff - float64(c)) / expect
+	}
+	return z, nil
+}
+
+// ChiSquaredUniformityStatistic specializes the statistic to the uniform
+// target over [n].
+func ChiSquaredUniformityStatistic(n int) Statistic {
+	return func(samples []int) (float64, error) {
+		u, err := dist.Uniform(n)
+		if err != nil {
+			return 0, err
+		}
+		return ChiSquaredStatistic(samples, u)
+	}
+}
+
+// ChiSquaredTester tests identity to a fixed known distribution with the
+// de-biased chi-squared statistic. For the uniform target it is an
+// alternative engine to CollisionTester with the same
+// Theta(sqrt(n)/eps^2) sample complexity and better constants at small eps.
+type ChiSquaredTester struct {
+	target    dist.Dist
+	q         int
+	eps       float64
+	threshold float64
+}
+
+var _ Tester = (*ChiSquaredTester)(nil)
+
+// NewChiSquaredTester builds the tester with a closed-form threshold: a
+// distribution eps-far in L1 from the target has chi-squared divergence at
+// least eps^2/4 (by Cauchy-Schwarz through total variation), so E[Z] >=
+// q eps^2/4 there while E[Z] = 0 under the target. The threshold sits at
+// q eps^2/4 — the far-side mean — because Z's null fluctuation
+// (~sqrt(2n)) needs the larger share of the gap once q =
+// Theta(sqrt(n)/eps^2); the far side retains its margin through its
+// larger mean growth.
+func NewChiSquaredTester(target dist.Dist, q int, eps float64) (*ChiSquaredTester, error) {
+	if target.N() == 0 {
+		return nil, fmt.Errorf("centralized: chi-squared tester with empty target")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("centralized: chi-squared tester with q=%d", q)
+	}
+	if eps <= 0 || eps > 2 {
+		return nil, fmt.Errorf("centralized: chi-squared tester eps %v outside (0,2]", eps)
+	}
+	return &ChiSquaredTester{
+		target:    target,
+		q:         q,
+		eps:       eps,
+		threshold: float64(q) * eps * eps / 4,
+	}, nil
+}
+
+// NewChiSquaredTesterWithThreshold uses an explicitly calibrated threshold.
+func NewChiSquaredTesterWithThreshold(target dist.Dist, q int, eps, threshold float64) (*ChiSquaredTester, error) {
+	t, err := NewChiSquaredTester(target, q, eps)
+	if err != nil {
+		return nil, err
+	}
+	t.threshold = threshold
+	return t, nil
+}
+
+// SampleSize returns the sample count the tester was built for.
+func (t *ChiSquaredTester) SampleSize() int { return t.q }
+
+// Threshold returns the acceptance threshold.
+func (t *ChiSquaredTester) Threshold() float64 { return t.threshold }
+
+// Test accepts iff the statistic is at most the threshold.
+func (t *ChiSquaredTester) Test(samples []int) (bool, error) {
+	z, err := ChiSquaredStatistic(samples, t.target)
+	if err != nil {
+		return false, err
+	}
+	return z <= t.threshold, nil
+}

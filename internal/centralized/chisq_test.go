@@ -1,0 +1,160 @@
+package centralized
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestChiSquaredStatisticKnownValues(t *testing.T) {
+	u, _ := dist.Uniform(2)
+	// Two samples, both 0: N = (2, 0), q p_i = 1.
+	// Z = ((2-1)^2 - 2)/1 + ((0-1)^2 - 0)/1 = -1 + 1 = 0.
+	z, err := ChiSquaredStatistic([]int{0, 0}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 1e-12 {
+		t.Errorf("Z = %v, want 0", z)
+	}
+	// One sample each: N = (1,1). Z = ((1-1)^2-1)/1 * 2 = -2.
+	z, err = ChiSquaredStatistic([]int{0, 1}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z+2) > 1e-12 {
+		t.Errorf("Z = %v, want -2", z)
+	}
+}
+
+func TestChiSquaredStatisticZeroMassTarget(t *testing.T) {
+	target, _ := dist.FromProbs([]float64{1, 0})
+	z, err := ChiSquaredStatistic([]int{1}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(z, 1) {
+		t.Errorf("Z = %v, want +Inf on unsupported sample", z)
+	}
+	z, err = ChiSquaredStatistic([]int{0, 0}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(z, 0) {
+		t.Errorf("Z = %v, want finite on supported samples", z)
+	}
+}
+
+func TestChiSquaredStatisticRejectsBadSamples(t *testing.T) {
+	u, _ := dist.Uniform(4)
+	if _, err := ChiSquaredStatistic([]int{4}, u); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+	if _, err := ChiSquaredStatistic([]int{-1}, u); err == nil {
+		t.Error("negative sample accepted")
+	}
+}
+
+func TestChiSquaredStatisticNearZeroMeanUnderNull(t *testing.T) {
+	// Under the target itself, E[Z] = 0; average over many runs should be
+	// close to zero relative to its standard deviation.
+	target, _ := dist.Zipf(32, 0.7)
+	sampler, _ := dist.NewAliasSampler(target)
+	rng := testRand(21)
+	const trials = 2000
+	const q = 300
+	var sum float64
+	buf := make([]int, q)
+	for i := 0; i < trials; i++ {
+		dist.SampleInto(sampler, buf, rng)
+		z, err := ChiSquaredStatistic(buf, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += z
+	}
+	mean := sum / trials
+	if math.Abs(mean) > 1.5 {
+		t.Errorf("mean statistic under null = %v, want ~0", mean)
+	}
+}
+
+func TestChiSquaredTesterValidation(t *testing.T) {
+	u, _ := dist.Uniform(8)
+	if _, err := NewChiSquaredTester(dist.Dist{}, 10, 0.5); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := NewChiSquaredTester(u, 0, 0.5); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewChiSquaredTester(u, 10, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestChiSquaredTesterSeparatesUniformity(t *testing.T) {
+	const n = 256
+	const eps = 0.5
+	q := RecommendedSamples(n, eps)
+	uniform, _ := dist.Uniform(n)
+	tester, err := NewChiSquaredTester(uniform, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, _ := dist.PairedBump(n, eps)
+	if p := acceptRate(t, tester, uniform, q, 300, 22); p < 0.75 {
+		t.Errorf("accepts uniform with probability %v", p)
+	}
+	if p := acceptRate(t, tester, far, q, 300, 23); p > 0.25 {
+		t.Errorf("accepts eps-far with probability %v", p)
+	}
+}
+
+func TestChiSquaredTesterNonUniformTarget(t *testing.T) {
+	// Identity testing against a Zipf target with a calibrated threshold.
+	const q = 2000
+	target, _ := dist.Zipf(64, 1)
+	stat := func(samples []int) (float64, error) { return ChiSquaredStatistic(samples, target) }
+	threshold, err := CalibrateThreshold(stat, target, q, 1500, 0.2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewChiSquaredTesterWithThreshold(target, q, 0.5, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, tester, target, q, 300, 32); p < 0.7 {
+		t.Errorf("accepts its own target with probability %v", p)
+	}
+	far, _ := dist.SparseSupport(64, 16)
+	if l1, _ := dist.L1(far, target); l1 < 0.5 {
+		t.Fatalf("test case not far enough: %v", l1)
+	}
+	if p := acceptRate(t, tester, far, q, 300, 33); p > 0.1 {
+		t.Errorf("accepts far distribution with probability %v", p)
+	}
+}
+
+func TestChiSquaredUniformityStatisticAgreesWithGeneric(t *testing.T) {
+	u, _ := dist.Uniform(16)
+	stat := ChiSquaredUniformityStatistic(16)
+	rng := testRand(34)
+	for trial := 0; trial < 10; trial++ {
+		samples := make([]int, 50)
+		for i := range samples {
+			samples[i] = rng.IntN(16)
+		}
+		a, err := stat(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ChiSquaredStatistic(samples, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("specialized %v vs generic %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package centralized
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// The paper's introduction notes that uniformity testing is a special case
+// of closeness testing (two unknown distributions) and independence
+// testing, so its lower bounds transfer to both. This file implements the
+// closeness side; experiment E19 demonstrates the transfer.
+
+// L2DistanceEstimate returns the standard unbiased estimator of
+// ||P - Q||_2^2 from two iid sample batches:
+//
+//	2 coll(X)/ (|X|(|X|-1)) + 2 coll(Y)/(|Y|(|Y|-1)) - 2 cross(X,Y)/(|X||Y|),
+//
+// where coll counts equal pairs within a batch and cross counts equal
+// pairs across batches. Each term is an unbiased estimate of ||P||_2^2,
+// ||Q||_2^2 and <P,Q> respectively.
+func L2DistanceEstimate(x, y []int, n int) (float64, error) {
+	if len(x) < 2 || len(y) < 2 {
+		return 0, fmt.Errorf("centralized: L2 estimate needs >= 2 samples per batch, got %d and %d", len(x), len(y))
+	}
+	hx, err := dist.Histogram(x, n)
+	if err != nil {
+		return 0, err
+	}
+	hy, err := dist.Histogram(y, n)
+	if err != nil {
+		return 0, err
+	}
+	var collX, collY, cross int64
+	for i := 0; i < n; i++ {
+		collX += hx[i] * (hx[i] - 1) / 2
+		collY += hy[i] * (hy[i] - 1) / 2
+		cross += hx[i] * hy[i]
+	}
+	qx, qy := float64(len(x)), float64(len(y))
+	return 2*float64(collX)/(qx*(qx-1)) +
+		2*float64(collY)/(qy*(qy-1)) -
+		2*float64(cross)/(qx*qy), nil
+}
+
+// ClosenessTester tests whether two unknown distributions over [n] are
+// equal or eps-far in L1, by thresholding the unbiased ||P - Q||_2^2
+// estimator: equality gives mean 0, while ||P-Q||_1 >= eps forces
+// ||P-Q||_2^2 >= eps^2/n by Cauchy-Schwarz. This is the L2-flavored tester
+// (optimal for flat distributions, which includes the uniformity-testing
+// special case Q = U_n that inherits the paper's lower bounds); heavy
+// distributions may need the n^{2/3}-type testers of [CDVV14], which are
+// out of scope.
+type ClosenessTester struct {
+	n         int
+	q         int
+	eps       float64
+	threshold float64
+}
+
+// NewClosenessTester builds the tester for per-batch sample count q; the
+// threshold sits at half the guaranteed far-side mean eps^2/n.
+func NewClosenessTester(n, q int, eps float64) (*ClosenessTester, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("centralized: closeness tester over domain %d", n)
+	}
+	if q < 2 {
+		return nil, fmt.Errorf("centralized: closeness tester needs q >= 2 per batch, got %d", q)
+	}
+	if eps <= 0 || eps > 2 {
+		return nil, fmt.Errorf("centralized: closeness tester eps %v outside (0,2]", eps)
+	}
+	return &ClosenessTester{
+		n:         n,
+		q:         q,
+		eps:       eps,
+		threshold: eps * eps / (2 * float64(n)),
+	}, nil
+}
+
+// SampleSize returns the per-batch sample count.
+func (t *ClosenessTester) SampleSize() int { return t.q }
+
+// Threshold returns the acceptance threshold on the L2^2 estimate.
+func (t *ClosenessTester) Threshold() float64 { return t.threshold }
+
+// Test accepts ("same distribution") iff the L2^2 estimate is at most the
+// threshold.
+func (t *ClosenessTester) Test(x, y []int) (bool, error) {
+	est, err := L2DistanceEstimate(x, y, t.n)
+	if err != nil {
+		return false, err
+	}
+	return est <= t.threshold, nil
+}
+
+// RecommendedClosenessSamples returns the per-batch sample size at which
+// the tester separates equal from eps-far flat distributions with
+// probability 2/3: c sqrt(n)/eps^2, validated by experiment E19.
+func RecommendedClosenessSamples(n int, eps float64) int {
+	return int(12*math.Sqrt(float64(n))/(eps*eps)) + 2
+}
+
+// UniformityViaCloseness reduces uniformity testing to closeness testing:
+// the second batch is drawn from an explicit uniform sampler. It exists to
+// demonstrate (and test) the paper's remark that closeness testing
+// inherits every uniformity lower bound — any closeness tester run this
+// way *is* a uniformity tester.
+type UniformityViaCloseness struct {
+	inner *ClosenessTester
+}
+
+// NewUniformityViaCloseness builds the reduction.
+func NewUniformityViaCloseness(n, q int, eps float64) (*UniformityViaCloseness, error) {
+	inner, err := NewClosenessTester(n, q, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &UniformityViaCloseness{inner: inner}, nil
+}
+
+// SampleSize returns the per-batch sample count.
+func (t *UniformityViaCloseness) SampleSize() int { return t.inner.SampleSize() }
+
+// Test accepts iff the unknown batch is close to the reference uniform
+// batch.
+func (t *UniformityViaCloseness) Test(unknown, uniformRef []int) (bool, error) {
+	return t.inner.Test(unknown, uniformRef)
+}

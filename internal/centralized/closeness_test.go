@@ -1,0 +1,335 @@
+package centralized
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+func TestL2DistanceEstimateKnownValues(t *testing.T) {
+	// X = {0,0}, Y = {1,1}: ||P-Q||_2^2 estimate = 2*1/2 + 2*1/2 - 0 = 2.
+	got, err := L2DistanceEstimate([]int{0, 0}, []int{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("estimate = %v, want 2", got)
+	}
+	// Identical batches: estimate = 2*1/2 + 2*1/2 - 2*4/4... compute:
+	// X = Y = {0,1}: collX = collY = 0, cross = 2 -> -2*2/4 = -1.
+	got, err = L2DistanceEstimate([]int{0, 1}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+1) > 1e-12 {
+		t.Errorf("estimate = %v, want -1", got)
+	}
+	if _, err := L2DistanceEstimate([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("single-sample batch accepted")
+	}
+	if _, err := L2DistanceEstimate([]int{0, 5}, []int{0, 1}, 2); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+}
+
+func TestL2DistanceEstimateUnbiased(t *testing.T) {
+	// Average the estimator over many batches and compare with the exact
+	// ||P - Q||_2^2.
+	p, _ := dist.Zipf(16, 1)
+	q, _ := dist.Uniform(16)
+	exact := 0.0
+	for i := 0; i < 16; i++ {
+		diff := p.Prob(i) - q.Prob(i)
+		exact += diff * diff
+	}
+	sp, _ := dist.NewAliasSampler(p)
+	sq, _ := dist.NewAliasSampler(q)
+	rng := rand.New(rand.NewPCG(81, 82))
+	var acc stats.Accumulator
+	for trial := 0; trial < 4000; trial++ {
+		x := dist.SampleN(sp, 40, rng)
+		y := dist.SampleN(sq, 40, rng)
+		est, err := L2DistanceEstimate(x, y, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(est)
+	}
+	if math.Abs(acc.Mean()-exact) > 4*acc.StdErr()+1e-4 {
+		t.Errorf("estimator mean %v vs exact %v (stderr %v)", acc.Mean(), exact, acc.StdErr())
+	}
+}
+
+func TestClosenessTesterValidation(t *testing.T) {
+	if _, err := NewClosenessTester(0, 10, 0.5); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewClosenessTester(8, 1, 0.5); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := NewClosenessTester(8, 10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	ct, err := NewClosenessTester(8, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.SampleSize() != 10 || ct.Threshold() <= 0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func closenessAcceptRate(t *testing.T, tester *ClosenessTester, p, q dist.Dist, trials int, seed uint64) float64 {
+	t.Helper()
+	sp, err := dist.NewAliasSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := dist.NewAliasSampler(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
+		x := dist.SampleN(sp, tester.SampleSize(), rng)
+		y := dist.SampleN(sq, tester.SampleSize(), rng)
+		ok, terr := tester.Test(x, y)
+		if terr != nil {
+			t.Error(terr)
+		}
+		return ok
+	}, stats.EstimateOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est.P
+}
+
+func TestClosenessTesterSeparates(t *testing.T) {
+	const (
+		n   = 256
+		eps = 0.5
+	)
+	q := RecommendedClosenessSamples(n, eps)
+	tester, err := NewClosenessTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := dist.Uniform(n)
+	far, _ := dist.PairedBump(n, eps)
+	if p := closenessAcceptRate(t, tester, uniform, uniform, 200, 91); p < 0.75 {
+		t.Errorf("accepts equal pair with probability %v", p)
+	}
+	if p := closenessAcceptRate(t, tester, far, far, 200, 92); p < 0.75 {
+		t.Errorf("accepts equal non-uniform pair with probability %v", p)
+	}
+	if p := closenessAcceptRate(t, tester, uniform, far, 200, 93); p > 0.25 {
+		t.Errorf("accepts eps-far pair with probability %v", p)
+	}
+}
+
+func TestUniformityViaClosenessInheritsHardness(t *testing.T) {
+	// The paper's remark, constructively: a closeness tester with a
+	// uniform reference batch IS a uniformity tester, so it must both work
+	// on the hard family at sufficient q and inherit the task's hardness.
+	const (
+		n   = 256
+		ell = 7
+		eps = 0.5
+	)
+	q := RecommendedClosenessSamples(n, eps)
+	red, err := NewUniformityViaCloseness(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := dist.NewHardInstance(ell, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := dist.Uniform(n)
+	su, _ := dist.NewAliasSampler(uniform)
+	rng := rand.New(rand.NewPCG(94, 95))
+	acceptU, rejectFar := 0, 0
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		ref := dist.SampleN(su, q, rng)
+		unknown := dist.SampleN(su, q, rng)
+		ok, err := red.Test(unknown, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			acceptU++
+		}
+		nu, _, err := h.RandomPerturbed(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snu, _ := dist.NewAliasSampler(nu)
+		farBatch := dist.SampleN(snu, q, rng)
+		ref2 := dist.SampleN(su, q, rng)
+		ok, err = red.Test(farBatch, ref2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rejectFar++
+		}
+	}
+	if acceptU < trials*2/3 {
+		t.Errorf("accepted uniform only %d/%d", acceptU, trials)
+	}
+	if rejectFar < trials*2/3 {
+		t.Errorf("rejected hard family only %d/%d", rejectFar, trials)
+	}
+	if red.SampleSize() != q {
+		t.Error("accessor wrong")
+	}
+}
+
+func TestIndependenceTesterValidation(t *testing.T) {
+	if _, err := NewIndependenceTester(1, 4, 0.1); err == nil {
+		t.Error("1-row table accepted")
+	}
+	if _, err := NewIndependenceTester(4, 4, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	it, err := NewIndependenceTester(3, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Encode(3, 0); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	enc, err := it.Encode(2, 3)
+	if err != nil || enc != 11 {
+		t.Errorf("Encode(2,3) = %d, %v", enc, err)
+	}
+	if _, err := it.Test(nil); err == nil {
+		t.Error("empty sample set accepted")
+	}
+}
+
+func TestIndependenceTesterCalibration(t *testing.T) {
+	// Under a genuinely independent (non-uniform) product, the rejection
+	// rate should approximate alpha.
+	const m = 8
+	it, err := NewIndependenceTester(m, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, _ := dist.Zipf(m, 0.7)
+	py, _ := dist.Zipf(m, 1.1)
+	prod, err := ProductDist(px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := dist.NewAliasSampler(prod)
+	est, err := stats.EstimateSuccess(2000, func(rng *rand.Rand) bool {
+		samples := dist.SampleN(s, 2000, rng)
+		ok, terr := it.Test(samples)
+		if terr != nil {
+			t.Error(terr)
+		}
+		return ok
+	}, stats.EstimateOptions{Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P < 0.72 || est.P > 0.88 {
+		t.Errorf("acceptance under independence %v, want ~0.8", est.P)
+	}
+}
+
+func TestIndependenceTesterDetectsCorrelation(t *testing.T) {
+	const m = 8
+	it, err := NewIndependenceTester(m, m, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := CorrelatedPair(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := dist.NewAliasSampler(corr)
+	est, err := stats.EstimateSuccess(300, func(rng *rand.Rand) bool {
+		samples := dist.SampleN(s, 1500, rng)
+		ok, terr := it.Test(samples)
+		if terr != nil {
+			t.Error(terr)
+		}
+		return ok
+	}, stats.EstimateOptions{Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P > 0.1 {
+		t.Errorf("accepted a rho=0.3 correlated pair with probability %v", est.P)
+	}
+}
+
+func TestCorrelatedPairProperties(t *testing.T) {
+	const m = 6
+	for _, rho := range []float64{0, 0.25, 1} {
+		d, err := CorrelatedPair(m, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Uniform marginals.
+		for i := 0; i < m; i++ {
+			var row, col float64
+			for j := 0; j < m; j++ {
+				row += d.Prob(i*m + j)
+				col += d.Prob(j*m + i)
+			}
+			if math.Abs(row-1.0/m) > 1e-12 || math.Abs(col-1.0/m) > 1e-12 {
+				t.Fatalf("rho=%v: marginals not uniform (row %v col %v)", rho, row, col)
+			}
+		}
+		// Distance from the product of marginals (= uniform on the grid).
+		prod, _ := dist.Uniform(m * m)
+		l1, _ := dist.L1(d, prod)
+		want := 2 * rho * (1 - 1.0/m)
+		if math.Abs(l1-want) > 1e-12 {
+			t.Errorf("rho=%v: distance %v, want %v", rho, l1, want)
+		}
+	}
+	if _, err := CorrelatedPair(1, 0.5); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := CorrelatedPair(4, 1.5); err == nil {
+		t.Error("rho>1 accepted")
+	}
+}
+
+func TestProductDistValidation(t *testing.T) {
+	px, _ := dist.Uniform(3)
+	if _, err := ProductDist(dist.Dist{}, px); err == nil {
+		t.Error("empty factor accepted")
+	}
+	prod, err := ProductDist(px, px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.N() != 9 {
+		t.Errorf("product domain %d", prod.N())
+	}
+	if math.Abs(dist.CollisionProb(prod)-1.0/9) > 1e-12 {
+		t.Error("uniform product not uniform")
+	}
+}
+
+func TestIndependenceDegenerateTable(t *testing.T) {
+	// All mass on one row: trivially independent.
+	it, _ := NewIndependenceTester(4, 4, 0.1)
+	samples := []int{0, 1, 2, 3, 0, 1} // all row 0
+	ok, err := it.Test(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("degenerate one-row table rejected")
+	}
+}

@@ -1,0 +1,246 @@
+package centralized
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed+0x1234))
+}
+
+// acceptRate estimates how often tester accepts q iid samples from d.
+func acceptRate(t *testing.T, tester Tester, d dist.Dist, q, trials int, seed uint64) float64 {
+	t.Helper()
+	sampler, err := dist.NewAliasSampler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
+		buf := make([]int, q)
+		dist.SampleInto(sampler, buf, rng)
+		ok, err := tester.Test(buf)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return ok
+	}, stats.EstimateOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est.P
+}
+
+func TestCollisionCountKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []int
+		n       int
+		want    int64
+	}{
+		{name: "no samples", samples: nil, n: 4, want: 0},
+		{name: "distinct", samples: []int{0, 1, 2, 3}, n: 4, want: 0},
+		{name: "one pair", samples: []int{0, 1, 0}, n: 4, want: 1},
+		{name: "triple", samples: []int{2, 2, 2}, n: 4, want: 3},
+		{name: "two pairs", samples: []int{0, 0, 1, 1}, n: 4, want: 2},
+		{name: "all same", samples: []int{1, 1, 1, 1}, n: 4, want: 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := CollisionCount(tt.samples, tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("collisions = %d, want %d", got, tt.want)
+			}
+		})
+	}
+	if _, err := CollisionCount([]int{5}, 4); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+}
+
+func TestCollisionCountMatchesQuadratic(t *testing.T) {
+	rng := testRand(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(20)
+		q := rng.IntN(50)
+		samples := make([]int, q)
+		for i := range samples {
+			samples[i] = rng.IntN(n)
+		}
+		want := int64(0)
+		for i := 0; i < q; i++ {
+			for j := i + 1; j < q; j++ {
+				if samples[i] == samples[j] {
+					want++
+				}
+			}
+		}
+		got, err := CollisionCount(samples, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("histogram count %d, quadratic count %d", got, want)
+		}
+	}
+}
+
+func TestNewCollisionTesterValidation(t *testing.T) {
+	if _, err := NewCollisionTester(0, 10, 0.5); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewCollisionTester(16, 1, 0.5); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := NewCollisionTester(16, 10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewCollisionTester(16, 10, 3); err == nil {
+		t.Error("eps=3 accepted")
+	}
+	if _, err := NewCollisionTesterWithThreshold(16, 10, 0.5, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestCollisionTesterSeparates(t *testing.T) {
+	const (
+		n   = 256
+		eps = 0.5
+	)
+	q := RecommendedSamples(n, eps)
+	tester, err := NewCollisionTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := dist.Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := dist.PairedBump(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, tester, uniform, q, 300, 10); p < 0.75 {
+		t.Errorf("accepts uniform with probability %v, want >= 0.75", p)
+	}
+	if p := acceptRate(t, tester, far, q, 300, 11); p > 0.25 {
+		t.Errorf("accepts eps-far with probability %v, want <= 0.25", p)
+	}
+}
+
+func TestCollisionTesterAgainstHardFamily(t *testing.T) {
+	// The paper's own hard family must also be rejected at the recommended
+	// sample size (the family is hard in the constant, not asymptotically).
+	h, err := dist.NewHardInstance(7, 0.5) // n = 256
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := RecommendedSamples(h.N(), 0.5)
+	tester, err := NewCollisionTester(h.N(), q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testRand(12)
+	nu, _, err := h.RandomPerturbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, tester, nu, q, 300, 13); p > 0.25 {
+		t.Errorf("accepts nu_z with probability %v, want <= 0.25", p)
+	}
+}
+
+func TestCollisionTesterFailsWithFewSamples(t *testing.T) {
+	// With q far below sqrt(n)/eps^2 the two cases are indistinguishable:
+	// acceptance probabilities nearly coincide.
+	const n = 4096
+	const eps = 0.25
+	q := 20 // << 6*64/0.0625 ≈ 6144
+	tester, err := NewCollisionTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := dist.Uniform(n)
+	far, _ := dist.PairedBump(n, eps)
+	pu := acceptRate(t, tester, uniform, q, 400, 14)
+	pf := acceptRate(t, tester, far, q, 400, 15)
+	if math.Abs(pu-pf) > 0.15 {
+		t.Errorf("starved tester still separates: uniform %v vs far %v", pu, pf)
+	}
+}
+
+func TestCollisionTesterAccessors(t *testing.T) {
+	tester, err := NewCollisionTester(64, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tester.N() != 64 || tester.SampleSize() != 100 || tester.Eps() != 0.5 {
+		t.Errorf("accessors: %d %d %v", tester.N(), tester.SampleSize(), tester.Eps())
+	}
+	wantThreshold := 100 * 99 / 2.0 / 64 * (1 + 0.125)
+	if math.Abs(tester.Threshold()-wantThreshold) > 1e-9 {
+		t.Errorf("threshold = %v, want %v", tester.Threshold(), wantThreshold)
+	}
+}
+
+func TestRecommendedSamplesScaling(t *testing.T) {
+	// Doubling n multiplies q by ~sqrt(2); halving eps quadruples it.
+	q1 := RecommendedSamples(1024, 0.5)
+	q2 := RecommendedSamples(4096, 0.5)
+	if ratio := float64(q2) / float64(q1); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("4x n gave q ratio %v, want ~2", ratio)
+	}
+	q3 := RecommendedSamples(1024, 0.25)
+	if ratio := float64(q3) / float64(q1); ratio < 3.6 || ratio > 4.4 {
+		t.Errorf("eps/2 gave q ratio %v, want ~4", ratio)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	const n = 64
+	uniform, _ := dist.Uniform(n)
+	stat := CollisionStatistic(n)
+	threshold, err := CalibrateThreshold(stat, uniform, 200, 2000, 0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A threshold at the 80th percentile must be rejected by uniform about
+	// 20% of the time.
+	tester, err := NewCollisionTesterWithThreshold(n, 200, 0.5, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := acceptRate(t, tester, uniform, 200, 2000, 100)
+	if p < 0.72 || p > 0.88 {
+		t.Errorf("calibrated acceptance %v, want ~0.8", p)
+	}
+}
+
+func TestCalibrateThresholdValidation(t *testing.T) {
+	u, _ := dist.Uniform(4)
+	stat := CollisionStatistic(4)
+	if _, err := CalibrateThreshold(nil, u, 10, 10, 0.1, 0); err == nil {
+		t.Error("nil statistic accepted")
+	}
+	if _, err := CalibrateThreshold(stat, u, 0, 10, 0.1, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := CalibrateThreshold(stat, u, 10, 0, 0.1, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := CalibrateThreshold(stat, u, 10, 10, 0, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := CalibrateThreshold(stat, u, 10, 10, 1, 0); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}

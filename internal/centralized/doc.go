@@ -1,0 +1,19 @@
+// Package centralized implements the single-machine distribution testers
+// that the paper's distributed model is measured against: the
+// collision-based uniformity tester (Goldreich-Ron; Paninski showed
+// Theta(sqrt(n)/eps^2) samples are necessary and sufficient), a chi-squared
+// identity tester, a plug-in (empirical-L1) tester, identity testing via
+// Goldreich's reduction to uniformity, and an empirical learner.
+//
+// Every tester follows the paper's acceptance convention: Test returns true
+// ("accept") when the samples look consistent with the null hypothesis
+// (uniformity / identity), and false ("reject") otherwise. A tester built
+// for proximity eps must accept U_n with probability at least 2/3 and
+// reject any distribution eps-far in L1 with probability at least 2/3, once
+// given its stated sample complexity.
+//
+// Thresholds come in two flavors, mirroring the ablation in DESIGN.md:
+// closed-form (from the exact collision-probability gap (1+eps^2)/n versus
+// 1/n and Chebyshev) and Monte-Carlo calibration (package function
+// CalibrateThreshold), which the experiments use to squeeze constants.
+package centralized

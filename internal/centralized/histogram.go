@@ -1,0 +1,111 @@
+package centralized
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Histogram-based entry points: deployed testers often receive
+// pre-aggregated counts (from a metrics pipeline or a mergeable sketch)
+// rather than raw sample streams. These paths are exactly equivalent to
+// the sample-based ones — tested against them — and run in O(n) regardless
+// of the stream length.
+
+// ValidateHistogram checks counts for use as a sample histogram and
+// returns the total sample count.
+func ValidateHistogram(counts []int64) (int64, error) {
+	if len(counts) == 0 {
+		return 0, fmt.Errorf("centralized: empty histogram")
+	}
+	var total int64
+	for i, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("centralized: negative count %d at element %d", c, i)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("centralized: histogram with zero samples")
+	}
+	return total, nil
+}
+
+// CollisionCountFromHistogram returns sum_i C(c_i, 2).
+func CollisionCountFromHistogram(counts []int64) (int64, error) {
+	if _, err := ValidateHistogram(counts); err != nil {
+		return 0, err
+	}
+	var coll int64
+	for _, c := range counts {
+		coll += c * (c - 1) / 2
+	}
+	return coll, nil
+}
+
+// TestHistogram runs the collision test on pre-aggregated counts. The
+// histogram length must equal the tester's domain size; the threshold is
+// rescaled from the tester's configured q to the histogram's actual total,
+// preserving the (1 + eps^2/2)/n collision-rate cutoff.
+func (t *CollisionTester) TestHistogram(counts []int64) (bool, error) {
+	if len(counts) != t.n {
+		return false, fmt.Errorf("centralized: histogram over %d elements, domain is %d", len(counts), t.n)
+	}
+	total, err := ValidateHistogram(counts)
+	if err != nil {
+		return false, err
+	}
+	if total < 2 {
+		return false, fmt.Errorf("centralized: histogram has %d samples, need >= 2", total)
+	}
+	coll, err := CollisionCountFromHistogram(counts)
+	if err != nil {
+		return false, err
+	}
+	pairs := float64(total) * float64(total-1) / 2
+	threshold := t.threshold * pairs / (float64(t.q) * float64(t.q-1) / 2)
+	return float64(coll) <= threshold, nil
+}
+
+// StatisticFromHistogram computes the de-biased chi-squared statistic from
+// counts against a target distribution.
+func StatisticFromHistogram(counts []int64, target dist.Dist) (float64, error) {
+	if len(counts) != target.N() {
+		return 0, fmt.Errorf("centralized: histogram over %d elements, target domain is %d", len(counts), target.N())
+	}
+	total, err := ValidateHistogram(counts)
+	if err != nil {
+		return 0, err
+	}
+	q := float64(total)
+	var z float64
+	for i, c := range counts {
+		pi := target.Prob(i)
+		if pi == 0 {
+			if c > 0 {
+				return math.Inf(1), nil
+			}
+			continue
+		}
+		expect := q * pi
+		diff := float64(c) - expect
+		z += (diff*diff - float64(c)) / expect
+	}
+	return z, nil
+}
+
+// TestHistogram runs the chi-squared test on pre-aggregated counts, with
+// the threshold rescaled from the configured q to the histogram's total.
+func (t *ChiSquaredTester) TestHistogram(counts []int64) (bool, error) {
+	total, err := ValidateHistogram(counts)
+	if err != nil {
+		return false, err
+	}
+	z, err := StatisticFromHistogram(counts, t.target)
+	if err != nil {
+		return false, err
+	}
+	threshold := t.threshold * float64(total) / float64(t.q)
+	return z <= threshold, nil
+}

@@ -1,0 +1,211 @@
+package centralized
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestValidateHistogram(t *testing.T) {
+	if _, err := ValidateHistogram(nil); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := ValidateHistogram([]int64{1, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := ValidateHistogram([]int64{0, 0}); err == nil {
+		t.Error("zero-sample histogram accepted")
+	}
+	total, err := ValidateHistogram([]int64{3, 0, 2})
+	if err != nil || total != 5 {
+		t.Errorf("total = %d, %v", total, err)
+	}
+}
+
+func TestCollisionCountFromHistogramMatchesSamples(t *testing.T) {
+	rng := testRand(101)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.IntN(30)
+		q := 2 + rng.IntN(100)
+		samples := make([]int, q)
+		for i := range samples {
+			samples[i] = rng.IntN(n)
+		}
+		h, err := dist.Histogram(samples, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromSamples, err := CollisionCount(samples, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromHist, err := CollisionCountFromHistogram(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromSamples != fromHist {
+			t.Fatalf("sample path %d vs histogram path %d", fromSamples, fromHist)
+		}
+	}
+}
+
+func TestCollisionTesterHistogramPathAgrees(t *testing.T) {
+	// At the configured q, the histogram verdict must equal the sample
+	// verdict on identical data.
+	const (
+		n   = 128
+		eps = 0.5
+	)
+	q := RecommendedSamples(n, eps)
+	tester, err := NewCollisionTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, _ := dist.PairedBump(n, eps)
+	uniform, _ := dist.Uniform(n)
+	rng := testRand(102)
+	for _, d := range []dist.Dist{uniform, far} {
+		s, _ := dist.NewAliasSampler(d)
+		for trial := 0; trial < 30; trial++ {
+			samples := dist.SampleN(s, q, rng)
+			h, _ := dist.Histogram(samples, n)
+			fromSamples, err := tester.Test(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromHist, err := tester.TestHistogram(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromSamples != fromHist {
+				t.Fatalf("verdicts disagree: samples %v, histogram %v", fromSamples, fromHist)
+			}
+		}
+	}
+}
+
+func TestCollisionTesterHistogramRescalesThreshold(t *testing.T) {
+	// Feeding a 2x-sized histogram still separates: the threshold scales
+	// with the pair count.
+	const (
+		n   = 128
+		eps = 0.5
+	)
+	q := RecommendedSamples(n, eps)
+	tester, err := NewCollisionTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := dist.Uniform(n)
+	su, _ := dist.NewAliasSampler(uniform)
+	far, _ := dist.PairedBump(n, eps)
+	sf, _ := dist.NewAliasSampler(far)
+	rng := testRand(103)
+	okU, okF := 0, 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		hu, _ := dist.Histogram(dist.SampleN(su, 2*q, rng), n)
+		v, err := tester.TestHistogram(hu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v {
+			okU++
+		}
+		hf, _ := dist.Histogram(dist.SampleN(sf, 2*q, rng), n)
+		v, err = tester.TestHistogram(hf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v {
+			okF++
+		}
+	}
+	if okU < trials*3/4 {
+		t.Errorf("2x histogram accepted uniform only %d/%d", okU, trials)
+	}
+	if okF < trials*3/4 {
+		t.Errorf("2x histogram rejected far only %d/%d", okF, trials)
+	}
+}
+
+func TestCollisionTesterHistogramValidation(t *testing.T) {
+	tester, _ := NewCollisionTester(4, 10, 0.5)
+	if _, err := tester.TestHistogram([]int64{1, 2, 3}); err == nil {
+		t.Error("wrong-length histogram accepted")
+	}
+	if _, err := tester.TestHistogram([]int64{1, 0, 0, 0}); err == nil {
+		t.Error("single-sample histogram accepted")
+	}
+	if _, err := tester.TestHistogram([]int64{-1, 3, 0, 0}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestStatisticFromHistogramMatchesSamples(t *testing.T) {
+	target, _ := dist.Zipf(16, 1)
+	rng := testRand(104)
+	for trial := 0; trial < 20; trial++ {
+		s, _ := dist.NewAliasSampler(target)
+		samples := dist.SampleN(s, 200, rng)
+		h, _ := dist.Histogram(samples, 16)
+		fromSamples, err := ChiSquaredStatistic(samples, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromHist, err := StatisticFromHistogram(h, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fromSamples-fromHist) > 1e-9 {
+			t.Fatalf("statistics disagree: %v vs %v", fromSamples, fromHist)
+		}
+	}
+	if _, err := StatisticFromHistogram([]int64{1}, target); err == nil {
+		t.Error("wrong-length histogram accepted")
+	}
+	zeroTarget, _ := dist.FromProbs([]float64{1, 0})
+	z, err := StatisticFromHistogram([]int64{1, 1}, zeroTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(z, 1) {
+		t.Errorf("unsupported count gave %v", z)
+	}
+}
+
+func TestChiSquaredTesterHistogramPath(t *testing.T) {
+	const (
+		n   = 128
+		eps = 0.5
+	)
+	q := RecommendedSamples(n, eps)
+	uniform, _ := dist.Uniform(n)
+	tester, err := NewChiSquaredTester(uniform, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, _ := dist.NewAliasSampler(uniform)
+	rng := testRand(105)
+	agree := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		samples := dist.SampleN(su, q, rng)
+		h, _ := dist.Histogram(samples, n)
+		a, err := tester.Test(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tester.TestHistogram(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == b {
+			agree++
+		}
+	}
+	if agree != trials {
+		t.Errorf("verdicts agreed only %d/%d", agree, trials)
+	}
+}

@@ -1,0 +1,249 @@
+package centralized
+
+import (
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestPluginTesterValidation(t *testing.T) {
+	u, _ := dist.Uniform(8)
+	if _, err := NewPluginTester(dist.Dist{}, 10, 0.5); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := NewPluginTester(u, 0, 0.5); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewPluginTester(u, 10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewPluginTesterWithThreshold(u, 10, 0.5, -0.1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	pt, err := NewPluginTester(u, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Test(nil); err == nil {
+		t.Error("empty sample batch accepted")
+	}
+	if pt.SampleSize() != 10 || pt.Threshold() != 0.25 {
+		t.Errorf("accessors: %d %v", pt.SampleSize(), pt.Threshold())
+	}
+}
+
+func TestPluginTesterSeparatesWithManySamples(t *testing.T) {
+	const n = 64
+	const eps = 0.5
+	q := 4 * n * 4 // ~ n/eps^2
+	target, _ := dist.Uniform(n)
+	tester, err := NewPluginTester(target, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, _ := dist.PairedBump(n, eps)
+	if p := acceptRate(t, tester, target, q, 200, 41); p < 0.85 {
+		t.Errorf("accepts target with probability %v", p)
+	}
+	if p := acceptRate(t, tester, far, q, 200, 42); p > 0.15 {
+		t.Errorf("accepts far with probability %v", p)
+	}
+}
+
+func TestPluginNeedsMoreSamplesThanCollision(t *testing.T) {
+	// At the collision tester's recommended q, the plug-in tester cannot
+	// accept uniform reliably on a large domain: the empirical L1 error
+	// of sqrt(n/q) exceeds its eps/2 threshold. This is the reason
+	// sublinear testers exist.
+	const n = 4096
+	const eps = 0.5
+	q := RecommendedSamples(n, eps) // ~ sqrt(n)/eps^2 << n/eps^2
+	target, _ := dist.Uniform(n)
+	plugin, err := NewPluginTester(target, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, plugin, target, q, 100, 43); p > 0.1 {
+		t.Errorf("plug-in accepts uniform at collision-scale q with probability %v; expected starvation", p)
+	}
+	collision, err := NewCollisionTester(n, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, collision, target, q, 100, 44); p < 0.75 {
+		t.Errorf("collision tester should be fine at its own q, got %v", p)
+	}
+}
+
+func TestEmpiricalL1Statistic(t *testing.T) {
+	target, _ := dist.Uniform(4)
+	stat := EmpiricalL1Statistic(target)
+	v, err := stat([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("exactly-uniform empirical distance = %v", v)
+	}
+	v, err = stat([]int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.5 {
+		t.Errorf("point-mass empirical distance = %v, want 1.5", v)
+	}
+	if _, err := stat(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestIdentityTesterValidation(t *testing.T) {
+	target, _ := dist.Zipf(16, 1)
+	if _, err := NewIdentityTester(target, 1, 0.5, 0); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := NewIdentityTester(target, 100, 0, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestIdentityTesterSeparates(t *testing.T) {
+	const eps = 0.5
+	target, _ := dist.Zipf(16, 1)
+	// The reduced domain has m ≈ 8n/eps = 256 buckets; collision testing
+	// there at eps' ≈ eps/2 needs roughly 6*16/(0.25)^2 samples.
+	q := RecommendedSamples(256, eps/2)
+	tester, err := NewIdentityTester(target, q, eps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tester.OutputDomain() < 16 {
+		t.Fatalf("output domain %d", tester.OutputDomain())
+	}
+	if p := acceptRate(t, tester, target, q, 200, 51); p < 0.7 {
+		t.Errorf("accepts its own target with probability %v", p)
+	}
+	far, _ := dist.SparseSupport(16, 4)
+	if l1, _ := dist.L1(far, target); l1 < eps {
+		t.Fatalf("far case only %v away", l1)
+	}
+	if p := acceptRate(t, tester, far, q, 200, 52); p > 0.3 {
+		t.Errorf("accepts far distribution with probability %v", p)
+	}
+}
+
+func TestIdentityTesterUniformTargetMatchesUniformityTest(t *testing.T) {
+	// With a uniform target the machinery must still work end to end.
+	const eps = 0.6
+	target, _ := dist.Uniform(8)
+	q := RecommendedSamples(128, eps/2)
+	tester, err := NewIdentityTester(target, q, eps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := acceptRate(t, tester, target, q, 200, 53); p < 0.7 {
+		t.Errorf("accepts uniform with probability %v", p)
+	}
+	far, _ := dist.SparseSupport(8, 2)
+	if p := acceptRate(t, tester, far, q, 200, 54); p > 0.3 {
+		t.Errorf("accepts far with probability %v", p)
+	}
+}
+
+func TestLearnerValidation(t *testing.T) {
+	if _, err := NewLearner(0, 0); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewLearner(4, -1); err == nil {
+		t.Error("negative smoothing accepted")
+	}
+	l, err := NewLearner(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Learn(nil); err == nil {
+		t.Error("unsmoothed learner accepted empty input")
+	}
+	if _, err := l.Learn([]int{9}); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+}
+
+func TestLearnerEmpirical(t *testing.T) {
+	l, _ := NewLearner(4, 0)
+	d, err := l.Learn([]int{0, 0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.25, 0, 0.25}
+	for i, w := range want {
+		if d.Prob(i) != w {
+			t.Errorf("P(%d) = %v, want %v", i, d.Prob(i), w)
+		}
+	}
+}
+
+func TestLearnerSmoothingCoversDomain(t *testing.T) {
+	l, _ := NewLearner(4, 1)
+	d, err := l.Learn([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if d.Prob(i) <= 0 {
+			t.Errorf("smoothed P(%d) = %v", i, d.Prob(i))
+		}
+	}
+	if d.Prob(0) != 0.4 { // (1+1)/(1+4)
+		t.Errorf("P(0) = %v, want 0.4", d.Prob(0))
+	}
+	// Smoothed learner accepts an empty batch: pure prior.
+	d, err = l.Learn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Prob(2) != 0.25 {
+		t.Errorf("prior P(2) = %v", d.Prob(2))
+	}
+}
+
+func TestLearnerAccuracyScaling(t *testing.T) {
+	// At SamplesForAccuracy(n, delta), the empirical distribution is within
+	// delta of the truth in the vast majority of runs.
+	const n = 32
+	const delta = 0.25
+	q, err := SamplesForAccuracy(n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := dist.Zipf(n, 1)
+	sampler, _ := dist.NewAliasSampler(truth)
+	learner, _ := NewLearner(n, 0)
+	rng := testRand(61)
+	good := 0
+	const trials = 100
+	buf := make([]int, q)
+	for i := 0; i < trials; i++ {
+		dist.SampleInto(sampler, buf, rng)
+		est, err := learner.Learn(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := dist.L1(est, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 <= delta {
+			good++
+		}
+	}
+	if good < trials*9/10 {
+		t.Errorf("only %d/%d runs within delta", good, trials)
+	}
+	if _, err := SamplesForAccuracy(0, 0.1); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := SamplesForAccuracy(10, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+}

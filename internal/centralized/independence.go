@@ -1,0 +1,150 @@
+package centralized
+
+import (
+	"fmt"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// IndependenceTester is Pearson's chi-squared test of independence on an
+// [a] x [b] contingency table: the classical tester for the other problem
+// the paper names as inheriting uniformity lower bounds. Samples are pairs
+// encoded as x*b + y.
+//
+// The statistic X^2 = q * sum_{ij} (p_ij - p_i q_j)^2 / (p_i q_j) is
+// asymptotically chi-squared with (a-1)(b-1) degrees of freedom under
+// independence; the tester accepts iff the upper-tail p-value is at least
+// alpha. The chi-square tail comes from this repository's own incomplete
+// gamma implementation.
+type IndependenceTester struct {
+	a, b  int
+	alpha float64
+}
+
+// NewIndependenceTester builds a tester for pairs over [a] x [b] at
+// significance level alpha (e.g. 1/3 for the paper's conventions).
+func NewIndependenceTester(a, b int, alpha float64) (*IndependenceTester, error) {
+	if a < 2 || b < 2 {
+		return nil, fmt.Errorf("centralized: independence over %dx%d needs both sides >= 2", a, b)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("centralized: significance %v outside (0,1)", alpha)
+	}
+	return &IndependenceTester{a: a, b: b, alpha: alpha}, nil
+}
+
+// Encode packs a pair into the sample encoding the tester expects.
+func (t *IndependenceTester) Encode(x, y int) (int, error) {
+	if x < 0 || x >= t.a || y < 0 || y >= t.b {
+		return 0, fmt.Errorf("centralized: pair (%d,%d) outside %dx%d", x, y, t.a, t.b)
+	}
+	return x*t.b + y, nil
+}
+
+// Statistic computes Pearson's X^2 and its degrees of freedom. Rows or
+// columns with zero marginal mass are dropped from both the statistic and
+// the degrees of freedom (the standard treatment of empty categories).
+func (t *IndependenceTester) Statistic(samples []int) (x2 float64, dof int, err error) {
+	if len(samples) == 0 {
+		return 0, 0, fmt.Errorf("centralized: independence test with no samples")
+	}
+	counts, err := dist.Histogram(samples, t.a*t.b)
+	if err != nil {
+		return 0, 0, err
+	}
+	rows := make([]float64, t.a)
+	cols := make([]float64, t.b)
+	for i := 0; i < t.a; i++ {
+		for j := 0; j < t.b; j++ {
+			c := float64(counts[i*t.b+j])
+			rows[i] += c
+			cols[j] += c
+		}
+	}
+	q := float64(len(samples))
+	liveRows, liveCols := 0, 0
+	for _, r := range rows {
+		if r > 0 {
+			liveRows++
+		}
+	}
+	for _, c := range cols {
+		if c > 0 {
+			liveCols++
+		}
+	}
+	if liveRows < 2 || liveCols < 2 {
+		// Degenerate table: everything on one row or column is trivially
+		// consistent with independence.
+		return 0, 1, nil
+	}
+	for i := 0; i < t.a; i++ {
+		if rows[i] == 0 {
+			continue
+		}
+		for j := 0; j < t.b; j++ {
+			if cols[j] == 0 {
+				continue
+			}
+			expected := rows[i] * cols[j] / q
+			diff := float64(counts[i*t.b+j]) - expected
+			x2 += diff * diff / expected
+		}
+	}
+	return x2, (liveRows - 1) * (liveCols - 1), nil
+}
+
+// Test accepts ("independent") iff the chi-squared upper-tail p-value is
+// at least alpha.
+func (t *IndependenceTester) Test(samples []int) (bool, error) {
+	x2, dof, err := t.Statistic(samples)
+	if err != nil {
+		return false, err
+	}
+	p, err := stats.ChiSquareSurvival(x2, float64(dof))
+	if err != nil {
+		return false, err
+	}
+	return p >= t.alpha, nil
+}
+
+// ProductDist builds the product distribution pX (x) pY over the pair
+// encoding, for generating independent workloads in tests and experiments.
+func ProductDist(pX, pY dist.Dist) (dist.Dist, error) {
+	a, b := pX.N(), pY.N()
+	if a == 0 || b == 0 {
+		return dist.Dist{}, fmt.Errorf("centralized: product of empty distributions")
+	}
+	probs := make([]float64, a*b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			probs[i*b+j] = pX.Prob(i) * pY.Prob(j)
+		}
+	}
+	return dist.FromProbs(probs)
+}
+
+// CorrelatedPair builds the distribution over [m] x [m] that puts mass
+// (1-rho)/m^2 + rho/m on the diagonal pairs and (1-rho)/m^2 elsewhere —
+// uniform marginals, correlation knob rho in [0,1]. Its L1 distance from
+// the product of its marginals is 2 rho (1 - 1/m).
+func CorrelatedPair(m int, rho float64) (dist.Dist, error) {
+	if m < 2 {
+		return dist.Dist{}, fmt.Errorf("centralized: correlated pair over %dx%d", m, m)
+	}
+	if rho < 0 || rho > 1 {
+		return dist.Dist{}, fmt.Errorf("centralized: correlation %v outside [0,1]", rho)
+	}
+	probs := make([]float64, m*m)
+	off := (1 - rho) / float64(m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			probs[i*m+j] = off
+			if i == j {
+				probs[i*m+j] += rho / float64(m)
+			}
+		}
+	}
+	return dist.FromProbs(probs)
+}

@@ -1,0 +1,59 @@
+package centralized
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Learner estimates an unknown distribution from samples. It is the
+// centralized comparison point for the distributed learning task of the
+// paper's Theorem 1.4 (after [ACT18]).
+type Learner struct {
+	n      int
+	smooth float64
+}
+
+// NewLearner builds a learner over a domain of size n with add-lambda
+// (Laplace) smoothing; lambda = 0 gives the plain empirical distribution.
+func NewLearner(n int, lambda float64) (*Learner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("centralized: learner over domain %d", n)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("centralized: negative smoothing %v", lambda)
+	}
+	return &Learner{n: n, smooth: lambda}, nil
+}
+
+// Learn returns the (smoothed) empirical distribution of the samples.
+func (l *Learner) Learn(samples []int) (dist.Dist, error) {
+	if len(samples) == 0 && l.smooth == 0 {
+		return dist.Dist{}, fmt.Errorf("centralized: learning from no samples without smoothing")
+	}
+	h, err := dist.Histogram(samples, l.n)
+	if err != nil {
+		return dist.Dist{}, err
+	}
+	w := make([]float64, l.n)
+	for i, c := range h {
+		w[i] = float64(c) + l.smooth
+	}
+	return dist.FromWeights(w)
+}
+
+// SamplesForAccuracy returns the number of iid samples sufficient for the
+// empirical distribution over [n] to be within delta of the truth in L1
+// with probability at least 2/3: the standard O(n/delta^2) bound (the
+// expected L1 error of the empirical distribution is at most
+// sqrt(n/q)).
+func SamplesForAccuracy(n int, delta float64) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("centralized: accuracy bound over domain %d", n)
+	}
+	if delta <= 0 || delta > 2 {
+		return 0, fmt.Errorf("centralized: accuracy %v outside (0,2]", delta)
+	}
+	return int(math.Ceil(9*float64(n)/(delta*delta))) + 1, nil
+}

@@ -1,0 +1,87 @@
+package centralized
+
+import (
+	"fmt"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// PluginTester is the naive "learn then compare" baseline: it builds the
+// empirical distribution of the samples and accepts iff its L1 distance to
+// the target is below threshold. It needs Theta(n/eps^2) samples — far more
+// than the collision tester — and exists as the sanity baseline the sublinear
+// testers must beat (experiment E5 reports both).
+type PluginTester struct {
+	target    dist.Dist
+	q         int
+	eps       float64
+	threshold float64
+}
+
+var _ Tester = (*PluginTester)(nil)
+
+// NewPluginTester builds the tester; by default the threshold is eps/2,
+// splitting the yes-case concentration (empirical L1 error ~ sqrt(n/q))
+// from the eps-far alternative.
+func NewPluginTester(target dist.Dist, q int, eps float64) (*PluginTester, error) {
+	if target.N() == 0 {
+		return nil, fmt.Errorf("centralized: plug-in tester with empty target")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("centralized: plug-in tester with q=%d", q)
+	}
+	if eps <= 0 || eps > 2 {
+		return nil, fmt.Errorf("centralized: plug-in tester eps %v outside (0,2]", eps)
+	}
+	return &PluginTester{target: target, q: q, eps: eps, threshold: eps / 2}, nil
+}
+
+// NewPluginTesterWithThreshold uses an explicitly calibrated threshold.
+func NewPluginTesterWithThreshold(target dist.Dist, q int, eps, threshold float64) (*PluginTester, error) {
+	t, err := NewPluginTester(target, q, eps)
+	if err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("centralized: negative plug-in threshold %v", threshold)
+	}
+	t.threshold = threshold
+	return t, nil
+}
+
+// SampleSize returns the sample count the tester was built for.
+func (t *PluginTester) SampleSize() int { return t.q }
+
+// Threshold returns the acceptance threshold on the empirical L1 distance.
+func (t *PluginTester) Threshold() float64 { return t.threshold }
+
+// Test accepts iff the empirical L1 distance to the target is at most the
+// threshold.
+func (t *PluginTester) Test(samples []int) (bool, error) {
+	if len(samples) == 0 {
+		return false, fmt.Errorf("centralized: plug-in test with no samples")
+	}
+	emp, err := dist.Empirical(samples, t.target.N())
+	if err != nil {
+		return false, err
+	}
+	l1, err := dist.L1(emp, t.target)
+	if err != nil {
+		return false, err
+	}
+	return l1 <= t.threshold, nil
+}
+
+// EmpiricalL1Statistic adapts the plug-in distance to the Statistic type.
+func EmpiricalL1Statistic(target dist.Dist) Statistic {
+	return func(samples []int) (float64, error) {
+		if len(samples) == 0 {
+			return 0, fmt.Errorf("centralized: empirical L1 of no samples")
+		}
+		emp, err := dist.Empirical(samples, target.N())
+		if err != nil {
+			return 0, err
+		}
+		return dist.L1(emp, target)
+	}
+}

@@ -1,0 +1,184 @@
+package congest
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x123456789))
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(0, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{0, 2}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewGraph(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.Edges() != 4 {
+		t.Errorf("N=%d E=%d", g.N(), g.Edges())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("deg(0)=%d", g.Degree(0))
+	}
+	nbrs := g.Neighbors(0)
+	nbrs[0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Error("Neighbors aliased internal state")
+	}
+	if !g.Connected() {
+		t.Error("ring not connected")
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("C4 diameter = %d", g.Diameter())
+	}
+}
+
+func TestBFS(t *testing.T) {
+	g, err := Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, parent := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if dist[i] != i {
+			t.Errorf("dist[%d]=%d", i, dist[i])
+		}
+	}
+	if parent[0] != 0 || parent[3] != 2 {
+		t.Errorf("parents: %v", parent)
+	}
+	// Disconnected case.
+	g2, err := NewGraph(3, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist2, parent2 := g2.BFS(0)
+	if dist2[2] != -1 || parent2[2] != -1 {
+		t.Errorf("unreachable node got dist %d parent %d", dist2[2], parent2[2])
+	}
+	if g2.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if g2.Diameter() != -1 {
+		t.Errorf("disconnected diameter = %d", g2.Diameter())
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	tests := []struct {
+		name     string
+		mk       func() (*Graph, error)
+		nodes    int
+		edges    int
+		diameter int
+	}{
+		{"path", func() (*Graph, error) { return Path(6) }, 6, 5, 5},
+		{"ring", func() (*Graph, error) { return Ring(6) }, 6, 6, 3},
+		{"star", func() (*Graph, error) { return Star(6) }, 6, 5, 2},
+		{"complete", func() (*Graph, error) { return Complete(5) }, 5, 10, 1},
+		{"grid", func() (*Graph, error) { return Grid(3, 4) }, 12, 17, 5},
+		{"single", func() (*Graph, error) { return Path(1) }, 1, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tt.nodes || g.Edges() != tt.edges {
+				t.Errorf("N=%d E=%d, want %d %d", g.N(), g.Edges(), tt.nodes, tt.edges)
+			}
+			if !g.Connected() {
+				t.Error("not connected")
+			}
+			if d := g.Diameter(); d != tt.diameter {
+				t.Errorf("diameter = %d, want %d", d, tt.diameter)
+			}
+		})
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("ring(2) accepted")
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("star(1) accepted")
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("grid(0,3) accepted")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := testRand(1)
+	for _, n := range []int{1, 2, 3, 4, 10, 50, 200} {
+		for trial := 0; trial < 5; trial++ {
+			g, err := RandomTree(n, rng)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if g.N() != n || g.Edges() != n-1 {
+				t.Fatalf("n=%d: N=%d E=%d", n, g.N(), g.Edges())
+			}
+			if !g.Connected() {
+				t.Fatalf("n=%d: random tree disconnected", n)
+			}
+		}
+	}
+	if _, err := RandomTree(0, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestQuickRandomTreeProperties(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		g, err := RandomTree(n, testRand(seed))
+		if err != nil {
+			return false
+		}
+		return g.N() == n && g.Edges() == n-1 && g.Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeCoversAllTreesOnThreeNodes(t *testing.T) {
+	// On 3 nodes there are exactly 3 labelled trees (by center). A uniform
+	// generator hits each about a third of the time.
+	rng := testRand(2)
+	counts := map[int]int{}
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		g, err := RandomTree(3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 3; v++ {
+			if g.Degree(v) == 2 {
+				counts[v]++
+			}
+		}
+	}
+	for v := 0; v < 3; v++ {
+		frac := float64(counts[v]) / trials
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("center %d frequency %v, want ~1/3", v, frac)
+		}
+	}
+}

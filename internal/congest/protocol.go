@@ -1,0 +1,367 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Message tags (low 3 payload bits); values ride in the upper bits.
+const (
+	tagExplore Payload = iota + 1 // BFS wave
+	tagChild                      // "I adopted you as parent"
+	tagNack                       // "I will not be your child"
+	tagReport                     // convergecast: subtree rejection count
+	tagDecide                     // broadcast: the verdict bit
+)
+
+const tagBits = 3
+
+func encode(tag Payload, value uint64) Payload { return tag | Payload(value<<tagBits) }
+
+func decode(p Payload) (tag Payload, value uint64) {
+	return p & (1<<tagBits - 1), uint64(p >> tagBits)
+}
+
+// neighborStatus tracks how an edge resolved during BFS construction.
+type neighborStatus uint8
+
+const (
+	nbUnknown neighborStatus = iota
+	nbParent
+	nbChild
+	nbNotChild
+)
+
+// uniformityNode is the per-node state machine of the tree-aggregation
+// tester.
+type uniformityNode struct {
+	id        int
+	root      bool
+	threshold int  // referee threshold T (used by the root only)
+	rejects   bool // this node's local vote
+
+	neighbors []int
+	status    map[int]neighborStatus
+
+	parent      int
+	adopted     bool
+	waveSent    bool
+	oweChild    bool
+	oweNack     map[int]bool
+	oweExplore  map[int]bool
+	childCount  int
+	reportsIn   int
+	rejectSum   uint64
+	reportSent  bool
+	verdict     bool
+	verdictSeen bool
+
+	// Result hook: the root writes the final verdict here.
+	result *bool
+}
+
+var _ NodeProgram = (*uniformityNode)(nil)
+
+func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool, result *bool) *uniformityNode {
+	nbrs := g.Neighbors(id)
+	sort.Ints(nbrs)
+	n := &uniformityNode{
+		id:         id,
+		root:       root,
+		threshold:  threshold,
+		rejects:    rejects,
+		neighbors:  nbrs,
+		status:     make(map[int]neighborStatus, len(nbrs)),
+		parent:     -1,
+		oweNack:    map[int]bool{},
+		oweExplore: map[int]bool{},
+		result:     result,
+	}
+	for _, v := range nbrs {
+		n.status[v] = nbUnknown
+	}
+	if root {
+		n.adopted = true
+		n.parent = id
+		for _, v := range nbrs {
+			n.oweExplore[v] = true
+		}
+	}
+	return n
+}
+
+// Step implements NodeProgram.
+func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
+	// 1. Digest the inbox.
+	var exploreFrom []int
+	for from, p := range in {
+		tag, value := decode(p)
+		switch tag {
+		case tagExplore:
+			exploreFrom = append(exploreFrom, from)
+		case tagChild:
+			if n.status[from] == nbChild {
+				return false, fmt.Errorf("duplicate CHILD from %d", from)
+			}
+			n.status[from] = nbChild
+			n.childCount++
+			delete(n.oweExplore, from)
+		case tagNack:
+			n.status[from] = nbNotChild
+			delete(n.oweExplore, from)
+		case tagReport:
+			if n.status[from] != nbChild {
+				return false, fmt.Errorf("REPORT from non-child %d", from)
+			}
+			n.reportsIn++
+			n.rejectSum += value
+		case tagDecide:
+			if from != n.parent {
+				return false, fmt.Errorf("DECIDE from non-parent %d", from)
+			}
+			n.verdict = value&1 == 1
+			n.verdictSeen = true
+		default:
+			return false, fmt.Errorf("unknown tag %d from %d", tag, from)
+		}
+	}
+
+	// 2. Adoption: pick the smallest explorer as parent; everyone else who
+	// explored is resolved as not-a-child and owed a NACK.
+	sort.Ints(exploreFrom)
+	for _, from := range exploreFrom {
+		if !n.adopted {
+			n.adopted = true
+			n.parent = from
+			n.status[from] = nbParent
+			n.oweChild = true
+			delete(n.oweExplore, from)
+			// Schedule the wave to the remaining unknown neighbors.
+			for _, v := range n.neighbors {
+				if n.status[v] == nbUnknown {
+					n.oweExplore[v] = true
+				}
+			}
+			continue
+		}
+		if n.status[from] == nbUnknown || n.status[from] == nbNotChild {
+			// An explorer already has its own parent; it can never be our
+			// child.
+			n.status[from] = nbNotChild
+			n.oweNack[from] = true
+			delete(n.oweExplore, from)
+		}
+	}
+
+	// 3. Send: one message per neighbor per round, with NACK/CHILD taking
+	// precedence over a now-pointless EXPLORE.
+	if n.oweChild {
+		if err := out.Send(n.parent, encode(tagChild, 0)); err != nil {
+			return false, err
+		}
+		n.oweChild = false
+	}
+	for v := range n.oweNack {
+		if err := out.Send(v, encode(tagNack, 0)); err != nil {
+			return false, err
+		}
+		delete(n.oweNack, v)
+		delete(n.oweExplore, v)
+	}
+	if n.adopted {
+		for v := range n.oweExplore {
+			if err := out.Send(v, encode(tagExplore, 0)); err != nil {
+				return false, err
+			}
+			delete(n.oweExplore, v)
+		}
+		n.waveSent = true
+	}
+
+	// 4. Convergecast once the subtree is accounted for. If a control
+	// message (CHILD) already went to the parent this round, wait one
+	// round rather than double-send on the edge.
+	if n.adopted && n.waveSent && !n.reportSent && n.allResolved() &&
+		n.reportsIn == n.childCount && (n.root || !out.Queued(n.parent)) {
+		total := n.rejectSum
+		if n.rejects {
+			total++
+		}
+		if n.root {
+			accept := total < uint64(n.threshold)
+			n.verdict = accept
+			n.verdictSeen = true
+			*n.result = accept
+		} else {
+			if err := out.Send(n.parent, encode(tagReport, total)); err != nil {
+				return false, err
+			}
+		}
+		n.reportSent = true
+	}
+
+	// 5. Broadcast the verdict down the tree and terminate.
+	if n.verdictSeen {
+		bit := uint64(0)
+		if n.verdict {
+			bit = 1
+		}
+		for _, v := range n.neighbors {
+			if n.status[v] == nbChild {
+				if err := out.Send(v, encode(tagDecide, bit)); err != nil {
+					return false, err
+				}
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// allResolved reports whether every incident edge has been classified.
+func (n *uniformityNode) allResolved() bool {
+	for _, v := range n.neighbors {
+		if n.status[v] == nbUnknown {
+			return false
+		}
+	}
+	return true
+}
+
+// Tester runs distributed uniformity testing in the CONGEST model: the
+// nodes of a connected graph each draw q samples, vote with a shared
+// core.LocalRule, aggregate the votes up a BFS tree rooted at Root, apply
+// the T-threshold rule there, and broadcast the verdict. It implements
+// core.Protocol, so the same measurement harness drives it.
+type Tester struct {
+	graph *Graph
+	root  int
+	q     int
+	rule  core.LocalRule
+	t     int
+
+	// Stats from the last run; guarded so concurrent Monte-Carlo
+	// estimation over the same Tester stays race-free.
+	statsMu      sync.Mutex
+	lastRounds   int
+	lastMessages int
+	lastMaxBits  int
+}
+
+var _ core.Protocol = (*Tester)(nil)
+
+// TesterConfig configures NewTester.
+type TesterConfig struct {
+	// Graph is the communication graph; must be connected.
+	Graph *Graph
+	// Root is the aggregation root (the "decision" node).
+	Root int
+	// Q is the per-node sample count.
+	Q int
+	// Rule is the shared single-bit local rule.
+	Rule core.LocalRule
+	// T is the rejection threshold applied at the root; 0 selects
+	// core.DefaultThresholdT(k).
+	T int
+}
+
+// NewTester validates the configuration.
+func NewTester(cfg TesterConfig) (*Tester, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("congest: nil graph")
+	}
+	if !cfg.Graph.Connected() {
+		return nil, fmt.Errorf("congest: graph is not connected")
+	}
+	if cfg.Root < 0 || cfg.Root >= cfg.Graph.N() {
+		return nil, fmt.Errorf("congest: root %d outside %d nodes", cfg.Root, cfg.Graph.N())
+	}
+	if cfg.Q < 0 {
+		return nil, fmt.Errorf("congest: %d samples per node", cfg.Q)
+	}
+	if cfg.Rule == nil {
+		return nil, fmt.Errorf("congest: nil local rule")
+	}
+	if cfg.Rule.Bits() != 1 {
+		return nil, fmt.Errorf("congest: tree aggregation needs a single-bit rule, got %d bits", cfg.Rule.Bits())
+	}
+	t := cfg.T
+	if t == 0 {
+		t = core.DefaultThresholdT(cfg.Graph.N())
+	}
+	if t < 1 || t > cfg.Graph.N() {
+		return nil, fmt.Errorf("congest: threshold %d outside [1,%d]", t, cfg.Graph.N())
+	}
+	return &Tester{graph: cfg.Graph, root: cfg.Root, q: cfg.Q, rule: cfg.Rule, t: t}, nil
+}
+
+// Players implements core.Protocol.
+func (t *Tester) Players() int { return t.graph.N() }
+
+// MaxSamplesPerPlayer implements core.Protocol.
+func (t *Tester) MaxSamplesPerPlayer() int { return t.q }
+
+// LastRounds returns the round count of the most recent Run.
+func (t *Tester) LastRounds() int {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.lastRounds
+}
+
+// LastMessages returns the message count of the most recent Run.
+func (t *Tester) LastMessages() int {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.lastMessages
+}
+
+// LastMaxMessageBits returns the widest message of the most recent Run.
+func (t *Tester) LastMaxMessageBits() int {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.lastMaxBits
+}
+
+// Run implements core.Protocol: draw samples, vote, aggregate, decide.
+func (t *Tester) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	if sampler == nil {
+		return false, fmt.Errorf("congest: nil sampler")
+	}
+	if rng == nil {
+		return false, fmt.Errorf("congest: nil rng")
+	}
+	n := t.graph.N()
+	shared := rng.Uint64()
+	var verdict bool
+	programs := make([]NodeProgram, n)
+	buf := make([]int, t.q)
+	for u := 0; u < n; u++ {
+		dist.SampleInto(sampler, buf, rng)
+		msg, err := t.rule.Message(u, buf, shared, rng)
+		if err != nil {
+			return false, fmt.Errorf("congest: node %d vote: %w", u, err)
+		}
+		programs[u] = newUniformityNode(t.graph, u, u == t.root, t.t, !msg.Bit(), &verdict)
+	}
+	sim, err := NewSimulator(t.graph, programs)
+	if err != nil {
+		return false, err
+	}
+	// BFS + convergecast + broadcast each take O(diameter) rounds; 8D+16
+	// is a generous envelope that still catches deadlocks.
+	maxRounds := 8*n + 16
+	if err := sim.Run(maxRounds); err != nil {
+		return false, err
+	}
+	t.statsMu.Lock()
+	t.lastRounds = sim.Rounds()
+	t.lastMessages = sim.MessagesSent()
+	t.lastMaxBits = sim.MaxMessageBits()
+	t.statsMu.Unlock()
+	return verdict, nil
+}

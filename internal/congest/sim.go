@@ -1,0 +1,161 @@
+package congest
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MessageBits is the CONGEST bandwidth cap per edge per round. The classic
+// model allows O(log n) bits; 64 accommodates every protocol here while
+// still catching accidental flooding (the simulator enforces that payloads
+// fit).
+const MessageBits = 64
+
+// Payload is one edge-message: a value of at most MessageBits significant
+// bits.
+type Payload uint64
+
+// fitsBits reports whether p uses at most b significant bits.
+func (p Payload) fitsBits(b int) bool {
+	return bits.Len64(uint64(p)) <= b
+}
+
+// Outbox collects a node's messages for the current round, keyed by
+// neighbor.
+type Outbox struct {
+	node  int
+	graph *Graph
+	msgs  map[int]Payload
+}
+
+// Send queues a message to a neighbor; sending twice to the same neighbor
+// in one round, to a non-neighbor, or over the bandwidth cap is an error
+// (the simulator is strict so protocol bugs surface as failures, not as
+// silently cheaty behavior).
+func (o *Outbox) Send(to int, p Payload) error {
+	if !o.graph.hasEdge(o.node, to) {
+		return fmt.Errorf("congest: node %d sending to non-neighbor %d", o.node, to)
+	}
+	if _, dup := o.msgs[to]; dup {
+		return fmt.Errorf("congest: node %d sending twice to %d in one round", o.node, to)
+	}
+	if !p.fitsBits(MessageBits) {
+		return fmt.Errorf("congest: message exceeds %d bits", MessageBits)
+	}
+	o.msgs[to] = p
+	return nil
+}
+
+// Queued reports whether a message to the given neighbor is already
+// queued this round, letting programs postpone lower-priority traffic
+// instead of violating the one-message-per-edge-per-round rule.
+func (o *Outbox) Queued(to int) bool {
+	_, ok := o.msgs[to]
+	return ok
+}
+
+func (g *Graph) hasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Inbox is the set of messages a node received last round, keyed by
+// sender.
+type Inbox map[int]Payload
+
+// NodeProgram is a synchronous-round state machine. Step is called once
+// per round with the messages received at the start of the round; it
+// queues this round's messages on the outbox and returns true when the
+// node has terminated (a terminated node keeps receiving but no longer
+// steps).
+type NodeProgram interface {
+	Step(round int, in Inbox, out *Outbox) (done bool, err error)
+}
+
+// Simulator drives a set of node programs over a graph in synchronous
+// rounds.
+type Simulator struct {
+	graph    *Graph
+	programs []NodeProgram
+	// Stats.
+	rounds        int
+	messagesSent  int
+	maxBitsInAMsg int
+}
+
+// NewSimulator validates that there is exactly one program per node.
+func NewSimulator(g *Graph, programs []NodeProgram) (*Simulator, error) {
+	if g == nil {
+		return nil, fmt.Errorf("congest: nil graph")
+	}
+	if len(programs) != g.N() {
+		return nil, fmt.Errorf("congest: %d programs for %d nodes", len(programs), g.N())
+	}
+	for i, p := range programs {
+		if p == nil {
+			return nil, fmt.Errorf("congest: nil program at node %d", i)
+		}
+	}
+	return &Simulator{graph: g, programs: programs}, nil
+}
+
+// Run executes rounds until every node has terminated or maxRounds is
+// exhausted (an error: a correct protocol must terminate).
+func (s *Simulator) Run(maxRounds int) error {
+	if maxRounds <= 0 {
+		return fmt.Errorf("congest: maxRounds %d", maxRounds)
+	}
+	n := s.graph.N()
+	done := make([]bool, n)
+	inboxes := make([]Inbox, n)
+	for i := range inboxes {
+		inboxes[i] = Inbox{}
+	}
+	remaining := n
+	for round := 0; remaining > 0; round++ {
+		if round >= maxRounds {
+			return fmt.Errorf("congest: %d nodes still running after %d rounds", remaining, maxRounds)
+		}
+		s.rounds = round + 1
+		next := make([]Inbox, n)
+		for i := range next {
+			next[i] = Inbox{}
+		}
+		for u := 0; u < n; u++ {
+			if done[u] {
+				continue
+			}
+			out := &Outbox{node: u, graph: s.graph, msgs: map[int]Payload{}}
+			finished, err := s.programs[u].Step(round, inboxes[u], out)
+			if err != nil {
+				return fmt.Errorf("congest: node %d round %d: %w", u, round, err)
+			}
+			for to, p := range out.msgs {
+				next[to][u] = p
+				s.messagesSent++
+				if b := bits.Len64(uint64(p)); b > s.maxBitsInAMsg {
+					s.maxBitsInAMsg = b
+				}
+			}
+			if finished {
+				done[u] = true
+				remaining--
+			}
+		}
+		inboxes = next
+	}
+	return nil
+}
+
+// Rounds returns the number of rounds executed.
+func (s *Simulator) Rounds() int { return s.rounds }
+
+// MessagesSent returns the total number of edge-messages sent.
+func (s *Simulator) MessagesSent() int { return s.messagesSent }
+
+// MaxMessageBits returns the largest significant bit-length observed.
+func (s *Simulator) MaxMessageBits() int { return s.maxBitsInAMsg }

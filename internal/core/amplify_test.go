@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// coinProtocol accepts with a fixed probability, independent of samples.
+type coinProtocol struct{ p float64 }
+
+func (c coinProtocol) Run(_ dist.Sampler, rng *rand.Rand) (bool, error) {
+	return rng.Float64() < c.p, nil
+}
+func (c coinProtocol) Players() int             { return 1 }
+func (c coinProtocol) MaxSamplesPerPlayer() int { return 1 }
+
+func TestAmplifyValidation(t *testing.T) {
+	if _, err := Amplify(nil, 3); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := Amplify(coinProtocol{p: 0.7}, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := Amplify(coinProtocol{p: 0.7}, 4); err == nil {
+		t.Error("even rounds accepted")
+	}
+	a, err := Amplify(coinProtocol{p: 0.7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Players() != 1 || a.MaxSamplesPerPlayer() != 5 || a.Rounds() != 5 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestAmplifyDrivesErrorDown(t *testing.T) {
+	// Inner protocol accepts with p = 0.7 (should accept): single-round
+	// error 0.3; 15 rounds of majority push it below ~3%.
+	u, _ := dist.Uniform(4)
+	single, err := EstimateAcceptance(coinProtocol{p: 0.7}, u, 4000, stats.EstimateOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, err := Amplify(coinProtocol{p: 0.7}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := EstimateAcceptance(amp, u, 4000, stats.EstimateOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.P > 0.75 {
+		t.Fatalf("single-round baseline off: %v", single.P)
+	}
+	if boosted.P < 0.94 {
+		t.Errorf("amplified acceptance %v, want > 0.94", boosted.P)
+	}
+	// Symmetric on the reject side.
+	ampReject, err := Amplify(coinProtocol{p: 0.3}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := EstimateAcceptance(ampReject, u, 4000, stats.EstimateOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected.P > 0.06 {
+		t.Errorf("amplified rejection leaks %v acceptance", rejected.P)
+	}
+}
+
+func TestRoundsForFailure(t *testing.T) {
+	r, err := RoundsForFailure(1.0 / 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r%2 == 0 || r < 1 {
+		t.Errorf("rounds = %d", r)
+	}
+	r2, err := RoundsForFailure(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r {
+		t.Errorf("smaller delta gave fewer rounds: %d vs %d", r2, r)
+	}
+	if _, err := RoundsForFailure(0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := RoundsForFailure(1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestAmplifyEndToEnd(t *testing.T) {
+	// Amplify the real threshold tester and watch the uniform-side
+	// acceptance climb.
+	const (
+		n   = 256
+		k   = 8
+		eps = 0.5
+	)
+	q := RecommendedThresholdSamples(n, k, eps)
+	inner, err := NewThresholdTester(ThresholdTesterConfig{N: n, K: k, Q: q, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, err := Amplify(inner, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := dist.Uniform(n)
+	base, err := EstimateAcceptance(inner, uniform, 300, stats.EstimateOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := EstimateAcceptance(amp, uniform, 300, stats.EstimateOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.P < base.P {
+		t.Errorf("amplification hurt: %v -> %v", base.P, boosted.P)
+	}
+	if boosted.P < 0.95 {
+		t.Errorf("amplified acceptance %v", boosted.P)
+	}
+	far, _ := dist.PairedBump(n, eps)
+	farAccept, err := EstimateAcceptance(amp, far, 300, stats.EstimateOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farAccept.P > 0.05 {
+		t.Errorf("amplified far acceptance %v", farAccept.P)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ThresholdTesterConfig configures the Fischer-Meir-Oshman-style
+// collision/threshold tester (PODC 2018): every player runs a local
+// collision test on its q samples and votes, and the referee rejects iff at
+// least T players voted reject.
+type ThresholdTesterConfig struct {
+	// N is the domain size.
+	N int
+	// K is the number of players.
+	K int
+	// Q is the per-player sample count.
+	Q int
+	// Eps is the proximity parameter.
+	Eps float64
+	// T is the referee's rejection threshold; T = 1 is the AND rule.
+	// Zero selects DefaultThresholdT(K).
+	T int
+}
+
+// DefaultThresholdT returns the referee threshold that makes the tester
+// sample-optimal: roughly k/2, so the local votes may be nearly balanced
+// and each player only needs a Theta(1/sqrt(k))-standard-deviation signal.
+// This is how the protocol reaches q = O(sqrt(n/k)/eps^2), the rate that
+// Theorem 1.1 proves optimal.
+func DefaultThresholdT(k int) int {
+	t := k / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// LocalAlphaForThreshold returns the per-player false-alarm probability
+// alpha used by the local rule so that, under the uniform distribution, the
+// number of rejecting players stays below the referee threshold T whp,
+// while leaving only a fluctuation-sized margin: alpha = t0/k with
+// t0 = max(T/4, T - 1.5 sqrt(T)). The sqrt(T) margin is the point of the
+// construction — a constant-fraction margin would force each player to
+// carry a constant-sigma signal and forfeit the sqrt(k) parallel gain,
+// whereas a ~2-sigma margin (the rejection count under uniform is a
+// Binomial(k, alpha) with standard deviation about sqrt(T/2)) lets
+// per-player signals be as weak as Theta(1/sqrt(k)) sigmas when T ~ k/2.
+// For T = 1 it degrades gracefully to alpha = 1/(4k), the Markov-style AND
+// regime in which no player may ever cry wolf.
+func LocalAlphaForThreshold(k, t int) float64 {
+	tf := float64(t)
+	t0 := math.Max(tf/4, tf-1.5*math.Sqrt(tf))
+	alpha := t0 / float64(k)
+	if alpha < 1e-9 {
+		alpha = 1e-9
+	}
+	if alpha > 0.5 {
+		alpha = 0.5
+	}
+	return alpha
+}
+
+// NewThresholdTester builds the tester. The local rule is a collision count
+// with a Poisson-tail threshold at the LocalAlphaForThreshold quantile of
+// the uniform null; the referee is ThresholdRule{T}.
+func NewThresholdTester(cfg ThresholdTesterConfig) (*SMP, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: threshold tester over domain %d", cfg.N)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("core: threshold tester with %d players", cfg.K)
+	}
+	if cfg.Q < 2 {
+		return nil, fmt.Errorf("core: threshold tester needs q >= 2 per player, got %d", cfg.Q)
+	}
+	if cfg.Eps <= 0 || cfg.Eps > 2 {
+		return nil, fmt.Errorf("core: threshold tester eps %v outside (0,2]", cfg.Eps)
+	}
+	t := cfg.T
+	if t == 0 {
+		t = DefaultThresholdT(cfg.K)
+	}
+	if t < 1 || t > cfg.K {
+		return nil, fmt.Errorf("core: referee threshold %d outside [1,%d]", t, cfg.K)
+	}
+	alpha := LocalAlphaForThreshold(cfg.K, t)
+	local, err := newCollisionVoteRule(cfg.N, cfg.Q, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewSMP(cfg.K, cfg.Q, local, BitReferee{Rule: ThresholdRule{T: t}})
+}
+
+// NewANDTester builds the fully local variant: referee threshold T = 1, so
+// a single rejecting player rejects the whole network. Theorem 1.2 proves
+// this rule costs q = Omega(sqrt(n)/(log^2(k) eps^2)) — almost no saving
+// over centralized unless k is exponential in 1/eps.
+func NewANDTester(n, k, q int, eps float64) (*SMP, error) {
+	return NewThresholdTester(ThresholdTesterConfig{N: n, K: k, Q: q, Eps: eps, T: 1})
+}
+
+// RecommendedThresholdSamples returns the per-player sample count at which
+// the default threshold tester separates with probability 2/3:
+// c sqrt(n/k)/eps^2, the rate matched by the Theorem 1.1 lower bound. The
+// constant is validated by experiment E1.
+func RecommendedThresholdSamples(n, k int, eps float64) int {
+	q := int(math.Ceil(10*math.Sqrt(float64(n)/float64(k))/(eps*eps))) + 2
+	return q
+}
+
+// NewAsymmetricThresholdTester builds the Section 6.2 variant in which
+// player i draws qs[i] samples (rate T_i times a common deadline tau). The
+// local collision rule thresholds each player's count against the Poisson
+// tail of its own expected collision mass.
+func NewAsymmetricThresholdTester(n int, qs []int, eps float64, t int) (*SMP, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: asymmetric tester over domain %d", n)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: asymmetric tester with zero players")
+	}
+	if eps <= 0 || eps > 2 {
+		return nil, fmt.Errorf("core: asymmetric tester eps %v outside (0,2]", eps)
+	}
+	k := len(qs)
+	if t == 0 {
+		t = DefaultThresholdT(k)
+	}
+	if t < 1 || t > k {
+		return nil, fmt.Errorf("core: referee threshold %d outside [1,%d]", t, k)
+	}
+	alpha := LocalAlphaForThreshold(k, t)
+	// Precompute one vote rule per player, since lambda depends on q_i.
+	rules := make([]*collisionVoteRule, k)
+	for i, q := range qs {
+		if q < 0 {
+			return nil, fmt.Errorf("core: player %d with %d samples", i, q)
+		}
+		rule, err := newCollisionVoteRule(n, q, alpha)
+		if err != nil {
+			return nil, err
+		}
+		rules[i] = rule
+	}
+	local := RuleFunc(func(player int, samples []int, shared uint64, private *rand.Rand) (Message, error) {
+		return rules[player].Message(player, samples, shared, private)
+	})
+	return NewAsymmetricSMP(qs, local, BitReferee{Rule: ThresholdRule{T: t}})
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestNewGroupLearnerValidation(t *testing.T) {
+	if _, err := NewGroupLearner(0, 10, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewGroupLearner(8, 4, 1); err == nil {
+		t.Error("k < n accepted")
+	}
+	if _, err := NewGroupLearner(8, 16, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	g, err := NewGroupLearner(8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Players() != 16 || g.SamplesPerPlayer() != 2 {
+		t.Errorf("accessors: %d %d", g.Players(), g.SamplesPerPlayer())
+	}
+}
+
+func TestGroupLearnerRecoversDistribution(t *testing.T) {
+	// Plenty of players: the estimate should land close to the truth.
+	const (
+		n = 8
+		k = 8 * 2000
+		q = 4
+	)
+	g, err := NewGroupLearner(n, k, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := dist.Zipf(n, 1)
+	sampler, _ := dist.NewAliasSampler(truth)
+	est, err := g.Learn(sampler, testRand(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := dist.L1(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 > 0.1 {
+		t.Errorf("learned distribution is %v away in L1", l1)
+	}
+}
+
+func TestGroupLearnerErrorShrinksWithPlayers(t *testing.T) {
+	const n = 8
+	truth, _ := dist.TwoBump(n, 0.5)
+	small, err := NewGroupLearner(n, n*40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewGroupLearner(n, n*4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errSmall, err := small.EstimateL1Error(truth, 30, 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBig, err := big.EstimateL1Error(truth, 30, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100x the players should cut the L1 error by about 10x; insist on 3x
+	// to keep the test robust.
+	if errBig > errSmall/3 {
+		t.Errorf("error did not shrink with players: %v -> %v", errSmall, errBig)
+	}
+}
+
+func TestGroupLearnerMoreSamplesHelp(t *testing.T) {
+	const n = 8
+	truth, _ := dist.Zipf(n, 0.8)
+	k := n * 100
+	q1, err := NewGroupLearner(n, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := NewGroupLearner(n, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := q1.EstimateL1Error(truth, 40, 84)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := q8.EstimateL1Error(truth, 40, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e8 > e1 {
+		t.Errorf("more samples per player hurt: q=1 err %v, q=8 err %v", e1, e8)
+	}
+}
+
+func TestGroupLearnerEstimateValidation(t *testing.T) {
+	g, _ := NewGroupLearner(8, 16, 1)
+	other, _ := dist.Uniform(4)
+	if _, err := g.EstimateL1Error(other, 10, 0); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	truth, _ := dist.Uniform(8)
+	if _, err := g.EstimateL1Error(truth, 0, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestGroupLearnerDegenerateRun(t *testing.T) {
+	// One player per element with one sample: the estimate may be coarse
+	// but must be a valid distribution.
+	g, err := NewGroupLearner(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := dist.Uniform(4)
+	sampler, _ := dist.NewAliasSampler(truth)
+	for i := 0; i < 20; i++ {
+		est, err := g.Learn(sampler, testRand(uint64(90+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for e := 0; e < est.N(); e++ {
+			if est.Prob(e) < 0 {
+				t.Fatalf("negative probability %v", est.Prob(e))
+			}
+			sum += est.Prob(e)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// Protocol is a complete distributed tester: one Run draws fresh samples
+// for every player and returns the referee's verdict.
+type Protocol interface {
+	// Run executes the protocol once against the unknown distribution
+	// represented by the sampler; true means accept.
+	Run(sampler dist.Sampler, rng *rand.Rand) (bool, error)
+	// Players returns k.
+	Players() int
+	// MaxSamplesPerPlayer returns the largest per-player sample count.
+	MaxSamplesPerPlayer() int
+}
+
+// SMP is the simultaneous-message protocol runner: k players with
+// (possibly heterogeneous) sample counts, one LocalRule, one Referee, and a
+// fresh public-coin seed per run.
+type SMP struct {
+	qs      []int
+	local   LocalRule
+	referee Referee
+}
+
+var _ Protocol = (*SMP)(nil)
+
+// NewSMP builds a protocol with k players of q samples each.
+func NewSMP(k, q int, local LocalRule, referee Referee) (*SMP, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: protocol with %d players", k)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("core: protocol with %d samples per player", q)
+	}
+	qs := make([]int, k)
+	for i := range qs {
+		qs[i] = q
+	}
+	return NewAsymmetricSMP(qs, local, referee)
+}
+
+// NewAsymmetricSMP builds a protocol where player i draws qs[i] samples —
+// the asymmetric-cost model of the paper's Section 6.2.
+func NewAsymmetricSMP(qs []int, local LocalRule, referee Referee) (*SMP, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: protocol with zero players")
+	}
+	for i, q := range qs {
+		if q < 0 {
+			return nil, fmt.Errorf("core: player %d with %d samples", i, q)
+		}
+	}
+	if local == nil {
+		return nil, fmt.Errorf("core: nil local rule")
+	}
+	if referee == nil {
+		return nil, fmt.Errorf("core: nil referee")
+	}
+	cp := make([]int, len(qs))
+	copy(cp, qs)
+	return &SMP{qs: cp, local: local, referee: referee}, nil
+}
+
+// Players returns k.
+func (p *SMP) Players() int { return len(p.qs) }
+
+// MaxSamplesPerPlayer returns max_i q_i.
+func (p *SMP) MaxSamplesPerPlayer() int {
+	m := 0
+	for _, q := range p.qs {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// TotalSamples returns sum_i q_i.
+func (p *SMP) TotalSamples() int {
+	total := 0
+	for _, q := range p.qs {
+		total += q
+	}
+	return total
+}
+
+// Local returns the protocol's local rule.
+func (p *SMP) Local() LocalRule { return p.local }
+
+// RunMessages executes one round and returns the raw messages, for
+// referees that need more than a verdict (e.g. learning).
+func (p *SMP) RunMessages(sampler dist.Sampler, rng *rand.Rand) ([]Message, error) {
+	if sampler == nil {
+		return nil, fmt.Errorf("core: nil sampler")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	shared := rng.Uint64()
+	msgs := make([]Message, len(p.qs))
+	buf := make([]int, p.MaxSamplesPerPlayer())
+	for i, q := range p.qs {
+		samples := buf[:q]
+		dist.SampleInto(sampler, samples, rng)
+		m, err := p.local.Message(i, samples, shared, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: player %d: %w", i, err)
+		}
+		msgs[i] = m
+	}
+	return msgs, nil
+}
+
+// Run executes one round end to end.
+func (p *SMP) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	msgs, err := p.RunMessages(sampler, rng)
+	if err != nil {
+		return false, err
+	}
+	return p.referee.Decide(msgs)
+}
+
+// EstimateAcceptance measures Pr[protocol accepts] against the given
+// distribution by Monte Carlo, with a Wilson confidence interval.
+func EstimateAcceptance(p Protocol, d dist.Dist, trials int, opts stats.EstimateOptions) (stats.SuccessEstimate, error) {
+	if p == nil {
+		return stats.SuccessEstimate{}, fmt.Errorf("core: nil protocol")
+	}
+	sampler, err := dist.NewAliasSampler(d)
+	if err != nil {
+		return stats.SuccessEstimate{}, err
+	}
+	// Trials run on several goroutines; collect the first error safely.
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
+		ok, runErr := p.Run(sampler, rng)
+		if runErr != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = runErr
+			}
+			mu.Unlock()
+		}
+		return ok
+	}, opts)
+	if err != nil {
+		return stats.SuccessEstimate{}, err
+	}
+	if firstErr != nil {
+		return stats.SuccessEstimate{}, firstErr
+	}
+	return est, nil
+}
+
+// Separates reports whether the protocol both accepts `null` and rejects
+// `far` with probability at least target (e.g. 2/3), with the measured
+// acceptance probabilities.
+func Separates(p Protocol, null, far dist.Dist, target float64, trials int, opts stats.EstimateOptions) (ok bool, acceptNull, acceptFar float64, err error) {
+	en, err := EstimateAcceptance(p, null, trials, opts)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	optsFar := opts
+	optsFar.Seed ^= 0x517cc1b727220a95
+	ef, err := EstimateAcceptance(p, far, trials, optsFar)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return en.P >= target && 1-ef.P >= target, en.P, ef.P, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/distributed-uniformity/dut/internal/centralized"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// collisionVoteRule is the local decision of the threshold-family testers:
+// count collisions among the player's q samples and reject when the count
+// is high. The rejection boundary is randomized so that, under the Poisson
+// approximation of the null collision count (rate lambda = C(q,2)/n), the
+// rejection probability equals alpha exactly:
+//
+//	count >= cut            -> reject,
+//	count == cut-1          -> reject with probability gamma,
+//	count <  cut-1          -> accept.
+//
+// Without the randomized boundary, Poisson discreteness would leave the
+// realized false-alarm rate anywhere below alpha, and at small lambda that
+// quantization gap eats the Theta(1/sqrt(k)) signal margins the
+// sample-optimal threshold tester depends on.
+type collisionVoteRule struct {
+	stat  centralized.Statistic
+	cut   int
+	gamma float64
+}
+
+var _ LocalRule = (*collisionVoteRule)(nil)
+
+// newCollisionVoteRule builds the rule for domain size n, per-player sample
+// count q and target local false-alarm probability alpha.
+func newCollisionVoteRule(n, q int, alpha float64) (*collisionVoteRule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: vote rule over domain %d", n)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("core: vote rule with %d samples", q)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: vote rule false-alarm rate %v outside (0,1)", alpha)
+	}
+	lambda := float64(q) * float64(q-1) / 2 / float64(n)
+	cut, err := stats.PoissonUpperTailThreshold(lambda, alpha)
+	if err != nil {
+		return nil, err
+	}
+	gamma := 0.0
+	if cut > 0 {
+		tailAtCut, err := stats.PoissonUpperTail(cut, lambda)
+		if err != nil {
+			return nil, err
+		}
+		pmfBelow, err := stats.PoissonPMF(cut-1, lambda)
+		if err != nil {
+			return nil, err
+		}
+		if pmfBelow > 0 {
+			gamma = (alpha - tailAtCut) / pmfBelow
+		}
+		if gamma < 0 {
+			gamma = 0
+		}
+		if gamma > 1 {
+			gamma = 1
+		}
+	}
+	return &collisionVoteRule{
+		stat:  centralized.CollisionStatistic(n),
+		cut:   cut,
+		gamma: gamma,
+	}, nil
+}
+
+// Message implements LocalRule.
+func (r *collisionVoteRule) Message(_ int, samples []int, _ uint64, private *rand.Rand) (Message, error) {
+	v, err := r.stat(samples)
+	if err != nil {
+		return Reject, err
+	}
+	count := int(v)
+	switch {
+	case count >= r.cut:
+		return Reject, nil
+	case count == r.cut-1 && r.gamma > 0:
+		if private.Float64() < r.gamma {
+			return Reject, nil
+		}
+		return Accept, nil
+	default:
+		return Accept, nil
+	}
+}
+
+// Bits implements LocalRule.
+func (r *collisionVoteRule) Bits() int { return 1 }

@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProbTolerance is the slack allowed when validating that probabilities sum
+// to one.
+const ProbTolerance = 1e-9
+
+// Dist is an immutable discrete distribution over {0, ..., n-1}.
+type Dist struct {
+	p []float64
+}
+
+// Uniform returns the uniform distribution U_n.
+func Uniform(n int) (Dist, error) {
+	if n <= 0 {
+		return Dist{}, fmt.Errorf("dist: uniform over %d elements", n)
+	}
+	p := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range p {
+		p[i] = inv
+	}
+	return Dist{p: p}, nil
+}
+
+// PointMass returns the distribution concentrated on element i of a domain
+// of size n.
+func PointMass(n, i int) (Dist, error) {
+	if n <= 0 || i < 0 || i >= n {
+		return Dist{}, fmt.Errorf("dist: point mass at %d over %d elements", i, n)
+	}
+	p := make([]float64, n)
+	p[i] = 1
+	return Dist{p: p}, nil
+}
+
+// FromProbs builds a distribution from an explicit probability vector, which
+// must be non-negative and sum to 1 within ProbTolerance. The slice is
+// copied.
+func FromProbs(p []float64) (Dist, error) {
+	if len(p) == 0 {
+		return Dist{}, fmt.Errorf("dist: empty probability vector")
+	}
+	var sum float64
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Dist{}, fmt.Errorf("dist: probability %v at index %d", v, i)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > ProbTolerance {
+		return Dist{}, fmt.Errorf("dist: probabilities sum to %v, want 1", sum)
+	}
+	cp := make([]float64, len(p))
+	copy(cp, p)
+	// Renormalize the tolerated drift so downstream exact computations see
+	// a true distribution.
+	for i := range cp {
+		cp[i] /= sum
+	}
+	return Dist{p: cp}, nil
+}
+
+// FromWeights builds a distribution proportional to the given non-negative
+// weights.
+func FromWeights(w []float64) (Dist, error) {
+	if len(w) == 0 {
+		return Dist{}, fmt.Errorf("dist: empty weight vector")
+	}
+	var sum float64
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Dist{}, fmt.Errorf("dist: weight %v at index %d", v, i)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return Dist{}, fmt.Errorf("dist: weights sum to %v", sum)
+	}
+	p := make([]float64, len(w))
+	for i, v := range w {
+		p[i] = v / sum
+	}
+	return Dist{p: p}, nil
+}
+
+// N returns the domain size.
+func (d Dist) N() int { return len(d.p) }
+
+// Prob returns the probability of element i.
+func (d Dist) Prob(i int) float64 { return d.p[i] }
+
+// Probs returns a copy of the probability vector.
+func (d Dist) Probs() []float64 {
+	cp := make([]float64, len(d.p))
+	copy(cp, d.p)
+	return cp
+}
+
+// Support returns the number of elements with strictly positive probability.
+func (d Dist) Support() int {
+	n := 0
+	for _, v := range d.p {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Entropy returns the Shannon entropy in bits.
+func (d Dist) Entropy() float64 {
+	var h float64
+	for _, v := range d.p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// MaxProb returns the largest single-element probability.
+func (d Dist) MaxProb() float64 {
+	var m float64
+	for _, v := range d.p {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mix returns the mixture alpha*d + (1-alpha)*e; the two distributions must
+// share a domain.
+func (d Dist) Mix(e Dist, alpha float64) (Dist, error) {
+	if d.N() != e.N() {
+		return Dist{}, fmt.Errorf("dist: mixing domains of size %d and %d", d.N(), e.N())
+	}
+	if alpha < 0 || alpha > 1 {
+		return Dist{}, fmt.Errorf("dist: mixture weight %v outside [0,1]", alpha)
+	}
+	p := make([]float64, d.N())
+	for i := range p {
+		p[i] = alpha*d.p[i] + (1-alpha)*e.p[i]
+	}
+	return Dist{p: p}, nil
+}
+
+// Average returns the uniform mixture (1/k) * sum of the given
+// distributions, the E_z[nu_z] operation from the paper's notation section.
+func Average(ds []Dist) (Dist, error) {
+	if len(ds) == 0 {
+		return Dist{}, fmt.Errorf("dist: averaging zero distributions")
+	}
+	n := ds[0].N()
+	p := make([]float64, n)
+	for _, d := range ds {
+		if d.N() != n {
+			return Dist{}, fmt.Errorf("dist: averaging domains of size %d and %d", n, d.N())
+		}
+		for i, v := range d.p {
+			p[i] += v
+		}
+	}
+	inv := 1 / float64(len(ds))
+	for i := range p {
+		p[i] *= inv
+	}
+	return Dist{p: p}, nil
+}
+
+// Conditioned returns d conditioned on the element set keep (indices with
+// keep[i] true).
+func (d Dist) Conditioned(keep []bool) (Dist, error) {
+	if len(keep) != d.N() {
+		return Dist{}, fmt.Errorf("dist: condition mask of length %d for domain %d", len(keep), d.N())
+	}
+	p := make([]float64, d.N())
+	var sum float64
+	for i, k := range keep {
+		if k {
+			p[i] = d.p[i]
+			sum += d.p[i]
+		}
+	}
+	if sum <= 0 {
+		return Dist{}, fmt.Errorf("dist: conditioning on a null event")
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return Dist{p: p}, nil
+}
+
+// TupleProb returns the probability of observing the exact ordered sample
+// tuple under iid draws from d — the product distribution d^q evaluated at
+// one point.
+func (d Dist) TupleProb(samples []int) (float64, error) {
+	prob := 1.0
+	for _, s := range samples {
+		if s < 0 || s >= d.N() {
+			return 0, fmt.Errorf("dist: sample %d outside domain of size %d", s, d.N())
+		}
+		prob *= d.p[s]
+	}
+	return prob, nil
+}

@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc909))
+}
+
+func mustUniform(t *testing.T, n int) Dist {
+	t.Helper()
+	u, err := Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUniform(t *testing.T) {
+	u := mustUniform(t, 8)
+	if u.N() != 8 {
+		t.Fatalf("N = %d", u.N())
+	}
+	for i := 0; i < 8; i++ {
+		if !almostEqual(u.Prob(i), 0.125, tol) {
+			t.Fatalf("P(%d) = %v", i, u.Prob(i))
+		}
+	}
+	if u.Support() != 8 {
+		t.Errorf("support = %d", u.Support())
+	}
+	if !almostEqual(u.Entropy(), 3, tol) {
+		t.Errorf("entropy = %v, want 3 bits", u.Entropy())
+	}
+	if _, err := Uniform(0); err == nil {
+		t.Error("Uniform(0) succeeded")
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	d, err := PointMass(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Prob(2) != 1 || d.Support() != 1 || d.Entropy() != 0 {
+		t.Errorf("point mass wrong: P(2)=%v support=%d H=%v", d.Prob(2), d.Support(), d.Entropy())
+	}
+	if _, err := PointMass(5, 5); err == nil {
+		t.Error("out-of-range point mass succeeded")
+	}
+}
+
+func TestFromProbsValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    []float64
+	}{
+		{name: "empty", p: nil},
+		{name: "negative", p: []float64{-0.5, 1.5}},
+		{name: "sum below one", p: []float64{0.3, 0.3}},
+		{name: "sum above one", p: []float64{0.8, 0.8}},
+		{name: "nan", p: []float64{math.NaN(), 1}},
+		{name: "inf", p: []float64{math.Inf(1), 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromProbs(tt.p); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestFromProbsCopiesAndRenormalizes(t *testing.T) {
+	p := []float64{0.25, 0.75}
+	d, err := FromProbs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 9
+	if d.Prob(0) != 0.25 {
+		t.Error("FromProbs aliased its input")
+	}
+	probs := d.Probs()
+	probs[0] = 7
+	if d.Prob(0) != 0.25 {
+		t.Error("Probs aliased the internal slice")
+	}
+}
+
+func TestFromWeights(t *testing.T) {
+	d, err := FromWeights([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.Prob(0), 0.25, tol) || !almostEqual(d.Prob(1), 0.75, tol) {
+		t.Errorf("probs = %v", d.Probs())
+	}
+	if _, err := FromWeights([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights succeeded")
+	}
+	if _, err := FromWeights([]float64{-1, 2}); err == nil {
+		t.Error("negative weight succeeded")
+	}
+}
+
+func TestMix(t *testing.T) {
+	u := mustUniform(t, 4)
+	p, err := PointMass(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Mix(u, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Prob(0), 0.5+0.125, tol) {
+		t.Errorf("mixed P(0) = %v", m.Prob(0))
+	}
+	if _, err := p.Mix(mustUniform(t, 5), 0.5); err == nil {
+		t.Error("cross-domain mix succeeded")
+	}
+	if _, err := p.Mix(u, 1.5); err == nil {
+		t.Error("mix weight above 1 succeeded")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a, _ := PointMass(2, 0)
+	b, _ := PointMass(2, 1)
+	avg, err := Average([]Dist{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(avg.Prob(0), 0.5, tol) {
+		t.Errorf("average = %v", avg.Probs())
+	}
+	if _, err := Average(nil); err == nil {
+		t.Error("empty average succeeded")
+	}
+	if _, err := Average([]Dist{a, mustUniform(t, 3)}); err == nil {
+		t.Error("cross-domain average succeeded")
+	}
+}
+
+func TestConditioned(t *testing.T) {
+	d, _ := FromProbs([]float64{0.1, 0.2, 0.3, 0.4})
+	c, err := d.Conditioned([]bool{false, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.Prob(1), 0.4, tol) || !almostEqual(c.Prob(2), 0.6, tol) || c.Prob(0) != 0 {
+		t.Errorf("conditioned = %v", c.Probs())
+	}
+	if _, err := d.Conditioned([]bool{false, false, false, false}); err == nil {
+		t.Error("conditioning on null event succeeded")
+	}
+	if _, err := d.Conditioned([]bool{true}); err == nil {
+		t.Error("wrong-length mask succeeded")
+	}
+}
+
+func TestTupleProb(t *testing.T) {
+	d, _ := FromProbs([]float64{0.5, 0.25, 0.25})
+	got, err := d.TupleProb([]int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.0625, tol) {
+		t.Errorf("tuple prob = %v", got)
+	}
+	if p, err := d.TupleProb(nil); err != nil || p != 1 {
+		t.Errorf("empty tuple = %v, %v", p, err)
+	}
+	if _, err := d.TupleProb([]int{3}); err == nil {
+		t.Error("out-of-range sample succeeded")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	u := mustUniform(t, 4)
+	d, _ := FromProbs([]float64{0.5, 0.5, 0, 0})
+
+	l1, err := L1(d, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l1, 1, tol) {
+		t.Errorf("L1 = %v, want 1", l1)
+	}
+	tv, _ := TV(d, u)
+	if !almostEqual(tv, 0.5, tol) {
+		t.Errorf("TV = %v, want 0.5", tv)
+	}
+	l2, _ := L2(d, u)
+	if !almostEqual(l2, 0.5, tol) {
+		t.Errorf("L2 = %v, want 0.5", l2)
+	}
+	linf, _ := LInf(d, u)
+	if !almostEqual(linf, 0.25, tol) {
+		t.Errorf("LInf = %v, want 0.25", linf)
+	}
+	kl, _ := KL(d, u)
+	if !almostEqual(kl, 1, tol) { // log2(0.5/0.25) = 1 bit
+		t.Errorf("KL = %v, want 1", kl)
+	}
+	chi, _ := ChiSquared(d, u)
+	if !almostEqual(chi, 0.25*4, tol) {
+		t.Errorf("chi2 = %v, want 1", chi)
+	}
+	h, _ := Hellinger(d, u)
+	want := math.Sqrt((2*math.Pow(math.Sqrt(0.5)-math.Sqrt(0.25), 2) + 2*0.25) / 2)
+	if !almostEqual(h, want, tol) {
+		t.Errorf("Hellinger = %v, want %v", h, want)
+	}
+}
+
+func TestKLInfiniteWhenUnsupported(t *testing.T) {
+	a, _ := FromProbs([]float64{1, 0})
+	b, _ := FromProbs([]float64{0, 1})
+	kl, err := KL(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(kl, 1) {
+		t.Errorf("KL = %v, want +Inf", kl)
+	}
+	chi, _ := ChiSquared(a, b)
+	if !math.IsInf(chi, 1) {
+		t.Errorf("chi2 = %v, want +Inf", chi)
+	}
+}
+
+func TestDistanceDomainMismatch(t *testing.T) {
+	a := mustUniform(t, 2)
+	b := mustUniform(t, 3)
+	if _, err := L1(a, b); err == nil {
+		t.Error("L1 across domains succeeded")
+	}
+	if _, err := KL(a, b); err == nil {
+		t.Error("KL across domains succeeded")
+	}
+	if _, err := Hellinger(a, b); err == nil {
+		t.Error("Hellinger across domains succeeded")
+	}
+	if _, err := ChiSquared(a, b); err == nil {
+		t.Error("chi2 across domains succeeded")
+	}
+	if _, err := LInf(a, b); err == nil {
+		t.Error("LInf across domains succeeded")
+	}
+	if _, err := L2(a, b); err == nil {
+		t.Error("L2 across domains succeeded")
+	}
+}
+
+func TestDistanceIdentities(t *testing.T) {
+	rng := testRand(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(30)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		d, err := FromWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1, _ := L1(d, d); l1 != 0 {
+			t.Errorf("L1(d,d) = %v", l1)
+		}
+		if kl, _ := KL(d, d); kl != 0 {
+			t.Errorf("KL(d,d) = %v", kl)
+		}
+		u := mustUniform(t, n)
+		l1, _ := L1(d, u)
+		if !almostEqual(l1, DistanceFromUniform(d), tol) {
+			t.Errorf("DistanceFromUniform disagrees with L1: %v vs %v", DistanceFromUniform(d), l1)
+		}
+		tv, _ := TV(d, u)
+		h, _ := Hellinger(d, u)
+		// Standard sandwich: h^2 <= TV <= h*sqrt(2).
+		if h*h > tv+tol || tv > h*math.Sqrt2+tol {
+			t.Errorf("Hellinger/TV sandwich violated: h=%v tv=%v", h, tv)
+		}
+		// Pinsker: TV <= sqrt(KL_nats/2).
+		kl, _ := KL(d, u)
+		if tv > math.Sqrt(kl*math.Ln2/2)+tol {
+			t.Errorf("Pinsker violated: tv=%v kl(bits)=%v", tv, kl)
+		}
+	}
+}
+
+func TestCollisionProb(t *testing.T) {
+	u := mustUniform(t, 10)
+	if !almostEqual(CollisionProb(u), 0.1, tol) {
+		t.Errorf("uniform collision prob = %v", CollisionProb(u))
+	}
+	d, _ := PointMass(10, 3)
+	if !almostEqual(CollisionProb(d), 1, tol) {
+		t.Errorf("point mass collision prob = %v", CollisionProb(d))
+	}
+	// Collision probability of any d over [n] is at least 1/n with equality
+	// iff uniform (used implicitly by the collision tester).
+	rng := testRand(2)
+	for trial := 0; trial < 10; trial++ {
+		w := make([]float64, 16)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		d, _ := FromWeights(w)
+		if CollisionProb(d) < 1.0/16-tol {
+			t.Errorf("collision prob %v below 1/n", CollisionProb(d))
+		}
+	}
+}
+
+func TestIsEpsFarFromUniform(t *testing.T) {
+	d, err := TwoBump(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(DistanceFromUniform(d), 0.5, tol) {
+		t.Errorf("two-bump distance = %v, want 0.5", DistanceFromUniform(d))
+	}
+	if !IsEpsFarFromUniform(d, 0.5) || IsEpsFarFromUniform(d, 0.51) {
+		t.Error("eps-far classification wrong")
+	}
+}
+
+func TestQuickDistanceMetricProperties(t *testing.T) {
+	gen := func(seed uint64, n int) Dist {
+		rng := testRand(seed)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() + 1e-6
+		}
+		d, err := FromWeights(w)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	prop := func(seedA, seedB, seedC uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		a, b, c := gen(seedA, n), gen(seedB, n), gen(seedC, n)
+		tvAB, _ := TV(a, b)
+		tvBA, _ := TV(b, a)
+		if math.Abs(tvAB-tvBA) > tol {
+			return false // symmetry
+		}
+		tvAC, _ := TV(a, c)
+		tvCB, _ := TV(c, b)
+		if tvAB > tvAC+tvCB+tol {
+			return false // triangle inequality
+		}
+		if tvAB < 0 || tvAB > 1+tol {
+			return false // range
+		}
+		hAB, _ := Hellinger(a, b)
+		hBA, _ := Hellinger(b, a)
+		if math.Abs(hAB-hBA) > tol {
+			return false
+		}
+		hAC, _ := Hellinger(a, c)
+		hCB, _ := Hellinger(c, b)
+		return hAB <= hAC+hCB+tol // Hellinger is a metric
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKLNonNegativeAndMixtureContraction(t *testing.T) {
+	prop := func(seedA, seedB uint64, nRaw, alphaRaw uint8) bool {
+		n := 2 + int(nRaw%20)
+		rngA, rngB := testRand(seedA), testRand(seedB)
+		wa := make([]float64, n)
+		wb := make([]float64, n)
+		for i := range wa {
+			wa[i] = rngA.Float64() + 1e-6
+			wb[i] = rngB.Float64() + 1e-6
+		}
+		a, _ := FromWeights(wa)
+		b, _ := FromWeights(wb)
+		kl, err := KL(a, b)
+		if err != nil || kl < 0 {
+			return false
+		}
+		// Mixing a toward b contracts every distance to b.
+		alpha := float64(alphaRaw%100) / 100
+		mixed, err := a.Mix(b, alpha) // alpha*a + (1-alpha)*b
+		if err != nil {
+			return false
+		}
+		l1Orig, _ := L1(a, b)
+		l1Mixed, _ := L1(mixed, b)
+		return l1Mixed <= l1Orig+tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// L1 returns the L1 distance sum_i |d(i) - e(i)|; total variation distance
+// is half of this. The paper's eps-far condition is in L1.
+func L1(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("L1", d, e)
+	}
+	var acc float64
+	for i := range d.p {
+		acc += math.Abs(d.p[i] - e.p[i])
+	}
+	return acc, nil
+}
+
+// TV returns the total variation distance, L1/2.
+func TV(d, e Dist) (float64, error) {
+	l1, err := L1(d, e)
+	return l1 / 2, err
+}
+
+// L2 returns the Euclidean distance between the probability vectors.
+func L2(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("L2", d, e)
+	}
+	var acc float64
+	for i := range d.p {
+		diff := d.p[i] - e.p[i]
+		acc += diff * diff
+	}
+	return math.Sqrt(acc), nil
+}
+
+// LInf returns the maximum pointwise probability gap.
+func LInf(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("LInf", d, e)
+	}
+	var m float64
+	for i := range d.p {
+		if diff := math.Abs(d.p[i] - e.p[i]); diff > m {
+			m = diff
+		}
+	}
+	return m, nil
+}
+
+// KL returns the Kullback-Leibler divergence D(d || e) in bits. It is +Inf
+// when d puts mass where e does not.
+func KL(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("KL", d, e)
+	}
+	var acc float64
+	for i := range d.p {
+		if d.p[i] == 0 {
+			continue
+		}
+		if e.p[i] == 0 {
+			return math.Inf(1), nil
+		}
+		acc += d.p[i] * math.Log2(d.p[i]/e.p[i])
+	}
+	// Rounding can drive the divergence of near-identical distributions a
+	// hair below zero.
+	return math.Max(acc, 0), nil
+}
+
+// ChiSquared returns the chi-squared divergence
+// sum_i (d(i)-e(i))^2 / e(i), infinite when d charges a zero of e.
+func ChiSquared(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("ChiSquared", d, e)
+	}
+	var acc float64
+	for i := range d.p {
+		diff := d.p[i] - e.p[i]
+		if e.p[i] == 0 {
+			if diff != 0 {
+				return math.Inf(1), nil
+			}
+			continue
+		}
+		acc += diff * diff / e.p[i]
+	}
+	return acc, nil
+}
+
+// Hellinger returns the Hellinger distance
+// sqrt( (1/2) sum_i (sqrt d(i) - sqrt e(i))^2 ), a metric in [0,1].
+func Hellinger(d, e Dist) (float64, error) {
+	if d.N() != e.N() {
+		return 0, domainErr("Hellinger", d, e)
+	}
+	var acc float64
+	for i := range d.p {
+		diff := math.Sqrt(d.p[i]) - math.Sqrt(e.p[i])
+		acc += diff * diff
+	}
+	return math.Sqrt(acc / 2), nil
+}
+
+// DistanceFromUniform returns the L1 distance of d from the uniform
+// distribution over its own domain.
+func DistanceFromUniform(d Dist) float64 {
+	inv := 1 / float64(d.N())
+	var acc float64
+	for _, v := range d.p {
+		acc += math.Abs(v - inv)
+	}
+	return acc
+}
+
+// IsEpsFarFromUniform reports whether ||d - U_n||_1 >= eps.
+func IsEpsFarFromUniform(d Dist, eps float64) bool {
+	return DistanceFromUniform(d) >= eps
+}
+
+// CollisionProb returns sum_i d(i)^2, the probability two iid samples
+// collide. For U_n it is exactly 1/n; an L2 gap from uniform shows up as an
+// excess here, which is what the Paninski collision tester measures.
+func CollisionProb(d Dist) float64 {
+	var acc float64
+	for _, v := range d.p {
+		acc += v * v
+	}
+	return acc
+}
+
+func domainErr(op string, d, e Dist) error {
+	return fmt.Errorf("dist: %s across domains of size %d and %d", op, d.N(), e.N())
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// The families below are workload generators for the examples and
+// experiments: distributions whose distance from uniform is easy to dial in.
+
+// Zipf returns the Zipf distribution with exponent s over n elements:
+// p(i) proportional to 1/(i+1)^s.
+func Zipf(n int, s float64) (Dist, error) {
+	if n <= 0 {
+		return Dist{}, fmt.Errorf("dist: zipf over %d elements", n)
+	}
+	if s < 0 {
+		return Dist{}, fmt.Errorf("dist: zipf exponent %v < 0", s)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return FromWeights(w)
+}
+
+// TwoBump splits the domain in half and tilts mass by eps: the first half
+// gets (1+eps)/n per element and the second half (1-eps)/n. Its L1 distance
+// from uniform is exactly eps (for even n).
+func TwoBump(n int, eps float64) (Dist, error) {
+	if n <= 0 || n%2 != 0 {
+		return Dist{}, fmt.Errorf("dist: two-bump needs a positive even domain, got %d", n)
+	}
+	if eps < 0 || eps > 1 {
+		return Dist{}, fmt.Errorf("dist: two-bump eps %v outside [0,1]", eps)
+	}
+	p := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := 0; i < n/2; i++ {
+		p[i] = inv * (1 + eps)
+		p[i+n/2] = inv * (1 - eps)
+	}
+	return Dist{p: p}, nil
+}
+
+// PairedBump is the canonical eps-far instance matching the paper's hard
+// family with the all-plus perturbation: even elements get (1+eps)/n, odd
+// elements (1-eps)/n.
+func PairedBump(n int, eps float64) (Dist, error) {
+	if n <= 0 || n%2 != 0 {
+		return Dist{}, fmt.Errorf("dist: paired-bump needs a positive even domain, got %d", n)
+	}
+	if eps < 0 || eps > 1 {
+		return Dist{}, fmt.Errorf("dist: paired-bump eps %v outside [0,1]", eps)
+	}
+	p := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i += 2 {
+		p[i] = inv * (1 + eps)
+		p[i+1] = inv * (1 - eps)
+	}
+	return Dist{p: p}, nil
+}
+
+// SparseSupport spreads all mass uniformly over the first k elements of a
+// domain of size n. Its L1 distance from uniform is 2(1 - k/n).
+func SparseSupport(n, k int) (Dist, error) {
+	if n <= 0 || k <= 0 || k > n {
+		return Dist{}, fmt.Errorf("dist: sparse support k=%d over n=%d", k, n)
+	}
+	p := make([]float64, n)
+	inv := 1 / float64(k)
+	for i := 0; i < k; i++ {
+		p[i] = inv
+	}
+	return Dist{p: p}, nil
+}
+
+// HeavyHitter gives one element extra mass delta on top of uniform,
+// removing it evenly from the others. L1 distance from uniform is 2*delta.
+func HeavyHitter(n int, hot int, delta float64) (Dist, error) {
+	if n <= 1 || hot < 0 || hot >= n {
+		return Dist{}, fmt.Errorf("dist: heavy hitter %d over %d elements", hot, n)
+	}
+	inv := 1 / float64(n)
+	if delta < 0 || inv+delta > 1 || delta/float64(n-1) > inv {
+		return Dist{}, fmt.Errorf("dist: heavy hitter mass delta %v infeasible for n=%d", delta, n)
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = inv - delta/float64(n-1)
+	}
+	p[hot] = inv + delta
+	return Dist{p: p}, nil
+}

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// MaxHardEll caps the cube dimension of a hard instance. Perturbation
+// vectors have 2^ell entries and exhaustive enumeration walks 2^(2^ell)
+// vectors, so anything beyond 20 is a bug, not a workload.
+const MaxHardEll = 20
+
+// Perturbation is the vector z: {-1,1}^ell -> {-1,1} from Section 3 of the
+// paper, deciding whether each left-cube vertex gains or loses eps/n mass.
+// Entry x (indexed by the xIndex encoding of the doc comment) holds z(x) as
+// +1 or -1.
+type Perturbation []int8
+
+// NewPerturbationFromBits expands a bitmask into a perturbation on
+// {-1,1}^ell: bit x of bits set means z(x) = -1, matching the package-wide
+// "set bit = -1" sign convention. Only the low 2^ell bits are consulted, so
+// it requires ell <= 6.
+func NewPerturbationFromBits(ell int, bits uint64) (Perturbation, error) {
+	if ell < 0 || ell > 6 {
+		return nil, fmt.Errorf("dist: bitmask perturbation needs 0 <= ell <= 6, got %d", ell)
+	}
+	z := make(Perturbation, 1<<ell)
+	for x := range z {
+		if bits&(1<<uint(x)) != 0 {
+			z[x] = -1
+		} else {
+			z[x] = 1
+		}
+	}
+	return z, nil
+}
+
+// RandomPerturbation draws z uniformly: each coordinate is an independent
+// fair ±1 coin, exactly the distribution over which the paper's lower
+// bounds take expectations.
+func RandomPerturbation(ell int, rng *rand.Rand) (Perturbation, error) {
+	if ell < 0 || ell > MaxHardEll {
+		return nil, fmt.Errorf("dist: perturbation dimension %d outside [0,%d]", ell, MaxHardEll)
+	}
+	z := make(Perturbation, 1<<ell)
+	for x := range z {
+		if rng.Uint64()&1 == 0 {
+			z[x] = 1
+		} else {
+			z[x] = -1
+		}
+	}
+	return z, nil
+}
+
+// Validate checks that every entry is ±1.
+func (z Perturbation) Validate() error {
+	if len(z) == 0 {
+		return fmt.Errorf("dist: empty perturbation")
+	}
+	for x, v := range z {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("dist: perturbation entry %d at %d, want ±1", v, x)
+		}
+	}
+	return nil
+}
+
+// HardInstance bundles the parameters of the Section 3 hard family: the
+// cube dimension ell (universe size n = 2^(ell+1)) and the proximity
+// parameter eps.
+type HardInstance struct {
+	Ell int
+	Eps float64
+}
+
+// NewHardInstance validates the parameters.
+func NewHardInstance(ell int, eps float64) (HardInstance, error) {
+	if ell < 0 || ell > MaxHardEll {
+		return HardInstance{}, fmt.Errorf("dist: hard instance dimension %d outside [0,%d]", ell, MaxHardEll)
+	}
+	if eps <= 0 || eps > 1 {
+		return HardInstance{}, fmt.Errorf("dist: hard instance eps %v outside (0,1]", eps)
+	}
+	return HardInstance{Ell: ell, Eps: eps}, nil
+}
+
+// N returns the universe size 2^(ell+1).
+func (h HardInstance) N() int { return 1 << (h.Ell + 1) }
+
+// CubeSize returns the left-cube size 2^ell.
+func (h HardInstance) CubeSize() int { return 1 << h.Ell }
+
+// ElementID encodes (x, s) with s in {-1, +1} as (x << 1) | sBit where
+// sBit = 1 iff s = -1.
+func (h HardInstance) ElementID(x int, s int) (int, error) {
+	if x < 0 || x >= h.CubeSize() {
+		return 0, fmt.Errorf("dist: cube vertex %d outside [0,%d)", x, h.CubeSize())
+	}
+	switch s {
+	case 1:
+		return x << 1, nil
+	case -1:
+		return x<<1 | 1, nil
+	default:
+		return 0, fmt.Errorf("dist: sign %d, want ±1", s)
+	}
+}
+
+// SplitID decodes an element id into (x, s).
+func (h HardInstance) SplitID(id int) (x int, s int, err error) {
+	if id < 0 || id >= h.N() {
+		return 0, 0, fmt.Errorf("dist: element %d outside universe of size %d", id, h.N())
+	}
+	x = id >> 1
+	if id&1 == 0 {
+		return x, 1, nil
+	}
+	return x, -1, nil
+}
+
+// Perturbed returns the distribution nu_z(x, s) = (1 + s*z(x)*eps)/n.
+func (h HardInstance) Perturbed(z Perturbation) (Dist, error) {
+	if len(z) != h.CubeSize() {
+		return Dist{}, fmt.Errorf("dist: perturbation length %d, want %d", len(z), h.CubeSize())
+	}
+	if err := z.Validate(); err != nil {
+		return Dist{}, err
+	}
+	n := h.N()
+	p := make([]float64, n)
+	inv := 1 / float64(n)
+	for x := 0; x < h.CubeSize(); x++ {
+		delta := h.Eps * float64(z[x]) * inv
+		p[x<<1] = inv + delta   // s = +1
+		p[x<<1|1] = inv - delta // s = -1
+	}
+	return Dist{p: p}, nil
+}
+
+// EnumeratePerturbations calls visit for each of the 2^(2^ell) perturbation
+// vectors, in ascending bitmask order. It requires ell <= 4 (65536 vectors)
+// to keep exhaustive expectations tractable; the visit callback may return
+// an error to stop early.
+func EnumeratePerturbations(ell int, visit func(z Perturbation) error) error {
+	if ell < 0 || ell > 4 {
+		return fmt.Errorf("dist: exhaustive enumeration needs 0 <= ell <= 4, got %d", ell)
+	}
+	total := uint64(1) << (1 << ell)
+	for bits := uint64(0); bits < total; bits++ {
+		z, err := NewPerturbationFromBits(ell, bits)
+		if err != nil {
+			return err
+		}
+		if err := visit(z); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PerturbedMixture returns the exact uniform mixture E_z[nu_z] by exhaustive
+// enumeration; by the paper's Section 3 observation it equals U_n, which the
+// tests verify.
+func (h HardInstance) PerturbedMixture() (Dist, error) {
+	if h.Ell > 4 {
+		return Dist{}, fmt.Errorf("dist: exact mixture needs ell <= 4, got %d", h.Ell)
+	}
+	var ds []Dist
+	err := EnumeratePerturbations(h.Ell, func(z Perturbation) error {
+		d, err := h.Perturbed(z)
+		if err != nil {
+			return err
+		}
+		ds = append(ds, d)
+		return nil
+	})
+	if err != nil {
+		return Dist{}, err
+	}
+	return Average(ds)
+}
+
+// RandomPerturbed draws a random z and returns nu_z together with z.
+func (h HardInstance) RandomPerturbed(rng *rand.Rand) (Dist, Perturbation, error) {
+	z, err := RandomPerturbation(h.Ell, rng)
+	if err != nil {
+		return Dist{}, nil, err
+	}
+	d, err := h.Perturbed(z)
+	if err != nil {
+		return Dist{}, nil, err
+	}
+	return d, z, nil
+}

@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustHard(t *testing.T, ell int, eps float64) HardInstance {
+	t.Helper()
+	h, err := NewHardInstance(ell, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHardInstanceValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		ell  int
+		eps  float64
+	}{
+		{name: "negative ell", ell: -1, eps: 0.5},
+		{name: "huge ell", ell: MaxHardEll + 1, eps: 0.5},
+		{name: "zero eps", ell: 2, eps: 0},
+		{name: "eps above one", ell: 2, eps: 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewHardInstance(tt.ell, tt.eps); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestHardInstanceSizes(t *testing.T) {
+	h := mustHard(t, 3, 0.5)
+	if h.N() != 16 || h.CubeSize() != 8 {
+		t.Fatalf("N=%d cube=%d", h.N(), h.CubeSize())
+	}
+}
+
+func TestElementIDRoundTrip(t *testing.T) {
+	h := mustHard(t, 2, 0.5)
+	for x := 0; x < h.CubeSize(); x++ {
+		for _, s := range []int{1, -1} {
+			id, err := h.ElementID(x, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, gs, err := h.SplitID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gx != x || gs != s {
+				t.Fatalf("(%d,%d) -> %d -> (%d,%d)", x, s, id, gx, gs)
+			}
+		}
+	}
+	if _, err := h.ElementID(4, 1); err == nil {
+		t.Error("out-of-range x accepted")
+	}
+	if _, err := h.ElementID(0, 0); err == nil {
+		t.Error("zero sign accepted")
+	}
+	if _, _, err := h.SplitID(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, _, err := h.SplitID(h.N()); err == nil {
+		t.Error("too-large id accepted")
+	}
+}
+
+func TestPerturbationFromBits(t *testing.T) {
+	z, err := NewPerturbationFromBits(2, 0b0101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Perturbation{-1, 1, -1, 1}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("z = %v, want %v", z, want)
+		}
+	}
+	if _, err := NewPerturbationFromBits(7, 0); err == nil {
+		t.Error("ell=7 bitmask accepted")
+	}
+}
+
+func TestPerturbationValidate(t *testing.T) {
+	if err := (Perturbation{1, -1}).Validate(); err != nil {
+		t.Errorf("valid perturbation rejected: %v", err)
+	}
+	if err := (Perturbation{1, 0}).Validate(); err == nil {
+		t.Error("zero entry accepted")
+	}
+	if err := (Perturbation{}).Validate(); err == nil {
+		t.Error("empty perturbation accepted")
+	}
+}
+
+func TestPerturbedIsDistribution(t *testing.T) {
+	h := mustHard(t, 3, 0.7)
+	rng := testRand(3)
+	for trial := 0; trial < 10; trial++ {
+		d, z, err := h.RandomPerturbed(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(z) != h.CubeSize() {
+			t.Fatalf("perturbation length %d", len(z))
+		}
+		var sum float64
+		for i := 0; i < d.N(); i++ {
+			if d.Prob(i) < 0 {
+				t.Fatalf("negative probability %v", d.Prob(i))
+			}
+			sum += d.Prob(i)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestPerturbedExactlyEpsFar(t *testing.T) {
+	// || nu_z - U ||_1 = eps for every z (each element moves by eps/n).
+	for _, eps := range []float64{0.1, 0.5, 1} {
+		h := mustHard(t, 2, eps)
+		err := EnumeratePerturbations(2, func(z Perturbation) error {
+			d, err := h.Perturbed(z)
+			if err != nil {
+				return err
+			}
+			if got := DistanceFromUniform(d); !almostEqual(got, eps, 1e-9) {
+				t.Errorf("eps=%v z=%v: distance %v", eps, z, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPerturbedPairing(t *testing.T) {
+	// Matched pairs (x,+1),(x,-1) always carry total mass 2/n: the
+	// perturbation moves mass only within a pair.
+	h := mustHard(t, 3, 0.9)
+	rng := testRand(4)
+	d, _, err := h.RandomPerturbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / float64(h.N())
+	for x := 0; x < h.CubeSize(); x++ {
+		plus, _ := h.ElementID(x, 1)
+		minus, _ := h.ElementID(x, -1)
+		if !almostEqual(d.Prob(plus)+d.Prob(minus), want, tol) {
+			t.Fatalf("pair %d has mass %v", x, d.Prob(plus)+d.Prob(minus))
+		}
+	}
+}
+
+func TestPerturbedSignConvention(t *testing.T) {
+	// With z(x) = +1, the (x, +1) element is heavier.
+	h := mustHard(t, 1, 0.5)
+	z := Perturbation{1, -1}
+	d, err := h.Perturbed(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(h.N())
+	id00, _ := h.ElementID(0, 1)
+	id01, _ := h.ElementID(0, -1)
+	id10, _ := h.ElementID(1, 1)
+	id11, _ := h.ElementID(1, -1)
+	if !almostEqual(d.Prob(id00), 1.5/n, tol) || !almostEqual(d.Prob(id01), 0.5/n, tol) {
+		t.Errorf("z=+1 vertex mis-weighted: %v, %v", d.Prob(id00), d.Prob(id01))
+	}
+	if !almostEqual(d.Prob(id10), 0.5/n, tol) || !almostEqual(d.Prob(id11), 1.5/n, tol) {
+		t.Errorf("z=-1 vertex mis-weighted: %v, %v", d.Prob(id10), d.Prob(id11))
+	}
+}
+
+func TestPerturbedWrongLength(t *testing.T) {
+	h := mustHard(t, 2, 0.5)
+	if _, err := h.Perturbed(Perturbation{1, -1}); err == nil {
+		t.Error("short perturbation accepted")
+	}
+	if _, err := h.Perturbed(Perturbation{1, 1, 1, 2}); err == nil {
+		t.Error("invalid entry accepted")
+	}
+}
+
+func TestMixtureIsExactlyUniform(t *testing.T) {
+	// E_z[nu_z] = U_n — the Section 3 observation that makes the family
+	// hard.
+	for ell := 0; ell <= 3; ell++ {
+		h := mustHard(t, ell, 0.8)
+		mix, err := h.PerturbedMixture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := mustUniform(t, h.N())
+		l1, err := L1(mix, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 > 1e-9 {
+			t.Errorf("ell=%d: mixture is %v from uniform", ell, l1)
+		}
+	}
+}
+
+func TestEnumeratePerturbationsCountAndOrder(t *testing.T) {
+	var seen []uint64
+	err := EnumeratePerturbations(2, func(z Perturbation) error {
+		var bits uint64
+		for i, v := range z {
+			if v == -1 {
+				bits |= 1 << uint(i)
+			}
+		}
+		seen = append(seen, bits)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 16 {
+		t.Fatalf("enumerated %d perturbations, want 16", len(seen))
+	}
+	for i, b := range seen {
+		if b != uint64(i) {
+			t.Fatalf("order broken at %d: %d", i, b)
+		}
+	}
+}
+
+func TestEnumeratePerturbationsEarlyStop(t *testing.T) {
+	sentinel := errors.New("stop")
+	count := 0
+	err := EnumeratePerturbations(2, func(Perturbation) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestEnumeratePerturbationsTooLarge(t *testing.T) {
+	if err := EnumeratePerturbations(5, func(Perturbation) error { return nil }); err == nil {
+		t.Error("ell=5 enumeration accepted")
+	}
+}
+
+func TestPerturbedCollisionExcess(t *testing.T) {
+	// sum nu_z(i)^2 = (1 + eps^2)/n for every z: the constant collision
+	// excess that powers the collision tester against this family.
+	h := mustHard(t, 3, 0.6)
+	rng := testRand(5)
+	want := (1 + 0.36) / float64(h.N())
+	for trial := 0; trial < 5; trial++ {
+		d, _, err := h.RandomPerturbed(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CollisionProb(d); !almostEqual(got, want, 1e-12) {
+			t.Errorf("collision prob %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHardFamilyMarginals(t *testing.T) {
+	// The marginal over x (ignoring s) is uniform on the cube for every z.
+	h := mustHard(t, 3, 0.9)
+	rng := testRand(6)
+	d, _, err := h.RandomPerturbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / float64(h.CubeSize())
+	for x := 0; x < h.CubeSize(); x++ {
+		plus, _ := h.ElementID(x, 1)
+		minus, _ := h.ElementID(x, -1)
+		if got := d.Prob(plus) + d.Prob(minus); !almostEqual(got, want, tol) {
+			t.Fatalf("marginal at %d = %v, want %v", x, got, want)
+		}
+	}
+}

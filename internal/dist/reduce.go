@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// IdentityReduction implements Goldreich's reduction from testing identity
+// to a fixed known distribution D to testing uniformity [Goldreich, ECCC
+// 2016], which is why the paper calls uniformity testing "complete" for
+// identity testing. Samples from an unknown P over [n] are filtered into
+// samples over an output domain [m] such that:
+//
+//   - if P = D, the output distribution is within YesSlack() of uniform in
+//     L1 (the slack is only the granularity rounding, at most n/m);
+//   - if ||P - D||_1 >= eps, the output is at least FarGuarantee() far from
+//     uniform in L1.
+//
+// The filter first mixes the sample with uniform noise (weight alpha =
+// eps/4), guaranteeing every element has mass at least alpha/n, then maps
+// element i to a uniformly random bucket among c_i buckets, where the
+// bucket counts c_i are proportional to the mixed target masses. Bucketing
+// preserves the L1 distance between any two filtered distributions exactly,
+// so the far-side gap only pays the mixing factor (1 - alpha).
+type IdentityReduction struct {
+	target Dist
+	eps    float64
+	alpha  float64
+	m      int
+	counts []int
+	start  []int
+}
+
+// NewIdentityReduction builds the filter for the given known target and
+// proximity parameter.
+func NewIdentityReduction(target Dist, eps float64) (*IdentityReduction, error) {
+	if target.N() == 0 {
+		return nil, fmt.Errorf("dist: identity reduction with empty target")
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("dist: identity reduction eps %v outside (0,1]", eps)
+	}
+	n := target.N()
+	alpha := eps / 4
+	m := int(math.Ceil(8 * float64(n) / eps))
+	uniform, err := Uniform(n)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := target.Mix(uniform, 1-alpha) // (1-alpha)*target + alpha*uniform
+	if err != nil {
+		return nil, err
+	}
+	counts, err := apportion(mixed, m)
+	if err != nil {
+		return nil, err
+	}
+	start := make([]int, n+1)
+	for i, c := range counts {
+		if c < 1 {
+			return nil, fmt.Errorf("dist: element %d received %d buckets; granularity too coarse", i, c)
+		}
+		start[i+1] = start[i] + c
+	}
+	return &IdentityReduction{
+		target: target,
+		eps:    eps,
+		alpha:  alpha,
+		m:      m,
+		counts: counts,
+		start:  start,
+	}, nil
+}
+
+// apportion assigns integer bucket counts summing exactly to m,
+// proportional to d, using the largest-remainder method.
+func apportion(d Dist, m int) ([]int, error) {
+	n := d.N()
+	if m < n {
+		return nil, fmt.Errorf("dist: cannot apportion %d buckets among %d elements", m, n)
+	}
+	counts := make([]int, n)
+	type frac struct {
+		i int
+		r float64
+	}
+	fracs := make([]frac, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		exact := d.Prob(i) * float64(m)
+		counts[i] = int(math.Floor(exact))
+		fracs[i] = frac{i: i, r: exact - math.Floor(exact)}
+		total += counts[i]
+	}
+	remaining := m - total
+	if remaining < 0 {
+		return nil, fmt.Errorf("dist: apportionment overflow (%d > %d)", total, m)
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].r > fracs[b].r })
+	for j := 0; j < remaining; j++ {
+		counts[fracs[j%n].i]++
+	}
+	return counts, nil
+}
+
+// InputDomain returns the size n of the target's domain.
+func (r *IdentityReduction) InputDomain() int { return r.target.N() }
+
+// OutputDomain returns the size m of the reduced uniformity instance.
+func (r *IdentityReduction) OutputDomain() int { return r.m }
+
+// YesSlack bounds the L1 distance of the output from uniform when P = D:
+// at most n/m from granularity rounding.
+func (r *IdentityReduction) YesSlack() float64 {
+	return float64(r.target.N()) / float64(r.m)
+}
+
+// FarGuarantee lower-bounds the L1 distance of the output from uniform when
+// ||P - D||_1 >= eps: the mixing contracts by (1-alpha) and rounding costs
+// at most YesSlack.
+func (r *IdentityReduction) FarGuarantee() float64 {
+	return (1-r.alpha)*r.eps - r.YesSlack()
+}
+
+// Map filters a single sample from the unknown distribution into the output
+// domain.
+func (r *IdentityReduction) Map(sample int, rng *rand.Rand) (int, error) {
+	n := r.target.N()
+	if sample < 0 || sample >= n {
+		return 0, fmt.Errorf("dist: sample %d outside domain of size %d", sample, n)
+	}
+	if rng.Float64() < r.alpha {
+		sample = rng.IntN(n)
+	}
+	return r.start[sample] + rng.IntN(r.counts[sample]), nil
+}
+
+// MapAll filters a batch of samples.
+func (r *IdentityReduction) MapAll(samples []int, rng *rand.Rand) ([]int, error) {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		mapped, err := r.Map(s, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mapped
+	}
+	return out, nil
+}
+
+// Pushforward computes exactly the output distribution over [m] induced by
+// feeding iid samples of p through the filter. Exposing this exactly lets
+// callers calibrate a uniformity tester against the true yes-case output
+// rather than assuming it is perfectly uniform.
+func (r *IdentityReduction) Pushforward(p Dist) (Dist, error) {
+	n := r.target.N()
+	if p.N() != n {
+		return Dist{}, fmt.Errorf("dist: pushforward of domain %d through a reduction for domain %d", p.N(), n)
+	}
+	out := make([]float64, r.m)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		mixed := (1-r.alpha)*p.Prob(i) + r.alpha*invN
+		per := mixed / float64(r.counts[i])
+		for b := r.start[i]; b < r.start[i+1]; b++ {
+			out[b] = per
+		}
+	}
+	return FromProbs(out)
+}

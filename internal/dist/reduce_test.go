@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdentityReductionValidation(t *testing.T) {
+	u := mustUniform(t, 4)
+	if _, err := NewIdentityReduction(Dist{}, 0.5); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := NewIdentityReduction(u, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := NewIdentityReduction(u, 1.5); err == nil {
+		t.Error("eps above one accepted")
+	}
+}
+
+func TestReductionYesCaseNearUniform(t *testing.T) {
+	// Feeding the target itself through the filter must land within
+	// YesSlack of uniform — exactly computable via Pushforward.
+	targets := map[string]func() (Dist, error){
+		"uniform":  func() (Dist, error) { return Uniform(16) },
+		"zipf":     func() (Dist, error) { return Zipf(16, 1) },
+		"two bump": func() (Dist, error) { return TwoBump(16, 0.6) },
+		"sparse":   func() (Dist, error) { return SparseSupport(16, 3) },
+	}
+	for name, mk := range targets {
+		t.Run(name, func(t *testing.T) {
+			target, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewIdentityReduction(target, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := r.Pushforward(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := DistanceFromUniform(out); got > r.YesSlack()+1e-9 {
+				t.Errorf("yes-case distance %v exceeds slack %v", got, r.YesSlack())
+			}
+		})
+	}
+}
+
+func TestReductionFarCaseStaysFar(t *testing.T) {
+	target, err := Zipf(16, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.3
+	r, err := NewIdentityReduction(target, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build several P with ||P - target||_1 >= eps and check the filtered
+	// output keeps the guaranteed distance from uniform.
+	fars := []func() (Dist, error){
+		func() (Dist, error) { return SparseSupport(16, 2) },
+		func() (Dist, error) { return PointMass(16, 7) },
+		func() (Dist, error) { return TwoBump(16, 0.9) },
+	}
+	for i, mk := range fars {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := L1(p, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 < eps {
+			t.Fatalf("test case %d is only %v far from target", i, l1)
+		}
+		out, err := r.Pushforward(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DistanceFromUniform(out); got < r.FarGuarantee()-1e-9 {
+			t.Errorf("case %d: output distance %v below guarantee %v", i, got, r.FarGuarantee())
+		}
+	}
+}
+
+func TestReductionPreservesFilteredL1(t *testing.T) {
+	// Bucketing preserves L1 between any two *filtered* distributions
+	// exactly; only the mixing contracts. So the output gap must be exactly
+	// (1 - alpha) * ||P - D||_1 whenever the pair shares the same filter.
+	target, _ := Zipf(8, 1)
+	eps := 0.5
+	r, err := NewIdentityReduction(target, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := SparseSupport(8, 3)
+	outP, err := r.Pushforward(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outD, err := r.Pushforward(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapIn, _ := L1(p, target)
+	gapOut, _ := L1(outP, outD)
+	if !almostEqual(gapOut, (1-eps/4)*gapIn, 1e-9) {
+		t.Errorf("filtered gap %v, want %v", gapOut, (1-eps/4)*gapIn)
+	}
+}
+
+func TestReductionMapMatchesPushforward(t *testing.T) {
+	rng := testRand(20)
+	target, _ := Zipf(8, 1)
+	r, err := NewIdentityReduction(target, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := TwoBump(8, 0.4)
+	want, err := r.Pushforward(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, _ := NewAliasSampler(p)
+	const trials = 300000
+	counts := make([]float64, r.OutputDomain())
+	for i := 0; i < trials; i++ {
+		mapped, err := r.Map(sampler.Sample(rng), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[mapped]++
+	}
+	var l1 float64
+	for b := range counts {
+		l1 += math.Abs(counts[b]/trials - want.Prob(b))
+	}
+	// Expected empirical L1 error is about sqrt(m/trials).
+	budget := 4 * math.Sqrt(float64(r.OutputDomain())/trials)
+	if l1 > budget {
+		t.Errorf("empirical pushforward L1 error %v exceeds %v", l1, budget)
+	}
+}
+
+func TestReductionMapRange(t *testing.T) {
+	rng := testRand(21)
+	target, _ := Uniform(6)
+	r, err := NewIdentityReduction(target, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		b, err := r.Map(rng.IntN(6), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 0 || b >= r.OutputDomain() {
+			t.Fatalf("mapped bucket %d out of range", b)
+		}
+	}
+	if _, err := r.Map(6, rng); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+	if _, err := r.Pushforward(mustUniform(t, 7)); err == nil {
+		t.Error("cross-domain pushforward accepted")
+	}
+}
+
+func TestReductionGuaranteesPositive(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.5, 1} {
+		target, _ := Zipf(32, 1.5)
+		r, err := NewIdentityReduction(target, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FarGuarantee() < eps/2 {
+			t.Errorf("eps=%v: far guarantee %v below eps/2", eps, r.FarGuarantee())
+		}
+		if r.YesSlack() > eps/8+1e-12 {
+			t.Errorf("eps=%v: yes slack %v above eps/8", eps, r.YesSlack())
+		}
+	}
+}
+
+func TestApportionSumsExactly(t *testing.T) {
+	rng := testRand(22)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(40)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() + 1e-3
+		}
+		d, err := FromWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := n + rng.IntN(1000)
+		counts, err := apportion(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count at %d", i)
+			}
+			// Largest remainder never strays more than 1 from proportional.
+			exact := d.Prob(i) * float64(m)
+			if math.Abs(float64(c)-exact) > 1+1e-9 {
+				t.Fatalf("count %d strays from %v", c, exact)
+			}
+			total += c
+		}
+		if total != m {
+			t.Fatalf("counts sum to %d, want %d", total, m)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// successTarget is the paper's correctness requirement.
+const successTarget = 2.0 / 3
+
+// acceptUniform estimates Pr[protocol accepts] under U_n.
+func acceptUniform(p core.Protocol, n, trials int, opts stats.EstimateOptions) (float64, error) {
+	u, err := dist.Uniform(n)
+	if err != nil {
+		return 0, err
+	}
+	est, err := core.EstimateAcceptance(p, u, trials, opts)
+	if err != nil {
+		return 0, err
+	}
+	return est.P, nil
+}
+
+// acceptHardFamily estimates E_z Pr[protocol accepts nu_z]: every trial
+// draws a fresh perturbation, matching the lower bound's averaged
+// adversary.
+func acceptHardFamily(p core.Protocol, h dist.HardInstance, trials int, opts stats.EstimateOptions) (float64, error) {
+	var first errOnce
+	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
+		nu, _, err := h.RandomPerturbed(rng)
+		if err != nil {
+			first.record(err)
+			return false
+		}
+		sampler, err := dist.NewAliasSampler(nu)
+		if err != nil {
+			first.record(err)
+			return false
+		}
+		ok, err := p.Run(sampler, rng)
+		if err != nil {
+			first.record(err)
+			return false
+		}
+		return ok
+	}, opts)
+	if err != nil {
+		return 0, err
+	}
+	if err := first.get(); err != nil {
+		return 0, err
+	}
+	return est.P, nil
+}
+
+// errOnce keeps the first error recorded across trial goroutines.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) record(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// worksAt reports whether the protocol meets the paper's guarantee at its
+// current configuration: accepts uniform and rejects the averaged hard
+// family, each with probability >= 2/3.
+func worksAt(p core.Protocol, n int, h dist.HardInstance, trials int, opts stats.EstimateOptions) (bool, error) {
+	pu, err := acceptUniform(p, n, trials, opts)
+	if err != nil {
+		return false, err
+	}
+	if pu < successTarget {
+		return false, nil
+	}
+	farOpts := opts
+	farOpts.Seed ^= 0x94d049bb133111eb
+	pf, err := acceptHardFamily(p, h, trials, farOpts)
+	if err != nil {
+		return false, err
+	}
+	return 1-pf >= successTarget, nil
+}
+
+// MinimalQ measures the empirical minimal per-player sample count at which
+// build(q) meets the guarantee, searching [startQ, maxQ].
+func MinimalQ(build func(q int) (core.Protocol, error), n int, h dist.HardInstance,
+	startQ, maxQ, trials int, opts stats.EstimateOptions) (int, error) {
+	if build == nil {
+		return 0, fmt.Errorf("experiments: nil protocol builder")
+	}
+	pred := func(q int) (bool, error) {
+		p, err := build(q)
+		if err != nil {
+			return false, err
+		}
+		qOpts := opts
+		qOpts.Seed ^= uint64(q) * 0x9e3779b97f4a7c15
+		return worksAt(p, n, h, trials, qOpts)
+	}
+	return stats.GrowThenShrink(startQ, maxQ, pred)
+}
+
+// MinimalK measures the empirical minimal player count at which build(k)
+// meets the guarantee.
+func MinimalK(build func(k int) (core.Protocol, error), n int, h dist.HardInstance,
+	startK, maxK, trials int, opts stats.EstimateOptions) (int, error) {
+	if build == nil {
+		return 0, fmt.Errorf("experiments: nil protocol builder")
+	}
+	pred := func(k int) (bool, error) {
+		p, err := build(k)
+		if err != nil {
+			return false, err
+		}
+		kOpts := opts
+		kOpts.Seed ^= uint64(k) * 0xbf58476d1ce4e5b9
+		return worksAt(p, n, h, trials, kOpts)
+	}
+	return stats.GrowThenShrink(startK, maxK, pred)
+}

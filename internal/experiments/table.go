@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title   string
+	Notes   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; the cell count must match the columns.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("experiments: row with %d cells for %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow appends a row and panics on arity mismatch; experiment code
+// builds rows with static arity, so a mismatch is a programming error.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		b.WriteString("\n" + t.Notes + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells that need it).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(strconv.Quote(c))
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Cell formatting helpers shared by the experiments.
+
+// FmtInt renders an integer cell.
+func FmtInt(v int) string { return strconv.Itoa(v) }
+
+// FmtF renders a float with 4 significant digits.
+func FmtF(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// FmtSci renders a float in scientific notation with 2 digits.
+func FmtSci(v float64) string { return strconv.FormatFloat(v, 'e', 2, 64) }
+
+// FmtRatio renders a ratio with 3 decimals.
+func FmtRatio(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// FmtProb renders a probability with 3 decimals.
+func FmtProb(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAddRow(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if err := tb.AddRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("only one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic on arity mismatch")
+		}
+	}()
+	tb.MustAddRow("x")
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "k", "q*")
+	tb.MustAddRow("1", "100")
+	tb.MustAddRow("4", "50")
+	tb.Notes = "a note"
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| k | q* |", "|---|---|", "| 1 | 100 |", "| 4 | 50 |", "a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.MustAddRow("plain", "1")
+	tb.MustAddRow("with, comma", "2")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines: %q", len(lines), csv)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with, comma"`) {
+		t.Errorf("comma cell not quoted: %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtInt(42) != "42" {
+		t.Error("FmtInt")
+	}
+	if FmtF(1.23456789) != "1.235" {
+		t.Errorf("FmtF = %q", FmtF(1.23456789))
+	}
+	if FmtRatio(0.5) != "0.500" {
+		t.Errorf("FmtRatio = %q", FmtRatio(0.5))
+	}
+	if !strings.Contains(FmtSci(12345.0), "e+04") {
+		t.Errorf("FmtSci = %q", FmtSci(12345.0))
+	}
+}
+
+func TestRatioOrZero(t *testing.T) {
+	if ratioOrZero(0, 0) != 0 {
+		t.Error("0/0")
+	}
+	if !math.IsInf(ratioOrZero(1, 0), 1) {
+		t.Error("1/0")
+	}
+	if ratioOrZero(1, 2) != 0.5 {
+		t.Error("1/2")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.scale() != 1 {
+		t.Errorf("default scale = %v", c.scale())
+	}
+	if c.trials(100) != 100 {
+		t.Errorf("default trials = %d", c.trials(100))
+	}
+	c.Scale = 0.01
+	if c.trials(100) != 20 {
+		t.Errorf("floored trials = %d", c.trials(100))
+	}
+	c.Scale = 2
+	if c.trials(100) != 200 {
+		t.Errorf("scaled trials = %d", c.trials(100))
+	}
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
+	}
+	seen := map[string]bool{}
+	prev := 0
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Reproduces == "" || e.Run == nil {
+			t.Errorf("experiment %q has empty fields", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		n := idNum(e.ID)
+		if n <= prev {
+			t.Errorf("registry out of order at %q", e.ID)
+		}
+		prev = n
+	}
+	for i := 1; i <= 20; i++ {
+		if !seen["E"+FmtInt(i)] {
+			t.Errorf("missing experiment E%d", i)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E5")
+	if !ok || e.ID != "E5" {
+		t.Errorf("ByID(E5) = %v, %v", e.ID, ok)
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found something")
+	}
+}

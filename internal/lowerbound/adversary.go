@@ -1,0 +1,134 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Unlike the first moment (linear in the strategy, hence exactly
+// optimizable — see OptimalFirstMomentStrategy), the second moment
+// E_z[(nu_z(G) - mu(G))^2] is a quadratic form over the truth table, so we
+// settle for a certified local optimum: greedy single-bit flips until no
+// flip improves. The result lower-bounds the true extremal value, which is
+// all a tightness measurement needs.
+
+// maxAdversaryCells caps |Z| x |inputs| for the precomputed weight matrix.
+const maxAdversaryCells = 1 << 22
+
+// AdversaryFeasible reports whether GreedySecondMomentAdversary can run on
+// the instance (exhaustive z and an in-memory weight matrix).
+func AdversaryFeasible(in Instance) bool {
+	if in.Ell > 4 {
+		return false
+	}
+	zCount := 1 << (1 << uint(in.Ell))
+	inputs := 1 << uint(in.InputBits())
+	return zCount*inputs <= maxAdversaryCells
+}
+
+// GreedySecondMomentAdversary improves a starting strategy by single-bit
+// flips until E_z[(nu_z(G) - mu(G))^2] reaches a local maximum (or
+// maxPasses full sweeps elapse). It returns the improved strategy and its
+// exact second moment. Requires ell <= 4 (exhaustive z) and a modest
+// instance so the |Z| x 2^m weight matrix fits in memory.
+func GreedySecondMomentAdversary(in Instance, start boolfn.Func, maxPasses int) (boolfn.Func, float64, error) {
+	if start.Vars() != in.InputBits() {
+		return boolfn.Func{}, 0, fmt.Errorf("lowerbound: start strategy on %d bits, want %d", start.Vars(), in.InputBits())
+	}
+	if !start.IsBoolean(1e-12) {
+		return boolfn.Func{}, 0, fmt.Errorf("lowerbound: start strategy is not Boolean")
+	}
+	if maxPasses < 1 {
+		return boolfn.Func{}, 0, fmt.Errorf("lowerbound: %d passes", maxPasses)
+	}
+	if in.Ell > 4 {
+		return boolfn.Func{}, 0, fmt.Errorf("lowerbound: adversary search needs ell <= 4, got %d", in.Ell)
+	}
+	zCount := 1 << (1 << uint(in.Ell))
+	inputs := 1 << uint(in.InputBits())
+	if zCount*inputs > maxAdversaryCells {
+		return boolfn.Func{}, 0, fmt.Errorf("lowerbound: %d x %d weight matrix too large", zCount, inputs)
+	}
+
+	// Precompute w[z][input] = nu_z^q(input) - 1/n^q; then
+	// diff(z) = sum_{input: G=1} w[z][input], and flipping bit `input`
+	// changes diff(z) by ±w[z][input].
+	uniformProb := 1.0
+	for i := 0; i < in.Q; i++ {
+		uniformProb /= float64(in.N())
+	}
+	weights := make([][]float64, 0, zCount)
+	err := dist.EnumeratePerturbations(in.Ell, func(z dist.Perturbation) error {
+		row := make([]float64, inputs)
+		for idx := 0; idx < inputs; idx++ {
+			samples, serr := in.SamplesFromInput(uint64(idx))
+			if serr != nil {
+				return serr
+			}
+			p, perr := in.NuZQ(z, samples)
+			if perr != nil {
+				return perr
+			}
+			row[idx] = p - uniformProb
+		}
+		weights = append(weights, row)
+		return nil
+	})
+	if err != nil {
+		return boolfn.Func{}, 0, err
+	}
+
+	table := make([]float64, inputs)
+	diffs := make([]float64, len(weights))
+	for idx := 0; idx < inputs; idx++ {
+		table[idx] = start.At(uint64(idx))
+		if table[idx] == 1 {
+			for zi := range weights {
+				diffs[zi] += weights[zi][idx]
+			}
+		}
+	}
+	objective := func() float64 {
+		var acc float64
+		for _, d := range diffs {
+			acc += d * d
+		}
+		return acc / float64(len(diffs))
+	}
+
+	current := objective()
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for idx := 0; idx < inputs; idx++ {
+			// Delta of sum d^2 when flipping: for each z, d -> d + s*w
+			// with s = +1 if the bit turns on, -1 if it turns off.
+			s := 1.0
+			if table[idx] == 1 {
+				s = -1
+			}
+			var delta float64
+			for zi, row := range weights {
+				w := s * row[idx]
+				delta += 2*diffs[zi]*w + w*w
+			}
+			if delta > 1e-18*float64(len(weights)) {
+				table[idx] = 1 - table[idx]
+				for zi, row := range weights {
+					diffs[zi] += s * row[idx]
+				}
+				current += delta / float64(len(weights))
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	g, err := boolfn.FromValues(in.InputBits(), table)
+	if err != nil {
+		return boolfn.Func{}, 0, err
+	}
+	return g, current, nil
+}

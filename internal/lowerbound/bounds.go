@@ -1,0 +1,201 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lemma51Bound evaluates the right-hand side of Lemma 5.1:
+// |E_z[nu_z(G)] - mu(G)| <= (4 q eps^2 / sqrt(n)) sqrt(var(G)),
+// valid when q <= sqrt(n)/(4 eps^2).
+func Lemma51Bound(n, q int, eps, varG float64) (float64, error) {
+	if err := checkBoundArgs(n, q, eps, varG); err != nil {
+		return 0, err
+	}
+	return 4 * float64(q) * eps * eps / math.Sqrt(float64(n)) * math.Sqrt(varG), nil
+}
+
+// Lemma51Precondition reports whether q <= sqrt(n)/(4 eps^2).
+func Lemma51Precondition(n, q int, eps float64) bool {
+	return float64(q) <= math.Sqrt(float64(n))/(4*eps*eps)
+}
+
+// Lemma42Bound evaluates the right-hand side of Lemma 4.2:
+// E_z[|nu_z(G) - mu(G)|^2] <= (20 q^2 eps^4 / n + q eps^2 / n) var(G),
+// valid when q <= sqrt(n)/(20 eps^2).
+func Lemma42Bound(n, q int, eps, varG float64) (float64, error) {
+	if err := checkBoundArgs(n, q, eps, varG); err != nil {
+		return 0, err
+	}
+	qf, nf := float64(q), float64(n)
+	return (20*qf*qf*eps*eps*eps*eps/nf + qf*eps*eps/nf) * varG, nil
+}
+
+// Lemma42Precondition reports whether q <= sqrt(n)/(20 eps^2).
+func Lemma42Precondition(n, q int, eps float64) bool {
+	return float64(q) <= math.Sqrt(float64(n))/(20*eps*eps)
+}
+
+// Lemma43Bound evaluates the right-hand side of Lemma 4.3 for the level
+// parameter m:
+//
+//	|E_z[nu_z(G)] - mu(G)| <= (q/sqrt(n) + (q/sqrt(n))^{1/(2m+2)})
+//	                          * 40 m^2 eps^2 * var(G)^{(2m+1)/(2m+2)}.
+func Lemma43Bound(n, q, m int, eps, varG float64) (float64, error) {
+	if err := checkBoundArgs(n, q, eps, varG); err != nil {
+		return 0, err
+	}
+	if m < 1 {
+		return 0, fmt.Errorf("lowerbound: Lemma 4.3 with m=%d", m)
+	}
+	ratio := float64(q) / math.Sqrt(float64(n))
+	mf := float64(m)
+	exp := 1 / (2*mf + 2)
+	return (ratio + math.Pow(ratio, exp)) * 40 * mf * mf * eps * eps *
+		math.Pow(varG, (2*mf+1)/(2*mf+2)), nil
+}
+
+// Lemma43Precondition reports whether
+// q <= min(sqrt(n)/(40 m^2 eps^2), sqrt(n)/(40 m^2 eps^2)^{m+1}).
+func Lemma43Precondition(n, q, m int, eps float64) bool {
+	if m < 1 {
+		return false
+	}
+	mf := float64(m)
+	s := 40 * mf * mf * eps * eps
+	sq := math.Sqrt(float64(n))
+	return float64(q) <= math.Min(sq/s, sq/math.Pow(s, mf+1))
+}
+
+// Lemma44Bound evaluates the right-hand side of Lemma 4.4 with an explicit
+// constant C:
+//
+//	E_z[|nu_z(G)-mu(G)|^2] <= (2 eps^2 q / n) var(G)
+//	  + C (q/sqrt(n) + (q/sqrt(n))^{1/(m+1)}) m^2 eps^2 var(G)^{2-1/(m+1)}.
+//
+// The paper proves existence of some C > 0; the E8 experiment reports the
+// smallest C observed to dominate on the verification grid.
+func Lemma44Bound(n, q, m int, eps, varG, c float64) (float64, error) {
+	if err := checkBoundArgs(n, q, eps, varG); err != nil {
+		return 0, err
+	}
+	if m < 1 {
+		return 0, fmt.Errorf("lowerbound: Lemma 4.4 with m=%d", m)
+	}
+	if c <= 0 {
+		return 0, fmt.Errorf("lowerbound: Lemma 4.4 with C=%v", c)
+	}
+	qf, nf, mf := float64(q), float64(n), float64(m)
+	ratio := qf / math.Sqrt(nf)
+	first := 2 * eps * eps * qf / nf * varG
+	second := c * (ratio + math.Pow(ratio, 1/(mf+1))) * mf * mf * eps * eps *
+		math.Pow(varG, 2-1/(mf+1))
+	return first + second, nil
+}
+
+func checkBoundArgs(n, q int, eps, varG float64) error {
+	if n < 2 {
+		return fmt.Errorf("lowerbound: bound with n=%d", n)
+	}
+	if q < 1 {
+		return fmt.Errorf("lowerbound: bound with q=%d", q)
+	}
+	if eps <= 0 || eps > 1 {
+		return fmt.Errorf("lowerbound: bound with eps=%v", eps)
+	}
+	if varG < 0 || varG > 0.25+1e-12 {
+		return fmt.Errorf("lowerbound: bound with var=%v outside [0, 1/4]", varG)
+	}
+	return nil
+}
+
+// Theorem61Q evaluates the Theorem 6.1 lower bound on the per-player
+// sample complexity with an explicit constant:
+// q >= (C/eps^2) min(sqrt(n/k), n/k).
+func Theorem61Q(n, k int, eps, c float64) (float64, error) {
+	if n < 2 || k < 1 {
+		return 0, fmt.Errorf("lowerbound: Theorem 6.1 with n=%d k=%d", n, k)
+	}
+	if eps <= 0 || eps > 1 || c <= 0 {
+		return 0, fmt.Errorf("lowerbound: Theorem 6.1 with eps=%v C=%v", eps, c)
+	}
+	ratio := float64(n) / float64(k)
+	return c / (eps * eps) * math.Min(math.Sqrt(ratio), ratio), nil
+}
+
+// Theorem64Q evaluates the Theorem 6.4 lower bound for r-bit messages:
+// q >= (C/eps^2) min(sqrt(n/(2^r k)), n/(2^r k)).
+func Theorem64Q(n, k, r int, eps, c float64) (float64, error) {
+	if r < 1 || r > 62 {
+		return 0, fmt.Errorf("lowerbound: Theorem 6.4 with r=%d", r)
+	}
+	keff := k << uint(r)
+	return Theorem61Q(n, keff, eps, c)
+}
+
+// Theorem65Q evaluates the Theorem 6.5 (AND rule) lower bound:
+// q = Omega(sqrt(n)/(log^2(k) eps^2)), stated with an explicit constant.
+// Valid in the regime k <= 2^{c'/eps}.
+func Theorem65Q(n, k int, eps, c float64) (float64, error) {
+	if n < 2 || k < 2 {
+		return 0, fmt.Errorf("lowerbound: Theorem 6.5 with n=%d k=%d", n, k)
+	}
+	if eps <= 0 || eps > 1 || c <= 0 {
+		return 0, fmt.Errorf("lowerbound: Theorem 6.5 with eps=%v C=%v", eps, c)
+	}
+	lg := math.Log2(float64(k))
+	if lg < 1 {
+		lg = 1
+	}
+	return c * math.Sqrt(float64(n)) / (lg * lg * eps * eps), nil
+}
+
+// Theorem13Q evaluates the Theorem 1.3 (T-threshold rule) lower bound:
+// q = Omega(sqrt(n)/(T log^2(k/eps) eps^2)), valid for
+// T < c'/(eps^2 log^2(k/eps)) and k <= sqrt(n).
+func Theorem13Q(n, k, t int, eps, c float64) (float64, error) {
+	if n < 2 || k < 2 || t < 1 {
+		return 0, fmt.Errorf("lowerbound: Theorem 1.3 with n=%d k=%d T=%d", n, k, t)
+	}
+	if eps <= 0 || eps > 1 || c <= 0 {
+		return 0, fmt.Errorf("lowerbound: Theorem 1.3 with eps=%v C=%v", eps, c)
+	}
+	lg := math.Log2(float64(k) / eps)
+	if lg < 1 {
+		lg = 1
+	}
+	return c * math.Sqrt(float64(n)) / (float64(t) * lg * lg * eps * eps), nil
+}
+
+// Theorem14K evaluates the Theorem 1.4 lower bound on the number of
+// players needed to learn the input distribution to constant accuracy with
+// q queries each: k = Omega(n^2/q^2).
+func Theorem14K(n, q int, c float64) (float64, error) {
+	if n < 2 || q < 1 || c <= 0 {
+		return 0, fmt.Errorf("lowerbound: Theorem 1.4 with n=%d q=%d C=%v", n, q, c)
+	}
+	return c * float64(n) * float64(n) / (float64(q) * float64(q)), nil
+}
+
+// AsymmetricTau evaluates the Section 6.2 lower bound on the common
+// deadline tau when player i samples at rate rates[i]:
+// tau = Omega(sqrt(n)/(eps^2 ||rates||_2)).
+func AsymmetricTau(n int, rates []float64, eps, c float64) (float64, error) {
+	if n < 2 || len(rates) == 0 {
+		return 0, fmt.Errorf("lowerbound: asymmetric bound with n=%d and %d rates", n, len(rates))
+	}
+	if eps <= 0 || eps > 1 || c <= 0 {
+		return 0, fmt.Errorf("lowerbound: asymmetric bound with eps=%v C=%v", eps, c)
+	}
+	var norm2 float64
+	for i, r := range rates {
+		if r < 0 {
+			return 0, fmt.Errorf("lowerbound: negative rate %v at %d", r, i)
+		}
+		norm2 += r * r
+	}
+	if norm2 == 0 {
+		return 0, fmt.Errorf("lowerbound: all rates zero")
+	}
+	return c * math.Sqrt(float64(n)) / (eps * eps * math.Sqrt(norm2)), nil
+}

@@ -1,0 +1,293 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+// lemmaGrid enumerates small instances on which the lemma preconditions
+// hold and exhaustive z-enumeration is cheap.
+func lemmaGrid(t *testing.T) []Instance {
+	t.Helper()
+	var grid []Instance
+	for _, tt := range []struct {
+		ell, q int
+		eps    float64
+	}{
+		{2, 2, 0.1}, {2, 3, 0.1}, {2, 4, 0.15}, {3, 2, 0.1}, {3, 3, 0.15}, {3, 4, 0.2},
+	} {
+		grid = append(grid, mustInstance(t, tt.ell, tt.q, tt.eps))
+	}
+	return grid
+}
+
+func TestLemma51HoldsExhaustively(t *testing.T) {
+	for _, in := range lemmaGrid(t) {
+		if !Lemma51Precondition(in.N(), in.Q, in.Eps) {
+			t.Fatalf("grid instance ell=%d q=%d eps=%v violates the Lemma 5.1 precondition", in.Ell, in.Q, in.Eps)
+		}
+		rng := testRand(uint64(in.Ell*100 + in.Q))
+		for trial := 0; trial < 3; trial++ {
+			p := []float64{0.5, 0.1, 0.02}[trial]
+			g, err := RandomStrategy(in, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean, _, err := e.ZMoments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := Lemma51Bound(in.N(), in.Q, in.Eps, e.Var())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mean) > bound+1e-12 {
+				t.Errorf("ell=%d q=%d eps=%v p=%v: |E diff| = %v exceeds Lemma 5.1 bound %v",
+					in.Ell, in.Q, in.Eps, p, math.Abs(mean), bound)
+			}
+		}
+	}
+}
+
+func TestLemma42HoldsExhaustively(t *testing.T) {
+	for _, in := range lemmaGrid(t) {
+		if !Lemma42Precondition(in.N(), in.Q, in.Eps) {
+			continue // the 20x constant shrinks the valid grid; skip others
+		}
+		rng := testRand(uint64(in.Ell*200 + in.Q))
+		g, err := RandomStrategy(in, 0.3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewDiffEvaluator(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, second, err := e.ZMoments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := Lemma42Bound(in.N(), in.Q, in.Eps, e.Var())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second > bound+1e-12 {
+			t.Errorf("ell=%d q=%d eps=%v: E[diff^2] = %v exceeds Lemma 4.2 bound %v",
+				in.Ell, in.Q, in.Eps, second, bound)
+		}
+	}
+}
+
+func TestLemma42HoldsForDetectors(t *testing.T) {
+	// The most distinguishing strategies are the real stress test.
+	for _, in := range lemmaGrid(t) {
+		if !Lemma42Precondition(in.N(), in.Q, in.Eps) {
+			continue
+		}
+		g, err := SignAgreementDetector(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewDiffEvaluator(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, second, err := e.ZMoments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := Lemma42Bound(in.N(), in.Q, in.Eps, e.Var())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second > bound+1e-12 {
+			t.Errorf("ell=%d q=%d eps=%v: detector E[diff^2] = %v exceeds %v",
+				in.Ell, in.Q, in.Eps, second, bound)
+		}
+	}
+}
+
+func TestLemma43HoldsForBiasedStrategies(t *testing.T) {
+	// Lemma 4.3 targets highly-biased G; its precondition is harsh, so use
+	// a tiny eps.
+	in := mustInstance(t, 3, 3, 0.08)
+	for _, m := range []int{1, 2} {
+		if !Lemma43Precondition(in.N(), in.Q, m, in.Eps) {
+			t.Fatalf("m=%d precondition fails on the chosen instance", m)
+		}
+		rng := testRand(uint64(300 + m))
+		for _, p := range []float64{0.01, 0.05, 0.2} {
+			g, err := RandomStrategy(in, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean, _, err := e.ZMoments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := Lemma43Bound(in.N(), in.Q, m, in.Eps, e.Var())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mean) > bound+1e-12 {
+				t.Errorf("m=%d p=%v: |E diff| = %v exceeds Lemma 4.3 bound %v", m, p, math.Abs(mean), bound)
+			}
+		}
+	}
+}
+
+func TestLemma44HoldsWithUnitConstant(t *testing.T) {
+	// The paper proves Lemma 4.4 for some constant C; on the verification
+	// grid even C = 1 dominates (E8 reports the tightest observed C).
+	in := mustInstance(t, 3, 3, 0.08)
+	for _, m := range []int{1, 2} {
+		rng := testRand(uint64(400 + m))
+		for _, p := range []float64{0.03, 0.3} {
+			g, err := RandomStrategy(in, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, second, err := e.ZMoments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := Lemma44Bound(in.N(), in.Q, m, in.Eps, e.Var(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second > bound+1e-12 {
+				t.Errorf("m=%d p=%v: E[diff^2] = %v exceeds Lemma 4.4 bound %v", m, p, second, bound)
+			}
+		}
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	if _, err := Lemma51Bound(1, 2, 0.5, 0.1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Lemma42Bound(16, 0, 0.5, 0.1); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := Lemma43Bound(16, 2, 0, 0.5, 0.1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Lemma43Bound(16, 2, 1, 0.5, 0.5); err == nil {
+		t.Error("var above 1/4 accepted")
+	}
+	if _, err := Lemma44Bound(16, 2, 1, 0.5, 0.1, 0); err == nil {
+		t.Error("C=0 accepted")
+	}
+	if Lemma43Precondition(16, 2, 0, 0.5) {
+		t.Error("m=0 precondition true")
+	}
+}
+
+func TestBoundMonotonicity(t *testing.T) {
+	// Bounds grow with q, eps and var.
+	b1, _ := Lemma51Bound(1024, 10, 0.25, 0.1)
+	b2, _ := Lemma51Bound(1024, 20, 0.25, 0.1)
+	b3, _ := Lemma51Bound(1024, 10, 0.5, 0.1)
+	b4, _ := Lemma51Bound(1024, 10, 0.25, 0.2)
+	if b2 <= b1 || b3 <= b1 || b4 <= b1 {
+		t.Errorf("Lemma 5.1 bound not monotone: %v %v %v %v", b1, b2, b3, b4)
+	}
+}
+
+func TestTheoremBoundFormulas(t *testing.T) {
+	// Theorem 6.1: sqrt(n/k) branch for k <= n, n/k branch beyond.
+	q1, err := Theorem61Q(1<<20, 1<<10, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q1-4*32) > 1e-9 { // sqrt(2^10)/0.25
+		t.Errorf("Theorem61Q = %v", q1)
+	}
+	q2, err := Theorem61Q(1<<10, 1<<20, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q2-4.0/1024) > 1e-9 { // (n/k)/eps^2 = 2^-10/0.25
+		t.Errorf("Theorem61Q small branch = %v", q2)
+	}
+	// Theorem 6.4 equals Theorem 6.1 with k scaled by 2^r.
+	q3, err := Theorem64Q(1<<20, 1<<10, 4, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4, _ := Theorem61Q(1<<20, 1<<14, 0.5, 1)
+	if math.Abs(q3-q4) > 1e-9 {
+		t.Errorf("Theorem64Q = %v, want %v", q3, q4)
+	}
+	// Theorem 6.5 decreases only logarithmically in k.
+	a, _ := Theorem65Q(1<<20, 1<<4, 0.5, 1)
+	b, _ := Theorem65Q(1<<20, 1<<8, 0.5, 1)
+	if b >= a {
+		t.Errorf("Theorem65Q not decreasing: %v -> %v", a, b)
+	}
+	if a/b > 8 {
+		t.Errorf("Theorem65Q drops too fast: %v -> %v", a, b)
+	}
+	// Theorem 1.3 scales as 1/T.
+	c1, _ := Theorem13Q(1<<20, 64, 1, 0.5, 1)
+	c2, _ := Theorem13Q(1<<20, 64, 4, 0.5, 1)
+	if math.Abs(c1/c2-4) > 1e-9 {
+		t.Errorf("Theorem13Q T-scaling: %v vs %v", c1, c2)
+	}
+	// Theorem 1.4.
+	k, _ := Theorem14K(1000, 10, 1)
+	if math.Abs(k-10000) > 1e-9 {
+		t.Errorf("Theorem14K = %v", k)
+	}
+	// Asymmetric bound recovers the symmetric case for unit rates.
+	tau, err := AsymmetricTau(1<<20, []float64{1, 1, 1, 1}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, _ := Theorem61Q(1<<20, 4, 0.5, 1)
+	if math.Abs(tau-sym) > 1e-9 {
+		t.Errorf("asymmetric tau %v vs symmetric q %v", tau, sym)
+	}
+}
+
+func TestTheoremBoundValidation(t *testing.T) {
+	if _, err := Theorem61Q(1, 1, 0.5, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Theorem61Q(16, 1, 0.5, 0); err == nil {
+		t.Error("C=0 accepted")
+	}
+	if _, err := Theorem64Q(16, 1, 0, 0.5, 1); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := Theorem65Q(16, 1, 0.5, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Theorem13Q(16, 4, 0, 0.5, 1); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := Theorem14K(16, 0, 1); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := AsymmetricTau(16, nil, 0.5, 1); err == nil {
+		t.Error("no rates accepted")
+	}
+	if _, err := AsymmetricTau(16, []float64{0, 0}, 0.5, 1); err == nil {
+		t.Error("all-zero rates accepted")
+	}
+	if _, err := AsymmetricTau(16, []float64{1, -1}, 0.5, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

@@ -1,0 +1,337 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestLemma41FourierEqualsDirect(t *testing.T) {
+	// The central identity: the spectral evaluation of nu_z(G) - mu(G)
+	// agrees exactly with direct summation, for assorted strategies and
+	// perturbations.
+	for _, tt := range []struct {
+		ell, q int
+		eps    float64
+	}{{1, 2, 0.5}, {2, 2, 0.3}, {2, 3, 0.7}, {3, 2, 0.2}} {
+		in := mustInstance(t, tt.ell, tt.q, tt.eps)
+		rng := testRand(uint64(100 + tt.ell + tt.q))
+		strategies := map[string]func() (boolfn.Func, error){
+			"random":   func() (boolfn.Func, error) { return RandomStrategy(in, 0.5, rng) },
+			"biased":   func() (boolfn.Func, error) { return RandomStrategy(in, 0.05, rng) },
+			"detector": func() (boolfn.Func, error) { return MatchedPairDetector(in) },
+		}
+		for name, mk := range strategies {
+			g, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				z, err := dist.RandomPerturbation(in.Ell, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := e.Diff(z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := in.NuZDirect(g, z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := direct - e.Mu()
+				if math.Abs(fast-want) > 1e-12 {
+					t.Fatalf("ell=%d q=%d %s: fourier %v vs direct %v", tt.ell, tt.q, name, fast, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEquation3EvenCoverEqualsEnumeration(t *testing.T) {
+	// E_z[diff] computed by the evenly-covered formula (3) must equal the
+	// exhaustive average over all 2^{2^ell} perturbations.
+	for _, tt := range []struct {
+		ell, q int
+		eps    float64
+	}{{1, 3, 0.6}, {2, 2, 0.4}, {2, 4, 0.3}, {3, 2, 0.5}} {
+		in := mustInstance(t, tt.ell, tt.q, tt.eps)
+		rng := testRand(uint64(200 + tt.ell*7 + tt.q))
+		g, err := RandomStrategy(in, 0.4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewDiffEvaluator(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _, err := e.ZMoments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := e.ExpectedDiffEvenCover()
+		if math.Abs(mean-formula) > 1e-12 {
+			t.Fatalf("ell=%d q=%d: enumeration %v vs formula %v", tt.ell, tt.q, mean, formula)
+		}
+	}
+}
+
+func TestDiffEvaluatorValidation(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	g, _ := RandomStrategy(in, 0.5, testRand(6))
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Diff(dist.Perturbation{1, 1}); err == nil {
+		t.Error("short perturbation accepted")
+	}
+	other := mustInstance(t, 3, 2, 0.5)
+	gOther, _ := RandomStrategy(other, 0.5, testRand(7))
+	if _, err := NewDiffEvaluator(in, gOther); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestDiffEvaluatorMomentsConsistent(t *testing.T) {
+	// second moment >= mean^2, and MaxAbsDiff >= |mean|.
+	in := mustInstance(t, 2, 3, 0.5)
+	g, _ := MatchedPairDetector(in)
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, second, err := e.ZMoments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second < mean*mean-1e-15 {
+		t.Errorf("E[d^2] = %v below mean^2 = %v", second, mean*mean)
+	}
+	maxAbs, err := e.MaxAbsDiff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbs < math.Abs(mean) {
+		t.Errorf("max |d| = %v below |mean| = %v", maxAbs, math.Abs(mean))
+	}
+	if maxAbs*maxAbs < second {
+		t.Errorf("max |d|^2 = %v below E[d^2] = %v", maxAbs*maxAbs, second)
+	}
+}
+
+func TestVertexCollisionDetectorIsBlind(t *testing.T) {
+	// Vertex collisions ignore signs, and the vertex marginal of nu_z is
+	// uniform for every z; the detector's acceptance probability must be
+	// identical under every nu_z.
+	in := mustInstance(t, 2, 3, 0.9)
+	g, err := VertexCollisionDetector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dist.EnumeratePerturbations(in.Ell, func(z dist.Perturbation) error {
+		d, derr := e.Diff(z)
+		if derr != nil {
+			return derr
+		}
+		if math.Abs(d) > 1e-12 {
+			t.Fatalf("vertex detector has diff %v under z=%v", d, z)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignAgreementDetectorGainsWithEps(t *testing.T) {
+	// The sign-agreement detector is the useful one: its mean diff over z
+	// must be negative (it accepts less often under nu_z) and grow in
+	// magnitude with eps.
+	prev := 0.0
+	for _, eps := range []float64{0.2, 0.5, 0.9} {
+		in := mustInstance(t, 2, 4, eps)
+		g, err := SignAgreementDetector(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewDiffEvaluator(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _, err := e.ZMoments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean >= 0 {
+			t.Errorf("eps=%v: sign detector mean diff %v, want negative", eps, mean)
+		}
+		if math.Abs(mean) <= math.Abs(prev) {
+			t.Errorf("eps=%v: |mean diff| %v did not grow from %v", eps, math.Abs(mean), math.Abs(prev))
+		}
+		prev = mean
+	}
+}
+
+func TestStrategyConstructorsAreBoolean(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.5)
+	for name, mk := range map[string]func(Instance) (boolfn.Func, error){
+		"matched": MatchedPairDetector,
+		"vertex":  VertexCollisionDetector,
+		"sign":    SignAgreementDetector,
+	} {
+		g, err := mk(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsBoolean(1e-12) {
+			t.Errorf("%s detector is not Boolean", name)
+		}
+	}
+	if _, err := strategyFromSamples(in, nil); err == nil {
+		t.Error("nil predicate accepted")
+	}
+}
+
+func TestDetectorNesting(t *testing.T) {
+	// Sign-agreement collisions are a subset of vertex collisions, so the
+	// acceptance regions nest: vertex-accept implies sign-accept implies
+	// nothing, and matched-pair (same element) rejects a subset of
+	// sign-agreement rejections.
+	in := mustInstance(t, 2, 3, 0.5)
+	vertex, _ := VertexCollisionDetector(in)
+	sign, _ := SignAgreementDetector(in)
+	matched, _ := MatchedPairDetector(in)
+	for idx := uint64(0); idx < uint64(1)<<uint(in.InputBits()); idx++ {
+		v, s, m := vertex.At(idx), sign.At(idx), matched.At(idx)
+		if v == 1 && s != 1 {
+			t.Fatalf("no vertex collision but sign collision at %d", idx)
+		}
+		if s == 1 && m != 1 {
+			t.Fatalf("no sign collision but element collision at %d", idx)
+		}
+	}
+}
+
+func TestZMomentsSampledMatchesExact(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.4)
+	g, err := SignAgreementDetector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMean, exactSecond, err := e.ZMoments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, second, err := e.ZMomentsSampled(20000, testRand(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-exactMean) > 5e-3 {
+		t.Errorf("sampled mean %v vs exact %v", mean, exactMean)
+	}
+	if math.Abs(second-exactSecond) > 5e-4 {
+		t.Errorf("sampled second %v vs exact %v", second, exactSecond)
+	}
+	if _, _, err := e.ZMomentsSampled(0, testRand(0)); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, _, err := e.ZMomentsSampled(1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestZMomentsSampledLargeInstance(t *testing.T) {
+	// ell=4 is out of reach for exhaustive z-enumeration (2^16 vectors
+	// would still be fine, but exercise the sampled path and check the
+	// Lemma 5.1 bound holds on the sampled estimate).
+	in := mustInstance(t, 4, 3, 0.1)
+	g, err := RandomStrategy(in, 0.3, testRand(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, second, err := e.ZMomentsSampled(3000, testRand(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second < mean*mean-1e-12 {
+		t.Errorf("sampled moments inconsistent: E[d^2]=%v < mean^2=%v", second, mean*mean)
+	}
+	bound, err := Lemma51Bound(in.N(), in.Q, in.Eps, e.Var())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow Monte-Carlo slack on top of the proven bound.
+	if math.Abs(mean) > bound+3e-3 {
+		t.Errorf("sampled |E diff| = %v far above the Lemma 5.1 bound %v", math.Abs(mean), bound)
+	}
+}
+
+func TestSingleSampleAllStrategiesBlindOnAverage(t *testing.T) {
+	// The exact, exhaustive form of the q=1 information-freeness that
+	// underpins the Section 6.3 remark: with a single sample, EVERY
+	// strategy G satisfies E_z[nu_z(G)] = mu(G) exactly (no evenly-covered
+	// set exists at q=1). Enumerate all 2^(2^m) strategies on the smallest
+	// instance.
+	in := mustInstance(t, 1, 1, 0.9)
+	size := 1 << uint(in.InputBits()) // 4 inputs
+	for mask := uint64(0); mask < 1<<uint(size); mask++ {
+		mask := mask
+		g, err := boolfn.FromIndicator(in.InputBits(), func(idx uint64) bool {
+			return mask&(1<<idx) != 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewDiffEvaluator(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _, err := e.ZMoments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean) > 1e-15 {
+			t.Fatalf("strategy %04b: E_z[diff] = %v, want exactly 0", mask, mean)
+		}
+	}
+}
+
+func TestTwoSamplesSomeStrategyGains(t *testing.T) {
+	// The counterpart: at q=2 the sign-agreement detector already has a
+	// strictly nonzero average difference — collisions carry information.
+	in := mustInstance(t, 1, 2, 0.9)
+	g, err := SignAgreementDetector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := e.ZMoments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean) < 1e-6 {
+		t.Errorf("q=2 detector mean diff %v, want clearly nonzero", mean)
+	}
+}

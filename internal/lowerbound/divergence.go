@@ -1,0 +1,117 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// PlayerDivergence returns D(B(nu_z(G)) || B(mu(G))) in bits — the
+// information one player's bit carries about whether the input is nu_z or
+// uniform, the quantity summed in equation (9).
+func PlayerDivergence(nuZ, mu float64) (float64, error) {
+	return stats.BernoulliKL(nuZ, mu)
+}
+
+// ExpectedPlayerDivergence computes E_z[D(B(nu_z(G)) || B(mu(G)))] exactly
+// by enumerating z (requires ell <= 4).
+func ExpectedPlayerDivergence(e *DiffEvaluator) (float64, error) {
+	if e == nil {
+		return 0, fmt.Errorf("lowerbound: nil evaluator")
+	}
+	mu := e.Mu()
+	var acc float64
+	count := 0
+	err := dist.EnumeratePerturbations(e.inst.Ell, func(z dist.Perturbation) error {
+		d, derr := e.Diff(z)
+		if derr != nil {
+			return derr
+		}
+		kl, derr := stats.BernoulliKL(clamp01(mu+d), mu)
+		if derr != nil {
+			return derr
+		}
+		if math.IsInf(kl, 1) {
+			// mu = 0 or 1 with a deviating nu_z: the bit is deterministic
+			// under uniform but not under nu_z, carrying unbounded
+			// divergence; surface it as an error since no bounded
+			// strategy reaches it.
+			return fmt.Errorf("lowerbound: infinite player divergence at mu=%v diff=%v", mu, d)
+		}
+		acc += kl
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc / float64(count), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// RefereeRequirement returns the per-player average divergence required by
+// inequality (10): to succeed with probability 1 - delta the average
+// player must contribute at least log2(1/delta)/(10 k) bits.
+func RefereeRequirement(k int, delta float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("lowerbound: referee requirement with k=%d", k)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("lowerbound: failure probability %v outside (0,1)", delta)
+	}
+	return math.Log2(1/delta) / (10 * float64(k)), nil
+}
+
+// DivergenceUpperBound returns the inequality (12) upper bound on the
+// per-player expected divergence in bits:
+// (1/ln 2)(20 q^2 eps^4/n + q eps^2/n).
+func DivergenceUpperBound(n, q int, eps float64) (float64, error) {
+	if n < 2 || q < 1 {
+		return 0, fmt.Errorf("lowerbound: divergence bound with n=%d q=%d", n, q)
+	}
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("lowerbound: divergence bound with eps=%v", eps)
+	}
+	qf, nf := float64(q), float64(n)
+	return (20*qf*qf*eps*eps*eps*eps/nf + qf*eps*eps/nf) / math.Ln2, nil
+}
+
+// MinimalQFromDivergence inverts inequality (13): the smallest q for which
+// the divergence budget allows the referee to succeed with probability
+// 1 - delta on k players. It is the computational form of Theorem 6.1 and
+// returns a real-valued bound (callers take the ceiling).
+func MinimalQFromDivergence(n, k int, eps, delta float64) (float64, error) {
+	if n < 2 || k < 1 {
+		return 0, fmt.Errorf("lowerbound: inversion with n=%d k=%d", n, k)
+	}
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("lowerbound: inversion with eps=%v", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("lowerbound: inversion with delta=%v", delta)
+	}
+	need, err := RefereeRequirement(k, delta)
+	if err != nil {
+		return 0, err
+	}
+	needNats := need * math.Ln2
+	nf := float64(n)
+	// Solve 20 q^2 eps^4 / n + q eps^2 / n = needNats for q > 0
+	// (quadratic in q).
+	a := 20 * math.Pow(eps, 4) / nf
+	b := eps * eps / nf
+	c := -needNats
+	q := (-b + math.Sqrt(b*b-4*a*c)) / (2 * a)
+	return q, nil
+}

@@ -1,0 +1,183 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlayerDivergenceBasics(t *testing.T) {
+	d, err := PlayerDivergence(0.5, 0.5)
+	if err != nil || d != 0 {
+		t.Errorf("identical Bernoullis: %v, %v", d, err)
+	}
+	d, err = PlayerDivergence(0.6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("distinct Bernoullis: %v", d)
+	}
+}
+
+func TestExpectedPlayerDivergenceBelowBudget(t *testing.T) {
+	// The pipeline of Section 6.1: for any strategy (with the lemma
+	// preconditions in force), the average divergence a single player can
+	// generate is below the inequality (12) budget.
+	for _, in := range lemmaGrid(t) {
+		if !Lemma42Precondition(in.N(), in.Q, in.Eps) {
+			continue
+		}
+		rng := testRand(uint64(in.Ell*17 + in.Q))
+		for _, p := range []float64{0.5, 0.1} {
+			g, err := RandomStrategy(in, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Var() == 0 {
+				continue // constant strategy: divergence trivially 0
+			}
+			div, err := ExpectedPlayerDivergence(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget, err := DivergenceUpperBound(in.N(), in.Q, in.Eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if div > budget+1e-12 {
+				t.Errorf("ell=%d q=%d eps=%v p=%v: divergence %v exceeds budget %v",
+					in.Ell, in.Q, in.Eps, p, div, budget)
+			}
+		}
+	}
+}
+
+func TestExpectedPlayerDivergenceDetector(t *testing.T) {
+	in := mustInstance(t, 3, 3, 0.1)
+	g, err := SignAgreementDetector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := ExpectedPlayerDivergence(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div <= 0 {
+		t.Errorf("informative detector has divergence %v", div)
+	}
+	budget, err := DivergenceUpperBound(in.N(), in.Q, in.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div > budget {
+		t.Errorf("detector divergence %v exceeds budget %v", div, budget)
+	}
+	if _, err := ExpectedPlayerDivergence(nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestRefereeRequirement(t *testing.T) {
+	// log2(1/delta)/(10k): delta = 1/2 with one player needs 1/10 bit.
+	r, err := RefereeRequirement(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.1) > 1e-12 {
+		t.Errorf("requirement = %v", r)
+	}
+	r2, err := RefereeRequirement(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-0.01) > 1e-12 {
+		t.Errorf("requirement k=10 = %v", r2)
+	}
+	if _, err := RefereeRequirement(0, 0.5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RefereeRequirement(1, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := RefereeRequirement(1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestDivergenceUpperBoundValidation(t *testing.T) {
+	if _, err := DivergenceUpperBound(1, 2, 0.5); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := DivergenceUpperBound(16, 0, 0.5); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := DivergenceUpperBound(16, 2, 2); err == nil {
+		t.Error("eps=2 accepted")
+	}
+}
+
+func TestMinimalQFromDivergenceInvertsBudget(t *testing.T) {
+	const (
+		n     = 1 << 16
+		k     = 64
+		eps   = 0.25
+		delta = 1.0 / 3
+	)
+	q, err := MinimalQFromDivergence(n, k, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the returned q the budget matches the requirement.
+	need, _ := RefereeRequirement(k, delta)
+	have, err := DivergenceUpperBound(n, int(math.Round(q)), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(have-need)/need > 0.05 {
+		t.Errorf("budget at q*=%v is %v, requirement %v", q, have, need)
+	}
+	// And it scales like sqrt(n/k)/eps^2 in the high-q regime.
+	q4, err := MinimalQFromDivergence(n, 4*k, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := q / q4; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("4x players gave q ratio %v, want ~2", ratio)
+	}
+	if _, err := MinimalQFromDivergence(1, k, eps, delta); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := MinimalQFromDivergence(n, k, eps, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestMinimalQMatchesTheorem61Shape(t *testing.T) {
+	// The inversion and the closed-form Theorem 6.1 formula agree up to a
+	// bounded constant across a parameter sweep.
+	for _, k := range []int{16, 256, 4096} {
+		for _, eps := range []float64{0.1, 0.5} {
+			const n = 1 << 18
+			q, err := MinimalQFromDivergence(n, k, eps, 1.0/3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Theorem61Q(n, k, eps, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := q / ref
+			if ratio < 0.01 || ratio > 10 {
+				t.Errorf("k=%d eps=%v: inversion %v vs formula %v (ratio %v)", k, eps, q, ref, ratio)
+			}
+		}
+	}
+}

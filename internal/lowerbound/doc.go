@@ -1,0 +1,27 @@
+// Package lowerbound makes the lower-bound machinery of Meir, Minzer and
+// Oshman (PODC 2019) executable: every lemma of Sections 3-6 has a function
+// that evaluates its two sides on concrete instances, so the paper's
+// inequalities can be verified exactly on small universes and by Monte
+// Carlo on larger ones.
+//
+// The objects mirror the paper:
+//
+//   - Instance fixes (ell, q, eps): universe n = 2^(ell+1) viewed as two
+//     copies of the cube {-1,1}^ell, with q samples per player. A player's
+//     strategy is a Boolean function G on m = (ell+1)q input bits; bit
+//     layout is sample-major, x-bits first then the sign bit (all under the
+//     boolfn convention that a set bit means coordinate -1).
+//   - NuZQ / NuZQFourier evaluate the product distribution nu_z^q at a
+//     point directly and through the character expansion of Claim 3.1.
+//   - DiffEvaluator computes nu_z(G) - mu(G) for every perturbation z
+//     through the Fourier formula of Lemma 4.1 (with the per-x spectra
+//     precomputed), plus exact z-moments by enumeration when ell <= 4.
+//   - Evenly-covered combinatorics: X_S counts (Proposition 5.2), the
+//     level counts a_r(x) and their moments (Lemma 5.5).
+//   - Bounds: closed-form right-hand sides for Lemma 5.1, Lemma 4.2,
+//     Lemma 4.3, Lemma 4.4, and the sample-complexity formulas of Theorems
+//     1.1/6.1, 1.2/6.5, 1.3, 1.4, and 6.4.
+//   - Divergence: the Section 6 information-theoretic pipeline — per-player
+//     Bernoulli KL divergence, the Fact 6.3 chi-squared bound, the referee
+//     requirement of inequality (10).
+package lowerbound

@@ -1,0 +1,181 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// IsEvenlyCovered reports whether the multiset {x_j : j in S} covers every
+// cube vertex an even number of times — the condition under which the term
+// survives the expectation over z (Section 5).
+func IsEvenlyCovered(xs []int, set uint64) bool {
+	// Track parity per vertex; a small map suffices because |S| <= q.
+	parity := make(map[int]bool, bits.OnesCount64(set))
+	for j, x := range xs {
+		if set&(1<<uint(j)) != 0 {
+			parity[x] = !parity[x]
+		}
+	}
+	for _, odd := range parity {
+		if odd {
+			return false
+		}
+	}
+	return true
+}
+
+// CountEvenlyCovered computes |X_S| exactly for an instance and a subset S
+// of [q], by enumerating all (2^ell)^q assignments of cube vertices. It is
+// exponential and intended for the small instances on which Proposition
+// 5.2 is verified.
+func CountEvenlyCovered(ell, q int, set uint64) (int64, error) {
+	if ell < 0 || q < 1 {
+		return 0, fmt.Errorf("lowerbound: counting with ell=%d q=%d", ell, q)
+	}
+	if q < 64 && set >= uint64(1)<<uint(q) {
+		return 0, fmt.Errorf("lowerbound: subset %#x out of range for q=%d", set, q)
+	}
+	if ell*q > 26 {
+		return 0, fmt.Errorf("lowerbound: enumeration over %d bits is too large", ell*q)
+	}
+	cube := 1 << uint(ell)
+	total := int64(1)
+	for i := 0; i < q; i++ {
+		total *= int64(cube)
+	}
+	xs := make([]int, q)
+	var count int64
+	for a := int64(0); a < total; a++ {
+		v := a
+		for i := 0; i < q; i++ {
+			xs[i] = int(v % int64(cube))
+			v /= int64(cube)
+		}
+		if IsEvenlyCovered(xs, set) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// XSBound evaluates the Proposition 5.2 upper bound on |X_S|:
+// (|S|-1)!! (n/2)^{q - |S|/2} for even |S|, and 0 for odd |S|.
+func XSBound(ell, q, setSize int) (float64, error) {
+	if ell < 0 || q < 1 || setSize < 0 || setSize > q {
+		return 0, fmt.Errorf("lowerbound: XS bound with ell=%d q=%d |S|=%d", ell, q, setSize)
+	}
+	if setSize%2 == 1 {
+		return 0, nil
+	}
+	df, err := stats.DoubleFactorial(setSize - 1)
+	if err != nil {
+		return 0, err
+	}
+	half := float64(int64(1) << uint(ell)) // n/2 = 2^ell
+	return df * math.Pow(half, float64(q)-float64(setSize)/2), nil
+}
+
+// AR computes a_r(x) = |{S : |S| = 2r, {x_j}_S evenly covered}| by
+// enumerating the C(q, 2r) subsets.
+func AR(xs []int, r int) (int64, error) {
+	q := len(xs)
+	if r < 0 || 2*r > q {
+		return 0, nil
+	}
+	if q > 30 {
+		return 0, fmt.Errorf("lowerbound: a_r over %d samples is too large", q)
+	}
+	var count int64
+	for set := uint64(0); set < uint64(1)<<uint(q); set++ {
+		if bits.OnesCount64(set) != 2*r {
+			continue
+		}
+		if IsEvenlyCovered(xs, set) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// ARMomentExact computes E_x[a_r(x)^m] exactly by enumerating all cube
+// assignments (small instances only).
+func ARMomentExact(ell, q, r, m int) (float64, error) {
+	if ell < 0 || q < 1 || m < 1 {
+		return 0, fmt.Errorf("lowerbound: moment with ell=%d q=%d m=%d", ell, q, m)
+	}
+	if ell*q > 24 {
+		return 0, fmt.Errorf("lowerbound: enumeration over %d bits is too large", ell*q)
+	}
+	cube := 1 << uint(ell)
+	total := int64(1)
+	for i := 0; i < q; i++ {
+		total *= int64(cube)
+	}
+	xs := make([]int, q)
+	var acc float64
+	for a := int64(0); a < total; a++ {
+		v := a
+		for i := 0; i < q; i++ {
+			xs[i] = int(v % int64(cube))
+			v /= int64(cube)
+		}
+		ar, err := AR(xs, r)
+		if err != nil {
+			return 0, err
+		}
+		acc += math.Pow(float64(ar), float64(m))
+	}
+	return acc / float64(total), nil
+}
+
+// ARMomentMonteCarlo estimates E_x[a_r(x)^m] by sampling x uniformly.
+func ARMomentMonteCarlo(ell, q, r, m, trials int, rng *rand.Rand) (float64, error) {
+	if ell < 0 || q < 1 || m < 1 || trials < 1 {
+		return 0, fmt.Errorf("lowerbound: Monte-Carlo moment with ell=%d q=%d m=%d trials=%d", ell, q, m, trials)
+	}
+	cube := 1 << uint(ell)
+	xs := make([]int, q)
+	var acc float64
+	for t := 0; t < trials; t++ {
+		for i := range xs {
+			xs[i] = rng.IntN(cube)
+		}
+		ar, err := AR(xs, r)
+		if err != nil {
+			return 0, err
+		}
+		acc += math.Pow(float64(ar), float64(m))
+	}
+	return acc / float64(trials), nil
+}
+
+// ARMomentBound evaluates the Lemma 5.5 upper bound on E_x[a_r(x)^m]:
+//
+//	(4m)^{2mr} (q / sqrt(n/2))^{2mr}   when q >= sqrt(n/2),
+//	(4m)^{2mr} (q / sqrt(n/2))^{2r}    when q <  sqrt(n/2).
+func ARMomentBound(ell, q, r, m int) (float64, error) {
+	if ell < 0 || q < 1 || r < 0 || m < 1 {
+		return 0, fmt.Errorf("lowerbound: moment bound with ell=%d q=%d r=%d m=%d", ell, q, r, m)
+	}
+	halfN := math.Pow(2, float64(ell)) // n/2
+	ratio := float64(q) / math.Sqrt(halfN)
+	base := math.Pow(4*float64(m), 2*float64(m)*float64(r))
+	if ratio >= 1 {
+		return base * math.Pow(ratio, 2*float64(m)*float64(r)), nil
+	}
+	return base * math.Pow(ratio, 2*float64(r)), nil
+}
+
+// ARMeanBound evaluates the first-moment estimate used in Lemma 5.1:
+// E_x[a_r(x)] <= (q^2/n)^r.
+func ARMeanBound(ell, q, r int) (float64, error) {
+	if ell < 0 || q < 1 || r < 0 {
+		return 0, fmt.Errorf("lowerbound: mean bound with ell=%d q=%d r=%d", ell, q, r)
+	}
+	n := math.Pow(2, float64(ell+1))
+	return math.Pow(float64(q)*float64(q)/n, float64(r)), nil
+}

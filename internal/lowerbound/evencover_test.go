@@ -1,0 +1,262 @@
+package lowerbound
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+func TestIsEvenlyCoveredKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []int
+		set  uint64
+		want bool
+	}{
+		{name: "empty set", xs: []int{1, 2, 3}, set: 0, want: true},
+		{name: "singleton", xs: []int{1, 2, 3}, set: 0b001, want: false},
+		{name: "matched pair", xs: []int{5, 5, 3}, set: 0b011, want: true},
+		{name: "unmatched pair", xs: []int{5, 4, 3}, set: 0b011, want: false},
+		{name: "two pairs", xs: []int{1, 2, 2, 1}, set: 0b1111, want: true},
+		{name: "triple", xs: []int{7, 7, 7}, set: 0b111, want: false},
+		{name: "quadruple", xs: []int{7, 7, 7, 7}, set: 0b1111, want: true},
+		{name: "pair plus odd", xs: []int{1, 1, 2}, set: 0b111, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsEvenlyCovered(tt.xs, tt.set); got != tt.want {
+				t.Errorf("IsEvenlyCovered(%v, %b) = %v", tt.xs, tt.set, got)
+			}
+		})
+	}
+}
+
+func TestXSCountDependsOnlyOnSize(t *testing.T) {
+	// Proposition 5.2 part 1.
+	const (
+		ell = 2
+		q   = 4
+	)
+	bySize := map[int]int64{}
+	for set := uint64(1); set < 1<<q; set++ {
+		count, err := CountEvenlyCovered(ell, q, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := bits.OnesCount64(set)
+		if prev, seen := bySize[size]; seen {
+			if prev != count {
+				t.Fatalf("|S|=%d: counts %d and %d differ", size, prev, count)
+			}
+		} else {
+			bySize[size] = count
+		}
+		if size%2 == 1 && count != 0 {
+			t.Fatalf("odd |S|=%d has count %d", size, count)
+		}
+	}
+}
+
+func TestXSCountExactValues(t *testing.T) {
+	// |X_S| for |S| = 2 is exactly (n/2)^{q-1}: the two covered samples
+	// must agree (n/2 ways) and the rest are free.
+	for _, tt := range []struct{ ell, q int }{{1, 2}, {2, 3}, {3, 2}} {
+		cube := int64(1) << uint(tt.ell)
+		want := int64(1)
+		for i := 0; i < tt.q-1; i++ {
+			want *= cube
+		}
+		got, err := CountEvenlyCovered(tt.ell, tt.q, 0b11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ell=%d q=%d: |X_{2}| = %d, want %d", tt.ell, tt.q, got, want)
+		}
+	}
+}
+
+func TestProposition52Bound(t *testing.T) {
+	for _, tt := range []struct{ ell, q int }{{1, 4}, {2, 4}, {2, 6}, {3, 4}} {
+		for size := 0; size <= tt.q; size++ {
+			set := uint64(1)<<uint(size) - 1
+			exact, err := CountEvenlyCovered(tt.ell, tt.q, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := XSBound(tt.ell, tt.q, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(exact) > bound+1e-9 {
+				t.Errorf("ell=%d q=%d |S|=%d: exact %d exceeds bound %v", tt.ell, tt.q, size, exact, bound)
+			}
+		}
+	}
+}
+
+func TestXSBoundValidation(t *testing.T) {
+	if _, err := XSBound(-1, 2, 2); err == nil {
+		t.Error("negative ell accepted")
+	}
+	if _, err := XSBound(2, 2, 3); err == nil {
+		t.Error("|S| > q accepted")
+	}
+	if b, err := XSBound(2, 4, 3); err != nil || b != 0 {
+		t.Errorf("odd size bound = %v, %v", b, err)
+	}
+}
+
+func TestARSumIdentity(t *testing.T) {
+	// sum_x a_r(x) = C(q, 2r) |X_{2r}| — the interchange-of-summation
+	// identity from Section 5.1.
+	const (
+		ell = 2
+		q   = 4
+		r   = 1
+	)
+	cube := 1 << ell
+	total := 1
+	for i := 0; i < q; i++ {
+		total *= cube
+	}
+	var sum int64
+	xs := make([]int, q)
+	for a := 0; a < total; a++ {
+		v := a
+		for i := 0; i < q; i++ {
+			xs[i] = v % cube
+			v /= cube
+		}
+		ar, err := AR(xs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ar
+	}
+	x2r, err := CountEvenlyCovered(ell, q, 0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binom, err := stats.Binomial(q, 2*r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(binom) * x2r; sum != want {
+		t.Errorf("sum_x a_r = %d, want %d", sum, want)
+	}
+}
+
+func TestARKnownValues(t *testing.T) {
+	// xs = (a, a, b, b) with a != b: evenly-covered 2-sets are {0,1} and
+	// {2,3}; a_1 = 2. Evenly-covered 4-sets: the full set; a_2 = 1.
+	xs := []int{3, 3, 1, 1}
+	a1, err := AR(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != 2 {
+		t.Errorf("a_1 = %d, want 2", a1)
+	}
+	a2, err := AR(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != 1 {
+		t.Errorf("a_2 = %d, want 1", a2)
+	}
+	if ar, _ := AR(xs, 3); ar != 0 {
+		t.Errorf("a_3 = %d, want 0 (out of range)", ar)
+	}
+	// All-same vector: every even-size subset is evenly covered.
+	same := []int{2, 2, 2, 2}
+	a1, _ = AR(same, 1)
+	if a1 != 6 {
+		t.Errorf("all-same a_1 = %d, want C(4,2)=6", a1)
+	}
+}
+
+func TestARMeanBoundHolds(t *testing.T) {
+	// E_x[a_r] <= (q^2/n)^r (the Section 5.1 moment estimate).
+	for _, tt := range []struct{ ell, q, r int }{{1, 4, 1}, {2, 4, 1}, {2, 4, 2}, {2, 6, 2}, {3, 4, 1}} {
+		exact, err := ARMomentExact(tt.ell, tt.q, tt.r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := ARMeanBound(tt.ell, tt.q, tt.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact > bound+1e-12 {
+			t.Errorf("ell=%d q=%d r=%d: E[a_r] = %v exceeds %v", tt.ell, tt.q, tt.r, exact, bound)
+		}
+	}
+}
+
+func TestLemma55MomentBoundHolds(t *testing.T) {
+	for _, tt := range []struct{ ell, q, r, m int }{
+		{1, 4, 1, 1}, {1, 4, 1, 2}, {2, 4, 1, 2}, {2, 4, 2, 2}, {2, 6, 1, 3}, {3, 4, 1, 2},
+	} {
+		exact, err := ARMomentExact(tt.ell, tt.q, tt.r, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := ARMomentBound(tt.ell, tt.q, tt.r, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact > bound+1e-9 {
+			t.Errorf("ell=%d q=%d r=%d m=%d: E[a_r^m] = %v exceeds Lemma 5.5 bound %v",
+				tt.ell, tt.q, tt.r, tt.m, exact, bound)
+		}
+	}
+}
+
+func TestARMomentMonteCarloMatchesExact(t *testing.T) {
+	const (
+		ell = 2
+		q   = 5
+		r   = 1
+		m   = 2
+	)
+	exact, err := ARMomentExact(ell, q, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ARMomentMonteCarlo(ell, q, r, m, 200000, testRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 {
+		t.Fatal("degenerate exact moment")
+	}
+	if rel := math.Abs(mc-exact) / exact; rel > 0.05 {
+		t.Errorf("Monte Carlo %v vs exact %v (rel err %v)", mc, exact, rel)
+	}
+}
+
+func TestEvenCoverValidation(t *testing.T) {
+	if _, err := CountEvenlyCovered(-1, 2, 0); err == nil {
+		t.Error("negative ell accepted")
+	}
+	if _, err := CountEvenlyCovered(2, 2, 1<<3); err == nil {
+		t.Error("subset out of range accepted")
+	}
+	if _, err := CountEvenlyCovered(7, 4, 0); err == nil {
+		t.Error("oversized enumeration accepted")
+	}
+	if _, err := ARMomentExact(2, 2, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := ARMomentMonteCarlo(2, 2, 1, 1, 0, testRand(0)); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := ARMomentBound(2, 2, 1, 0); err == nil {
+		t.Error("m=0 bound accepted")
+	}
+	if _, err := ARMeanBound(2, 0, 1); err == nil {
+		t.Error("q=0 accepted")
+	}
+}

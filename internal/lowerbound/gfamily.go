@@ -1,0 +1,90 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+)
+
+// The constructors below build concrete player strategies G used by the
+// verification experiments: random strategies probe the lemmas' generic
+// behavior, and the detector strategies are the natural "collision
+// counting" players the paper says are the only way to gain information.
+
+// RandomStrategy returns a random {0,1} strategy whose truth-table entries
+// are independent Bernoulli(p) coins.
+func RandomStrategy(inst Instance, p float64, rng *rand.Rand) (boolfn.Func, error) {
+	return boolfn.RandomBiased(inst.InputBits(), p, rng)
+}
+
+// MatchedPairDetector returns the strategy that rejects (sends 0) iff some
+// two samples hit the same cube vertex with the same sign — the event
+// whose probability rises from collisions under nu_z. It is the
+// single-player analogue of the collision tester and the most
+// distinguishing low-complexity G on this family.
+func MatchedPairDetector(inst Instance) (boolfn.Func, error) {
+	return strategyFromSamples(inst, func(samples []int) bool {
+		for i := 0; i < len(samples); i++ {
+			for j := i + 1; j < len(samples); j++ {
+				if samples[i] == samples[j] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// VertexCollisionDetector returns the strategy that rejects iff some two
+// samples share a cube vertex regardless of sign. Vertex collisions are
+// equally likely under uniform and nu_z, so this strategy is a natural
+// "useless" control: its acceptance probability cannot distinguish the two
+// cases.
+func VertexCollisionDetector(inst Instance) (boolfn.Func, error) {
+	return strategyFromSamples(inst, func(samples []int) bool {
+		for i := 0; i < len(samples); i++ {
+			for j := i + 1; j < len(samples); j++ {
+				if samples[i]>>1 == samples[j]>>1 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// SignAgreementDetector rejects iff some two samples on the same vertex
+// carry the same sign (matched twins): under nu_z, same-vertex pairs agree
+// in sign with probability (1+eps^2)/2 > 1/2, so the strategy leaks
+// exactly the paper's "collision information" while ignoring vertex
+// collisions themselves.
+func SignAgreementDetector(inst Instance) (boolfn.Func, error) {
+	return strategyFromSamples(inst, func(samples []int) bool {
+		for i := 0; i < len(samples); i++ {
+			for j := i + 1; j < len(samples); j++ {
+				if samples[i]>>1 == samples[j]>>1 && samples[i]&1 == samples[j]&1 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// strategyFromSamples lifts a predicate on sample tuples to a Boolean
+// function on the instance's input bits.
+func strategyFromSamples(inst Instance, accept func(samples []int) bool) (boolfn.Func, error) {
+	if accept == nil {
+		return boolfn.Func{}, fmt.Errorf("lowerbound: nil acceptance predicate")
+	}
+	return boolfn.FromIndicator(inst.InputBits(), func(idx uint64) bool {
+		samples, err := inst.SamplesFromInput(idx)
+		if err != nil {
+			// Unreachable: FromIndicator enumerates exactly the valid
+			// indices.
+			return false
+		}
+		return accept(samples)
+	})
+}

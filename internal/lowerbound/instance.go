@@ -1,0 +1,220 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Instance fixes the parameters of the hard-family analysis: the cube
+// dimension ell (universe size n = 2^(ell+1)), the per-player sample count
+// q, and the proximity parameter eps.
+//
+// A player's strategy is a Boolean function G on m = (ell+1)*q bits laid
+// out sample-major: sample i occupies bits [i*(ell+1), (i+1)*(ell+1)), the
+// low ell of which encode the cube vertex x_i (bit set = coordinate -1)
+// and the top one the sign s_i (bit set = s_i = -1).
+type Instance struct {
+	Ell int
+	Q   int
+	Eps float64
+}
+
+// MaxInputBits caps m = (ell+1)q for exhaustive computations (a dense
+// truth table of 2^22 float64s is 32 MiB).
+const MaxInputBits = 22
+
+// NewInstance validates the parameters.
+func NewInstance(ell, q int, eps float64) (Instance, error) {
+	if ell < 0 {
+		return Instance{}, fmt.Errorf("lowerbound: negative cube dimension %d", ell)
+	}
+	if q < 1 {
+		return Instance{}, fmt.Errorf("lowerbound: sample count %d", q)
+	}
+	if eps <= 0 || eps > 1 {
+		return Instance{}, fmt.Errorf("lowerbound: eps %v outside (0,1]", eps)
+	}
+	if m := (ell + 1) * q; m > MaxInputBits {
+		return Instance{}, fmt.Errorf("lowerbound: %d input bits exceeds MaxInputBits=%d", m, MaxInputBits)
+	}
+	return Instance{Ell: ell, Q: q, Eps: eps}, nil
+}
+
+// N returns the universe size 2^(ell+1).
+func (in Instance) N() int { return 1 << (in.Ell + 1) }
+
+// CubeSize returns 2^ell.
+func (in Instance) CubeSize() int { return 1 << in.Ell }
+
+// InputBits returns m = (ell+1)q.
+func (in Instance) InputBits() int { return (in.Ell + 1) * in.Q }
+
+// Hard returns the matching dist.HardInstance.
+func (in Instance) Hard() (dist.HardInstance, error) {
+	return dist.NewHardInstance(in.Ell, in.Eps)
+}
+
+// XMask returns the bitmask of all x-bits (the sample-name coordinates).
+func (in Instance) XMask() uint64 {
+	var mask uint64
+	per := uint64(1)<<in.Ell - 1
+	for i := 0; i < in.Q; i++ {
+		mask |= per << uint(i*(in.Ell+1))
+	}
+	return mask
+}
+
+// SMask returns the bitmask of all sign bits.
+func (in Instance) SMask() uint64 {
+	var mask uint64
+	for i := 0; i < in.Q; i++ {
+		mask |= 1 << uint(i*(in.Ell+1)+in.Ell)
+	}
+	return mask
+}
+
+// InputFromSamples packs a tuple of q element ids (each in [0, n)) into the
+// m-bit input index of a strategy function.
+func (in Instance) InputFromSamples(samples []int) (uint64, error) {
+	if len(samples) != in.Q {
+		return 0, fmt.Errorf("lowerbound: %d samples, want q=%d", len(samples), in.Q)
+	}
+	var idx uint64
+	for i, s := range samples {
+		if s < 0 || s >= in.N() {
+			return 0, fmt.Errorf("lowerbound: sample %d outside universe of size %d", s, in.N())
+		}
+		x := uint64(s) >> 1   // cube vertex bits
+		sign := uint64(s) & 1 // 1 means s = -1
+		idx |= (x | sign<<uint(in.Ell)) << uint(i*(in.Ell+1))
+	}
+	return idx, nil
+}
+
+// SamplesFromInput unpacks an m-bit input index into q element ids.
+func (in Instance) SamplesFromInput(idx uint64) ([]int, error) {
+	if in.InputBits() < 64 && idx >= uint64(1)<<uint(in.InputBits()) {
+		return nil, fmt.Errorf("lowerbound: input index %d out of range", idx)
+	}
+	samples := make([]int, in.Q)
+	per := uint64(1)<<uint(in.Ell+1) - 1
+	for i := range samples {
+		chunk := (idx >> uint(i*(in.Ell+1))) & per
+		x := chunk & (1<<uint(in.Ell) - 1)
+		sign := chunk >> uint(in.Ell)
+		samples[i] = int(x<<1 | sign)
+	}
+	return samples, nil
+}
+
+// XIndices extracts the q cube-vertex indices from an x-assignment packed
+// as the scattered x-bits of an input index (sign bits ignored).
+func (in Instance) XIndices(idx uint64) []int {
+	xs := make([]int, in.Q)
+	for i := range xs {
+		xs[i] = int((idx >> uint(i*(in.Ell+1))) & (1<<uint(in.Ell) - 1))
+	}
+	return xs
+}
+
+// NuZQ evaluates the product distribution nu_z^q at a sample tuple
+// directly: prod_i (1 + s_i z(x_i) eps)/n.
+func (in Instance) NuZQ(z dist.Perturbation, samples []int) (float64, error) {
+	if len(z) != in.CubeSize() {
+		return 0, fmt.Errorf("lowerbound: perturbation of length %d, want %d", len(z), in.CubeSize())
+	}
+	if len(samples) != in.Q {
+		return 0, fmt.Errorf("lowerbound: %d samples, want q=%d", len(samples), in.Q)
+	}
+	n := float64(in.N())
+	prob := 1.0
+	for _, s := range samples {
+		if s < 0 || s >= in.N() {
+			return 0, fmt.Errorf("lowerbound: sample %d outside universe", s)
+		}
+		x := s >> 1
+		sign := 1.0
+		if s&1 == 1 {
+			sign = -1
+		}
+		prob *= (1 + sign*float64(z[x])*in.Eps) / n
+	}
+	return prob, nil
+}
+
+// NuZQFourier evaluates nu_z^q at a sample tuple through the character
+// expansion of Claim 3.1:
+//
+//	nu_z^q(x, s) = n^{-q} sum_{S subset [q]} eps^{|S|} chi_S(s)
+//	               prod_{j in S} z(x_j).
+func (in Instance) NuZQFourier(z dist.Perturbation, samples []int) (float64, error) {
+	if len(z) != in.CubeSize() {
+		return 0, fmt.Errorf("lowerbound: perturbation of length %d, want %d", len(z), in.CubeSize())
+	}
+	if len(samples) != in.Q {
+		return 0, fmt.Errorf("lowerbound: %d samples, want q=%d", len(samples), in.Q)
+	}
+	// Per-sample contribution eps * s_i * z(x_i); chi_S(s) prod z(x_j) =
+	// prod_{j in S} (s_j z(x_j)).
+	term := make([]float64, in.Q)
+	for i, s := range samples {
+		if s < 0 || s >= in.N() {
+			return 0, fmt.Errorf("lowerbound: sample %d outside universe", s)
+		}
+		x := s >> 1
+		sign := 1.0
+		if s&1 == 1 {
+			sign = -1
+		}
+		term[i] = in.Eps * sign * float64(z[x])
+	}
+	var sum float64
+	for set := uint64(0); set < uint64(1)<<uint(in.Q); set++ {
+		prod := 1.0
+		for j := 0; j < in.Q; j++ {
+			if set&(1<<uint(j)) != 0 {
+				prod *= term[j]
+			}
+		}
+		sum += prod
+	}
+	return sum / math.Pow(float64(in.N()), float64(in.Q)), nil
+}
+
+// MuG returns mu(G) = E_{S ~ U^q}[G]: because the sample space of q draws
+// from [n] is exactly the m-bit cube, this is just the mean of G.
+func (in Instance) MuG(g boolfn.Func) (float64, error) {
+	if g.Vars() != in.InputBits() {
+		return 0, fmt.Errorf("lowerbound: strategy on %d bits, want %d", g.Vars(), in.InputBits())
+	}
+	return g.Mean(), nil
+}
+
+// NuZDirect returns nu_z(G) = E_{S ~ nu_z^q}[G] by direct summation over
+// the whole input space (O(q 2^m)); it is the test oracle for the
+// Fourier-based DiffEvaluator.
+func (in Instance) NuZDirect(g boolfn.Func, z dist.Perturbation) (float64, error) {
+	if g.Vars() != in.InputBits() {
+		return 0, fmt.Errorf("lowerbound: strategy on %d bits, want %d", g.Vars(), in.InputBits())
+	}
+	var acc float64
+	for idx := uint64(0); idx < uint64(g.Len()); idx++ {
+		v := g.At(idx)
+		if v == 0 {
+			continue
+		}
+		samples, err := in.SamplesFromInput(idx)
+		if err != nil {
+			return 0, err
+		}
+		p, err := in.NuZQ(z, samples)
+		if err != nil {
+			return 0, err
+		}
+		acc += p * v
+	}
+	return acc, nil
+}

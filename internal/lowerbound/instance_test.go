@@ -1,0 +1,252 @@
+package lowerbound
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xfeedface))
+}
+
+func mustInstance(t *testing.T, ell, q int, eps float64) Instance {
+	t.Helper()
+	in, err := NewInstance(ell, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ell  int
+		q    int
+		eps  float64
+	}{
+		{"negative ell", -1, 2, 0.5},
+		{"zero q", 2, 0, 0.5},
+		{"zero eps", 2, 2, 0},
+		{"eps above one", 2, 2, 1.5},
+		{"too many bits", 5, 4, 0.5},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewInstance(tt.ell, tt.q, tt.eps); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestInstanceSizes(t *testing.T) {
+	in := mustInstance(t, 3, 4, 0.5)
+	if in.N() != 16 || in.CubeSize() != 8 || in.InputBits() != 16 {
+		t.Errorf("sizes: %d %d %d", in.N(), in.CubeSize(), in.InputBits())
+	}
+}
+
+func TestMasksPartitionInputBits(t *testing.T) {
+	for _, tt := range []struct{ ell, q int }{{1, 1}, {2, 3}, {3, 4}, {4, 2}} {
+		in := mustInstance(t, tt.ell, tt.q, 0.5)
+		x, s := in.XMask(), in.SMask()
+		if x&s != 0 {
+			t.Errorf("ell=%d q=%d: masks overlap", tt.ell, tt.q)
+		}
+		if x|s != uint64(1)<<uint(in.InputBits())-1 {
+			t.Errorf("ell=%d q=%d: masks do not cover all bits", tt.ell, tt.q)
+		}
+		if bits.OnesCount64(s) != tt.q {
+			t.Errorf("ell=%d q=%d: %d sign bits", tt.ell, tt.q, bits.OnesCount64(s))
+		}
+	}
+}
+
+func TestInputSampleRoundTrip(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.5)
+	rng := testRand(1)
+	for trial := 0; trial < 100; trial++ {
+		samples := make([]int, in.Q)
+		for i := range samples {
+			samples[i] = rng.IntN(in.N())
+		}
+		idx, err := in.InputFromSamples(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := in.SamplesFromInput(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range samples {
+			if back[i] != samples[i] {
+				t.Fatalf("round trip %v -> %d -> %v", samples, idx, back)
+			}
+		}
+	}
+	if _, err := in.InputFromSamples([]int{0}); err == nil {
+		t.Error("wrong sample count accepted")
+	}
+	if _, err := in.InputFromSamples([]int{0, 16, 0}); err == nil {
+		t.Error("out-of-universe sample accepted")
+	}
+	if _, err := in.SamplesFromInput(1 << 9); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestXIndicesMatchesSamples(t *testing.T) {
+	in := mustInstance(t, 3, 2, 0.5)
+	samples := []int{13, 6} // x=6 s=-1; x=3 s=+1
+	idx, err := in.InputFromSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := in.XIndices(idx)
+	if xs[0] != 6 || xs[1] != 3 {
+		t.Errorf("XIndices = %v", xs)
+	}
+}
+
+func TestNuZQMatchesDistPackage(t *testing.T) {
+	// The product probability must agree with dist.HardInstance's
+	// per-element probabilities.
+	in := mustInstance(t, 2, 3, 0.7)
+	h, err := in.Hard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testRand(2)
+	z, err := dist.RandomPerturbation(in.Ell, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := h.Perturbed(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		samples := make([]int, in.Q)
+		for i := range samples {
+			samples[i] = rng.IntN(in.N())
+		}
+		got, err := in.NuZQ(z, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := d.TupleProb(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("NuZQ(%v) = %v, dist product = %v", samples, got, want)
+		}
+	}
+}
+
+func TestClaim31FourierFormEqualsProduct(t *testing.T) {
+	// Claim 3.1: the character expansion reproduces nu_z^q pointwise.
+	for _, tt := range []struct {
+		ell, q int
+		eps    float64
+	}{{1, 2, 0.5}, {2, 3, 0.3}, {3, 2, 0.9}, {2, 4, 0.1}} {
+		in := mustInstance(t, tt.ell, tt.q, tt.eps)
+		rng := testRand(uint64(tt.ell*10 + tt.q))
+		z, err := dist.RandomPerturbation(in.Ell, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := uint64(0); idx < uint64(1)<<uint(in.InputBits()); idx += 7 {
+			samples, err := in.SamplesFromInput(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := in.NuZQ(z, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fourier, err := in.NuZQFourier(z, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(direct-fourier) > 1e-15 {
+				t.Fatalf("ell=%d q=%d idx=%d: direct %v vs fourier %v", tt.ell, tt.q, idx, direct, fourier)
+			}
+		}
+	}
+}
+
+func TestNuZQSumsToOne(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.6)
+	rng := testRand(3)
+	z, err := dist.RandomPerturbation(in.Ell, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for idx := uint64(0); idx < uint64(1)<<uint(in.InputBits()); idx++ {
+		samples, err := in.SamplesFromInput(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := in.NuZQ(z, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Errorf("nu_z^q sums to %v", sum)
+	}
+}
+
+func TestMuGIsMean(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	g, err := RandomStrategy(in, 0.3, testRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := in.MuG(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-g.Mean()) > 1e-15 {
+		t.Errorf("MuG = %v, mean = %v", mu, g.Mean())
+	}
+	wrong, _ := boolfn.New(3)
+	if _, err := in.MuG(wrong); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := in.NuZDirect(wrong, dist.Perturbation{1, 1, 1, 1}); err == nil {
+		t.Error("wrong arity accepted by NuZDirect")
+	}
+}
+
+func TestMixtureOverZEqualsUniformOnG(t *testing.T) {
+	// E_z[nu_z(G)] should equal... not mu(G) in general! Only for q where
+	// no evenly-covered sets exist. For q = 1 there are none (a singleton
+	// is never evenly covered), so E_z[nu_z(G)] = mu(G) exactly: one
+	// sample is information-free.
+	in := mustInstance(t, 2, 1, 0.8)
+	g, err := RandomStrategy(in, 0.5, testRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := e.ZMoments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("single-sample E_z[diff] = %v, want 0", mean)
+	}
+}

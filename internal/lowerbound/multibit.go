@@ -1,0 +1,189 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// MaxMessageBits caps the multi-bit strategy width; the exact evaluator
+// keeps one spectral evaluator per message value, so 2^r of them.
+const MaxMessageBits = 6
+
+// MultiBitStrategy is a player strategy sending r bits: a map from the
+// m-bit sample encoding to a message in [0, 2^r). It is the object of the
+// paper's "longer answers" extension (Theorem 6.4): lower bounds decay as
+// 2^{-Theta(r)}, equivalently a player's message may carry at most a
+// 2^{Theta(r)} factor more distinguishing information.
+type MultiBitStrategy struct {
+	inst  Instance
+	r     int
+	table []uint8
+}
+
+// NewMultiBitStrategy validates and copies the message table (length 2^m,
+// entries < 2^r).
+func NewMultiBitStrategy(inst Instance, r int, table []uint8) (*MultiBitStrategy, error) {
+	if r < 1 || r > MaxMessageBits {
+		return nil, fmt.Errorf("lowerbound: message width %d outside [1,%d]", r, MaxMessageBits)
+	}
+	if len(table) != 1<<uint(inst.InputBits()) {
+		return nil, fmt.Errorf("lowerbound: strategy table of %d entries, want %d", len(table), 1<<uint(inst.InputBits()))
+	}
+	limit := uint8(1) << uint(r)
+	cp := make([]uint8, len(table))
+	for i, v := range table {
+		if v >= limit {
+			return nil, fmt.Errorf("lowerbound: message %d at input %d exceeds %d bits", v, i, r)
+		}
+		cp[i] = v
+	}
+	return &MultiBitStrategy{inst: inst, r: r, table: cp}, nil
+}
+
+// RandomMultiBitStrategy draws each message value uniformly.
+func RandomMultiBitStrategy(inst Instance, r int, rng *rand.Rand) (*MultiBitStrategy, error) {
+	if r < 1 || r > MaxMessageBits {
+		return nil, fmt.Errorf("lowerbound: message width %d outside [1,%d]", r, MaxMessageBits)
+	}
+	table := make([]uint8, 1<<uint(inst.InputBits()))
+	for i := range table {
+		table[i] = uint8(rng.Uint64N(1 << uint(r)))
+	}
+	return NewMultiBitStrategy(inst, r, table)
+}
+
+// QuantizedCollisionStrategy sends min(2^r - 1, #sign-agreeing vertex
+// collisions): the natural multi-bit refinement of the collision vote,
+// and the most informative simple strategy on the hard family.
+func QuantizedCollisionStrategy(inst Instance, r int) (*MultiBitStrategy, error) {
+	if r < 1 || r > MaxMessageBits {
+		return nil, fmt.Errorf("lowerbound: message width %d outside [1,%d]", r, MaxMessageBits)
+	}
+	table := make([]uint8, 1<<uint(inst.InputBits()))
+	cap64 := uint64(1)<<uint(r) - 1
+	for idx := range table {
+		samples, err := inst.SamplesFromInput(uint64(idx))
+		if err != nil {
+			return nil, err
+		}
+		var matches uint64
+		for i := 0; i < len(samples); i++ {
+			for j := i + 1; j < len(samples); j++ {
+				if samples[i] == samples[j] {
+					matches++
+				}
+			}
+		}
+		if matches > cap64 {
+			matches = cap64
+		}
+		table[idx] = uint8(matches)
+	}
+	return NewMultiBitStrategy(inst, r, table)
+}
+
+// Bits returns r.
+func (s *MultiBitStrategy) Bits() int { return s.r }
+
+// MultiBitEvaluator computes, for every perturbation z, the full
+// distribution of the r-bit message under nu_z^q versus under the uniform
+// distribution, and the KL divergence between them — the multi-message
+// generalization of the single-bit pipeline of Section 6.1. Each message
+// value's probability shift is evaluated through its own Lemma 4.1
+// spectral evaluator.
+type MultiBitEvaluator struct {
+	strategy *MultiBitStrategy
+	cells    []*DiffEvaluator
+	base     []float64 // mu-probabilities per message value
+}
+
+// NewMultiBitEvaluator precomputes the per-cell spectra.
+func NewMultiBitEvaluator(s *MultiBitStrategy) (*MultiBitEvaluator, error) {
+	if s == nil {
+		return nil, fmt.Errorf("lowerbound: nil strategy")
+	}
+	values := 1 << uint(s.r)
+	cells := make([]*DiffEvaluator, values)
+	base := make([]float64, values)
+	for c := 0; c < values; c++ {
+		c := c
+		indicator, err := boolfn.FromIndicator(s.inst.InputBits(), func(idx uint64) bool {
+			return int(s.table[idx]) == c
+		})
+		if err != nil {
+			return nil, err
+		}
+		e, err := NewDiffEvaluator(s.inst, indicator)
+		if err != nil {
+			return nil, err
+		}
+		cells[c] = e
+		base[c] = e.Mu()
+	}
+	return &MultiBitEvaluator{strategy: s, cells: cells, base: base}, nil
+}
+
+// BaseDistribution returns the message distribution under the uniform
+// input distribution.
+func (e *MultiBitEvaluator) BaseDistribution() []float64 {
+	cp := make([]float64, len(e.base))
+	copy(cp, e.base)
+	return cp
+}
+
+// MessageDistribution returns the message distribution under nu_z.
+func (e *MultiBitEvaluator) MessageDistribution(z dist.Perturbation) ([]float64, error) {
+	out := make([]float64, len(e.cells))
+	for c, cell := range e.cells {
+		d, err := cell.Diff(z)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = e.base[c] + d
+	}
+	return out, nil
+}
+
+// MessageKL returns D(message under nu_z || message under uniform) in
+// bits.
+func (e *MultiBitEvaluator) MessageKL(z dist.Perturbation) (float64, error) {
+	pz, err := e.MessageDistribution(z)
+	if err != nil {
+		return 0, err
+	}
+	var kl float64
+	for c, p := range pz {
+		if p <= 0 {
+			continue
+		}
+		if e.base[c] == 0 {
+			return 0, fmt.Errorf("lowerbound: message %d has nu_z mass %v but zero uniform mass", c, p)
+		}
+		kl += p * math.Log2(p/e.base[c])
+	}
+	return math.Max(kl, 0), nil
+}
+
+// ExpectedKL returns E_z[MessageKL] exactly by enumerating z
+// (requires ell <= 4).
+func (e *MultiBitEvaluator) ExpectedKL() (float64, error) {
+	var acc float64
+	count := 0
+	err := dist.EnumeratePerturbations(e.strategy.inst.Ell, func(z dist.Perturbation) error {
+		kl, kerr := e.MessageKL(z)
+		if kerr != nil {
+			return kerr
+		}
+		acc += kl
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc / float64(count), nil
+}

@@ -1,0 +1,250 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+func TestNewMultiBitStrategyValidation(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	size := 1 << uint(in.InputBits())
+	table := make([]uint8, size)
+	if _, err := NewMultiBitStrategy(in, 0, table); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := NewMultiBitStrategy(in, MaxMessageBits+1, table); err == nil {
+		t.Error("huge r accepted")
+	}
+	if _, err := NewMultiBitStrategy(in, 2, table[:size-1]); err == nil {
+		t.Error("short table accepted")
+	}
+	bad := make([]uint8, size)
+	bad[3] = 4
+	if _, err := NewMultiBitStrategy(in, 2, bad); err == nil {
+		t.Error("out-of-range message accepted")
+	}
+	s, err := NewMultiBitStrategy(in, 2, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 2 {
+		t.Errorf("bits = %d", s.Bits())
+	}
+	table[0] = 1
+	if s.table[0] != 0 {
+		t.Error("table aliased")
+	}
+}
+
+func TestMultiBitBaseDistributionSumsToOne(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.4)
+	s, err := RandomMultiBitStrategy(in, 3, testRand(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiBitEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range e.BaseDistribution() {
+		if p < 0 {
+			t.Fatalf("negative base probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("base distribution sums to %v", sum)
+	}
+	z, err := dist.RandomPerturbation(in.Ell, testRand(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz, err := e.MessageDistribution(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, p := range pz {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("nu_z message distribution sums to %v", sum)
+	}
+}
+
+func TestMultiBitMessageDistributionMatchesDirect(t *testing.T) {
+	// Oracle: sum nu_z^q(input) over inputs mapped to each message value.
+	in := mustInstance(t, 2, 2, 0.6)
+	s, err := RandomMultiBitStrategy(in, 2, testRand(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiBitEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := dist.RandomPerturbation(in.Ell, testRand(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 4)
+	for idx := uint64(0); idx < uint64(len(s.table)); idx++ {
+		samples, err := in.SamplesFromInput(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := in.NuZQ(z, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s.table[idx]] += p
+	}
+	got, err := e.MessageDistribution(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want {
+		if math.Abs(got[c]-want[c]) > 1e-12 {
+			t.Fatalf("message %d: spectral %v, direct %v", c, got[c], want[c])
+		}
+	}
+}
+
+func TestMultiBitKLReducesToBernoulliAtOneBit(t *testing.T) {
+	// An r=1 strategy's message KL must equal the Bernoulli KL of the
+	// single-bit pipeline.
+	in := mustInstance(t, 2, 3, 0.3)
+	g, err := RandomStrategy(in, 0.4, testRand(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := make([]uint8, g.Len())
+	for idx := range table {
+		if g.At(uint64(idx)) == 1 {
+			table[idx] = 1
+		}
+	}
+	s, err := NewMultiBitStrategy(in, 1, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := NewMultiBitEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := NewDiffEvaluator(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		z, err := dist.RandomPerturbation(in.Ell, testRand(uint64(46+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := me.MessageKL(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := de.Diff(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bern, err := stats.BernoulliKL(de.Mu()+d, de.Mu())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(multi-bern) > 1e-10 {
+			t.Fatalf("trial %d: multi-bit KL %v vs Bernoulli %v", trial, multi, bern)
+		}
+	}
+}
+
+func TestMultiBitKLNonNegativeAndZeroOnUniformMixture(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	s, err := QuantizedCollisionStrategy(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiBitEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dist.EnumeratePerturbations(in.Ell, func(z dist.Perturbation) error {
+		kl, kerr := e.MessageKL(z)
+		if kerr != nil {
+			return kerr
+		}
+		if kl < 0 {
+			t.Fatalf("negative KL %v", kl)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizedCollisionStrategyGainsWithBits(t *testing.T) {
+	// The quantized collision statistic carries more information with more
+	// bits, and every width stays within the 2^{Theta(r)} envelope of the
+	// single-bit budget (Theorem 6.4's mechanism).
+	in := mustInstance(t, 3, 3, 0.2)
+	budget, err := DivergenceUpperBound(in.N(), in.Q, in.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range []int{1, 2, 3} {
+		s, err := QuantizedCollisionStrategy(in, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewMultiBitEvaluator(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kl, err := e.ExpectedKL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kl+1e-15 < prev {
+			t.Errorf("r=%d: KL %v dropped below r-1's %v", r, kl, prev)
+		}
+		prev = kl
+		// Envelope: a 2^r-valued message can carry at most 2^{Theta(r)}
+		// times the single-bit budget; use factor 4^r as a generous cap.
+		if kl > budget*math.Pow(4, float64(r)) {
+			t.Errorf("r=%d: KL %v outside the 2^Theta(r) envelope of budget %v", r, kl, budget)
+		}
+	}
+}
+
+func TestExpectedKLDeterministic(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.4)
+	s, err := RandomMultiBitStrategy(in, 2, testRand(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiBitEvaluator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.ExpectedKL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.ExpectedKL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("ExpectedKL not deterministic: %v vs %v", a, b)
+	}
+	if _, err := NewMultiBitEvaluator(nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}

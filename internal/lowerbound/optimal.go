@@ -1,0 +1,96 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+)
+
+// The first-moment difference E_z[nu_z(G)] - mu(G) is LINEAR in G's truth
+// table:
+//
+//	E_z[nu_z(G)] - mu(G) = sum_inputs G(input) * w(input),
+//	w(input) = E_z[nu_z^q(input)] - 1/n^q,
+//
+// so the strategy maximizing it over all 2^(2^m) Boolean strategies is
+// simply the indicator of {w > 0} — computable exactly without search.
+// This gives the exact extremal value of the Lemma 5.1 left-hand side on
+// an instance, i.e. the lemma's true tightness against the best possible
+// player, not merely against heuristic detectors.
+
+// MixtureProb returns E_z[nu_z^q(samples)] exactly. Grouping the samples
+// by cube vertex, the independence of z's coordinates factorizes the
+// expectation:
+//
+//	E_z prod_i (1 + s_i z(x_i) eps)/n
+//	  = n^{-q} prod_{vertices v} ( (1/2) prod_{i: x_i=v} (1 + s_i eps)
+//	                             + (1/2) prod_{i: x_i=v} (1 - s_i eps) ).
+func (in Instance) MixtureProb(samples []int) (float64, error) {
+	if len(samples) != in.Q {
+		return 0, fmt.Errorf("lowerbound: %d samples, want q=%d", len(samples), in.Q)
+	}
+	type group struct {
+		plus  float64 // prod over the vertex's samples of (1 + s_i eps)
+		minus float64 // prod of (1 - s_i eps)
+	}
+	groups := make(map[int]*group, in.Q)
+	for _, s := range samples {
+		if s < 0 || s >= in.N() {
+			return 0, fmt.Errorf("lowerbound: sample %d outside universe of size %d", s, in.N())
+		}
+		x := s >> 1
+		sign := 1.0
+		if s&1 == 1 {
+			sign = -1
+		}
+		g, ok := groups[x]
+		if !ok {
+			g = &group{plus: 1, minus: 1}
+			groups[x] = g
+		}
+		g.plus *= 1 + sign*in.Eps
+		g.minus *= 1 - sign*in.Eps
+	}
+	prob := 1.0
+	for _, g := range groups {
+		prob *= (g.plus + g.minus) / 2
+	}
+	nPow := 1.0
+	for i := 0; i < in.Q; i++ {
+		nPow *= float64(in.N())
+	}
+	return prob / nPow, nil
+}
+
+// OptimalFirstMomentStrategy returns the strategy G* maximizing
+// E_z[nu_z(G)] - mu(G) over ALL Boolean strategies, together with the
+// exact value it attains. The minimizing strategy is its complement with
+// value -maxDiff, so maxDiff is also the extremal |E_z diff|.
+func OptimalFirstMomentStrategy(in Instance) (boolfn.Func, float64, error) {
+	size := uint64(1) << uint(in.InputBits())
+	uniformProb := 1.0
+	for i := 0; i < in.Q; i++ {
+		uniformProb /= float64(in.N())
+	}
+	vals := make([]float64, size)
+	var maxDiff float64
+	for idx := uint64(0); idx < size; idx++ {
+		samples, err := in.SamplesFromInput(idx)
+		if err != nil {
+			return boolfn.Func{}, 0, err
+		}
+		mix, err := in.MixtureProb(samples)
+		if err != nil {
+			return boolfn.Func{}, 0, err
+		}
+		if w := mix - uniformProb; w > 0 {
+			vals[idx] = 1
+			maxDiff += w
+		}
+	}
+	g, err := boolfn.FromValues(in.InputBits(), vals)
+	if err != nil {
+		return boolfn.Func{}, 0, err
+	}
+	return g, maxDiff, nil
+}

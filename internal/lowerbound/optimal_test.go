@@ -1,0 +1,201 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+func TestMixtureProbMatchesEnumeration(t *testing.T) {
+	// Oracle: average nu_z^q(input) over all z by exhaustive enumeration.
+	for _, tt := range []struct {
+		ell, q int
+		eps    float64
+	}{{1, 2, 0.5}, {2, 3, 0.3}, {3, 2, 0.8}} {
+		in := mustInstance(t, tt.ell, tt.q, tt.eps)
+		for idx := uint64(0); idx < uint64(1)<<uint(in.InputBits()); idx += 3 {
+			samples, err := in.SamplesFromInput(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			count := 0
+			err = dist.EnumeratePerturbations(in.Ell, func(z dist.Perturbation) error {
+				p, perr := in.NuZQ(z, samples)
+				if perr != nil {
+					return perr
+				}
+				sum += p
+				count++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sum / float64(count)
+			got, err := in.MixtureProb(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-15 {
+				t.Fatalf("ell=%d q=%d idx=%d: closed form %v, enumeration %v", tt.ell, tt.q, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestMixtureProbValidation(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	if _, err := in.MixtureProb([]int{0}); err == nil {
+		t.Error("wrong sample count accepted")
+	}
+	if _, err := in.MixtureProb([]int{0, 99}); err == nil {
+		t.Error("out-of-universe sample accepted")
+	}
+}
+
+func TestMixtureProbSingleSampleIsUniform(t *testing.T) {
+	// q=1: every input has mixture probability exactly 1/n — the
+	// information-freeness of one sample, in closed form.
+	in := mustInstance(t, 2, 1, 0.9)
+	want := 1.0 / float64(in.N())
+	for idx := uint64(0); idx < uint64(1)<<uint(in.InputBits()); idx++ {
+		samples, err := in.SamplesFromInput(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.MixtureProb(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-18 {
+			t.Fatalf("q=1 mixture prob %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOptimalFirstMomentStrategy(t *testing.T) {
+	in := mustInstance(t, 2, 3, 0.4)
+	gStar, maxDiff, err := OptimalFirstMomentStrategy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDiff <= 0 {
+		t.Fatalf("optimal diff %v, want positive at q >= 2", maxDiff)
+	}
+	// The claimed value matches the evaluator's exact expectation.
+	e, err := NewDiffEvaluator(in, gStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := e.ZMoments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-maxDiff) > 1e-14 {
+		t.Fatalf("strategy attains %v, claimed %v", mean, maxDiff)
+	}
+	// Optimality: it dominates the heuristic detectors and random
+	// strategies.
+	for name, mk := range map[string]func() (float64, error){
+		"sign detector": func() (float64, error) {
+			g, err := SignAgreementDetector(in)
+			if err != nil {
+				return 0, err
+			}
+			ev, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				return 0, err
+			}
+			m, _, err := ev.ZMoments()
+			return m, err
+		},
+		"random": func() (float64, error) {
+			g, err := RandomStrategy(in, 0.5, testRand(111))
+			if err != nil {
+				return 0, err
+			}
+			ev, err := NewDiffEvaluator(in, g)
+			if err != nil {
+				return 0, err
+			}
+			m, _, err := ev.ZMoments()
+			return m, err
+		},
+	} {
+		other, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(other) > maxDiff+1e-14 {
+			t.Errorf("%s attains |diff| %v above the claimed optimum %v", name, math.Abs(other), maxDiff)
+		}
+	}
+	// And the Lemma 5.1 bound dominates even the optimum (when its
+	// precondition holds).
+	if Lemma51Precondition(in.N(), in.Q, in.Eps) {
+		bound, err := Lemma51Bound(in.N(), in.Q, in.Eps, e.Var())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxDiff > bound+1e-12 {
+			t.Errorf("optimal diff %v exceeds the Lemma 5.1 bound %v", maxDiff, bound)
+		}
+	}
+}
+
+func TestOptimalStrategyExhaustiveCrossCheck(t *testing.T) {
+	// On the tiniest instance, brute-force all 2^16 strategies and confirm
+	// nothing beats the closed-form optimum.
+	in := mustInstance(t, 1, 2, 0.7)
+	_, maxDiff, err := OptimalFirstMomentStrategy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 1 << uint(in.InputBits()) // 16 inputs
+	// Precompute per-input weights via MixtureProb.
+	weights := make([]float64, size)
+	uniformProb := 1.0 / float64(in.N()*in.N())
+	for idx := 0; idx < size; idx++ {
+		samples, err := in.SamplesFromInput(uint64(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := in.MixtureProb(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights[idx] = mix - uniformProb
+	}
+	best := 0.0
+	for mask := uint64(0); mask < 1<<uint(size); mask++ {
+		var v float64
+		for idx := 0; idx < size; idx++ {
+			if mask&(1<<uint(idx)) != 0 {
+				v += weights[idx]
+			}
+		}
+		if v > best {
+			best = v
+		}
+	}
+	if math.Abs(best-maxDiff) > 1e-15 {
+		t.Fatalf("brute force found %v, closed form %v", best, maxDiff)
+	}
+}
+
+func TestOptimalStrategyGrowsWithEps(t *testing.T) {
+	prev := 0.0
+	for _, eps := range []float64{0.1, 0.3, 0.6, 0.9} {
+		in := mustInstance(t, 2, 3, eps)
+		_, maxDiff, err := OptimalFirstMomentStrategy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxDiff <= prev {
+			t.Errorf("eps=%v: optimal diff %v did not grow from %v", eps, maxDiff, prev)
+		}
+		prev = maxDiff
+	}
+}

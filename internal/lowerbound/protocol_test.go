@@ -1,0 +1,164 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/boolfn"
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+func exactProtocolFor(t *testing.T, in Instance, k int, rule core.DecisionRule) *ExactProtocol {
+	t.Helper()
+	g, err := SignAgreementDetector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := make([]boolfn.Func, k)
+	for i := range strategies {
+		strategies[i] = g
+	}
+	p, err := NewExactProtocol(in, strategies, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewExactProtocolValidation(t *testing.T) {
+	in := mustInstance(t, 2, 2, 0.5)
+	g, _ := SignAgreementDetector(in)
+	if _, err := NewExactProtocol(in, nil, core.ANDRule{}); err == nil {
+		t.Error("zero players accepted")
+	}
+	if _, err := NewExactProtocol(in, []boolfn.Func{g}, nil); err == nil {
+		t.Error("nil rule accepted")
+	}
+	nonBool, _ := boolfn.FromOracle(in.InputBits(), func(uint64) float64 { return 0.5 })
+	if _, err := NewExactProtocol(in, []boolfn.Func{nonBool}, core.ANDRule{}); err == nil {
+		t.Error("non-Boolean strategy accepted")
+	}
+	wrong, _ := boolfn.New(2)
+	if _, err := NewExactProtocol(in, []boolfn.Func{wrong}, core.ANDRule{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	big := make([]boolfn.Func, 21)
+	for i := range big {
+		big[i] = g
+	}
+	if _, err := NewExactProtocol(in, big, core.ANDRule{}); err == nil {
+		t.Error("k=21 accepted")
+	}
+}
+
+func TestExactAcceptanceMatchesMonteCarlo(t *testing.T) {
+	// Oracle: simulate the same protocol with samples and compare.
+	in := mustInstance(t, 2, 3, 0.6)
+	const k = 5
+	rule := core.ThresholdRule{T: 2}
+	p := exactProtocolFor(t, in, k, rule)
+	exactU, err := p.AcceptUniform()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, _ := SignAgreementDetector(in)
+	// Monte-Carlo under uniform: draw q samples per player, evaluate G.
+	est, err := stats.EstimateSuccess(40000, func(rng *rand.Rand) bool {
+		bits := make([]bool, k)
+		for i := 0; i < k; i++ {
+			samples := make([]int, in.Q)
+			for j := range samples {
+				samples[j] = rng.IntN(in.N())
+			}
+			idx, ierr := in.InputFromSamples(samples)
+			if ierr != nil {
+				t.Error(ierr)
+				return false
+			}
+			bits[i] = g.At(idx) == 1
+		}
+		ok, derr := rule.Decide(bits)
+		if derr != nil {
+			t.Error(derr)
+			return false
+		}
+		return ok
+	}, stats.EstimateOptions{Seed: 131})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-exactU) > 0.01 {
+		t.Errorf("exact accept(U) %v vs Monte-Carlo %v", exactU, est.P)
+	}
+}
+
+func TestGapBelowDivergenceCeiling(t *testing.T) {
+	// The executable Theorem 6.1 pipeline: for every rule, the exact
+	// acceptance gap respects the information-theoretic ceiling.
+	in := mustInstance(t, 3, 3, 0.3)
+	for _, tt := range []struct {
+		name string
+		rule core.DecisionRule
+		k    int
+	}{
+		{"and k=4", core.ANDRule{}, 4},
+		{"and k=10", core.ANDRule{}, 10},
+		{"majority k=9", core.MajorityRule{}, 9},
+		{"threshold2 k=8", core.ThresholdRule{T: 2}, 8},
+		{"or k=6", core.ORRule{}, 6},
+	} {
+		p := exactProtocolFor(t, in, tt.k, tt.rule)
+		gap, ceiling, err := p.Gap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > ceiling+1e-12 {
+			t.Errorf("%s: gap %v exceeds ceiling %v", tt.name, gap, ceiling)
+		}
+		if gap < 0 {
+			t.Errorf("%s: negative gap %v", tt.name, gap)
+		}
+	}
+}
+
+func TestGapGrowsWithPlayers(t *testing.T) {
+	// More players extract more of the available divergence (majority
+	// rule on an informative detector).
+	in := mustInstance(t, 2, 4, 0.6)
+	gapAt := func(k int) float64 {
+		p := exactProtocolFor(t, in, k, core.MajorityRule{})
+		gap, _, err := p.Gap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gap
+	}
+	g1, g9 := gapAt(1), gapAt(9)
+	if g9 <= g1 {
+		t.Errorf("gap did not grow with players: k=1 %v, k=9 %v", g1, g9)
+	}
+}
+
+func TestCeilingScalesWithSqrtPlayers(t *testing.T) {
+	// ceiling = sqrt(c * k * E_z D): quadrupling k doubles it.
+	in := mustInstance(t, 2, 3, 0.5)
+	p4 := exactProtocolFor(t, in, 4, core.ANDRule{})
+	p16 := exactProtocolFor(t, in, 16, core.ANDRule{})
+	c4, err := p4.DivergenceCeiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, err := p16.DivergenceCeiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c16/c4-2) > 1e-9 {
+		t.Errorf("ceiling ratio %v, want 2", c16/c4)
+	}
+	if p4.Players() != 4 {
+		t.Errorf("players = %d", p4.Players())
+	}
+}

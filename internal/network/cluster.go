@@ -1,0 +1,174 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// Cluster runs a full SMP tester as a networked system: a referee server
+// plus k player nodes over a Transport. It implements core.Protocol, so a
+// networked deployment plugs into the same measurement harness as the
+// in-process SMP simulator.
+type Cluster struct {
+	k       int
+	q       int
+	rule    core.LocalRule
+	referee core.Referee
+	tr      Transport
+	timeout time.Duration
+}
+
+var _ core.Protocol = (*Cluster)(nil)
+
+// ClusterConfig configures NewCluster.
+type ClusterConfig struct {
+	// K is the number of player nodes.
+	K int
+	// Q is the per-node sample count.
+	Q int
+	// Rule is the shared local rule.
+	Rule core.LocalRule
+	// Referee is the decision function.
+	Referee core.Referee
+	// Transport carries the frames; nil selects a fresh MemTransport.
+	Transport Transport
+	// Timeout bounds every per-frame wait; zero means 10 seconds.
+	Timeout time.Duration
+}
+
+// NewCluster validates the configuration.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("network: cluster with %d players", cfg.K)
+	}
+	if cfg.Q < 0 {
+		return nil, fmt.Errorf("network: cluster with %d samples per player", cfg.Q)
+	}
+	if cfg.Rule == nil {
+		return nil, fmt.Errorf("network: cluster with nil rule")
+	}
+	if cfg.Referee == nil {
+		return nil, fmt.Errorf("network: cluster with nil referee")
+	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("network: negative timeout %v", cfg.Timeout)
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewMemTransport()
+	}
+	return &Cluster{
+		k:       cfg.K,
+		q:       cfg.Q,
+		rule:    cfg.Rule,
+		referee: cfg.Referee,
+		tr:      tr,
+		timeout: cfg.Timeout,
+	}, nil
+}
+
+// Players implements core.Protocol.
+func (c *Cluster) Players() int { return c.k }
+
+// MaxSamplesPerPlayer implements core.Protocol.
+func (c *Cluster) MaxSamplesPerPlayer() int { return c.q }
+
+// Run implements core.Protocol: it executes one networked round against
+// the sampler and returns the referee's verdict. Each node derives its own
+// private generator from rng, so runs are reproducible for a fixed rng
+// state even though nodes execute concurrently.
+func (c *Cluster) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	return c.RunContext(context.Background(), sampler, rng)
+}
+
+// RunContext is Run with cancellation.
+func (c *Cluster) RunContext(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	if sampler == nil {
+		return false, fmt.Errorf("network: nil sampler")
+	}
+	if rng == nil {
+		return false, fmt.Errorf("network: nil rng")
+	}
+	server, err := NewRefereeServer(c.k, c.referee, c.timeout)
+	if err != nil {
+		return false, err
+	}
+	listener, err := c.tr.Listen()
+	if err != nil {
+		return false, fmt.Errorf("network: listen: %w", err)
+	}
+	defer func() { _ = listener.Close() }()
+
+	// Close the listener if the context dies so a blocked Accept returns.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = listener.Close()
+		case <-watchdogDone:
+		}
+	}()
+
+	seed := rng.Uint64()
+
+	type result struct {
+		accept bool
+		err    error
+	}
+	nodeResults := make(chan result, c.k)
+	var wg sync.WaitGroup
+	for i := 0; i < c.k; i++ {
+		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
+		if err != nil {
+			return false, err
+		}
+		nodeRng := rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			accept, err := node.RunRound(c.tr, listener.Addr(), nodeRng)
+			nodeResults <- result{accept: accept, err: err}
+		}()
+	}
+
+	verdict, refErr := server.RunRound(ctx, listener, seed)
+
+	// Wait for the nodes, but do not block past cancellation: a node stuck
+	// inside its own rule cannot be force-aborted, and on ctx death its
+	// connection is already closed, so it will unwind as soon as the rule
+	// returns.
+	nodesDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(nodesDone)
+	}()
+	select {
+	case <-nodesDone:
+	case <-ctx.Done():
+		if refErr != nil {
+			return false, refErr
+		}
+		return false, ctx.Err()
+	}
+
+	close(nodeResults)
+	if refErr != nil {
+		return false, refErr
+	}
+	for r := range nodeResults {
+		if r.err != nil {
+			return false, r.err
+		}
+		if r.accept != verdict {
+			return false, fmt.Errorf("network: node saw verdict %v, referee decided %v", r.accept, verdict)
+		}
+	}
+	return verdict, nil
+}

@@ -1,0 +1,19 @@
+// Package network runs the paper's simultaneous-message-passing model as a
+// real message-passing system: a referee server and k player nodes
+// exchanging length-prefixed frames over a Transport (in-memory pipes for
+// tests and simulations, TCP loopback for the deployment-shaped demo).
+//
+// One round follows the model exactly:
+//
+//  1. Every player connects and sends HELLO with its player id.
+//  2. The referee replies ROUND carrying the public-coin seed shared by
+//     all players of the round.
+//  3. Each player draws its q samples locally, evaluates its core.LocalRule
+//     and sends VOTE with its message bits.
+//  4. After collecting all k votes the referee applies its core.Referee
+//     decision function and broadcasts VERDICT.
+//
+// Cluster wires the pieces together and implements core.Protocol, so a
+// networked deployment can be dropped into the same experiment harness as
+// the in-process simulator (that equivalence is itself covered by tests).
+package network

@@ -1,0 +1,81 @@
+package network
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// PlayerNode is one sensor/server in the network: it owns a sampler for
+// its local observations and a core.LocalRule for its vote.
+type PlayerNode struct {
+	id      uint32
+	q       int
+	rule    core.LocalRule
+	sampler dist.Sampler
+	timeout time.Duration
+}
+
+// NewPlayerNode builds a node. timeout bounds each frame wait; zero means
+// 10 seconds.
+func NewPlayerNode(id uint32, q int, rule core.LocalRule, sampler dist.Sampler, timeout time.Duration) (*PlayerNode, error) {
+	if q < 0 {
+		return nil, fmt.Errorf("network: node %d with %d samples", id, q)
+	}
+	if rule == nil {
+		return nil, fmt.Errorf("network: node %d with nil rule", id)
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("network: node %d with nil sampler", id)
+	}
+	if timeout < 0 {
+		return nil, fmt.Errorf("network: negative timeout %v", timeout)
+	}
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return &PlayerNode{id: id, q: q, rule: rule, sampler: sampler, timeout: timeout}, nil
+}
+
+// RunRound participates in one round over the given transport and returns
+// the referee's verdict as seen by this node.
+func (p *PlayerNode) RunRound(tr Transport, addr net.Addr, rng *rand.Rand) (bool, error) {
+	if tr == nil {
+		return false, fmt.Errorf("network: nil transport")
+	}
+	if rng == nil {
+		return false, fmt.Errorf("network: nil rng")
+	}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return false, fmt.Errorf("network: node %d dial: %w", p.id, err)
+	}
+	defer func() { _ = conn.Close() }()
+	setDeadline(conn, p.timeout)
+
+	if err := WriteHello(conn, Hello{Player: p.id, Bits: uint8(p.rule.Bits())}); err != nil {
+		return false, fmt.Errorf("network: node %d hello: %w", p.id, err)
+	}
+	round, err := expectFrame[Round](conn, FrameRound)
+	if err != nil {
+		return false, fmt.Errorf("network: node %d round: %w", p.id, err)
+	}
+
+	samples := dist.SampleN(p.sampler, p.q, rng)
+	msg, err := p.rule.Message(int(p.id), samples, round.Seed, rng)
+	if err != nil {
+		return false, fmt.Errorf("network: node %d rule: %w", p.id, err)
+	}
+	if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(msg)}); err != nil {
+		return false, fmt.Errorf("network: node %d vote: %w", p.id, err)
+	}
+	verdict, err := expectFrame[Verdict](conn, FrameVerdict)
+	if err != nil {
+		return false, fmt.Errorf("network: node %d verdict: %w", p.id, err)
+	}
+	return verdict.Accept, nil
+}

@@ -1,0 +1,161 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+)
+
+// RefereeServer collects one round of votes from k players and broadcasts
+// the decision of its core.Referee.
+type RefereeServer struct {
+	k       int
+	decide  core.Referee
+	timeout time.Duration
+}
+
+// NewRefereeServer builds the server. timeout bounds each connection's
+// per-frame wait; zero means 10 seconds.
+func NewRefereeServer(k int, decide core.Referee, timeout time.Duration) (*RefereeServer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("network: referee for %d players", k)
+	}
+	if decide == nil {
+		return nil, fmt.Errorf("network: nil decision function")
+	}
+	if timeout < 0 {
+		return nil, fmt.Errorf("network: negative timeout %v", timeout)
+	}
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return &RefereeServer{k: k, decide: decide, timeout: timeout}, nil
+}
+
+// RunRound accepts k player connections on the listener, runs the HELLO /
+// ROUND / VOTE / VERDICT exchange with the given public-coin seed, and
+// returns the verdict. It closes every accepted connection before
+// returning; the listener itself stays open for further rounds. ctx
+// cancellation aborts the round.
+func (s *RefereeServer) RunRound(ctx context.Context, l net.Listener, seed uint64) (bool, error) {
+	if l == nil {
+		return false, fmt.Errorf("network: nil listener")
+	}
+	var (
+		connMu sync.Mutex
+		conns  []net.Conn
+	)
+	track := func(c net.Conn) {
+		connMu.Lock()
+		conns = append(conns, c)
+		connMu.Unlock()
+	}
+	closeAll := func() {
+		connMu.Lock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		connMu.Unlock()
+	}
+	defer closeAll()
+
+	// Context death is checked before each Accept; for a *blocked* Accept
+	// the caller closes the listener (Cluster does so on ctx.Done). Reads
+	// on already-accepted connections are unblocked by the watchdog below,
+	// which force-closes them when the context dies.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watchdogDone:
+		}
+	}()
+
+	type slot struct {
+		conn   net.Conn
+		player uint32
+	}
+	slots := make([]slot, 0, s.k)
+	for len(slots) < s.k {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			return false, fmt.Errorf("network: accept: %w", err)
+		}
+		track(conn)
+		setDeadline(conn, s.timeout)
+		hello, err := expectFrame[Hello](conn, FrameHello)
+		if err != nil {
+			return false, fmt.Errorf("network: hello: %w", err)
+		}
+		if hello.Bits < 1 || hello.Bits > 64 {
+			return false, fmt.Errorf("network: player %d announced %d message bits", hello.Player, hello.Bits)
+		}
+		slots = append(slots, slot{conn: conn, player: hello.Player})
+	}
+
+	// Broadcast the round seed, then gather votes concurrently.
+	votes := make([]core.Message, s.k)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for i, sl := range slots {
+		wg.Add(1)
+		go func(i int, sl slot) {
+			defer wg.Done()
+			setDeadline(sl.conn, s.timeout)
+			if err := WriteRound(sl.conn, Round{Seed: seed}); err != nil {
+				fail(fmt.Errorf("network: round to player %d: %w", sl.player, err))
+				return
+			}
+			vote, err := expectFrame[Vote](sl.conn, FrameVote)
+			if err != nil {
+				fail(fmt.Errorf("network: vote from player %d: %w", sl.player, err))
+				return
+			}
+			if vote.Player != sl.player {
+				fail(fmt.Errorf("network: vote claims player %d on player %d's connection", vote.Player, sl.player))
+				return
+			}
+			votes[i] = core.Message(vote.Message)
+		}(i, sl)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, firstErr
+	}
+
+	accept, err := s.decide.Decide(votes)
+	if err != nil {
+		return false, fmt.Errorf("network: referee decision: %w", err)
+	}
+	for _, sl := range slots {
+		if err := WriteVerdict(sl.conn, Verdict{Accept: accept}); err != nil {
+			return false, fmt.Errorf("network: verdict to player %d: %w", sl.player, err)
+		}
+	}
+	return accept, nil
+}
+
+func setDeadline(conn net.Conn, d time.Duration) {
+	// net.Pipe supports deadlines; failures here are non-fatal (reads will
+	// still error out on close).
+	_ = conn.SetDeadline(time.Now().Add(d))
+}

@@ -1,0 +1,299 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// This file implements multi-round sessions: the referee keeps the k
+// player connections open and runs the ROUND/VOTE/VERDICT exchange
+// repeatedly, closing with FINISH. Sessions amortize connection setup over
+// amplification rounds (see core.Amplify for the statistics side) — the
+// shape a deployed alarm network actually has, where sensors hold a
+// long-lived connection and get polled periodically.
+
+// RunSession accepts k player connections and runs one
+// ROUND/VOTE/VERDICT exchange per seed, then broadcasts FINISH. It returns
+// the per-round verdicts. Connections are closed before returning; the
+// listener stays open.
+func (s *RefereeServer) RunSession(ctx context.Context, l net.Listener, seeds []uint64) ([]bool, error) {
+	if l == nil {
+		return nil, fmt.Errorf("network: nil listener")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("network: session with zero rounds")
+	}
+
+	var (
+		connMu sync.Mutex
+		conns  []net.Conn
+	)
+	track := func(c net.Conn) {
+		connMu.Lock()
+		conns = append(conns, c)
+		connMu.Unlock()
+	}
+	closeAll := func() {
+		connMu.Lock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		connMu.Unlock()
+	}
+	defer closeAll()
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watchdogDone:
+		}
+	}()
+
+	type slot struct {
+		conn   net.Conn
+		player uint32
+	}
+	slots := make([]slot, 0, s.k)
+	for len(slots) < s.k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("network: accept: %w", err)
+		}
+		track(conn)
+		setDeadline(conn, s.timeout)
+		hello, err := expectFrame[Hello](conn, FrameHello)
+		if err != nil {
+			return nil, fmt.Errorf("network: hello: %w", err)
+		}
+		if hello.Bits < 1 || hello.Bits > 64 {
+			return nil, fmt.Errorf("network: player %d announced %d message bits", hello.Player, hello.Bits)
+		}
+		slots = append(slots, slot{conn: conn, player: hello.Player})
+	}
+
+	verdicts := make([]bool, 0, len(seeds))
+	votes := make([]core.Message, s.k)
+	for _, seed := range seeds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		for i, sl := range slots {
+			wg.Add(1)
+			go func(i int, sl slot) {
+				defer wg.Done()
+				setDeadline(sl.conn, s.timeout)
+				if err := WriteRound(sl.conn, Round{Seed: seed}); err != nil {
+					fail(fmt.Errorf("network: round to player %d: %w", sl.player, err))
+					return
+				}
+				vote, err := expectFrame[Vote](sl.conn, FrameVote)
+				if err != nil {
+					fail(fmt.Errorf("network: vote from player %d: %w", sl.player, err))
+					return
+				}
+				if vote.Player != sl.player {
+					fail(fmt.Errorf("network: vote claims player %d on player %d's connection", vote.Player, sl.player))
+					return
+				}
+				votes[i] = core.Message(vote.Message)
+			}(i, sl)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		accept, err := s.decide.Decide(votes)
+		if err != nil {
+			return nil, fmt.Errorf("network: referee decision: %w", err)
+		}
+		for _, sl := range slots {
+			if err := WriteVerdict(sl.conn, Verdict{Accept: accept}); err != nil {
+				return nil, fmt.Errorf("network: verdict to player %d: %w", sl.player, err)
+			}
+		}
+		verdicts = append(verdicts, accept)
+	}
+	for _, sl := range slots {
+		setDeadline(sl.conn, s.timeout)
+		if err := WriteFinish(sl.conn); err != nil {
+			return nil, fmt.Errorf("network: finish to player %d: %w", sl.player, err)
+		}
+	}
+	return verdicts, nil
+}
+
+// RunSession participates in a multi-round session: the node keeps its
+// connection open, answers every ROUND with a fresh sample batch and VOTE,
+// records each VERDICT, and exits on FINISH.
+func (p *PlayerNode) RunSession(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("network: nil transport")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("network: nil rng")
+	}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: node %d dial: %w", p.id, err)
+	}
+	defer func() { _ = conn.Close() }()
+	setDeadline(conn, p.timeout)
+
+	if err := WriteHello(conn, Hello{Player: p.id, Bits: uint8(p.rule.Bits())}); err != nil {
+		return nil, fmt.Errorf("network: node %d hello: %w", p.id, err)
+	}
+	var verdicts []bool
+	for {
+		setDeadline(conn, p.timeout)
+		t, msg, err := ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("network: node %d read: %w", p.id, err)
+		}
+		switch m := msg.(type) {
+		case Round:
+			samples := dist.SampleN(p.sampler, p.q, rng)
+			vote, err := p.rule.Message(int(p.id), samples, m.Seed, rng)
+			if err != nil {
+				return nil, fmt.Errorf("network: node %d rule: %w", p.id, err)
+			}
+			if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(vote)}); err != nil {
+				return nil, fmt.Errorf("network: node %d vote: %w", p.id, err)
+			}
+		case Verdict:
+			verdicts = append(verdicts, m.Accept)
+		case Finish:
+			return verdicts, nil
+		default:
+			return nil, fmt.Errorf("network: node %d got unexpected %v mid-session", p.id, t)
+		}
+	}
+}
+
+// RunMany runs a multi-round session end to end: one connection per node
+// for all rounds, one verdict per round. The majority of the verdicts is
+// the amplified decision (see core.Amplify).
+func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, error) {
+	if sampler == nil {
+		return nil, fmt.Errorf("network: nil sampler")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("network: nil rng")
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("network: session with %d rounds", rounds)
+	}
+	server, err := NewRefereeServer(c.k, c.referee, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	listener, err := c.tr.Listen()
+	if err != nil {
+		return nil, fmt.Errorf("network: listen: %w", err)
+	}
+	defer func() { _ = listener.Close() }()
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = listener.Close()
+		case <-watchdogDone:
+		}
+	}()
+
+	seeds := make([]uint64, rounds)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+
+	type nodeResult struct {
+		verdicts []bool
+		err      error
+	}
+	results := make(chan nodeResult, c.k)
+	var wg sync.WaitGroup
+	for i := 0; i < c.k; i++ {
+		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		nodeRng := rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := node.RunSession(c.tr, listener.Addr(), nodeRng)
+			results <- nodeResult{verdicts: v, err: err}
+		}()
+	}
+
+	verdicts, refErr := server.RunSession(ctx, listener, seeds)
+
+	nodesDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(nodesDone)
+	}()
+	select {
+	case <-nodesDone:
+	case <-ctx.Done():
+		if refErr != nil {
+			return nil, refErr
+		}
+		return nil, ctx.Err()
+	}
+	close(results)
+	if refErr != nil {
+		return nil, refErr
+	}
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(r.verdicts) != len(verdicts) {
+			return nil, fmt.Errorf("network: node saw %d verdicts, referee issued %d", len(r.verdicts), len(verdicts))
+		}
+		for i := range r.verdicts {
+			if r.verdicts[i] != verdicts[i] {
+				return nil, fmt.Errorf("network: node verdict %d disagrees with referee", i)
+			}
+		}
+	}
+	return verdicts, nil
+}
+
+// MajorityVerdict reduces a session's verdicts to the amplified decision.
+func MajorityVerdict(verdicts []bool) (bool, error) {
+	if len(verdicts) == 0 {
+		return false, fmt.Errorf("network: majority of zero verdicts")
+	}
+	accepts := 0
+	for _, v := range verdicts {
+		if v {
+			accepts++
+		}
+	}
+	return 2*accepts > len(verdicts), nil
+}

@@ -1,0 +1,119 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport abstracts how players reach the referee. Implementations must
+// be safe for concurrent Dial calls.
+type Transport interface {
+	// Listen opens the referee's endpoint.
+	Listen() (net.Listener, error)
+	// Dial connects a player to the listener returned by Listen.
+	Dial(addr net.Addr) (net.Conn, error)
+}
+
+// Verify interface compliance.
+var (
+	_ Transport = (*TCPTransport)(nil)
+	_ Transport = (*MemTransport)(nil)
+)
+
+// TCPTransport connects over TCP loopback.
+type TCPTransport struct{}
+
+// Listen implements Transport on 127.0.0.1 with an ephemeral port.
+func (TCPTransport) Listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr net.Addr) (net.Conn, error) {
+	return net.Dial(addr.Network(), addr.String())
+}
+
+// MemTransport connects through in-process net.Pipe pairs: zero syscalls,
+// fully deterministic scheduling aside from goroutine interleaving.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	next      int
+}
+
+// NewMemTransport returns an empty in-memory fabric.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Transport.
+func (m *MemTransport) Listen() (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := fmt.Sprintf("mem-%d", m.next)
+	m.next++
+	l := &memListener{
+		addr:   memAddr(name),
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+		onClose: func() {
+			m.mu.Lock()
+			delete(m.listeners, name)
+			m.mu.Unlock()
+		},
+	}
+	m.listeners[name] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (m *MemTransport) Dial(addr net.Addr) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr.String()]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("network: no in-memory listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("network: listener %q closed", addr)
+	}
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	addr    memAddr
+	accept  chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+	onClose func()
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("network: listener %q closed", l.addr)
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		if l.onClose != nil {
+			l.onClose()
+		}
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,209 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic prefixes every frame, catching cross-protocol connections.
+	Magic = uint16(0xD07A)
+	// Version is the wire protocol version.
+	Version = uint8(1)
+	// MaxFrameSize bounds a frame's payload; every legal message is tiny.
+	MaxFrameSize = 64
+)
+
+// FrameType enumerates the message kinds. Values are wire-stable.
+type FrameType uint8
+
+// Frame types, in round order.
+const (
+	FrameHello FrameType = iota + 1
+	FrameRound
+	FrameVote
+	FrameVerdict
+	FrameFinish
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameRound:
+		return "ROUND"
+	case FrameVote:
+		return "VOTE"
+	case FrameVerdict:
+		return "VERDICT"
+	case FrameFinish:
+		return "FINISH"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Hello is the player's first frame.
+type Hello struct {
+	Player uint32
+	Bits   uint8 // message bits the player's rule uses
+}
+
+// Round carries the public-coin seed for the round.
+type Round struct {
+	Seed uint64
+}
+
+// Vote carries the player's message to the referee.
+type Vote struct {
+	Player  uint32
+	Message uint64
+}
+
+// Verdict is the referee's broadcast decision.
+type Verdict struct {
+	Accept bool
+}
+
+// Finish tells a player the session is over (multi-round sessions only).
+type Finish struct{}
+
+// frame layout: magic(2) version(1) type(1) length(4) payload(length).
+const headerSize = 8
+
+// writeFrame writes one frame.
+func writeFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("network: payload of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = byte(t)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, validating magic, version and size.
+func readFrame(r io.Reader) (FrameType, []byte, error) {
+	var header [headerSize]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return 0, nil, err
+	}
+	if got := binary.BigEndian.Uint16(header[0:2]); got != Magic {
+		return 0, nil, fmt.Errorf("network: bad magic %#x", got)
+	}
+	if header[2] != Version {
+		return 0, nil, fmt.Errorf("network: unsupported protocol version %d", header[2])
+	}
+	t := FrameType(header[3])
+	size := binary.BigEndian.Uint32(header[4:8])
+	if size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("network: oversized frame of %d bytes", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// WriteHello sends a HELLO frame.
+func WriteHello(w io.Writer, h Hello) error {
+	var p [5]byte
+	binary.BigEndian.PutUint32(p[0:4], h.Player)
+	p[4] = h.Bits
+	return writeFrame(w, FrameHello, p[:])
+}
+
+// WriteRound sends a ROUND frame.
+func WriteRound(w io.Writer, r Round) error {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], r.Seed)
+	return writeFrame(w, FrameRound, p[:])
+}
+
+// WriteVote sends a VOTE frame.
+func WriteVote(w io.Writer, v Vote) error {
+	var p [12]byte
+	binary.BigEndian.PutUint32(p[0:4], v.Player)
+	binary.BigEndian.PutUint64(p[4:12], v.Message)
+	return writeFrame(w, FrameVote, p[:])
+}
+
+// WriteVerdict sends a VERDICT frame.
+func WriteVerdict(w io.Writer, v Verdict) error {
+	p := []byte{0}
+	if v.Accept {
+		p[0] = 1
+	}
+	return writeFrame(w, FrameVerdict, p)
+}
+
+// WriteFinish sends a FINISH frame.
+func WriteFinish(w io.Writer) error {
+	return writeFrame(w, FrameFinish, nil)
+}
+
+// ReadFrame reads and decodes the next frame into one of the typed
+// structs; the first return carries the type tag.
+func ReadFrame(r io.Reader) (FrameType, any, error) {
+	t, payload, err := readFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch t {
+	case FrameHello:
+		if len(payload) != 5 {
+			return 0, nil, fmt.Errorf("network: HELLO payload of %d bytes", len(payload))
+		}
+		return t, Hello{Player: binary.BigEndian.Uint32(payload[0:4]), Bits: payload[4]}, nil
+	case FrameRound:
+		if len(payload) != 8 {
+			return 0, nil, fmt.Errorf("network: ROUND payload of %d bytes", len(payload))
+		}
+		return t, Round{Seed: binary.BigEndian.Uint64(payload)}, nil
+	case FrameVote:
+		if len(payload) != 12 {
+			return 0, nil, fmt.Errorf("network: VOTE payload of %d bytes", len(payload))
+		}
+		return t, Vote{
+			Player:  binary.BigEndian.Uint32(payload[0:4]),
+			Message: binary.BigEndian.Uint64(payload[4:12]),
+		}, nil
+	case FrameVerdict:
+		if len(payload) != 1 {
+			return 0, nil, fmt.Errorf("network: VERDICT payload of %d bytes", len(payload))
+		}
+		return t, Verdict{Accept: payload[0] == 1}, nil
+	case FrameFinish:
+		if len(payload) != 0 {
+			return 0, nil, fmt.Errorf("network: FINISH payload of %d bytes", len(payload))
+		}
+		return t, Finish{}, nil
+	default:
+		return 0, nil, fmt.Errorf("network: unknown frame type %d", uint8(t))
+	}
+}
+
+// expectFrame reads the next frame and requires a specific type.
+func expectFrame[T any](r io.Reader, want FrameType) (T, error) {
+	var zero T
+	t, msg, err := ReadFrame(r)
+	if err != nil {
+		return zero, err
+	}
+	if t != want {
+		return zero, fmt.Errorf("network: expected %v, got %v", want, t)
+	}
+	typed, ok := msg.(T)
+	if !ok {
+		return zero, fmt.Errorf("network: frame %v decoded to unexpected type %T", t, msg)
+	}
+	return typed, nil
+}

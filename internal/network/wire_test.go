@@ -1,0 +1,151 @@
+package network
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, Hello{Player: 7, Bits: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRound(&buf, Round{Seed: 0xdeadbeefcafe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVote(&buf, Vote{Player: 7, Message: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerdict(&buf, Verdict{Accept: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerdict(&buf, Verdict{Accept: false}); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, msg, err := ReadFrame(&buf)
+	if err != nil || typ != FrameHello {
+		t.Fatalf("hello: %v %v %v", typ, msg, err)
+	}
+	if h := msg.(Hello); h.Player != 7 || h.Bits != 3 {
+		t.Errorf("hello = %+v", h)
+	}
+	typ, msg, err = ReadFrame(&buf)
+	if err != nil || typ != FrameRound {
+		t.Fatalf("round: %v %v", typ, err)
+	}
+	if r := msg.(Round); r.Seed != 0xdeadbeefcafe {
+		t.Errorf("round = %+v", r)
+	}
+	typ, msg, err = ReadFrame(&buf)
+	if err != nil || typ != FrameVote {
+		t.Fatalf("vote: %v %v", typ, err)
+	}
+	if v := msg.(Vote); v.Player != 7 || v.Message != 42 {
+		t.Errorf("vote = %+v", v)
+	}
+	typ, msg, err = ReadFrame(&buf)
+	if err != nil || typ != FrameVerdict || !msg.(Verdict).Accept {
+		t.Fatalf("verdict true: %v %v %v", typ, msg, err)
+	}
+	typ, msg, err = ReadFrame(&buf)
+	if err != nil || typ != FrameVerdict || msg.(Verdict).Accept {
+		t.Fatalf("verdict false: %v %v %v", typ, msg, err)
+	}
+}
+
+func TestReadFrameRejectsBadMagic(t *testing.T) {
+	buf := []byte{0x00, 0x01, 1, 1, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(buf)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+}
+
+func TestReadFrameRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerdict(&buf, Verdict{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var header [8]byte
+	binary.BigEndian.PutUint16(header[0:2], Magic)
+	header[2] = Version
+	header[3] = byte(FrameVote)
+	binary.BigEndian.PutUint32(header[4:8], MaxFrameSize+1)
+	if _, _, err := ReadFrame(bytes.NewReader(header[:])); err == nil || !strings.Contains(err.Error(), "oversized") {
+		t.Errorf("oversized: %v", err)
+	}
+}
+
+func TestReadFrameRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVote(&buf, Vote{Player: 1, Message: 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestReadFrameRejectsWrongPayloadSizes(t *testing.T) {
+	mk := func(t FrameType, size int) []byte {
+		var header [8]byte
+		binary.BigEndian.PutUint16(header[0:2], Magic)
+		header[2] = Version
+		header[3] = byte(t)
+		binary.BigEndian.PutUint32(header[4:8], uint32(size))
+		return append(header[:], make([]byte, size)...)
+	}
+	for _, tt := range []struct {
+		t    FrameType
+		size int
+	}{
+		{FrameHello, 4}, {FrameRound, 7}, {FrameVote, 11}, {FrameVerdict, 2},
+	} {
+		if _, _, err := ReadFrame(bytes.NewReader(mk(tt.t, tt.size))); err == nil {
+			t.Errorf("%v with %d-byte payload accepted", tt.t, tt.size)
+		}
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(mk(FrameType(9), 0))); err == nil {
+		t.Error("unknown frame type accepted")
+	}
+}
+
+func TestExpectFrameTypeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRound(&buf, Round{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expectFrame[Vote](&buf, FrameVote); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestWriteFrameRejectsHugePayload(t *testing.T) {
+	if err := writeFrame(io.Discard, FrameVote, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameHello.String() != "HELLO" || FrameVerdict.String() != "VERDICT" {
+		t.Error("frame names wrong")
+	}
+	if !strings.Contains(FrameType(77).String(), "77") {
+		t.Error("unknown frame name wrong")
+	}
+}

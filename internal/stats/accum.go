@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds a batch of observations.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Count returns the number of observations.
+func (a *Accumulator) Count() int64 { return a.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the population variance (dividing by n).
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1),
+// or 0 with fewer than two observations.
+func (a *Accumulator) SampleVariance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean, using the sample variance.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.SampleVariance() / float64(a.n))
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 with no observations).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance combination), so per-worker accumulators can be reduced.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += delta * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// KahanSum accumulates a compensated sum; the zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add folds x into the sum with Kahan compensation.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Mean returns the arithmetic mean of a slice (error on empty input).
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty slice")
+	}
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum() / float64(len(xs)), nil
+}
+
+// LogSumExp returns log(sum_i exp(xs_i)) stably.
+func LogSumExp(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: logsumexp of empty slice")
+	}
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return math.Inf(-1), nil
+	}
+	var acc float64
+	for _, x := range xs {
+		acc += math.Exp(x - m)
+	}
+	return m + math.Log(acc), nil
+}
+
+// Quantile returns the empirical p-quantile of the values (p in [0,1]),
+// using the nearest-rank definition on a sorted copy. It errors on empty
+// input.
+func Quantile(values []float64, p float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile level %v outside [0,1]", p)
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], nil
+}

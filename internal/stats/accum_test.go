@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+const tol = 1e-10
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed*2654435761+1))
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("zero-value accumulator not neutral")
+	}
+}
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.Count() != 8 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if !almostEqual(a.Mean(), 5, tol) {
+		t.Errorf("mean = %v", a.Mean())
+	}
+	if !almostEqual(a.Variance(), 4, tol) {
+		t.Errorf("variance = %v", a.Variance())
+	}
+	if !almostEqual(a.SampleVariance(), 32.0/7, tol) {
+		t.Errorf("sample variance = %v", a.SampleVariance())
+	}
+	if !almostEqual(a.StdDev(), 2, tol) {
+		t.Errorf("stddev = %v", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.SampleVariance() != 0 {
+		t.Errorf("sample variance of one observation = %v", a.SampleVariance())
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := testRand(1)
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	var whole Accumulator
+	whole.AddAll(xs)
+	for _, split := range []int{0, 1, 500, 1000, 1001} {
+		var a, b Accumulator
+		a.AddAll(xs[:split])
+		b.AddAll(xs[split:])
+		a.Merge(&b)
+		if a.Count() != whole.Count() {
+			t.Fatalf("split %d: count %d", split, a.Count())
+		}
+		if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+			t.Errorf("split %d: mean %v vs %v", split, a.Mean(), whole.Mean())
+		}
+		if !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+			t.Errorf("split %d: variance %v vs %v", split, a.Variance(), whole.Variance())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: min/max %v/%v", split, a.Min(), a.Max())
+		}
+	}
+}
+
+func TestKahanSumBeatsNaive(t *testing.T) {
+	// Summing many tiny values onto a large one: Kahan keeps the tiny mass.
+	var k KahanSum
+	k.Add(1e16)
+	for i := 0; i < 10000; i++ {
+		k.Add(1)
+	}
+	if k.Sum() != 1e16+10000 {
+		t.Errorf("Kahan sum = %v, want %v", k.Sum(), 1e16+10000)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m, 2.5, tol) {
+		t.Errorf("mean = %v", m)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("mean of empty slice succeeded")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got, err := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Log(6), tol) {
+		t.Errorf("logsumexp = %v, want %v", got, math.Log(6))
+	}
+	// Stability for large inputs.
+	got, err = LogSumExp([]float64{1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1000+math.Ln2, 1e-9) {
+		t.Errorf("logsumexp large = %v", got)
+	}
+	got, err = LogSumExp([]float64{math.Inf(-1), math.Inf(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, -1) {
+		t.Errorf("logsumexp of -Infs = %v", got)
+	}
+	if _, err := LogSumExp(nil); err == nil {
+		t.Error("logsumexp of empty slice succeeded")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	q, err := Quantile(vals, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q, _ := Quantile(vals, 0); q != 1 {
+		t.Errorf("min = %v", q)
+	}
+	if q, _ := Quantile(vals, 1); q != 5 {
+		t.Errorf("max = %v", q)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Quantile sorted its input in place")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Quantile(vals, 1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := Quantile(vals, -0.1); err == nil {
+		t.Error("p < 0 accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed confidence interval.
+type Interval struct {
+	Low  float64
+	High float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return iv.Low <= x && x <= iv.High }
+
+// Width returns the interval length.
+func (iv Interval) Width() float64 { return iv.High - iv.Low }
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// Bernoulli parameter after observing successes out of trials, at the given
+// confidence level (e.g. 0.95).
+func WilsonInterval(successes, trials int, confidence float64) (Interval, error) {
+	if trials <= 0 {
+		return Interval{}, fmt.Errorf("stats: Wilson interval with %d trials", trials)
+	}
+	if successes < 0 || successes > trials {
+		return Interval{}, fmt.Errorf("stats: %d successes out of %d trials", successes, trials)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	z, err := NormalQuantile(1 - (1-confidence)/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	return Interval{Low: math.Max(0, center-half), High: math.Min(1, center+half)}, nil
+}
+
+// HoeffdingRadius returns the deviation t such that the mean of `trials`
+// bounded-[0,1] observations is within t of its expectation with probability
+// at least `confidence`, by Hoeffding's inequality:
+// t = sqrt(ln(2/delta) / (2 trials)).
+func HoeffdingRadius(trials int, confidence float64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("stats: Hoeffding radius with %d trials", trials)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	delta := 1 - confidence
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(trials))), nil
+}
+
+// HoeffdingTrials inverts HoeffdingRadius: the number of [0,1]-bounded
+// trials needed to pin the mean within radius t at the given confidence.
+func HoeffdingTrials(radius, confidence float64) (int, error) {
+	if radius <= 0 {
+		return 0, fmt.Errorf("stats: Hoeffding trials with radius %v", radius)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	delta := 1 - confidence
+	return int(math.Ceil(math.Log(2/delta) / (2 * radius * radius))), nil
+}

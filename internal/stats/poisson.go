@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonPMF returns the Poisson(lambda) probability mass at k, computed in
+// log space for stability.
+func PoissonPMF(k int, lambda float64) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("stats: Poisson rate %v", lambda)
+	}
+	if k < 0 {
+		return 0, nil
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	lf, err := LogFactorial(k)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - lf), nil
+}
+
+// PoissonUpperTail returns Pr[Poisson(lambda) >= k].
+func PoissonUpperTail(k int, lambda float64) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("stats: Poisson rate %v", lambda)
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	// Pr[Poisson(lambda) >= k] = P(k, lambda), the regularized lower
+	// incomplete gamma function (a gamma-Poisson duality).
+	if lambda == 0 {
+		return 0, nil
+	}
+	return RegularizedGammaP(float64(k), lambda)
+}
+
+// PoissonUpperTailThreshold returns the smallest integer t such that
+// Pr[Poisson(lambda) >= t] <= alpha. Collision counts under the uniform
+// distribution are approximately Poisson, so this sets local rejection
+// thresholds with per-player false-alarm rate alpha without Monte-Carlo
+// calibration (the ablation alternative in DESIGN.md).
+func PoissonUpperTailThreshold(lambda, alpha float64) (int, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("stats: Poisson rate %v", lambda)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: tail mass %v outside (0,1)", alpha)
+	}
+	// Bracket with the normal approximation, then fix up exactly; the
+	// upper tail function is monotone in t.
+	z, err := NormalQuantile(1 - alpha)
+	if err != nil {
+		return 0, err
+	}
+	guess := int(lambda + z*math.Sqrt(lambda))
+	if guess < 0 {
+		guess = 0
+	}
+	t := guess
+	for {
+		tail, err := PoissonUpperTail(t, lambda)
+		if err != nil {
+			return 0, err
+		}
+		if tail <= alpha {
+			break
+		}
+		t++
+		if t > guess+10_000_000 {
+			return 0, fmt.Errorf("stats: Poisson threshold search diverged at lambda=%v alpha=%v", lambda, alpha)
+		}
+	}
+	for t > 0 {
+		tail, err := PoissonUpperTail(t-1, lambda)
+		if err != nil {
+			return 0, err
+		}
+		if tail > alpha {
+			break
+		}
+		t--
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonPMFKnownValues(t *testing.T) {
+	p, err := PoissonPMF(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p, math.Exp(-2), 1e-12) {
+		t.Errorf("pmf(0;2) = %v", p)
+	}
+	p, _ = PoissonPMF(3, 2)
+	if !almostEqual(p, math.Exp(-2)*8.0/6, 1e-12) {
+		t.Errorf("pmf(3;2) = %v", p)
+	}
+	if p, _ := PoissonPMF(-1, 2); p != 0 {
+		t.Errorf("pmf(-1) = %v", p)
+	}
+	if p, _ := PoissonPMF(0, 0); p != 1 {
+		t.Errorf("pmf(0;0) = %v", p)
+	}
+	if p, _ := PoissonPMF(2, 0); p != 0 {
+		t.Errorf("pmf(2;0) = %v", p)
+	}
+	if _, err := PoissonPMF(1, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		var sum float64
+		for k := 0; k < int(lambda)+200; k++ {
+			p, err := PoissonPMF(k, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += p
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("lambda=%v: pmf sums to %v", lambda, sum)
+		}
+	}
+}
+
+func TestPoissonUpperTailMatchesSummation(t *testing.T) {
+	for _, lambda := range []float64{0.5, 2, 10, 50} {
+		for _, k := range []int{0, 1, 2, 5, 10, 60} {
+			got, err := PoissonUpperTail(k, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want float64
+			for j := 0; j < k; j++ {
+				p, _ := PoissonPMF(j, lambda)
+				want += p
+			}
+			want = 1 - want
+			if !almostEqual(got, want, 1e-9) {
+				t.Errorf("tail(%d; %v) = %v, want %v", k, lambda, got, want)
+			}
+		}
+	}
+	if tail, _ := PoissonUpperTail(5, 0); tail != 0 {
+		t.Errorf("tail(5;0) = %v", tail)
+	}
+	if tail, _ := PoissonUpperTail(0, 3); tail != 1 {
+		t.Errorf("tail(0;3) = %v", tail)
+	}
+}
+
+func TestPoissonUpperTailThreshold(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 10, 200, 5000} {
+		for _, alpha := range []float64{0.3, 0.05, 1e-3, 1e-6} {
+			th, err := PoissonUpperTailThreshold(lambda, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at, err := PoissonUpperTail(th, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if at > alpha {
+				t.Errorf("lambda=%v alpha=%v: tail at threshold %d is %v", lambda, alpha, th, at)
+			}
+			if th > 0 {
+				below, err := PoissonUpperTail(th-1, lambda)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if below <= alpha {
+					t.Errorf("lambda=%v alpha=%v: threshold %d not minimal (tail below is %v)", lambda, alpha, th, below)
+				}
+			}
+		}
+	}
+	if _, err := PoissonUpperTailThreshold(-1, 0.1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := PoissonUpperTailThreshold(1, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := PoissonUpperTailThreshold(1, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}

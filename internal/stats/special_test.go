@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegularizedGammaKnownValues(t *testing.T) {
+	// Reference values: P(a,x) for integer a has the closed form
+	// 1 - exp(-x) * sum_{k<a} x^k/k!.
+	closedForm := func(a int, x float64) float64 {
+		sum := 0.0
+		term := 1.0
+		for k := 0; k < a; k++ {
+			if k > 0 {
+				term *= x / float64(k)
+			}
+			sum += term
+		}
+		return 1 - math.Exp(-x)*sum
+	}
+	for _, a := range []int{1, 2, 3, 5, 10, 20} {
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 30, 100} {
+			got, err := RegularizedGammaP(float64(a), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := closedForm(a, x)
+			if !almostEqual(got, want, 1e-10) {
+				t.Errorf("P(%d, %v) = %v, want %v", a, x, got, want)
+			}
+			q, err := RegularizedGammaQ(float64(a), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got+q, 1, 1e-10) {
+				t.Errorf("P+Q at (%d, %v) = %v", a, x, got+q)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaEdgeCases(t *testing.T) {
+	if _, err := RegularizedGammaP(0, 1); err == nil {
+		t.Error("a=0 accepted")
+	}
+	if _, err := RegularizedGammaP(1, -1); err == nil {
+		t.Error("x<0 accepted")
+	}
+	p, err := RegularizedGammaP(3, 0)
+	if err != nil || p != 0 {
+		t.Errorf("P(3,0) = %v, %v", p, err)
+	}
+	q, err := RegularizedGammaQ(3, 0)
+	if err != nil || q != 1 {
+		t.Errorf("Q(3,0) = %v, %v", q, err)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// chi-square with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		got, err := ChiSquareCDF(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x/2)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("ChiSquareCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+	// chi-square with 1 dof: CDF(x) = 2*Phi(sqrt(x)) - 1.
+	for _, x := range []float64{0.1, 1, 4, 9} {
+		got, err := ChiSquareCDF(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2*NormalCDF(math.Sqrt(x)) - 1
+		if !almostEqual(got, want, 1e-9) {
+			t.Errorf("ChiSquareCDF(%v, 1) = %v, want %v", x, got, want)
+		}
+	}
+	if got, _ := ChiSquareCDF(-1, 3); got != 0 {
+		t.Errorf("CDF at negative x = %v", got)
+	}
+	if got, _ := ChiSquareSurvival(-1, 3); got != 1 {
+		t.Errorf("survival at negative x = %v", got)
+	}
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("zero dof accepted")
+	}
+	if _, err := ChiSquareSurvival(1, -2); err == nil {
+		t.Error("negative dof accepted")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-8, 1e-4, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 1 - 1e-6} {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back := NormalCDF(x); !almostEqual(back, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+	if _, err := NormalQuantile(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NormalQuantile(1); err == nil {
+		t.Error("p=1 accepted")
+	}
+}
+
+func TestDoubleFactorial(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 8}, {5, 15}, {6, 48}, {7, 105}, {9, 945},
+	}
+	for _, tt := range tests {
+		got, err := DoubleFactorial(tt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("%d!! = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	if _, err := DoubleFactorial(-2); err == nil {
+		t.Error("(-2)!! accepted")
+	}
+}
+
+func TestLogFactorialAndBinomial(t *testing.T) {
+	lf, err := LogFactorial(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(lf, math.Log(3628800), 1e-9) {
+		t.Errorf("ln(10!) = %v", lf)
+	}
+	if _, err := LogFactorial(-1); err == nil {
+		t.Error("negative factorial accepted")
+	}
+	b, err := Binomial(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(b, 120, 1e-9) {
+		t.Errorf("C(10,3) = %v", b)
+	}
+	lb, err := LogBinomial(10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lb, -1) {
+		t.Errorf("C(10,11) log = %v", lb)
+	}
+	if _, err := LogBinomial(-1, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestBernoulliKL(t *testing.T) {
+	kl, err := BernoulliKL(0.5, 0.5)
+	if err != nil || kl != 0 {
+		t.Errorf("D(B(1/2)||B(1/2)) = %v, %v", kl, err)
+	}
+	kl, err = BernoulliKL(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(kl, 1, tol) {
+		t.Errorf("D(B(1)||B(1/2)) = %v, want 1 bit", kl)
+	}
+	kl, err = BernoulliKL(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(kl, 1) {
+		t.Errorf("unsupported KL = %v", kl)
+	}
+	if _, err := BernoulliKL(1.5, 0.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestFact63BoundDominatesKL(t *testing.T) {
+	// Fact 6.3: D(B(alpha) || B(beta)) <= (alpha-beta)^2/(var(B(beta)) ln 2).
+	for _, alpha := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+		for _, beta := range []float64{0.05, 0.3, 0.5, 0.7, 0.95} {
+			kl, err := BernoulliKL(alpha, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := BernoulliKLChiBound(alpha, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kl > bound+1e-12 {
+				t.Errorf("alpha=%v beta=%v: KL %v exceeds Fact 6.3 bound %v", alpha, beta, kl, bound)
+			}
+		}
+	}
+	if _, err := BernoulliKLChiBound(0, 0.5); err == nil {
+		t.Error("boundary alpha accepted")
+	}
+}
