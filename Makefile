@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race cover bench verify results clean
+.PHONY: all build vet test test-short test-race cover bench verify results clean
 
 all: build test
 
@@ -10,8 +10,15 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+# The default test target vets everything and additionally runs the
+# network package (goroutine-heavy: referee, nodes, chaos suite) under
+# the race detector.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/network/...
 
 test-short:
 	$(GO) test -short ./...

@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -62,7 +63,7 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   dut test    [-n N] [-eps E] [-mode collision|chisq|threshold|and] [-k K] [-q Q] [-source uniform|zipf|hard|stdin] [-trials T] [-seed S]
-  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-tcp] [-seed S]
+  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D]
   dut bounds  [-n N] [-eps E] [-k K] [-T T] [-r R] [-q Q]
 `)
 }
@@ -281,13 +282,17 @@ func testStdin(n int, eps float64, mode string, q int, rng *rand.Rand) int {
 func cmdNetDemo(args []string) int {
 	fs := flag.NewFlagSet("netdemo", flag.ContinueOnError)
 	var (
-		n    = fs.Int("n", 1024, "domain size (power of two)")
-		eps  = fs.Float64("eps", 0.5, "proximity parameter")
-		k    = fs.Int("k", 8, "player nodes")
-		q    = fs.Int("q", 0, "samples per node (0 = recommended)")
-		tcp  = fs.Bool("tcp", false, "use TCP loopback instead of in-memory pipes")
-		far  = fs.Bool("far", false, "feed the nodes an eps-far distribution instead of uniform")
-		seed = fs.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		n        = fs.Int("n", 1024, "domain size (power of two)")
+		eps      = fs.Float64("eps", 0.5, "proximity parameter")
+		k        = fs.Int("k", 8, "player nodes")
+		q        = fs.Int("q", 0, "samples per node (0 = recommended)")
+		tcp      = fs.Bool("tcp", false, "use TCP loopback instead of in-memory pipes")
+		far      = fs.Bool("far", false, "feed the nodes an eps-far distribution instead of uniform")
+		seed     = fs.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		rounds   = fs.Int("rounds", 1, "amplification rounds over one session")
+		minVotes = fs.Int("minvotes", 0, "quorum: tolerate stragglers down to this many votes (0 = strict)")
+		crash    = fs.Int("crash", 0, "chaos: crash this many nodes at their first vote")
+		delay    = fs.Duration("delay", 0, "chaos: per-frame write delay injected on one node")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -295,6 +300,20 @@ func cmdNetDemo(args []string) int {
 	rng := rand.New(rand.NewPCG(*seed, *seed+1))
 	if *q == 0 {
 		*q = core.RecommendedThresholdSamples(*n, *k, *eps)
+	}
+	if *rounds < 1 {
+		fmt.Fprintln(os.Stderr, "dut netdemo: -rounds must be at least 1")
+		return 2
+	}
+	if *crash < 0 || *crash >= *k {
+		if *crash != 0 {
+			fmt.Fprintf(os.Stderr, "dut netdemo: -crash must be in [0, k); got %d with k=%d\n", *crash, *k)
+			return 2
+		}
+	}
+	if (*crash > 0 || *delay > 0) && *minVotes == 0 {
+		fmt.Fprintln(os.Stderr, "dut netdemo: chaos flags need a quorum; set -minvotes below k")
+		return 2
 	}
 
 	smp, err := core.NewThresholdTester(core.ThresholdTesterConfig{N: *n, K: *k, Q: *q, Eps: *eps})
@@ -308,12 +327,30 @@ func cmdNetDemo(args []string) int {
 		tr = network.TCPTransport{}
 		trName = "TCP loopback"
 	}
+	if *crash > 0 || *delay > 0 {
+		plans := make(map[uint32]network.FaultPlan)
+		for p := 0; p < *crash; p++ {
+			plans[uint32(p)] = network.FaultPlan{CrashAtRound: 1}
+		}
+		if *delay > 0 {
+			// Slow down the last node: it is never one of the crashed ones.
+			plans[uint32(*k-1)] = network.FaultPlan{Delay: *delay}
+		}
+		ft, err := network.NewFaultTransport(tr, network.FaultConfig{Seed: *seed, Plans: plans})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
+			return 1
+		}
+		tr = ft
+		trName += " + fault injection"
+	}
 	cluster, err := network.NewCluster(network.ClusterConfig{
 		K: *k, Q: *q,
 		Rule:      smp.Local(),
 		Referee:   core.BitReferee{Rule: core.ThresholdRule{T: core.DefaultThresholdT(*k)}},
 		Transport: tr,
 		Timeout:   30 * time.Second,
+		MinVotes:  *minVotes,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
@@ -354,13 +391,38 @@ func cmdNetDemo(args []string) int {
 
 	fmt.Printf("referee + %d nodes over %s; n=%d eps=%v q=%d per node; input: %s\n",
 		*k, trName, *n, *eps, *q, source)
+	if *minVotes > 0 {
+		fmt.Printf("quorum: %d of %d votes\n", *minVotes, *k)
+	}
 	start := time.Now()
-	accept, err := cluster.Run(sampler, rng)
+	var (
+		accept   bool
+		allStats []network.RoundStats
+	)
+	if *rounds == 1 {
+		var stats network.RoundStats
+		accept, stats, err = cluster.RunStats(context.Background(), sampler, rng)
+		allStats = []network.RoundStats{stats}
+	} else {
+		var verdicts []bool
+		verdicts, allStats, err = cluster.RunManyStats(context.Background(), sampler, rng, *rounds)
+		if err == nil {
+			accept, err = network.MajorityVerdict(verdicts)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dut netdemo: round failed: %v\n", err)
 		return 1
 	}
-	fmt.Printf("round completed in %v\n", time.Since(start).Round(time.Microsecond))
+	for _, s := range allStats {
+		verdict := "REJECT"
+		if s.Verdict {
+			verdict = "ACCEPT"
+		}
+		fmt.Printf("round %d: verdict=%s votes=%d/%d stragglers=%d retries=%d wall=%v\n",
+			s.Round, verdict, s.Votes, *k, s.Stragglers, s.Retries, s.Wall.Round(time.Microsecond))
+	}
+	fmt.Printf("session completed in %v\n", time.Since(start).Round(time.Microsecond))
 	if accept {
 		fmt.Println("verdict: ACCEPT (network believes the input is uniform)")
 	} else {

@@ -80,6 +80,20 @@ type (
 	ClusterConfig = network.ClusterConfig
 	// Transport carries the cluster's frames.
 	Transport = network.Transport
+	// RoundStats reports one networked round: votes received, stragglers
+	// tolerated, connect retries and wall time.
+	RoundStats = network.RoundStats
+	// FaultTransport decorates a Transport with deterministic injected
+	// faults for chaos testing.
+	FaultTransport = network.FaultTransport
+	// FaultConfig configures NewFaultTransport.
+	FaultConfig = network.FaultConfig
+	// FaultPlan is one player's injected-fault plan.
+	FaultPlan = network.FaultPlan
+	// FaultStats counts the faults a FaultTransport actually injected.
+	FaultStats = network.FaultStats
+	// AbsenteePolicy says how a quorum-mode referee treats missing votes.
+	AbsenteePolicy = core.AbsenteePolicy
 
 	// AcceptanceEstimate reports a Monte-Carlo acceptance probability with
 	// a Wilson confidence interval.
@@ -205,13 +219,30 @@ var (
 var (
 	// NewCluster runs a protocol as a referee server plus player nodes.
 	// Cluster.Run executes one round; Cluster.RunMany keeps the
-	// connections open for a multi-round amplification session.
+	// connections open for a multi-round amplification session. With
+	// ClusterConfig.MinVotes set the cluster tolerates stragglers down to
+	// the quorum (see RunStats/RunManyStats for the per-round accounting).
 	NewCluster = network.NewCluster
 	// NewMemTransport is the in-process transport.
 	NewMemTransport = network.NewMemTransport
+	// NewFaultTransport decorates a transport with seeded fault injection.
+	NewFaultTransport = network.NewFaultTransport
 	// MajorityVerdict reduces a session's per-round verdicts to the
 	// amplified decision.
 	MajorityVerdict = network.MajorityVerdict
+)
+
+// Absentee policies for quorum-mode clusters: how a vote that never
+// arrived enters the referee's decision.
+const (
+	// AbsenteeDefault defers to the decision rule's advice.
+	AbsenteeDefault = core.AbsenteeDefault
+	// AbsenteeReject counts a missing vote as a rejection.
+	AbsenteeReject = core.AbsenteeReject
+	// AbsenteeAccept counts a missing vote as an acceptance.
+	AbsenteeAccept = core.AbsenteeAccept
+	// AbsenteeOmit decides over the received votes only.
+	AbsenteeOmit = core.AbsenteeOmit
 )
 
 // TCPTransport dials over TCP loopback.

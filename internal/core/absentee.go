@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// AbsenteePolicy says how a fault-tolerant referee treats players whose
+// vote never arrived (crashed node, dropped connection, timed-out
+// straggler). The paper's referee model assumes all k players report;
+// the threshold-family rules degrade gracefully when a few do not, and
+// the policy pins down the exact semantics of that degradation.
+type AbsenteePolicy int
+
+// The absentee policies, from "defer to the rule" to the three concrete
+// treatments.
+const (
+	// AbsenteeDefault defers to the decision rule's own advice (see
+	// AbsenteeAdvisor); rules without advice fall back to AbsenteeReject,
+	// the conservative alarm-biased choice.
+	AbsenteeDefault AbsenteePolicy = iota
+	// AbsenteeReject counts a missing vote as a rejection.
+	AbsenteeReject
+	// AbsenteeAccept counts a missing vote as an acceptance: a crashed
+	// sensor cannot raise the alarm.
+	AbsenteeAccept
+	// AbsenteeOmit decides over the received votes only, shrinking the
+	// effective k for the round.
+	AbsenteeOmit
+)
+
+// String implements fmt.Stringer for experiment tables and logs.
+func (p AbsenteePolicy) String() string {
+	switch p {
+	case AbsenteeDefault:
+		return "default"
+	case AbsenteeReject:
+		return "reject"
+	case AbsenteeAccept:
+		return "accept"
+	case AbsenteeOmit:
+		return "omit"
+	default:
+		return fmt.Sprintf("AbsenteePolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the defined policies.
+func (p AbsenteePolicy) Valid() bool {
+	return p >= AbsenteeDefault && p <= AbsenteeOmit
+}
+
+// AbsenteeAdvisor is an optional DecisionRule / Referee extension: rules
+// that know their fault-tolerant default implement it, and a referee
+// configured with AbsenteeDefault consults it before falling back to
+// AbsenteeReject.
+type AbsenteeAdvisor interface {
+	// Absentee returns the rule's advised treatment of missing votes.
+	Absentee() AbsenteePolicy
+}
+
+// Absentee implements AbsenteeAdvisor: the AND rule is the T=1 threshold
+// rule, where only an explicit rejection vetoes, so a missing vote counts
+// as an acceptance.
+func (ANDRule) Absentee() AbsenteePolicy { return AbsenteeAccept }
+
+// Absentee implements AbsenteeAdvisor: under OR only an explicit
+// acceptance saves the round, so a missing vote counts as a rejection.
+func (ORRule) Absentee() AbsenteePolicy { return AbsenteeReject }
+
+// Absentee implements AbsenteeAdvisor: the T-threshold rule rejects when
+// at least T players explicitly reject, so a straggler cannot push the
+// count over the threshold — missing votes count as acceptances. This is
+// exactly the slack that makes Theorem 1.3's rule deployable: up to f < T
+// crashed players cannot flip a uniform input to a spurious alarm.
+func (ThresholdRule) Absentee() AbsenteePolicy { return AbsenteeAccept }
+
+// Absentee implements AbsenteeAdvisor: majority is naturally a relative
+// rule, so it decides over the votes actually received.
+func (MajorityRule) Absentee() AbsenteePolicy { return AbsenteeOmit }
+
+// Absentee implements AbsenteeAdvisor by forwarding the wrapped rule's
+// advice; rules without advice yield AbsenteeDefault.
+func (r BitReferee) Absentee() AbsenteePolicy {
+	if a, ok := r.Rule.(AbsenteeAdvisor); ok {
+		return a.Absentee()
+	}
+	return AbsenteeDefault
+}
+
+// ResolveAbsentee returns the effective policy: an explicit policy wins,
+// AbsenteeDefault consults the referee's advice, and anything unresolved
+// falls back to AbsenteeReject.
+func ResolveAbsentee(p AbsenteePolicy, ref Referee) AbsenteePolicy {
+	if p != AbsenteeDefault {
+		return p
+	}
+	if a, ok := ref.(AbsenteeAdvisor); ok {
+		if q := a.Absentee(); q != AbsenteeDefault {
+			return q
+		}
+	}
+	return AbsenteeReject
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAbsenteePolicyStringAndValid(t *testing.T) {
+	for p, want := range map[AbsenteePolicy]string{
+		AbsenteeDefault: "default",
+		AbsenteeReject:  "reject",
+		AbsenteeAccept:  "accept",
+		AbsenteeOmit:    "omit",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+		if !p.Valid() {
+			t.Errorf("%v reported invalid", p)
+		}
+	}
+	bad := AbsenteePolicy(99)
+	if bad.Valid() {
+		t.Error("policy 99 reported valid")
+	}
+	if !strings.Contains(bad.String(), "99") {
+		t.Errorf("invalid policy String() = %q", bad.String())
+	}
+}
+
+func TestRuleAbsenteeAdvice(t *testing.T) {
+	// Each rule advises the policy under which a straggler cannot flip the
+	// verdict against the live votes' direction.
+	for _, tt := range []struct {
+		name string
+		adv  AbsenteeAdvisor
+		want AbsenteePolicy
+	}{
+		{name: "and", adv: ANDRule{}, want: AbsenteeAccept},
+		{name: "or", adv: ORRule{}, want: AbsenteeReject},
+		{name: "threshold", adv: ThresholdRule{T: 3}, want: AbsenteeAccept},
+		{name: "majority", adv: MajorityRule{}, want: AbsenteeOmit},
+	} {
+		if got := tt.adv.Absentee(); got != tt.want {
+			t.Errorf("%s advice = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBitRefereeForwardsAdvice(t *testing.T) {
+	if got := (BitReferee{Rule: MajorityRule{}}).Absentee(); got != AbsenteeOmit {
+		t.Errorf("BitReferee{Majority} advice = %v, want omit", got)
+	}
+	// A rule without advice (and a nil rule) yields the default.
+	if got := (BitReferee{Rule: FuncRule{F: func(bits []bool) bool { return true }, Label: "x"}}).Absentee(); got != AbsenteeDefault {
+		t.Errorf("adviceless rule advice = %v, want default", got)
+	}
+	if got := (BitReferee{}).Absentee(); got != AbsenteeDefault {
+		t.Errorf("nil rule advice = %v, want default", got)
+	}
+}
+
+func TestResolveAbsentee(t *testing.T) {
+	ref := BitReferee{Rule: MajorityRule{}}
+	// An explicit policy wins over the rule's advice.
+	if got := ResolveAbsentee(AbsenteeAccept, ref); got != AbsenteeAccept {
+		t.Errorf("explicit policy resolved to %v", got)
+	}
+	// Default defers to the rule's advice.
+	if got := ResolveAbsentee(AbsenteeDefault, ref); got != AbsenteeOmit {
+		t.Errorf("deferred policy resolved to %v, want omit", got)
+	}
+	// No advice anywhere falls back to the conservative reject.
+	noAdvice := BitReferee{Rule: FuncRule{F: func(bits []bool) bool { return true }, Label: "x"}}
+	if got := ResolveAbsentee(AbsenteeDefault, noAdvice); got != AbsenteeReject {
+		t.Errorf("fallback policy resolved to %v, want reject", got)
+	}
+}

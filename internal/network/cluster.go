@@ -14,14 +14,20 @@ import (
 // Cluster runs a full SMP tester as a networked system: a referee server
 // plus k player nodes over a Transport. It implements core.Protocol, so a
 // networked deployment plugs into the same measurement harness as the
-// in-process SMP simulator.
+// in-process SMP simulator. With MinVotes set it runs in quorum mode:
+// stragglers, crashed nodes and protocol violators are tolerated down to
+// the quorum and reported in RoundStats instead of failing the round.
 type Cluster struct {
-	k       int
-	q       int
-	rule    core.LocalRule
-	referee core.Referee
-	tr      Transport
-	timeout time.Duration
+	k         int
+	q         int
+	rule      core.LocalRule
+	referee   core.Referee
+	tr        Transport
+	timeout   time.Duration
+	minVotes  int
+	absentees core.AbsenteePolicy
+	retries   int
+	backoff   time.Duration
 }
 
 var _ core.Protocol = (*Cluster)(nil)
@@ -38,8 +44,23 @@ type ClusterConfig struct {
 	Referee core.Referee
 	// Transport carries the frames; nil selects a fresh MemTransport.
 	Transport Transport
-	// Timeout bounds every per-frame wait; zero means 10 seconds.
+	// Timeout bounds every per-frame wait and, in quorum mode, the accept
+	// phase; zero means 10 seconds.
 	Timeout time.Duration
+	// MinVotes enables straggler tolerance: a round succeeds once at
+	// least MinVotes valid votes arrive, absentees entering the decision
+	// per Absentees. Zero (or K) keeps the strict all-K-votes semantics.
+	MinVotes int
+	// Absentees is how missing votes enter the decision in quorum mode;
+	// core.AbsenteeDefault defers to the referee rule's advice.
+	Absentees core.AbsenteePolicy
+	// DialRetries is each node's retry budget for dial+HELLO after the
+	// first attempt; zero selects DefaultDialRetries, negative disables
+	// retries.
+	DialRetries int
+	// RetryBackoff is the initial node-side backoff between connect
+	// attempts, doubled per retry; zero selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // NewCluster validates the configuration.
@@ -59,17 +80,44 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Timeout < 0 {
 		return nil, fmt.Errorf("network: negative timeout %v", cfg.Timeout)
 	}
+	if cfg.MinVotes < 0 || cfg.MinVotes > cfg.K {
+		return nil, fmt.Errorf("network: quorum of %d votes for %d players", cfg.MinVotes, cfg.K)
+	}
+	if !cfg.Absentees.Valid() {
+		return nil, fmt.Errorf("network: unknown absentee policy %d", int(cfg.Absentees))
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("network: negative retry backoff %v", cfg.RetryBackoff)
+	}
 	tr := cfg.Transport
 	if tr == nil {
 		tr = NewMemTransport()
 	}
+	minVotes := cfg.MinVotes
+	if minVotes == 0 {
+		minVotes = cfg.K
+	}
+	retries := cfg.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = DefaultRetryBackoff
+	}
 	return &Cluster{
-		k:       cfg.K,
-		q:       cfg.Q,
-		rule:    cfg.Rule,
-		referee: cfg.Referee,
-		tr:      tr,
-		timeout: cfg.Timeout,
+		k:         cfg.K,
+		q:         cfg.Q,
+		rule:      cfg.Rule,
+		referee:   cfg.Referee,
+		tr:        tr,
+		timeout:   cfg.Timeout,
+		minVotes:  minVotes,
+		absentees: cfg.Absentees,
+		retries:   retries,
+		backoff:   backoff,
 	}, nil
 }
 
@@ -78,6 +126,34 @@ func (c *Cluster) Players() int { return c.k }
 
 // MaxSamplesPerPlayer implements core.Protocol.
 func (c *Cluster) MaxSamplesPerPlayer() int { return c.q }
+
+// tolerant reports whether the cluster runs in quorum mode, where node
+// failures are tolerated down to MinVotes.
+func (c *Cluster) tolerant() bool { return c.minVotes < c.k }
+
+// newServer builds the referee server with the cluster's quorum settings.
+func (c *Cluster) newServer() (*RefereeServer, error) {
+	return NewRefereeServer(c.k, c.referee, c.timeout,
+		WithMinVotes(c.minVotes), WithAbsentees(c.absentees))
+}
+
+// buildNodes constructs all k player nodes and their derived generators
+// before any goroutine is spawned: a construction error must not leave
+// already-spawned nodes running against a live listener.
+func (c *Cluster) buildNodes(sampler dist.Sampler, rng *rand.Rand) ([]*PlayerNode, []*rand.Rand, error) {
+	nodes := make([]*PlayerNode, c.k)
+	rngs := make([]*rand.Rand, c.k)
+	for i := 0; i < c.k; i++ {
+		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
+		if err != nil {
+			return nil, nil, err
+		}
+		node.SetRetryPolicy(c.retries, c.backoff)
+		nodes[i] = node
+		rngs[i] = rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
+	}
+	return nodes, rngs, nil
+}
 
 // Run implements core.Protocol: it executes one networked round against
 // the sampler and returns the referee's verdict. Each node derives its own
@@ -89,28 +165,41 @@ func (c *Cluster) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
 
 // RunContext is Run with cancellation.
 func (c *Cluster) RunContext(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	accept, _, err := c.RunStats(ctx, sampler, rng)
+	return accept, err
+}
+
+// RunStats is RunContext with the round's statistics: votes received,
+// stragglers tolerated, node-side connect retries, and wall time.
+func (c *Cluster) RunStats(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, RoundStats, error) {
+	var stats RoundStats
 	if sampler == nil {
-		return false, fmt.Errorf("network: nil sampler")
+		return false, stats, fmt.Errorf("network: nil sampler")
 	}
 	if rng == nil {
-		return false, fmt.Errorf("network: nil rng")
+		return false, stats, fmt.Errorf("network: nil rng")
 	}
-	server, err := NewRefereeServer(c.k, c.referee, c.timeout)
+	server, err := c.newServer()
 	if err != nil {
-		return false, err
+		return false, stats, err
 	}
 	listener, err := c.tr.Listen()
 	if err != nil {
-		return false, fmt.Errorf("network: listen: %w", err)
+		return false, stats, fmt.Errorf("network: listen: %w", err)
 	}
 	defer func() { _ = listener.Close() }()
 
-	// Close the listener if the context dies so a blocked Accept returns.
+	// In strict mode a failed node dooms the round, so its goroutine
+	// cancels runCtx to unblock a referee still waiting in accept.
+	runCtx, cancelRound := context.WithCancel(ctx)
+	defer cancelRound()
+
+	// Close the listener if the round dies so a blocked Accept returns.
 	watchdogDone := make(chan struct{})
 	defer close(watchdogDone)
 	go func() {
 		select {
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			_ = listener.Close()
 		case <-watchdogDone:
 		}
@@ -118,27 +207,31 @@ func (c *Cluster) RunContext(ctx context.Context, sampler dist.Sampler, rng *ran
 
 	seed := rng.Uint64()
 
+	nodes, rngs, err := c.buildNodes(sampler, rng)
+	if err != nil {
+		return false, stats, err
+	}
+
 	type result struct {
-		accept bool
-		err    error
+		accept  bool
+		retries int
+		err     error
 	}
 	nodeResults := make(chan result, c.k)
 	var wg sync.WaitGroup
-	for i := 0; i < c.k; i++ {
-		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
-		if err != nil {
-			return false, err
-		}
-		nodeRng := rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
+	for i := range nodes {
 		wg.Add(1)
-		go func() {
+		go func(node *PlayerNode, nodeRng *rand.Rand) {
 			defer wg.Done()
-			accept, err := node.RunRound(c.tr, listener.Addr(), nodeRng)
-			nodeResults <- result{accept: accept, err: err}
-		}()
+			accept, retries, err := node.RunRoundStats(c.tr, listener.Addr(), nodeRng)
+			if err != nil && !c.tolerant() {
+				cancelRound()
+			}
+			nodeResults <- result{accept: accept, retries: retries, err: err}
+		}(nodes[i], rngs[i])
 	}
 
-	verdict, refErr := server.RunRound(ctx, listener, seed)
+	verdict, stats, refErr := server.RunRoundStats(runCtx, listener, seed)
 
 	// Wait for the nodes, but do not block past cancellation: a node stuck
 	// inside its own rule cannot be force-aborted, and on ctx death its
@@ -153,22 +246,35 @@ func (c *Cluster) RunContext(ctx context.Context, sampler dist.Sampler, rng *ran
 	case <-nodesDone:
 	case <-ctx.Done():
 		if refErr != nil {
-			return false, refErr
+			return false, stats, refErr
 		}
-		return false, ctx.Err()
+		return false, stats, ctx.Err()
 	}
 
 	close(nodeResults)
-	if refErr != nil {
-		return false, refErr
-	}
+	var nodeErr error
 	for r := range nodeResults {
+		stats.Retries += r.retries
 		if r.err != nil {
-			return false, r.err
+			if c.tolerant() {
+				continue // the referee already accounted for this straggler
+			}
+			if nodeErr == nil {
+				nodeErr = r.err
+			}
+			continue
 		}
-		if r.accept != verdict {
-			return false, fmt.Errorf("network: node saw verdict %v, referee decided %v", r.accept, verdict)
+		if refErr == nil && r.accept != verdict {
+			return false, stats, fmt.Errorf("network: node saw verdict %v, referee decided %v", r.accept, verdict)
 		}
 	}
-	return verdict, nil
+	// A strict-mode node failure is the root cause; the referee error it
+	// provokes (cancelled accept, closed connections) is only a symptom.
+	if nodeErr != nil {
+		return false, stats, nodeErr
+	}
+	if refErr != nil {
+		return false, stats, refErr
+	}
+	return verdict, stats, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand/v2"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -332,7 +334,7 @@ func TestRefereeRejectsMisbehavingNode(t *testing.T) {
 			return
 		}
 		defer func() { _ = conn.Close() }()
-		_ = WriteHello(conn, Hello{Player: 1, Bits: 1})
+		_ = WriteHello(conn, Hello{Player: 0, Bits: 1})
 		if _, err := expectFrame[Round](conn, FrameRound); err != nil {
 			return
 		}
@@ -364,5 +366,59 @@ func TestRefereeRejectsBadBits(t *testing.T) {
 	}()
 	if _, err := server.RunRound(context.Background(), l, 7); err == nil {
 		t.Error("zero-bit hello accepted")
+	}
+}
+
+// countingTransport counts Dial calls, to prove no node goroutine ever
+// touched the network.
+type countingTransport struct {
+	Transport
+	mu    sync.Mutex
+	dials int
+}
+
+func (c *countingTransport) Dial(addr net.Addr) (net.Conn, error) {
+	c.mu.Lock()
+	c.dials++
+	c.mu.Unlock()
+	return c.Transport.Dial(addr)
+}
+
+// zeroBitRule is constructible but invalid: Bits() = 0 makes
+// NewPlayerNode fail.
+type zeroBitRule struct{}
+
+func (zeroBitRule) Message(int, []int, uint64, *rand.Rand) (core.Message, error) {
+	return core.Accept, nil
+}
+
+func (zeroBitRule) Bits() int { return 0 }
+
+func TestClusterBuildsAllNodesBeforeSpawning(t *testing.T) {
+	// Regression: node construction used to be interleaved with goroutine
+	// spawning, so a construction failure left earlier nodes running
+	// against a live listener. Now a bad rule must fail the round before
+	// any node dials.
+	ct := &countingTransport{Transport: NewMemTransport()}
+	c, err := NewCluster(ClusterConfig{
+		K: 4, Q: 1, Rule: zeroBitRule{},
+		Referee:   core.BitReferee{Rule: core.ANDRule{}},
+		Transport: ct,
+		Timeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(uniformSampler(t, 4), testRand(40)); err == nil {
+		t.Fatal("cluster with a zero-bit rule ran")
+	}
+	if _, err := c.RunMany(context.Background(), uniformSampler(t, 4), testRand(41), 2); err == nil {
+		t.Fatal("session with a zero-bit rule ran")
+	}
+	ct.mu.Lock()
+	dials := ct.dials
+	ct.mu.Unlock()
+	if dials != 0 {
+		t.Errorf("%d dial(s) happened before construction failed, want 0", dials)
 	}
 }

@@ -16,4 +16,44 @@
 // Cluster wires the pieces together and implements core.Protocol, so a
 // networked deployment can be dropped into the same experiment harness as
 // the in-process simulator (that equivalence is itself covered by tests).
+//
+// # Wire validation
+//
+// The referee enforces the protocol, not just the frame format. A HELLO
+// must announce between 1 and 64 message bits and a player id in [0, k);
+// a second connection claiming an id already registered is a duplicate
+// and rejected. A VOTE must carry the id of the connection it arrives on
+// and a message that fits the bits announced at HELLO — a 1-bit rule
+// cannot smuggle a wide message past the decision function. On the frame
+// layer, a VERDICT payload byte other than 0x00 or 0x01 is a malformed
+// frame, never a reject vote.
+//
+// # Straggler tolerance
+//
+// By default the referee is strict — all k votes are required, exactly
+// the paper's model, and any failure aborts the round. WithMinVotes (or
+// ClusterConfig.MinVotes) relaxes it to a quorum: the accept phase is
+// bounded by one timeout, a round succeeds once at least MinVotes valid
+// votes are in, and players that crashed, timed out, never connected or
+// violated the protocol become stragglers instead of errors. Absent
+// votes enter the decision per a core.AbsenteePolicy — counted as
+// accepts, counted as rejects, or omitted — with the default deferring
+// to the decision rule's own advice (a ThresholdRule counts absentees as
+// accepts, since a silent sensor cannot push the rejection count over
+// the threshold). Every round reports what happened in a RoundStats:
+// votes received, stragglers, node-side connect retries and wall time.
+//
+// Node-side, PlayerNode retries a failed dial or HELLO with exponential
+// backoff (SetRetryPolicy), so transient connection drops are survivable
+// without referee involvement.
+//
+// # Fault injection
+//
+// FaultTransport decorates any Transport with deterministic, seeded
+// faults applied per player id: dropped dial attempts, per-frame write
+// delays, payload corruption of a chosen frame and connection crashes at
+// a chosen round. It is the chaos harness for everything above — every
+// injected fault must surface as a validated protocol error or a
+// tolerated straggler, never as a wrong verdict — and its FaultStats
+// report what was actually injected.
 package network

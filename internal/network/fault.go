@@ -1,0 +1,201 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the chaos layer of the networked deployment: a Transport
+// decorator that injects deterministic, seeded faults on the player side
+// of every connection. It doubles as the regression harness for the wire
+// protocol — every fault it injects must surface as either a validated
+// protocol error or a tolerated straggler, never as a wrong verdict.
+
+// FaultPlan configures the faults injected on one player's connections.
+// The zero value injects nothing.
+type FaultPlan struct {
+	// DropDials fails the player's first N dial attempts, exercising the
+	// node-side retry-with-backoff path. A value of at least the node's
+	// retry budget keeps the player off the network entirely.
+	DropDials int
+	// Delay is slept before every frame the player writes, turning the
+	// player into a straggler (tolerated while Delay stays under the
+	// referee's per-frame timeout).
+	Delay time.Duration
+	// CorruptFrame corrupts the payload of the player's Nth written frame
+	// (1-based: HELLO is frame 1, the round-r VOTE is frame r+1); zero
+	// corrupts nothing. The last payload byte is XORed with a seeded mask
+	// whose high bit is always set, so single-bit votes become detectably
+	// out of range for the referee's bits enforcement.
+	CorruptFrame int
+	// CrashAtRound closes the player's connection as it writes the VOTE of
+	// the given round (1-based); zero never crashes. The player behaves
+	// correctly up to round CrashAtRound-1 and then dies mid-protocol.
+	CrashAtRound int
+}
+
+// FaultConfig configures NewFaultTransport.
+type FaultConfig struct {
+	// Seed drives every random choice the fault layer makes (corruption
+	// masks); two transports with equal configs inject identical faults.
+	Seed uint64
+	// Plans maps a player id to its fault plan; players without an entry
+	// are passed through untouched.
+	Plans map[uint32]FaultPlan
+}
+
+// FaultStats counts the faults a FaultTransport actually injected.
+type FaultStats struct {
+	// DialsDropped counts dial attempts failed by DropDials budgets.
+	DialsDropped int
+	// FramesDelayed counts frame writes that slept a Delay.
+	FramesDelayed int
+	// FramesCorrupted counts frames whose payload was corrupted.
+	FramesCorrupted int
+	// Crashes counts connections killed by CrashAtRound.
+	Crashes int
+}
+
+// FaultTransport wraps any Transport and injects the configured faults on
+// the dialing (player) side. It implements both Transport and
+// PlayerDialer; plans are applied per player id, so it must be used with
+// callers that dial through DialPlayer (PlayerNode does). Plain Dial
+// calls pass through unfaulted.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	dials map[uint32]int
+	stats FaultStats
+}
+
+// Verify interface compliance.
+var (
+	_ Transport    = (*FaultTransport)(nil)
+	_ PlayerDialer = (*FaultTransport)(nil)
+)
+
+// NewFaultTransport decorates inner with the configured fault plans.
+func NewFaultTransport(inner Transport, cfg FaultConfig) (*FaultTransport, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("network: fault transport around nil transport")
+	}
+	for player, plan := range cfg.Plans {
+		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 {
+			return nil, fmt.Errorf("network: negative fault parameter in plan for player %d", player)
+		}
+	}
+	return &FaultTransport{
+		inner: inner,
+		cfg:   cfg,
+		dials: make(map[uint32]int),
+	}, nil
+}
+
+// Listen implements Transport by delegating to the inner transport; the
+// referee side is never faulted.
+func (f *FaultTransport) Listen() (net.Listener, error) { return f.inner.Listen() }
+
+// Dial implements Transport without faults: callers that do not identify
+// their player (no PlayerDialer path) are passed through.
+func (f *FaultTransport) Dial(addr net.Addr) (net.Conn, error) { return f.inner.Dial(addr) }
+
+// DialPlayer implements PlayerDialer: it applies the player's plan — the
+// dial-drop budget first, then a fault-wrapped connection for the frame-
+// level faults.
+func (f *FaultTransport) DialPlayer(addr net.Addr, player uint32) (net.Conn, error) {
+	plan, planned := f.cfg.Plans[player]
+	if !planned {
+		return f.inner.Dial(addr)
+	}
+	f.mu.Lock()
+	attempt := f.dials[player]
+	f.dials[player]++
+	if attempt < plan.DropDials {
+		f.stats.DialsDropped++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("network: fault: dropped dial %d of player %d", attempt+1, player)
+	}
+	f.mu.Unlock()
+	conn, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{
+		Conn: conn,
+		tr:   f,
+		plan: plan,
+		rng:  rand.New(rand.NewPCG(f.cfg.Seed^uint64(player), f.cfg.Seed+0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (f *FaultTransport) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *FaultTransport) count(update func(*FaultStats)) {
+	f.mu.Lock()
+	update(&f.stats)
+	f.mu.Unlock()
+}
+
+// faultConn applies frame-level faults to the player side of a
+// connection. Every frame is written with a single Write call (see
+// writeFrame), so write boundaries are frame boundaries.
+type faultConn struct {
+	net.Conn
+	tr   *FaultTransport
+	plan FaultPlan
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	writes int // frames written on this connection
+	votes  int // VOTE frames among them, i.e. rounds participated in
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.plan.Delay > 0 {
+		c.tr.count(func(s *FaultStats) { s.FramesDelayed++ })
+		time.Sleep(c.plan.Delay)
+	}
+	c.mu.Lock()
+	c.writes++
+	frame := c.writes
+	isVote := len(p) >= headerSize &&
+		binary.BigEndian.Uint16(p[0:2]) == Magic &&
+		FrameType(p[3]) == FrameVote
+	if isVote {
+		c.votes++
+	}
+	round := c.votes
+	var mask byte
+	if frame == c.plan.CorruptFrame {
+		mask = byte(c.rng.Uint64()) | 0x80
+	}
+	c.mu.Unlock()
+
+	if c.plan.CrashAtRound > 0 && isVote && round >= c.plan.CrashAtRound {
+		c.tr.count(func(s *FaultStats) { s.Crashes++ })
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("network: fault: player crashed at round %d", round)
+	}
+	if mask != 0 && len(p) > headerSize {
+		c.tr.count(func(s *FaultStats) { s.FramesCorrupted++ })
+		q := append([]byte(nil), p...)
+		q[len(q)-1] ^= mask
+		n, err := c.Conn.Write(q)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
+	}
+	return c.Conn.Write(p)
+}

@@ -26,6 +26,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0x00, 0x00, 1, 1, 0, 0, 0, 0})             // bad magic
 	f.Add([]byte{0xD0, 0x7A, 9, 1, 0, 0, 0, 0})             // bad version
 	f.Add([]byte{0xD0, 0x7A, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge length
+	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 2})          // VERDICT byte other than 0/1
+	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 0xFF})       // VERDICT byte 0xFF
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, msg, err := ReadFrame(bytes.NewReader(data))

@@ -10,18 +10,35 @@ import (
 	"github.com/distributed-uniformity/dut/internal/dist"
 )
 
+// Default retry policy for a node's connect (dial + HELLO) phase: enough
+// to ride out transient connection drops without masking a dead referee.
+const (
+	// DefaultDialRetries is the number of retry attempts after the first
+	// failed connect.
+	DefaultDialRetries = 2
+	// DefaultRetryBackoff is the sleep before the first retry; it doubles
+	// on every subsequent retry.
+	DefaultRetryBackoff = 5 * time.Millisecond
+)
+
 // PlayerNode is one sensor/server in the network: it owns a sampler for
-// its local observations and a core.LocalRule for its vote.
+// its local observations and a core.LocalRule for its vote. Transient
+// dial and HELLO failures are retried with exponential backoff (see
+// SetRetryPolicy), so the faults a FaultTransport injects at connect
+// time are survivable.
 type PlayerNode struct {
 	id      uint32
 	q       int
 	rule    core.LocalRule
 	sampler dist.Sampler
 	timeout time.Duration
+	retries int
+	backoff time.Duration
 }
 
 // NewPlayerNode builds a node. timeout bounds each frame wait; zero means
-// 10 seconds.
+// 10 seconds. The rule's Bits() must be in [1, 64] — the referee would
+// reject the HELLO anyway, and failing here keeps the error local.
 func NewPlayerNode(id uint32, q int, rule core.LocalRule, sampler dist.Sampler, timeout time.Duration) (*PlayerNode, error) {
 	if q < 0 {
 		return nil, fmt.Errorf("network: node %d with %d samples", id, q)
@@ -38,44 +55,113 @@ func NewPlayerNode(id uint32, q int, rule core.LocalRule, sampler dist.Sampler, 
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	return &PlayerNode{id: id, q: q, rule: rule, sampler: sampler, timeout: timeout}, nil
+	if b := rule.Bits(); b < 1 || b > 64 {
+		return nil, fmt.Errorf("network: node %d rule uses %d message bits, want 1..64", id, b)
+	}
+	return &PlayerNode{
+		id: id, q: q, rule: rule, sampler: sampler, timeout: timeout,
+		retries: DefaultDialRetries, backoff: DefaultRetryBackoff,
+	}, nil
 }
 
-// RunRound participates in one round over the given transport and returns
-// the referee's verdict as seen by this node.
-func (p *PlayerNode) RunRound(tr Transport, addr net.Addr, rng *rand.Rand) (bool, error) {
+// SetRetryPolicy overrides the connect retry budget: retries is the
+// number of attempts after the first (negative clamps to zero, i.e. fail
+// fast), backoff the initial sleep between attempts (non-positive selects
+// the default), doubled per retry.
+func (p *PlayerNode) SetRetryPolicy(retries int, backoff time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	p.retries = retries
+	p.backoff = backoff
+}
+
+// dialAs uses per-player dialing when the transport supports it, so
+// fault-injecting transports can apply per-player plans.
+func dialAs(tr Transport, addr net.Addr, player uint32) (net.Conn, error) {
+	if pd, ok := tr.(PlayerDialer); ok {
+		return pd.DialPlayer(addr, player)
+	}
+	return tr.Dial(addr)
+}
+
+// connect dials the referee and completes the HELLO, retrying transient
+// failures with exponential backoff. It returns the ready connection and
+// the number of retry attempts spent.
+func (p *PlayerNode) connect(tr Transport, addr net.Addr) (net.Conn, int, error) {
+	backoff := p.backoff
+	var lastErr error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := dialAs(tr, addr, p.id)
+		if err != nil {
+			lastErr = fmt.Errorf("network: node %d dial: %w", p.id, err)
+			continue
+		}
+		setDeadline(conn, p.timeout)
+		if err := WriteHello(conn, Hello{Player: p.id, Bits: uint8(p.rule.Bits())}); err != nil {
+			_ = conn.Close()
+			lastErr = fmt.Errorf("network: node %d hello: %w", p.id, err)
+			continue
+		}
+		return conn, attempt, nil
+	}
+	return nil, p.retries, fmt.Errorf("network: node %d connect failed after %d attempt(s): %w", p.id, p.retries+1, lastErr)
+}
+
+// RunRoundStats participates in one round over the given transport and
+// returns the referee's verdict as seen by this node, together with the
+// number of connect retries spent.
+func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr, rng *rand.Rand) (bool, int, error) {
 	if tr == nil {
-		return false, fmt.Errorf("network: nil transport")
+		return false, 0, fmt.Errorf("network: nil transport")
 	}
 	if rng == nil {
-		return false, fmt.Errorf("network: nil rng")
+		return false, 0, fmt.Errorf("network: nil rng")
 	}
-	conn, err := tr.Dial(addr)
+	conn, retries, err := p.connect(tr, addr)
 	if err != nil {
-		return false, fmt.Errorf("network: node %d dial: %w", p.id, err)
+		return false, retries, err
 	}
 	defer func() { _ = conn.Close() }()
-	setDeadline(conn, p.timeout)
 
-	if err := WriteHello(conn, Hello{Player: p.id, Bits: uint8(p.rule.Bits())}); err != nil {
-		return false, fmt.Errorf("network: node %d hello: %w", p.id, err)
-	}
+	// A referee frame can lag a full referee phase behind: in quorum mode
+	// the accept phase holds the ROUND back for up to one timeout while
+	// the referee waits out stragglers. Budget two timeouts for reads.
+	setDeadline(conn, 2*p.timeout)
 	round, err := expectFrame[Round](conn, FrameRound)
 	if err != nil {
-		return false, fmt.Errorf("network: node %d round: %w", p.id, err)
+		return false, retries, fmt.Errorf("network: node %d round: %w", p.id, err)
 	}
-
 	samples := dist.SampleN(p.sampler, p.q, rng)
 	msg, err := p.rule.Message(int(p.id), samples, round.Seed, rng)
 	if err != nil {
-		return false, fmt.Errorf("network: node %d rule: %w", p.id, err)
+		return false, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
 	}
+	// Refresh the deadline: sampling and the rule may have consumed the
+	// connect-phase deadline.
+	setDeadline(conn, p.timeout)
 	if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(msg)}); err != nil {
-		return false, fmt.Errorf("network: node %d vote: %w", p.id, err)
+		return false, retries, fmt.Errorf("network: node %d vote: %w", p.id, err)
 	}
+	// The verdict waits on the whole vote-gathering phase: slow peers may
+	// consume most of a timeout before the referee can decide.
+	setDeadline(conn, 2*p.timeout)
 	verdict, err := expectFrame[Verdict](conn, FrameVerdict)
 	if err != nil {
-		return false, fmt.Errorf("network: node %d verdict: %w", p.id, err)
+		return false, retries, fmt.Errorf("network: node %d verdict: %w", p.id, err)
 	}
-	return verdict.Accept, nil
+	return verdict.Accept, retries, nil
+}
+
+// RunRound is RunRoundStats without the retry count.
+func (p *PlayerNode) RunRound(tr Transport, addr net.Addr, rng *rand.Rand) (bool, error) {
+	accept, _, err := p.RunRoundStats(tr, addr, rng)
+	return accept, err
 }

@@ -2,8 +2,10 @@ package network
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -11,16 +13,41 @@ import (
 )
 
 // RefereeServer collects one round of votes from k players and broadcasts
-// the decision of its core.Referee.
+// the decision of its core.Referee. By default it is strict — all k votes
+// are required, exactly the paper's model. WithMinVotes relaxes it to a
+// quorum: the referee tolerates stragglers, crashed nodes and protocol
+// violators, decides from the votes it has (absentees entering the
+// decision per the configured core.AbsenteePolicy), and reports what
+// happened in a RoundStats.
 type RefereeServer struct {
-	k       int
-	decide  core.Referee
-	timeout time.Duration
+	k        int
+	decide   core.Referee
+	timeout  time.Duration
+	minVotes int
+	policy   core.AbsenteePolicy
+}
+
+// RefereeOption customizes NewRefereeServer beyond the required
+// arguments.
+type RefereeOption func(*RefereeServer)
+
+// WithMinVotes sets the quorum: a round succeeds once at least m valid
+// votes arrive, with missing players treated per the absentee policy.
+// m = k (the default) is strict mode, where any failure aborts the round.
+func WithMinVotes(m int) RefereeOption {
+	return func(s *RefereeServer) { s.minVotes = m }
+}
+
+// WithAbsentees sets how missing votes enter the decision in quorum mode;
+// core.AbsenteeDefault (the default) defers to the decision rule's advice.
+func WithAbsentees(p core.AbsenteePolicy) RefereeOption {
+	return func(s *RefereeServer) { s.policy = p }
 }
 
 // NewRefereeServer builds the server. timeout bounds each connection's
-// per-frame wait; zero means 10 seconds.
-func NewRefereeServer(k int, decide core.Referee, timeout time.Duration) (*RefereeServer, error) {
+// per-frame wait and, in quorum mode, the whole accept phase; zero means
+// 10 seconds.
+func NewRefereeServer(k int, decide core.Referee, timeout time.Duration, opts ...RefereeOption) (*RefereeServer, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("network: referee for %d players", k)
 	}
@@ -33,125 +60,342 @@ func NewRefereeServer(k int, decide core.Referee, timeout time.Duration) (*Refer
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	return &RefereeServer{k: k, decide: decide, timeout: timeout}, nil
+	s := &RefereeServer{k: k, decide: decide, timeout: timeout, minVotes: k}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.minVotes < 1 || s.minVotes > k {
+		return nil, fmt.Errorf("network: quorum of %d votes for %d players", s.minVotes, k)
+	}
+	if !s.policy.Valid() {
+		return nil, fmt.Errorf("network: unknown absentee policy %d", int(s.policy))
+	}
+	return s, nil
 }
 
-// RunRound accepts k player connections on the listener, runs the HELLO /
-// ROUND / VOTE / VERDICT exchange with the given public-coin seed, and
-// returns the verdict. It closes every accepted connection before
-// returning; the listener itself stays open for further rounds. ctx
-// cancellation aborts the round.
-func (s *RefereeServer) RunRound(ctx context.Context, l net.Listener, seed uint64) (bool, error) {
-	if l == nil {
-		return false, fmt.Errorf("network: nil listener")
-	}
-	var (
-		connMu sync.Mutex
-		conns  []net.Conn
-	)
-	track := func(c net.Conn) {
-		connMu.Lock()
-		conns = append(conns, c)
-		connMu.Unlock()
-	}
-	closeAll := func() {
-		connMu.Lock()
-		for _, c := range conns {
-			_ = c.Close()
-		}
-		connMu.Unlock()
-	}
-	defer closeAll()
+// strict reports whether all k votes are required (the seed semantics:
+// any failure aborts the round).
+func (s *RefereeServer) strict() bool { return s.minVotes >= s.k }
 
-	// Context death is checked before each Accept; for a *blocked* Accept
-	// the caller closes the listener (Cluster does so on ctx.Done). Reads
-	// on already-accepted connections are unblocked by the watchdog below,
-	// which force-closes them when the context dies.
-	watchdogDone := make(chan struct{})
-	defer close(watchdogDone)
+// RoundStats describes one referee round of a (possibly fault-tolerant)
+// deployment: how many votes actually arrived, how many players
+// straggled, how hard the nodes had to retry, and how long the round
+// took. Cluster threads it back to callers of RunStats / RunManyStats.
+type RoundStats struct {
+	// Round is the 0-based round index within the session.
+	Round int
+	// Votes is the number of valid votes received.
+	Votes int
+	// Stragglers is k minus Votes: players absent, crashed, timed out or
+	// rejected for protocol violations.
+	Stragglers int
+	// Retries is the total number of node-side dial/HELLO retry attempts.
+	// It is filled in by Cluster (the referee cannot see retries); for
+	// multi-round sessions the setup-phase retries are reported on the
+	// first round's stats.
+	Retries int
+	// Wall is the wall-clock duration of the round; for the first round
+	// of a session it includes the accept phase.
+	Wall time.Duration
+	// Verdict is the referee's decision for the round.
+	Verdict bool
+}
+
+// playerSlot is the referee's per-connection state. A slot that fails
+// mid-session in quorum mode is marked dead and skipped (and counted as a
+// straggler) in subsequent rounds.
+type playerSlot struct {
+	conn   net.Conn
+	player uint32
+	bits   uint8
+	dead   bool
+}
+
+// connTracker collects accepted connections so that they are all closed
+// when the round/session ends and force-closed when the context dies.
+type connTracker struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (t *connTracker) track(c net.Conn) {
+	t.mu.Lock()
+	t.conns = append(t.conns, c)
+	t.mu.Unlock()
+}
+
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+}
+
+// watch force-closes all tracked connections when ctx dies; the returned
+// stop function must be deferred.
+func (t *connTracker) watch(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
-			closeAll()
-		case <-watchdogDone:
+			t.closeAll()
+		case <-done:
 		}
 	}()
+	return func() { close(done) }
+}
 
-	type slot struct {
-		conn   net.Conn
-		player uint32
+// validateHello checks one player's announcement against the protocol
+// rules: bits in [1,64], id in [0,k), no duplicate ids.
+func (s *RefereeServer) validateHello(h Hello, seen []bool) error {
+	if h.Bits < 1 || h.Bits > 64 {
+		return fmt.Errorf("network: player %d announced %d message bits", h.Player, h.Bits)
 	}
-	slots := make([]slot, 0, s.k)
+	if h.Player >= uint32(s.k) {
+		return fmt.Errorf("network: player id %d out of range [0, %d)", h.Player, s.k)
+	}
+	if seen[h.Player] {
+		return fmt.Errorf("network: duplicate player id %d", h.Player)
+	}
+	return nil
+}
+
+// acceptPlayers runs the accept/HELLO phase. In strict mode it blocks
+// until all k players have registered (or the listener/context dies). In
+// quorum mode the whole phase is bounded by an accept deadline of one
+// timeout; once the deadline passes, the phase succeeds with at least
+// minVotes players and fails otherwise. Connections with invalid HELLOs
+// (bad bits, out-of-range or duplicate ids) abort the round in strict
+// mode and are dropped in quorum mode.
+func (s *RefereeServer) acceptPlayers(ctx context.Context, l net.Listener, tr *connTracker) ([]*playerSlot, error) {
+	if !s.strict() {
+		dl, ok := l.(acceptDeadliner)
+		if !ok {
+			return nil, fmt.Errorf("network: quorum mode needs a listener with accept deadlines (have %T)", l)
+		}
+		_ = dl.SetDeadline(time.Now().Add(s.timeout))
+		defer func() { _ = dl.SetDeadline(time.Time{}) }()
+	}
+	slots := make([]*playerSlot, 0, s.k)
+	seen := make([]bool, s.k)
 	for len(slots) < s.k {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			return nil, err
 		}
 		conn, err := l.Accept()
 		if err != nil {
-			return false, fmt.Errorf("network: accept: %w", err)
+			if !s.strict() && errors.Is(err, os.ErrDeadlineExceeded) {
+				if len(slots) >= s.minVotes {
+					return slots, nil
+				}
+				return nil, fmt.Errorf("network: quorum not met: %d of %d players connected before the accept deadline, need %d",
+					len(slots), s.k, s.minVotes)
+			}
+			return nil, fmt.Errorf("network: accept: %w", err)
 		}
-		track(conn)
+		tr.track(conn)
 		setDeadline(conn, s.timeout)
 		hello, err := expectFrame[Hello](conn, FrameHello)
 		if err != nil {
-			return false, fmt.Errorf("network: hello: %w", err)
+			if s.strict() {
+				return nil, fmt.Errorf("network: hello: %w", err)
+			}
+			_ = conn.Close()
+			continue
 		}
-		if hello.Bits < 1 || hello.Bits > 64 {
-			return false, fmt.Errorf("network: player %d announced %d message bits", hello.Player, hello.Bits)
+		if err := s.validateHello(hello, seen); err != nil {
+			if s.strict() {
+				return nil, err
+			}
+			_ = conn.Close()
+			continue
 		}
-		slots = append(slots, slot{conn: conn, player: hello.Player})
+		seen[hello.Player] = true
+		slots = append(slots, &playerSlot{conn: conn, player: hello.Player, bits: hello.Bits})
 	}
+	return slots, nil
+}
 
-	// Broadcast the round seed, then gather votes concurrently.
-	votes := make([]core.Message, s.k)
+// gatherVotes broadcasts ROUND to every live slot and collects votes
+// concurrently. Votes are indexed by player id (ids are validated unique
+// and in range at HELLO time), with got marking which arrived. A slot
+// that fails — write error, timeout, id mismatch, or a message wider
+// than its announced bits — aborts the round in strict mode; in quorum
+// mode it is closed, marked dead and skipped from then on.
+func (s *RefereeServer) gatherVotes(seed uint64, slots []*playerSlot, votes []core.Message, got []bool) error {
+	for i := range votes {
+		votes[i] = 0
+		got[i] = false
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	fail := func(err error) {
+	fail := func(sl *playerSlot, err error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
+		sl.dead = true
 		mu.Unlock()
+		_ = sl.conn.Close()
 	}
-	for i, sl := range slots {
+	for _, sl := range slots {
+		if sl.dead {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, sl slot) {
+		go func(sl *playerSlot) {
 			defer wg.Done()
 			setDeadline(sl.conn, s.timeout)
 			if err := WriteRound(sl.conn, Round{Seed: seed}); err != nil {
-				fail(fmt.Errorf("network: round to player %d: %w", sl.player, err))
+				fail(sl, fmt.Errorf("network: round to player %d: %w", sl.player, err))
 				return
 			}
 			vote, err := expectFrame[Vote](sl.conn, FrameVote)
 			if err != nil {
-				fail(fmt.Errorf("network: vote from player %d: %w", sl.player, err))
+				fail(sl, fmt.Errorf("network: vote from player %d: %w", sl.player, err))
 				return
 			}
 			if vote.Player != sl.player {
-				fail(fmt.Errorf("network: vote claims player %d on player %d's connection", vote.Player, sl.player))
+				fail(sl, fmt.Errorf("network: vote claims player %d on player %d's connection", vote.Player, sl.player))
 				return
 			}
-			votes[i] = core.Message(vote.Message)
-		}(i, sl)
+			if sl.bits < 64 && vote.Message >= 1<<sl.bits {
+				fail(sl, fmt.Errorf("network: player %d sent message %#x wider than its announced %d bit(s)",
+					sl.player, vote.Message, sl.bits))
+				return
+			}
+			votes[sl.player] = core.Message(vote.Message)
+			got[sl.player] = true
+		}(sl)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return false, firstErr
+	if s.strict() && firstErr != nil {
+		return firstErr
 	}
+	return nil
+}
 
-	accept, err := s.decide.Decide(votes)
-	if err != nil {
-		return false, fmt.Errorf("network: referee decision: %w", err)
-	}
-	for _, sl := range slots {
-		if err := WriteVerdict(sl.conn, Verdict{Accept: accept}); err != nil {
-			return false, fmt.Errorf("network: verdict to player %d: %w", sl.player, err)
+// decideVotes checks the quorum and applies the decision function, with
+// absent players entering per the resolved absentee policy. It returns
+// the verdict and the number of votes received.
+func (s *RefereeServer) decideVotes(votes []core.Message, got []bool) (bool, int, error) {
+	received := 0
+	for _, g := range got {
+		if g {
+			received++
 		}
 	}
-	return accept, nil
+	if received < s.minVotes {
+		return false, received, fmt.Errorf("network: quorum not met: %d of %d votes, need %d", received, s.k, s.minVotes)
+	}
+	msgs := votes
+	if received < s.k {
+		switch core.ResolveAbsentee(s.policy, s.decide) {
+		case core.AbsenteeOmit:
+			msgs = make([]core.Message, 0, received)
+			for i, g := range got {
+				if g {
+					msgs = append(msgs, votes[i])
+				}
+			}
+		case core.AbsenteeAccept:
+			msgs = append([]core.Message(nil), votes...)
+			for i, g := range got {
+				if !g {
+					msgs[i] = core.Accept
+				}
+			}
+		default: // core.AbsenteeReject
+			msgs = append([]core.Message(nil), votes...)
+			for i, g := range got {
+				if !g {
+					msgs[i] = core.Reject
+				}
+			}
+		}
+	}
+	accept, err := s.decide.Decide(msgs)
+	if err != nil {
+		return false, received, fmt.Errorf("network: referee decision: %w", err)
+	}
+	return accept, received, nil
+}
+
+// broadcastVerdict sends VERDICT to every live slot. The write deadline
+// is refreshed per connection: the deadline set before vote gathering may
+// already be (nearly) consumed by a slow round, and reusing it makes the
+// broadcast fail spuriously.
+func (s *RefereeServer) broadcastVerdict(slots []*playerSlot, accept bool) error {
+	for _, sl := range slots {
+		if sl.dead {
+			continue
+		}
+		setDeadline(sl.conn, s.timeout)
+		if err := WriteVerdict(sl.conn, Verdict{Accept: accept}); err != nil {
+			if s.strict() {
+				return fmt.Errorf("network: verdict to player %d: %w", sl.player, err)
+			}
+			sl.dead = true
+			_ = sl.conn.Close()
+		}
+	}
+	return nil
+}
+
+// RunRoundStats accepts player connections on the listener, runs the
+// HELLO / ROUND / VOTE / VERDICT exchange with the given public-coin seed,
+// and returns the verdict together with the round's statistics. In strict
+// mode (the default) all k players are required; with WithMinVotes the
+// round tolerates stragglers down to the quorum. It closes every accepted
+// connection before returning; the listener itself stays open for further
+// rounds. ctx cancellation aborts the round.
+func (s *RefereeServer) RunRoundStats(ctx context.Context, l net.Listener, seed uint64) (bool, RoundStats, error) {
+	stats := RoundStats{}
+	if l == nil {
+		return false, stats, fmt.Errorf("network: nil listener")
+	}
+	start := time.Now()
+	tr := &connTracker{}
+	defer tr.closeAll()
+	stop := tr.watch(ctx)
+	defer stop()
+
+	slots, err := s.acceptPlayers(ctx, l, tr)
+	if err != nil {
+		return false, stats, err
+	}
+	votes := make([]core.Message, s.k)
+	got := make([]bool, s.k)
+	if err := s.gatherVotes(seed, slots, votes, got); err != nil {
+		return false, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return false, stats, err
+	}
+	accept, received, err := s.decideVotes(votes, got)
+	stats.Votes = received
+	stats.Stragglers = s.k - received
+	stats.Wall = time.Since(start)
+	if err != nil {
+		return false, stats, err
+	}
+	if err := s.broadcastVerdict(slots, accept); err != nil {
+		return false, stats, err
+	}
+	stats.Verdict = accept
+	stats.Wall = time.Since(start)
+	return accept, stats, nil
+}
+
+// RunRound is RunRoundStats without the statistics, kept for callers that
+// only need the verdict.
+func (s *RefereeServer) RunRound(ctx context.Context, l net.Listener, seed uint64) (bool, error) {
+	accept, _, err := s.RunRoundStats(ctx, l, seed)
+	return accept, err
 }
 
 func setDeadline(conn net.Conn, d time.Duration) {

@@ -1,0 +1,236 @@
+package network
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePlayer dials the listener and runs script against the connection;
+// errors are ignored (the referee's verdict on the exchange is what the
+// tests assert).
+func fakePlayer(t *testing.T, m *MemTransport, addr net.Addr, script func(conn net.Conn)) {
+	t.Helper()
+	conn, err := m.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	script(conn)
+}
+
+func TestRefereeRejectsDuplicatePlayerID(t *testing.T) {
+	// Regression: two nodes claiming the same id used to both get slots,
+	// with votes indexed by accept order.
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(2, andReferee(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+				if err := WriteHello(conn, Hello{Player: 0, Bits: 1}); err != nil {
+					return
+				}
+				if _, err := expectFrame[Round](conn, FrameRound); err != nil {
+					return
+				}
+				_ = WriteVote(conn, Vote{Player: 0, Message: 1})
+			})
+		}()
+	}
+	_, err = server.RunRound(context.Background(), l, 7)
+	wg.Wait()
+	if err == nil || !strings.Contains(err.Error(), "duplicate player id") {
+		t.Errorf("err = %v, want duplicate-player-id error", err)
+	}
+}
+
+func TestRefereeRejectsOutOfRangePlayerID(t *testing.T) {
+	// Regression: an id >= k used to be accepted silently.
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		_ = WriteHello(conn, Hello{Player: 5, Bits: 1})
+	})
+	if _, err := server.RunRound(context.Background(), l, 7); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want out-of-range error", err)
+	}
+}
+
+func TestRefereeEnforcesAnnouncedBits(t *testing.T) {
+	// Regression: a rule announcing 1 bit could send a 64-bit message and
+	// the referee would feed it to the decision function unchecked.
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		if err := WriteHello(conn, Hello{Player: 0, Bits: 1}); err != nil {
+			return
+		}
+		if _, err := expectFrame[Round](conn, FrameRound); err != nil {
+			return
+		}
+		_ = WriteVote(conn, Vote{Player: 0, Message: 2})
+	})
+	if _, err := server.RunRound(context.Background(), l, 7); err == nil || !strings.Contains(err.Error(), "announced") {
+		t.Errorf("err = %v, want bits-enforcement error", err)
+	}
+}
+
+func TestRefereeAcceptsFullWidthMessages(t *testing.T) {
+	// A 64-bit announcement admits any message (no 1<<64 overflow).
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		if err := WriteHello(conn, Hello{Player: 0, Bits: 64}); err != nil {
+			return
+		}
+		if _, err := expectFrame[Round](conn, FrameRound); err != nil {
+			return
+		}
+		if err := WriteVote(conn, Vote{Player: 0, Message: ^uint64(0)}); err != nil {
+			return
+		}
+		_, _ = expectFrame[Verdict](conn, FrameVerdict)
+	})
+	if _, err := server.RunRound(context.Background(), l, 7); err != nil {
+		t.Errorf("full-width message rejected: %v", err)
+	}
+}
+
+func TestVerdictBroadcastSurvivesSlowRound(t *testing.T) {
+	// Regression: the VERDICT broadcast used to reuse the deadline set
+	// before vote gathering, so a round whose vote phase plus verdict
+	// delivery outlasted one timeout failed spuriously even though every
+	// individual frame wait was within budget.
+	const timeout = 600 * time.Millisecond
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdictSeen := make(chan bool, 1)
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		if err := WriteHello(conn, Hello{Player: 0, Bits: 1}); err != nil {
+			return
+		}
+		if _, err := expectFrame[Round](conn, FrameRound); err != nil {
+			return
+		}
+		time.Sleep(400 * time.Millisecond) // slow, but within the per-frame budget
+		if err := WriteVote(conn, Vote{Player: 0, Message: 1}); err != nil {
+			return
+		}
+		time.Sleep(400 * time.Millisecond) // verdict pickup past the stale deadline
+		v, err := expectFrame[Verdict](conn, FrameVerdict)
+		if err != nil {
+			return
+		}
+		verdictSeen <- v.Accept
+	})
+	accept, err := server.RunRound(context.Background(), l, 7)
+	if err != nil {
+		t.Fatalf("slow round failed: %v", err)
+	}
+	if !accept {
+		t.Error("verdict = reject, want accept")
+	}
+	select {
+	case v := <-verdictSeen:
+		if !v {
+			t.Error("player saw reject")
+		}
+	case <-time.After(3 * time.Second):
+		t.Error("player never received the verdict")
+	}
+}
+
+func TestSessionVerdictBroadcastSurvivesSlowRound(t *testing.T) {
+	// Same regression as above, on the session path.
+	const timeout = 600 * time.Millisecond
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := make(chan struct{})
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		if err := WriteHello(conn, Hello{Player: 0, Bits: 1}); err != nil {
+			return
+		}
+		if _, err := expectFrame[Round](conn, FrameRound); err != nil {
+			return
+		}
+		time.Sleep(400 * time.Millisecond)
+		if err := WriteVote(conn, Vote{Player: 0, Message: 1}); err != nil {
+			return
+		}
+		time.Sleep(400 * time.Millisecond)
+		if _, err := expectFrame[Verdict](conn, FrameVerdict); err != nil {
+			return
+		}
+		if _, err := expectFrame[Finish](conn, FrameFinish); err != nil {
+			return
+		}
+		close(finished)
+	})
+	verdicts, err := server.RunSession(context.Background(), l, []uint64{7})
+	if err != nil {
+		t.Fatalf("slow session round failed: %v", err)
+	}
+	if len(verdicts) != 1 || !verdicts[0] {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+	select {
+	case <-finished:
+	case <-time.After(3 * time.Second):
+		t.Error("player never reached FINISH")
+	}
+}

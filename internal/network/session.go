@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
@@ -16,209 +17,179 @@ import (
 // repeatedly, closing with FINISH. Sessions amortize connection setup over
 // amplification rounds (see core.Amplify for the statistics side) — the
 // shape a deployed alarm network actually has, where sensors hold a
-// long-lived connection and get polled periodically.
+// long-lived connection and get polled periodically. In quorum mode a
+// slot that dies mid-session (crash, timeout, protocol violation) is
+// excluded from later rounds and counted as a straggler in each round's
+// RoundStats instead of aborting the session.
 
-// RunSession accepts k player connections and runs one
-// ROUND/VOTE/VERDICT exchange per seed, then broadcasts FINISH. It returns
-// the per-round verdicts. Connections are closed before returning; the
-// listener stays open.
-func (s *RefereeServer) RunSession(ctx context.Context, l net.Listener, seeds []uint64) ([]bool, error) {
+// RunSessionStats accepts player connections and runs one
+// ROUND/VOTE/VERDICT exchange per seed, then broadcasts FINISH. It
+// returns the per-round verdicts and per-round statistics. Connections
+// are closed before returning; the listener stays open.
+func (s *RefereeServer) RunSessionStats(ctx context.Context, l net.Listener, seeds []uint64) ([]bool, []RoundStats, error) {
 	if l == nil {
-		return nil, fmt.Errorf("network: nil listener")
+		return nil, nil, fmt.Errorf("network: nil listener")
 	}
 	if len(seeds) == 0 {
-		return nil, fmt.Errorf("network: session with zero rounds")
+		return nil, nil, fmt.Errorf("network: session with zero rounds")
 	}
+	tr := &connTracker{}
+	defer tr.closeAll()
+	stop := tr.watch(ctx)
+	defer stop()
 
-	var (
-		connMu sync.Mutex
-		conns  []net.Conn
-	)
-	track := func(c net.Conn) {
-		connMu.Lock()
-		conns = append(conns, c)
-		connMu.Unlock()
-	}
-	closeAll := func() {
-		connMu.Lock()
-		for _, c := range conns {
-			_ = c.Close()
-		}
-		connMu.Unlock()
-	}
-	defer closeAll()
-	watchdogDone := make(chan struct{})
-	defer close(watchdogDone)
-	go func() {
-		select {
-		case <-ctx.Done():
-			closeAll()
-		case <-watchdogDone:
-		}
-	}()
-
-	type slot struct {
-		conn   net.Conn
-		player uint32
-	}
-	slots := make([]slot, 0, s.k)
-	for len(slots) < s.k {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		conn, err := l.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("network: accept: %w", err)
-		}
-		track(conn)
-		setDeadline(conn, s.timeout)
-		hello, err := expectFrame[Hello](conn, FrameHello)
-		if err != nil {
-			return nil, fmt.Errorf("network: hello: %w", err)
-		}
-		if hello.Bits < 1 || hello.Bits > 64 {
-			return nil, fmt.Errorf("network: player %d announced %d message bits", hello.Player, hello.Bits)
-		}
-		slots = append(slots, slot{conn: conn, player: hello.Player})
+	start := time.Now()
+	slots, err := s.acceptPlayers(ctx, l, tr)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	verdicts := make([]bool, 0, len(seeds))
+	allStats := make([]RoundStats, 0, len(seeds))
 	votes := make([]core.Message, s.k)
-	for _, seed := range seeds {
+	got := make([]bool, s.k)
+	for round, seed := range seeds {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		fail := func(err error) {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+		roundStart := time.Now()
+		if round == 0 {
+			roundStart = start // charge the accept phase to the first round
 		}
-		for i, sl := range slots {
-			wg.Add(1)
-			go func(i int, sl slot) {
-				defer wg.Done()
-				setDeadline(sl.conn, s.timeout)
-				if err := WriteRound(sl.conn, Round{Seed: seed}); err != nil {
-					fail(fmt.Errorf("network: round to player %d: %w", sl.player, err))
-					return
-				}
-				vote, err := expectFrame[Vote](sl.conn, FrameVote)
-				if err != nil {
-					fail(fmt.Errorf("network: vote from player %d: %w", sl.player, err))
-					return
-				}
-				if vote.Player != sl.player {
-					fail(fmt.Errorf("network: vote claims player %d on player %d's connection", vote.Player, sl.player))
-					return
-				}
-				votes[i] = core.Message(vote.Message)
-			}(i, sl)
+		if err := s.gatherVotes(seed, slots, votes, got); err != nil {
+			return nil, nil, err
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+		accept, received, err := s.decideVotes(votes, got)
+		stats := RoundStats{
+			Round:      round,
+			Votes:      received,
+			Stragglers: s.k - received,
+			Wall:       time.Since(roundStart),
+			Verdict:    accept,
 		}
-		accept, err := s.decide.Decide(votes)
 		if err != nil {
-			return nil, fmt.Errorf("network: referee decision: %w", err)
+			return nil, nil, err
 		}
-		for _, sl := range slots {
-			if err := WriteVerdict(sl.conn, Verdict{Accept: accept}); err != nil {
-				return nil, fmt.Errorf("network: verdict to player %d: %w", sl.player, err)
-			}
+		if err := s.broadcastVerdict(slots, accept); err != nil {
+			return nil, nil, err
 		}
+		stats.Wall = time.Since(roundStart)
 		verdicts = append(verdicts, accept)
+		allStats = append(allStats, stats)
 	}
 	for _, sl := range slots {
+		if sl.dead {
+			continue
+		}
 		setDeadline(sl.conn, s.timeout)
 		if err := WriteFinish(sl.conn); err != nil {
-			return nil, fmt.Errorf("network: finish to player %d: %w", sl.player, err)
+			if s.strict() {
+				return nil, nil, fmt.Errorf("network: finish to player %d: %w", sl.player, err)
+			}
+			sl.dead = true
+			_ = sl.conn.Close()
 		}
 	}
-	return verdicts, nil
+	return verdicts, allStats, nil
 }
 
-// RunSession participates in a multi-round session: the node keeps its
-// connection open, answers every ROUND with a fresh sample batch and VOTE,
-// records each VERDICT, and exits on FINISH.
-func (p *PlayerNode) RunSession(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, error) {
+// RunSession is RunSessionStats without the statistics, kept for callers
+// that only need the verdicts.
+func (s *RefereeServer) RunSession(ctx context.Context, l net.Listener, seeds []uint64) ([]bool, error) {
+	verdicts, _, err := s.RunSessionStats(ctx, l, seeds)
+	return verdicts, err
+}
+
+// RunSessionStats participates in a multi-round session: the node
+// connects (with retry-with-backoff on dial and HELLO), answers every
+// ROUND with a fresh sample batch and VOTE, records each VERDICT, and
+// exits on FINISH. It returns the verdicts seen and the number of
+// connect retries spent.
+func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, int, error) {
 	if tr == nil {
-		return nil, fmt.Errorf("network: nil transport")
+		return nil, 0, fmt.Errorf("network: nil transport")
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("network: nil rng")
+		return nil, 0, fmt.Errorf("network: nil rng")
 	}
-	conn, err := tr.Dial(addr)
+	conn, retries, err := p.connect(tr, addr)
 	if err != nil {
-		return nil, fmt.Errorf("network: node %d dial: %w", p.id, err)
+		return nil, retries, err
 	}
 	defer func() { _ = conn.Close() }()
-	setDeadline(conn, p.timeout)
 
-	if err := WriteHello(conn, Hello{Player: p.id, Bits: uint8(p.rule.Bits())}); err != nil {
-		return nil, fmt.Errorf("network: node %d hello: %w", p.id, err)
-	}
 	var verdicts []bool
 	for {
-		setDeadline(conn, p.timeout)
+		// Referee frames can lag a full referee phase behind — the quorum
+		// accept phase before the first ROUND, a slow peer's vote before a
+		// VERDICT — so reads get a two-timeout budget.
+		setDeadline(conn, 2*p.timeout)
 		t, msg, err := ReadFrame(conn)
 		if err != nil {
-			return nil, fmt.Errorf("network: node %d read: %w", p.id, err)
+			return nil, retries, fmt.Errorf("network: node %d read: %w", p.id, err)
 		}
 		switch m := msg.(type) {
 		case Round:
 			samples := dist.SampleN(p.sampler, p.q, rng)
 			vote, err := p.rule.Message(int(p.id), samples, m.Seed, rng)
 			if err != nil {
-				return nil, fmt.Errorf("network: node %d rule: %w", p.id, err)
+				return nil, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
 			}
 			if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(vote)}); err != nil {
-				return nil, fmt.Errorf("network: node %d vote: %w", p.id, err)
+				return nil, retries, fmt.Errorf("network: node %d vote: %w", p.id, err)
 			}
 		case Verdict:
 			verdicts = append(verdicts, m.Accept)
 		case Finish:
-			return verdicts, nil
+			return verdicts, retries, nil
 		default:
-			return nil, fmt.Errorf("network: node %d got unexpected %v mid-session", p.id, t)
+			return nil, retries, fmt.Errorf("network: node %d got unexpected %v mid-session", p.id, t)
 		}
 	}
 }
 
-// RunMany runs a multi-round session end to end: one connection per node
-// for all rounds, one verdict per round. The majority of the verdicts is
-// the amplified decision (see core.Amplify).
-func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, error) {
+// RunSession is RunSessionStats without the retry count.
+func (p *PlayerNode) RunSession(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, error) {
+	verdicts, _, err := p.RunSessionStats(tr, addr, rng)
+	return verdicts, err
+}
+
+// RunManyStats runs a multi-round session end to end: one connection per
+// node for all rounds, one verdict and one RoundStats per round. The
+// majority of the verdicts is the amplified decision (see core.Amplify).
+// With ClusterConfig.MinVotes set, node failures injected by faults are
+// tolerated down to the quorum; node-side connect retries are summed into
+// the first round's RoundStats.Retries.
+func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, []RoundStats, error) {
 	if sampler == nil {
-		return nil, fmt.Errorf("network: nil sampler")
+		return nil, nil, fmt.Errorf("network: nil sampler")
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("network: nil rng")
+		return nil, nil, fmt.Errorf("network: nil rng")
 	}
 	if rounds < 1 {
-		return nil, fmt.Errorf("network: session with %d rounds", rounds)
+		return nil, nil, fmt.Errorf("network: session with %d rounds", rounds)
 	}
-	server, err := NewRefereeServer(c.k, c.referee, c.timeout)
+	server, err := c.newServer()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	listener, err := c.tr.Listen()
 	if err != nil {
-		return nil, fmt.Errorf("network: listen: %w", err)
+		return nil, nil, fmt.Errorf("network: listen: %w", err)
 	}
 	defer func() { _ = listener.Close() }()
+
+	// In strict mode a failed node dooms the session, so its goroutine
+	// cancels runCtx to unblock a referee still waiting in accept.
+	runCtx, cancelSession := context.WithCancel(ctx)
+	defer cancelSession()
+
 	watchdogDone := make(chan struct{})
 	defer close(watchdogDone)
 	go func() {
 		select {
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			_ = listener.Close()
 		case <-watchdogDone:
 		}
@@ -229,27 +200,34 @@ func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.R
 		seeds[i] = rng.Uint64()
 	}
 
+	// Construct every node before spawning any, so a construction error
+	// cannot leave already-spawned goroutines running against the live
+	// listener.
+	nodes, rngs, err := c.buildNodes(sampler, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	type nodeResult struct {
 		verdicts []bool
+		retries  int
 		err      error
 	}
 	results := make(chan nodeResult, c.k)
 	var wg sync.WaitGroup
-	for i := 0; i < c.k; i++ {
-		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
-		if err != nil {
-			return nil, err
-		}
-		nodeRng := rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
+	for i := range nodes {
 		wg.Add(1)
-		go func() {
+		go func(node *PlayerNode, nodeRng *rand.Rand) {
 			defer wg.Done()
-			v, err := node.RunSession(c.tr, listener.Addr(), nodeRng)
-			results <- nodeResult{verdicts: v, err: err}
-		}()
+			v, retries, err := node.RunSessionStats(c.tr, listener.Addr(), nodeRng)
+			if err != nil && !c.tolerant() {
+				cancelSession()
+			}
+			results <- nodeResult{verdicts: v, retries: retries, err: err}
+		}(nodes[i], rngs[i])
 	}
 
-	verdicts, refErr := server.RunSession(ctx, listener, seeds)
+	verdicts, stats, refErr := server.RunSessionStats(runCtx, listener, seeds)
 
 	nodesDone := make(chan struct{})
 	go func() {
@@ -260,28 +238,54 @@ func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.R
 	case <-nodesDone:
 	case <-ctx.Done():
 		if refErr != nil {
-			return nil, refErr
+			return nil, nil, refErr
 		}
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 	close(results)
-	if refErr != nil {
-		return nil, refErr
-	}
+	var nodeErr error
+	retries := 0
 	for r := range results {
+		retries += r.retries
 		if r.err != nil {
-			return nil, r.err
+			if c.tolerant() {
+				continue // the referee already accounted for this straggler
+			}
+			if nodeErr == nil {
+				nodeErr = r.err
+			}
+			continue
+		}
+		if refErr != nil {
+			continue
 		}
 		if len(r.verdicts) != len(verdicts) {
-			return nil, fmt.Errorf("network: node saw %d verdicts, referee issued %d", len(r.verdicts), len(verdicts))
+			return nil, nil, fmt.Errorf("network: node saw %d verdicts, referee issued %d", len(r.verdicts), len(verdicts))
 		}
 		for i := range r.verdicts {
 			if r.verdicts[i] != verdicts[i] {
-				return nil, fmt.Errorf("network: node verdict %d disagrees with referee", i)
+				return nil, nil, fmt.Errorf("network: node verdict %d disagrees with referee", i)
 			}
 		}
 	}
-	return verdicts, nil
+	// A strict-mode node failure is the root cause; the referee error it
+	// provokes (cancelled accept, closed connections) is only a symptom.
+	if nodeErr != nil {
+		return nil, nil, nodeErr
+	}
+	if refErr != nil {
+		return nil, nil, refErr
+	}
+	if len(stats) > 0 {
+		stats[0].Retries = retries
+	}
+	return verdicts, stats, nil
+}
+
+// RunMany is RunManyStats without the statistics.
+func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, error) {
+	verdicts, _, err := c.RunManyStats(ctx, sampler, rng, rounds)
+	return verdicts, err
 }
 
 // MajorityVerdict reduces a session's verdicts to the amplified decision.

@@ -3,7 +3,9 @@ package network
 import (
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // Transport abstracts how players reach the referee. Implementations must
@@ -13,6 +15,20 @@ type Transport interface {
 	Listen() (net.Listener, error)
 	// Dial connects a player to the listener returned by Listen.
 	Dial(addr net.Addr) (net.Conn, error)
+}
+
+// PlayerDialer is an optional Transport extension: transports that care
+// which player is dialing — fault injection applies per-player plans —
+// implement it, and PlayerNode prefers it over plain Dial.
+type PlayerDialer interface {
+	// DialPlayer connects the identified player to the listener.
+	DialPlayer(addr net.Addr, player uint32) (net.Conn, error)
+}
+
+// acceptDeadliner is the listener extension the quorum-mode referee needs:
+// both *net.TCPListener and memListener provide it.
+type acceptDeadliner interface {
+	SetDeadline(t time.Time) error
 }
 
 // Verify interface compliance.
@@ -95,14 +111,42 @@ type memListener struct {
 	done    chan struct{}
 	once    sync.Once
 	onClose func()
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+// SetDeadline mirrors net.TCPListener's accept deadline: an Accept blocked
+// past t fails with an error wrapping os.ErrDeadlineExceeded. The zero
+// time clears the deadline.
+func (l *memListener) SetDeadline(t time.Time) error {
+	l.mu.Lock()
+	l.deadline = t
+	l.mu.Unlock()
+	return nil
 }
 
 func (l *memListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	deadline := l.deadline
+	l.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, fmt.Errorf("network: accept on %q: %w", l.addr, os.ErrDeadlineExceeded)
+		}
+		tm := time.NewTimer(wait)
+		defer tm.Stop()
+		timeout = tm.C
+	}
 	select {
 	case c := <-l.accept:
 		return c, nil
 	case <-l.done:
 		return nil, fmt.Errorf("network: listener %q closed", l.addr)
+	case <-timeout:
+		return nil, fmt.Errorf("network: accept on %q: %w", l.addr, os.ErrDeadlineExceeded)
 	}
 }
 

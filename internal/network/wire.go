@@ -180,6 +180,11 @@ func ReadFrame(r io.Reader) (FrameType, any, error) {
 		if len(payload) != 1 {
 			return 0, nil, fmt.Errorf("network: VERDICT payload of %d bytes", len(payload))
 		}
+		// Strict encoding: only 0 and 1 are legal. Anything else is a
+		// corrupted or malicious frame, not a reject vote.
+		if payload[0] > 1 {
+			return 0, nil, fmt.Errorf("network: malformed VERDICT byte %#x", payload[0])
+		}
 		return t, Verdict{Accept: payload[0] == 1}, nil
 	case FrameFinish:
 		if len(payload) != 0 {

@@ -125,6 +125,33 @@ func TestReadFrameRejectsWrongPayloadSizes(t *testing.T) {
 	}
 }
 
+func TestReadFrameRejectsMalformedVerdictByte(t *testing.T) {
+	// Regression: only 0x00 and 0x01 are legal VERDICT encodings; any
+	// other byte used to decode silently as Accept=false.
+	for _, b := range []byte{2, 3, 0x7F, 0xFF} {
+		var header [8]byte
+		binary.BigEndian.PutUint16(header[0:2], Magic)
+		header[2] = Version
+		header[3] = byte(FrameVerdict)
+		binary.BigEndian.PutUint32(header[4:8], 1)
+		frame := append(header[:], b)
+		if _, _, err := ReadFrame(bytes.NewReader(frame)); err == nil || !strings.Contains(err.Error(), "VERDICT") {
+			t.Errorf("VERDICT byte %#x: err = %v, want malformed-verdict error", b, err)
+		}
+	}
+	// The two legal bytes still decode.
+	for b, want := range map[byte]bool{0: false, 1: true} {
+		var buf bytes.Buffer
+		if err := WriteVerdict(&buf, Verdict{Accept: want}); err != nil {
+			t.Fatal(err)
+		}
+		typ, msg, err := ReadFrame(&buf)
+		if err != nil || typ != FrameVerdict || msg.(Verdict).Accept != want {
+			t.Errorf("VERDICT byte %#x: (%v, %v, %v)", b, typ, msg, err)
+		}
+	}
+}
+
 func TestExpectFrameTypeMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteRound(&buf, Round{Seed: 1}); err != nil {
