@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race cover bench verify results clean
+.PHONY: all build vet staticcheck test test-short test-race cover bench bench-all verify results clean
 
 all: build test
 
@@ -13,12 +13,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The default test target vets everything and additionally runs the
-# network package (goroutine-heavy: referee, nodes, chaos suite) under
-# the race detector.
-test: vet
+# Static analysis beyond vet, gated on the binary being installed: the
+# target is a no-op (with a note) where staticcheck is unavailable, so
+# `make test` works on a bare Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# The default test target vets everything, runs staticcheck when
+# available, and additionally runs the concurrency-heavy packages (the
+# networked referee/nodes and the engine's worker-pool driver) under the
+# race detector.
+test: vet staticcheck
 	$(GO) test ./...
-	$(GO) test -race ./internal/network/...
+	$(GO) test -race ./internal/network/... ./internal/engine/...
 
 test-short:
 	$(GO) test -short ./...
@@ -29,9 +40,15 @@ test-race:
 cover:
 	$(GO) test -cover ./...
 
-# The benchmark harness: one testing.B benchmark per experiment plus
-# micro-benchmarks. See bench_output.txt for a recorded run.
+# Engine throughput: trials/sec per backend (SMP, cluster, CONGEST)
+# under the unified driver, distilled into BENCH_engine.json.
 bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee bench_engine.txt
+	$(GO) run ./cmd/benchjson -o BENCH_engine.json < bench_engine.txt
+	@echo "wrote BENCH_engine.json"
+
+# Every benchmark in the repository (experiments + micro-benchmarks).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Numeric verification of every lemma/claim (exhaustive small instances).
@@ -43,4 +60,4 @@ results:
 	$(GO) run ./cmd/dut-bench -scale 1 -seed 1 -out results -csv
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt bench_engine.txt

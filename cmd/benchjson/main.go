@@ -1,0 +1,150 @@
+// Command benchjson distills `go test -bench` output into a small JSON
+// report. It reads the benchmark text on stdin and writes one record per
+// benchmark line with the iteration count, ns/op, and the derived
+// trials/sec throughput — the shape `make bench` stores in
+// BENCH_engine.json so engine-backend throughput can be tracked across
+// commits without parsing the raw bench text again.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/engine | benchjson -o BENCH_engine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the Benchmark prefix and any
+	// -GOMAXPROCS suffix stripped (e.g. "EngineSMP").
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op: nanoseconds per trial.
+	NsPerOp float64 `json:"ns_per_op"`
+	// TrialsPerSec is 1e9/NsPerOp: engine trial throughput.
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// BytesPerOp is B/op when -benchmem was set (0 otherwise).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is allocs/op when -benchmem was set (0 otherwise).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	// OS echoes the bench header's goos when present.
+	OS string `json:"os,omitempty"`
+	// Arch echoes the bench header's goarch when present.
+	Arch string `json:"arch,omitempty"`
+	// CPU echoes the bench header's cpu when present.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks holds one entry per parsed benchmark line.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
+	flag.Parse()
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text and extracts the result lines.
+func parse(r io.Reader) (Report, error) {
+	var report Report
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.OS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Arch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok, err := parseLine(line)
+		if err != nil {
+			return Report{}, err
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine parses one benchmark result line; ok is false for
+// Benchmark-prefixed lines that are not results (e.g. a bare name echoed
+// with -v).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	// Name, iterations, value, "ns/op", then optional -benchmem pairs.
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	nsPerOp, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad ns/op in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: nsPerOp}
+	if nsPerOp > 0 {
+		b.TrialsPerSec = 1e9 / nsPerOp
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true, nil
+}

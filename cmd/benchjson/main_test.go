@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/distributed-uniformity/dut/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineSMP-8     	   50000	      2500 ns/op	     320 B/op	       6 allocs/op
+BenchmarkEngineCluster   	     100	    131515.5 ns/op
+BenchmarkEngineCONGEST-8 	    1000	     17400 ns/op
+PASS
+ok  	github.com/distributed-uniformity/dut/internal/engine	0.008s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OS != "linux" || report.Arch != "amd64" || report.CPU == "" {
+		t.Fatalf("header: %+v", report)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	smp := report.Benchmarks[0]
+	if smp.Name != "EngineSMP" {
+		t.Errorf("name %q: GOMAXPROCS suffix not stripped", smp.Name)
+	}
+	if smp.Iterations != 50000 || smp.NsPerOp != 2500 {
+		t.Errorf("smp = %+v", smp)
+	}
+	if want := 1e9 / 2500; math.Abs(smp.TrialsPerSec-want) > 1e-9 {
+		t.Errorf("trials/sec = %v, want %v", smp.TrialsPerSec, want)
+	}
+	if smp.BytesPerOp != 320 || smp.AllocsPerOp != 6 {
+		t.Errorf("benchmem pairs: %+v", smp)
+	}
+	cluster := report.Benchmarks[1]
+	if cluster.Name != "EngineCluster" || cluster.NsPerOp != 131515.5 {
+		t.Errorf("cluster = %+v", cluster)
+	}
+	if cluster.BytesPerOp != 0 || cluster.AllocsPerOp != 0 {
+		t.Errorf("cluster benchmem should be absent: %+v", cluster)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	report, err := parse(strings.NewReader("BenchmarkFoo\nBenchmarkBar some junk here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from junk", len(report.Benchmarks))
+	}
+}
+
+func TestParseRejectsMalformedCounts(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX xx 5 ns/op\n")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX 5 yy ns/op\n")); err == nil {
+		t.Error("bad ns/op accepted")
+	}
+}

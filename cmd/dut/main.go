@@ -27,6 +27,7 @@ import (
 	"github.com/distributed-uniformity/dut/internal/centralized"
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 	"github.com/distributed-uniformity/dut/internal/lowerbound"
 	"github.com/distributed-uniformity/dut/internal/network"
 )
@@ -204,17 +205,16 @@ func runTester(mode string, n int, eps float64, k, q, trials int, sampler dist.S
 		if err != nil {
 			return 0, err
 		}
-		accepts := 0
-		for i := 0; i < trials; i++ {
-			ok, err := p.Run(sampler, rng)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				accepts++
-			}
+		b, err := core.BackendFor(p)
+		if err != nil {
+			return 0, err
 		}
-		return float64(accepts) / float64(trials), nil
+		res, err := engine.Estimate(context.Background(), b, engine.Fixed(sampler), trials,
+			engine.Options{Seed: rng.Uint64()})
+		if err != nil {
+			return 0, err
+		}
+		return res.Estimate.P, nil
 	default:
 		return 0, fmt.Errorf("unknown mode %q", mode)
 	}
@@ -395,20 +395,13 @@ func cmdNetDemo(args []string) int {
 		fmt.Printf("quorum: %d of %d votes\n", *minVotes, *k)
 	}
 	start := time.Now()
-	var (
-		accept   bool
-		allStats []network.RoundStats
-	)
-	if *rounds == 1 {
-		var stats network.RoundStats
-		accept, stats, err = cluster.RunStats(context.Background(), sampler, rng)
-		allStats = []network.RoundStats{stats}
-	} else {
-		var verdicts []bool
-		verdicts, allStats, err = cluster.RunManyStats(context.Background(), sampler, rng, *rounds)
-		if err == nil {
-			accept, err = network.MajorityVerdict(verdicts)
-		}
+	// One session regardless of the round count: RunManyStats routes the
+	// rounds through the unified engine driver, so a 1-round demo and a
+	// full amplification session exercise the same path.
+	var accept bool
+	verdicts, allStats, err := cluster.RunManyStats(context.Background(), sampler, rng, *rounds)
+	if err == nil {
+		accept, err = network.MajorityVerdict(verdicts)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dut netdemo: round failed: %v\n", err)

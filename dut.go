@@ -30,6 +30,7 @@ import (
 	"github.com/distributed-uniformity/dut/internal/congest"
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 	"github.com/distributed-uniformity/dut/internal/lowerbound"
 	"github.com/distributed-uniformity/dut/internal/network"
 	"github.com/distributed-uniformity/dut/internal/stats"
@@ -299,6 +300,70 @@ type (
 	CONGESTTester = congest.Tester
 	// CONGESTTesterConfig configures NewCONGESTTester.
 	CONGESTTesterConfig = congest.TesterConfig
+)
+
+// Unified execution engine: one context-aware trial driver behind the
+// in-process SMP simulator, the networked cluster and the CONGEST
+// deployment. All randomness derives from (seed, trial, player) streams,
+// so equal seeds give bit-identical verdict sequences on every backend
+// regardless of worker count.
+type (
+	// Engine bundles a Backend with EngineOptions; build one with
+	// NewEngine and drive it via Run/Estimate/Separates/Amplify.
+	Engine = engine.Engine
+	// Backend executes protocol rounds for the engine's trial driver.
+	Backend = engine.Backend
+	// RoundSpec names one trial for a Backend.
+	RoundSpec = engine.RoundSpec
+	// RoundResult is the uniform per-round accounting every backend
+	// reports (a superset of the networked RoundStats).
+	RoundResult = engine.RoundResult
+	// EngineOptions configures the trial driver (workers, confidence,
+	// base seed).
+	EngineOptions = engine.Options
+	// EngineResult is an estimate plus per-round results and totals.
+	EngineResult = engine.Result
+	// EngineTotals aggregates RoundResult accounting over a run.
+	EngineTotals = engine.Totals
+	// TrialSource yields the sampler for one trial; use FixedSource or
+	// DistSource for the common cases.
+	TrialSource = engine.Source
+	// Separation is the engine's two-sided separation report.
+	Separation = engine.Separation
+	// SeparationOutcome is the three-valued verdict of a separation
+	// check: Separated, NotSeparated or Inconclusive.
+	SeparationOutcome = engine.Outcome
+)
+
+// Engine constructors and backend adapters.
+var (
+	// NewEngine bundles a backend with driver options.
+	NewEngine = engine.New
+	// BackendFor adapts any Protocol to the engine (a *core.SMP gets the
+	// fully deterministic cross-backend treatment).
+	BackendFor = core.BackendFor
+	// NewClusterBackend adapts a networked Cluster: each trial is one
+	// full networked round whose verdict is bit-identical to the SMP
+	// backend's for the same seed.
+	NewClusterBackend = network.NewBackend
+	// NewCONGESTBackend adapts a CONGEST tester; trials additionally
+	// report Messages and CommRounds.
+	NewCONGESTBackend = congest.NewBackend
+	// FixedSource serves the same sampler on every trial.
+	FixedSource = engine.Fixed
+	// DistSource builds the default sampler for a distribution once and
+	// serves it on every trial.
+	DistSource = engine.FromDist
+)
+
+// Separation outcomes.
+const (
+	// Separated: both interval bounds clear the target.
+	Separated = engine.Separated
+	// NotSeparated: an interval bound misses the target.
+	NotSeparated = engine.NotSeparated
+	// SeparationInconclusive: an interval straddles the target.
+	SeparationInconclusive = engine.Inconclusive
 )
 
 // Graph builders and the CONGEST tester constructor.

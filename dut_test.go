@@ -336,3 +336,67 @@ func TestFacadeSessionRunMany(t *testing.T) {
 		t.Errorf("majority rejected uniform input: %v", verdicts)
 	}
 }
+
+func TestFacadeEngine(t *testing.T) {
+	const (
+		n   = 256
+		k   = 8
+		eps = 0.5
+	)
+	tester, err := NewThresholdTester(ThresholdTesterConfig{
+		N: n, K: k, Q: RecommendedThresholdSamples(n, k, eps), Eps: eps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := BackendFor(tester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend.Players() != k {
+		t.Fatalf("Players() = %d, want %d", backend.Players(), k)
+	}
+	eng, err := NewEngine(backend, EngineOptions{Seed: 17, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := PairedBump(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullSrc, err := DistSource(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farSrc, err := DistSource(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := eng.Separates(context.Background(), nullSrc, farSrc, 2.0/3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Outcome != Separated {
+		t.Fatalf("threshold tester at recommended q: outcome %v (null %.3f, far %.3f)",
+			sep.Outcome, sep.Null.Estimate.P, sep.Far.Estimate.P)
+	}
+	// The same seed through the engine twice must reproduce the verdict
+	// sequence exactly.
+	r1, err := eng.Run(context.Background(), nullSrc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Run(context.Background(), nullSrc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Verdict != r2[i].Verdict {
+			t.Fatalf("trial %d: verdicts differ across identical runs", i)
+		}
+	}
+}

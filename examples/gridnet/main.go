@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,22 +44,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rng := dut.NewRand(21)
+	// The execution engine drives the grid like any other backend; each
+	// trial's RoundResult additionally reports the CONGEST accounting
+	// (communication rounds, edge messages).
+	backend, err := dut.NewCONGESTBackend(tester)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dut.NewEngine(backend, dut.EngineOptions{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
 	scenario := func(name string, d dut.Distribution) {
 		sampler, err := dut.NewSampler(d)
 		if err != nil {
 			log.Fatal(err)
 		}
-		accept, err := tester.Run(sampler, rng)
+		results, err := eng.Run(context.Background(), dut.FixedSource(sampler), 1)
 		if err != nil {
 			log.Fatal(err)
 		}
+		r := results[0]
 		verdict := "uniform"
-		if !accept {
+		if !r.Verdict {
 			verdict = "FAR FROM UNIFORM"
 		}
-		fmt.Printf("%-22s -> %-17s (%d rounds, %d messages, widest message %d bits)\n",
-			name, verdict, tester.LastRounds(), tester.LastMessages(), tester.LastMaxMessageBits())
+		fmt.Printf("%-22s -> %-17s (%d rounds, %d messages)\n",
+			name, verdict, r.CommRounds, r.Messages)
 	}
 
 	fmt.Printf("%dx%d grid (diameter %d), %d sensors x %d samples, n=%d, eps=%v\n\n",
@@ -74,7 +86,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nu, _, err := family.RandomPerturbed(rng)
+	nu, _, err := family.RandomPerturbed(dut.NewRand(21))
 	if err != nil {
 		log.Fatal(err)
 	}

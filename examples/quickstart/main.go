@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,11 +49,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	accept, err := tester.Run(sampler, rng)
+	// One protocol run is only 2/3-confident; the execution engine runs
+	// trials on a worker pool (deterministically in the seed) and reports
+	// the acceptance rate with a confidence interval.
+	backend, err := dut.BackendFor(tester)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("distributed: %d players x %d samples -> uniform? %v\n", k, qPer, accept)
+	eng, err := dut.NewEngine(backend, dut.EngineOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const trials = 25
+	res, err := eng.Estimate(context.Background(), dut.FixedSource(sampler), trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed: %d players x %d samples -> accepted %d/%d trials (uniform? %v)\n",
+		k, qPer, res.Totals.Accepts, trials, res.Estimate.P >= 0.5)
 
 	// --- How close is that to optimal? Theorem 6.1's floor: ---
 	floor, err := dut.LowerBoundSamples(n, k, eps, 1)

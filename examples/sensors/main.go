@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,17 @@ func main() {
 	// Each protocol round is only 2/3-confident, as the model requires
 	// (the healthy-side false-alarm rate is ~1/4 by design); a deployment
 	// amplifies by running independent rounds and alerting when at least
-	// two thirds of them alarm.
+	// two thirds of them alarm. The execution engine drives the rounds —
+	// each engine trial is one full networked round over TCP loopback —
+	// and its (seed, trial, sensor) streams make the session reproducible.
+	backend, err := dut.NewClusterBackend(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dut.NewEngine(backend, dut.EngineOptions{Seed: 99, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	const rounds = 15
 	scenario := func(name string, d dut.Distribution) {
 		sampler, err := dut.NewSampler(d)
@@ -52,13 +63,13 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
+		results, err := eng.Run(context.Background(), dut.FixedSource(sampler), rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
 		alarms := 0
-		for r := 0; r < rounds; r++ {
-			ok, err := cluster.Run(sampler, rng)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if !ok {
+		for _, r := range results {
+			if !r.Verdict {
 				alarms++
 			}
 		}

@@ -1,0 +1,51 @@
+package congest
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// testerBackend runs each engine trial as one CONGEST execution: votes
+// derived from engine.NodeRNG(shared, node), then BFS-tree aggregation
+// on the simulator. It bypasses the Tester's shared last* statistics
+// fields (each trial reads its own simulator), so concurrent trials on
+// the engine's worker pool never contend.
+type testerBackend struct {
+	t *Tester
+}
+
+// NewBackend adapts a Tester to the engine's Backend interface.
+func NewBackend(t *Tester) (engine.Backend, error) {
+	if t == nil {
+		return nil, fmt.Errorf("congest: nil tester")
+	}
+	return &testerBackend{t: t}, nil
+}
+
+// Players implements engine.Backend.
+func (b *testerBackend) Players() int { return b.t.Players() }
+
+// RunRound implements engine.Backend.
+func (b *testerBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.RoundResult{}, err
+	}
+	start := time.Now()
+	shared := engine.SharedSeed(spec.Seed, spec.Trial)
+	accept, sim, err := b.t.runSeeded(spec.Sampler, shared)
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	n := b.t.Players()
+	return engine.RoundResult{
+		Verdict:    accept,
+		Votes:      n,
+		Samples:    n * b.t.q,
+		Messages:   sim.MessagesSent(),
+		CommRounds: sim.Rounds(),
+		Wall:       time.Since(start),
+	}, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // Message tags (low 3 payload bits); values ride in the upper bits.
@@ -328,34 +329,23 @@ func (t *Tester) LastMaxMessageBits() int {
 }
 
 // Run implements core.Protocol: draw samples, vote, aggregate, decide.
+// The round's public-coin seed is drawn from rng; everything else derives
+// from that seed via RunSeeded.
 func (t *Tester) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
-	if sampler == nil {
-		return false, fmt.Errorf("congest: nil sampler")
-	}
 	if rng == nil {
 		return false, fmt.Errorf("congest: nil rng")
 	}
-	n := t.graph.N()
-	shared := rng.Uint64()
-	var verdict bool
-	programs := make([]NodeProgram, n)
-	buf := make([]int, t.q)
-	for u := 0; u < n; u++ {
-		dist.SampleInto(sampler, buf, rng)
-		msg, err := t.rule.Message(u, buf, shared, rng)
-		if err != nil {
-			return false, fmt.Errorf("congest: node %d vote: %w", u, err)
-		}
-		programs[u] = newUniformityNode(t.graph, u, u == t.root, t.t, !msg.Bit(), &verdict)
-	}
-	sim, err := NewSimulator(t.graph, programs)
+	return t.RunSeeded(sampler, rng.Uint64())
+}
+
+// RunSeeded executes one CONGEST round with an explicit public-coin seed.
+// Node u draws its samples and private coins from engine.NodeRNG(shared,
+// u) — the same derivation the in-process SMP simulator and the networked
+// nodes apply — so the votes entering the tree aggregation are
+// bit-identical to the other backends' for the same seed.
+func (t *Tester) RunSeeded(sampler dist.Sampler, shared uint64) (bool, error) {
+	verdict, sim, err := t.runSeeded(sampler, shared)
 	if err != nil {
-		return false, err
-	}
-	// BFS + convergecast + broadcast each take O(diameter) rounds; 8D+16
-	// is a generous envelope that still catches deadlocks.
-	maxRounds := 8*n + 16
-	if err := sim.Run(maxRounds); err != nil {
 		return false, err
 	}
 	t.statsMu.Lock()
@@ -364,4 +354,37 @@ func (t *Tester) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
 	t.lastMaxBits = sim.MaxMessageBits()
 	t.statsMu.Unlock()
 	return verdict, nil
+}
+
+// runSeeded is the shared-state-free core of RunSeeded: it returns the
+// simulator so callers (the engine backend) can read per-run statistics
+// without racing on the Tester's last* fields.
+func (t *Tester) runSeeded(sampler dist.Sampler, shared uint64) (bool, *Simulator, error) {
+	if sampler == nil {
+		return false, nil, fmt.Errorf("congest: nil sampler")
+	}
+	n := t.graph.N()
+	var verdict bool
+	programs := make([]NodeProgram, n)
+	buf := make([]int, t.q)
+	for u := 0; u < n; u++ {
+		rng := engine.NodeRNG(shared, u)
+		dist.SampleInto(sampler, buf, rng)
+		msg, err := t.rule.Message(u, buf, shared, rng)
+		if err != nil {
+			return false, nil, fmt.Errorf("congest: node %d vote: %w", u, err)
+		}
+		programs[u] = newUniformityNode(t.graph, u, u == t.root, t.t, !msg.Bit(), &verdict)
+	}
+	sim, err := NewSimulator(t.graph, programs)
+	if err != nil {
+		return false, nil, err
+	}
+	// BFS + convergecast + broadcast each take O(diameter) rounds; 8D+16
+	// is a generous envelope that still catches deadlocks.
+	maxRounds := 8*n + 16
+	if err := sim.Run(maxRounds); err != nil {
+		return false, nil, err
+	}
+	return verdict, sim, nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // AmplifiedProtocol runs an inner 2/3-correct protocol an odd number of
@@ -63,17 +65,30 @@ func (a *AmplifiedProtocol) MaxSamplesPerPlayer() int {
 // Rounds returns the amplification factor.
 func (a *AmplifiedProtocol) Rounds() int { return a.rounds }
 
-// Run implements Protocol by majority vote over the inner rounds.
+// Run implements Protocol by majority vote over the inner rounds. The
+// rounds execute on the engine's trial driver (one engine trial per
+// amplification round), deriving their seeds from one draw of rng and
+// aborting on the first error.
 func (a *AmplifiedProtocol) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
-	accepts := 0
-	for i := 0; i < a.rounds; i++ {
-		ok, err := a.inner.Run(sampler, rng)
-		if err != nil {
-			return false, fmt.Errorf("core: amplification round %d: %w", i, err)
-		}
-		if ok {
-			accepts++
-		}
+	if rng == nil {
+		return false, fmt.Errorf("core: nil rng")
 	}
-	return 2*accepts > a.rounds, nil
+	return a.RunContext(context.Background(), sampler, rng)
+}
+
+// RunContext is Run with cancellation: a cancelled context aborts the
+// remaining amplification rounds.
+func (a *AmplifiedProtocol) RunContext(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, error) {
+	if rng == nil {
+		return false, fmt.Errorf("core: nil rng")
+	}
+	b, err := BackendFor(a.inner)
+	if err != nil {
+		return false, err
+	}
+	accept, _, err := engine.Amplify(ctx, b, engine.Fixed(sampler), a.rounds, engine.Options{Seed: rng.Uint64()})
+	if err != nil {
+		return false, err
+	}
+	return accept, nil
 }

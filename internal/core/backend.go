@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// BackendFor adapts a Protocol to the engine's Backend interface. A
+// *SMP gets the fully deterministic treatment — per-player streams
+// derived from the round's public coin, so its verdicts are
+// bit-reproducible against the networked and CONGEST backends — while
+// any other Protocol runs against the per-trial stream (deterministic in
+// (seed, trial), but with no cross-backend vote identity).
+func BackendFor(p Protocol) (engine.Backend, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil protocol")
+	}
+	if smp, ok := p.(*SMP); ok {
+		return &smpBackend{p: smp}, nil
+	}
+	return &protocolBackend{p: p}, nil
+}
+
+// smpBackend is the in-process SMP execution backend: one RunRound is one
+// referee-model round with canonical engine RNG streams.
+type smpBackend struct {
+	p *SMP
+}
+
+// Players implements engine.Backend.
+func (b *smpBackend) Players() int { return b.p.Players() }
+
+// RunRound implements engine.Backend.
+func (b *smpBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.RoundResult{}, err
+	}
+	start := time.Now()
+	shared := engine.SharedSeed(spec.Seed, spec.Trial)
+	accept, err := b.p.RunSeeded(spec.Sampler, shared)
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	return engine.RoundResult{
+		Verdict:  accept,
+		Votes:    b.p.Players(),
+		Messages: b.p.Players(),
+		Samples:  b.p.TotalSamples(),
+		Wall:     time.Since(start),
+	}, nil
+}
+
+// contextProtocol is the optional context-aware run surface a Protocol
+// may expose (network.Cluster does); the generic backend prefers it so
+// driver cancellation reaches mid-round waits.
+type contextProtocol interface {
+	RunContext(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, error)
+}
+
+// protocolBackend runs any Protocol against the engine's per-trial
+// stream.
+type protocolBackend struct {
+	p Protocol
+}
+
+// Players implements engine.Backend.
+func (b *protocolBackend) Players() int { return b.p.Players() }
+
+// RunRound implements engine.Backend.
+func (b *protocolBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.RoundResult{}, err
+	}
+	start := time.Now()
+	rng := engine.TrialRNG(spec.Seed, spec.Trial)
+	var (
+		accept bool
+		err    error
+	)
+	if cp, ok := b.p.(contextProtocol); ok {
+		accept, err = cp.RunContext(ctx, spec.Sampler, rng)
+	} else {
+		accept, err = b.p.Run(spec.Sampler, rng)
+	}
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	samples := b.p.Players() * b.p.MaxSamplesPerPlayer()
+	if ts, ok := b.p.(interface{ TotalSamples() int }); ok {
+		samples = ts.TotalSamples()
+	}
+	return engine.RoundResult{
+		Verdict: accept,
+		Votes:   b.p.Players(),
+		Samples: samples,
+		Wall:    time.Since(start),
+	}, nil
+}

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
-	"sync"
 
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 	"github.com/distributed-uniformity/dut/internal/stats"
 )
 
@@ -95,19 +96,33 @@ func (p *SMP) TotalSamples() int {
 // Local returns the protocol's local rule.
 func (p *SMP) Local() LocalRule { return p.local }
 
+// RefereeFunc returns the protocol's referee.
+func (p *SMP) RefereeFunc() Referee { return p.referee }
+
 // RunMessages executes one round and returns the raw messages, for
-// referees that need more than a verdict (e.g. learning).
+// referees that need more than a verdict (e.g. learning). The public-coin
+// seed is drawn from rng; everything else derives from that seed via
+// RunMessagesSeeded.
 func (p *SMP) RunMessages(sampler dist.Sampler, rng *rand.Rand) ([]Message, error) {
-	if sampler == nil {
-		return nil, fmt.Errorf("core: nil sampler")
-	}
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
-	shared := rng.Uint64()
+	return p.RunMessagesSeeded(sampler, rng.Uint64())
+}
+
+// RunMessagesSeeded executes one round with an explicit public-coin seed.
+// Player i draws its samples and private coins from engine.NodeRNG(shared,
+// i) — the same derivation a networked node applies to the ROUND frame
+// and a CONGEST node to the broadcast seed — so rounds with equal shared
+// seeds produce identical messages on every backend.
+func (p *SMP) RunMessagesSeeded(sampler dist.Sampler, shared uint64) ([]Message, error) {
+	if sampler == nil {
+		return nil, fmt.Errorf("core: nil sampler")
+	}
 	msgs := make([]Message, len(p.qs))
 	buf := make([]int, p.MaxSamplesPerPlayer())
 	for i, q := range p.qs {
+		rng := engine.NodeRNG(shared, i)
 		samples := buf[:q]
 		dist.SampleInto(sampler, samples, rng)
 		m, err := p.local.Message(i, samples, shared, rng)
@@ -128,54 +143,76 @@ func (p *SMP) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
 	return p.referee.Decide(msgs)
 }
 
+// RunSeeded executes one round end to end with an explicit public-coin
+// seed; see RunMessagesSeeded for the derivation contract.
+func (p *SMP) RunSeeded(sampler dist.Sampler, shared uint64) (bool, error) {
+	msgs, err := p.RunMessagesSeeded(sampler, shared)
+	if err != nil {
+		return false, err
+	}
+	return p.referee.Decide(msgs)
+}
+
+// engineOptions maps the legacy estimation options onto the engine's.
+func engineOptions(opts stats.EstimateOptions) engine.Options {
+	return engine.Options{
+		Workers:    opts.Parallelism,
+		Confidence: opts.Confidence,
+		Seed:       opts.Seed,
+	}
+}
+
 // EstimateAcceptance measures Pr[protocol accepts] against the given
 // distribution by Monte Carlo, with a Wilson confidence interval.
+//
+// This is a compatibility wrapper over the unified trial driver
+// (internal/engine): trials run on the engine's worker pool, abort as
+// soon as any trial errors, and take their randomness from the engine's
+// (seed, trial, player) streams, so results no longer depend on
+// Parallelism. New code should build a backend with BackendFor and call
+// engine.Estimate (or dut.NewEngine) directly.
 func EstimateAcceptance(p Protocol, d dist.Dist, trials int, opts stats.EstimateOptions) (stats.SuccessEstimate, error) {
-	if p == nil {
-		return stats.SuccessEstimate{}, fmt.Errorf("core: nil protocol")
-	}
-	sampler, err := dist.NewAliasSampler(d)
+	b, err := BackendFor(p)
 	if err != nil {
 		return stats.SuccessEstimate{}, err
 	}
-	// Trials run on several goroutines; collect the first error safely.
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
-		ok, runErr := p.Run(sampler, rng)
-		if runErr != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = runErr
-			}
-			mu.Unlock()
-		}
-		return ok
-	}, opts)
+	src, err := engine.FromDist(d)
 	if err != nil {
 		return stats.SuccessEstimate{}, err
 	}
-	if firstErr != nil {
-		return stats.SuccessEstimate{}, firstErr
+	res, err := engine.Estimate(context.Background(), b, src, trials, engineOptions(opts))
+	if err != nil {
+		return stats.SuccessEstimate{}, err
 	}
-	return est, nil
+	return res.Estimate, nil
 }
 
 // Separates reports whether the protocol both accepts `null` and rejects
 // `far` with probability at least target (e.g. 2/3), with the measured
-// acceptance probabilities.
+// acceptance probabilities. The decision uses the Wilson interval bounds
+// rather than the raw point estimates, so a borderline configuration
+// whose intervals straddle the target reports ok=false (inconclusive)
+// instead of flapping with the seed; engine.Separates exposes the full
+// three-valued outcome.
+//
+// This is a compatibility wrapper over the unified trial driver; new
+// code should use engine.Separates via BackendFor (or dut.NewEngine).
 func Separates(p Protocol, null, far dist.Dist, target float64, trials int, opts stats.EstimateOptions) (ok bool, acceptNull, acceptFar float64, err error) {
-	en, err := EstimateAcceptance(p, null, trials, opts)
+	b, err := BackendFor(p)
 	if err != nil {
 		return false, 0, 0, err
 	}
-	optsFar := opts
-	optsFar.Seed ^= 0x517cc1b727220a95
-	ef, err := EstimateAcceptance(p, far, trials, optsFar)
+	nullSrc, err := engine.FromDist(null)
 	if err != nil {
 		return false, 0, 0, err
 	}
-	return en.P >= target && 1-ef.P >= target, en.P, ef.P, nil
+	farSrc, err := engine.FromDist(far)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	sep, err := engine.Separates(context.Background(), b, nullSrc, farSrc, target, trials, engineOptions(opts))
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return sep.Outcome == engine.Separated, sep.Null.Estimate.P, sep.Far.Estimate.P, nil
 }

@@ -1,0 +1,88 @@
+package engine_test
+
+// Benchmarks comparing trial throughput across the three backends under
+// the same engine driver. `make bench` runs these and distills them into
+// BENCH_engine.json (trials/sec per backend).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/congest"
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
+	"github.com/distributed-uniformity/dut/internal/network"
+)
+
+func benchSource(b *testing.B) engine.Source {
+	b.Helper()
+	u, err := dist.Uniform(xbDomain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := engine.FromDist(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+func benchRun(b *testing.B, backend engine.Backend) {
+	b.Helper()
+	src := benchSource(b)
+	b.ResetTimer()
+	if _, err := engine.Run(context.Background(), backend, src, b.N,
+		engine.Options{Seed: xbSeed}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineSMP(b *testing.B) {
+	p, err := core.NewSMP(xbPlayers, xbSamples, xbRule(), core.BitReferee{Rule: core.ThresholdRule{T: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := core.BackendFor(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, backend)
+}
+
+func BenchmarkEngineCluster(b *testing.B) {
+	c, err := network.NewCluster(network.ClusterConfig{
+		K: xbPlayers, Q: xbSamples,
+		Rule:      xbRule(),
+		Referee:   core.BitReferee{Rule: core.ThresholdRule{T: 2}},
+		Transport: network.NewMemTransport(),
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := network.NewBackend(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, backend)
+}
+
+func BenchmarkEngineCONGEST(b *testing.B) {
+	graph, err := congest.Complete(xbPlayers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tester, err := congest.NewTester(congest.TesterConfig{
+		Graph: graph, Root: 0, Q: xbSamples, Rule: xbRule(), T: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := congest.NewBackend(tester)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, backend)
+}

@@ -1,0 +1,66 @@
+// Package engine is the unified execution engine behind every way this
+// repository runs the paper's referee-model protocol: the in-process SMP
+// simulator, the networked cluster (memory or TCP transport), and the
+// CONGEST-over-graph deployment. The paper's results (Theorems 1.1-1.4,
+// 6.4) are statements about one protocol executed under different rules
+// and budgets; the engine makes the code match that framing by putting a
+// single trial driver behind every backend.
+//
+// # The Backend interface
+//
+// A Backend executes one protocol round:
+//
+//	RunRound(ctx, RoundSpec) (RoundResult, error)
+//
+// RoundSpec names the trial index, the engine's base seed and the sampler
+// for the unknown distribution; RoundResult is the uniform per-round
+// accounting (verdict, votes, stragglers, retries, samples drawn, wall
+// time, and — for message-passing backends — message and communication
+// round counts). It is a superset of the networked cluster's RoundStats,
+// so in-process runs get the same accounting a deployment has.
+//
+// Adapters live next to the types they wrap, keeping this package a leaf:
+//
+//   - core.BackendFor adapts any core.Protocol; *core.SMP gets the
+//     deterministic per-player treatment below.
+//   - network.NewBackend adapts a *network.Cluster (one networked round
+//     with fresh connections per trial).
+//   - congest.NewBackend adapts a *congest.Tester (one synchronous-round
+//     graph simulation per trial).
+//
+// # RNG stream derivation
+//
+// Reproducibility across backends and worker counts comes from deriving
+// every generator from (seed, trial, player) and nothing else:
+//
+//	shared  = SharedSeed(seed, trial)       // the round's public coin
+//	private = NodeRNG(shared, player)       // player's sampling + coins
+//	source  = TrialRNG(seed, trial)         // per-trial Source randomness
+//
+// SharedSeed and NodeRNG are splitmix64-mixed PCG streams. A player's
+// private stream is a function of the round's public coin and its own id,
+// so a networked node can rebuild it from the ROUND frame alone — no
+// extra wire state — and an SMP round, a cluster round and a CONGEST
+// round with the same rule, player count and sample budget produce
+// bit-identical votes and verdicts. The driver assigns whole trials to
+// workers, so verdict sequences are also independent of Options.Workers.
+//
+// # The trial driver
+//
+// Run executes trials over a worker pool with context cancellation and
+// early abort on the first error; Estimate adds Wilson-interval success
+// estimation; Separates gives the 2/3-vs-1/3 verdict using the interval
+// bounds (three-valued: separated, not separated, or inconclusive when
+// the intervals straddle the target); Amplify majority-votes an odd
+// number of rounds. The Engine type bundles a Backend with Options for
+// the facade (dut.NewEngine).
+//
+// # Deprecation path
+//
+// The pre-engine entry points survive as thin wrappers and keep their
+// seed-test semantics: core.EstimateAcceptance, core.Separates and
+// core.Amplify delegate here via core.BackendFor, and
+// network.Cluster.RunMany/RunManyStats drive their multi-round session
+// through this driver with a single worker. New code should construct a
+// Backend and call the engine (or dut.NewEngine) directly.
+package engine

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/stats"
+)
+
+// RoundSpec names one trial for a Backend: the trial index, the engine's
+// base seed (backends derive the round's public coin via SharedSeed and
+// per-player streams via NodeRNG), and the sampler for the unknown
+// distribution. Backends whose samplers are fixed at construction time
+// (e.g. a running cluster session) may ignore Sampler.
+type RoundSpec struct {
+	// Trial is the 0-based trial index within the driver run.
+	Trial int
+	// Seed is the engine's base seed; never the round seed itself.
+	Seed uint64
+	// Sampler draws from the unknown distribution for this trial.
+	Sampler dist.Sampler
+}
+
+// RoundResult is the uniform per-round accounting every backend reports —
+// a superset of the networked cluster's RoundStats, so in-process and
+// CONGEST runs carry the same bookkeeping a deployment has.
+type RoundResult struct {
+	// Trial is the 0-based trial index (filled by the driver).
+	Trial int
+	// Verdict is the referee's decision: true means accept.
+	Verdict bool
+	// Votes is the number of votes that entered the decision.
+	Votes int
+	// Stragglers is the number of players whose vote never arrived
+	// (always 0 for in-process backends).
+	Stragglers int
+	// Retries is the number of node-side connect retries (networked
+	// backends only).
+	Retries int
+	// Samples is the total number of samples drawn across players.
+	Samples int
+	// Messages is the number of protocol messages carried (CONGEST
+	// edge-messages, or votes for message-counting backends; 0 when the
+	// backend does not track it).
+	Messages int
+	// CommRounds is the number of synchronous communication rounds
+	// (CONGEST backends; 0 elsewhere).
+	CommRounds int
+	// Wall is the wall-clock duration of the round.
+	Wall time.Duration
+}
+
+// Backend executes protocol rounds. Implementations must take all
+// randomness from the RoundSpec-derived streams (SharedSeed / NodeRNG /
+// TrialRNG), so that equal seeds give equal verdicts regardless of which
+// backend runs the round or how many workers drive it. RunRound must be
+// safe for concurrent use unless the backend also implements
+// WorkerLimiter.
+type Backend interface {
+	// RunRound executes one round and reports its accounting.
+	RunRound(ctx context.Context, spec RoundSpec) (RoundResult, error)
+	// Players returns the protocol's player count k.
+	Players() int
+}
+
+// WorkerLimiter is an optional Backend interface bounding driver
+// concurrency. A backend serialized over shared state (e.g. one open
+// multi-round network session) returns 1 and receives trials in order.
+type WorkerLimiter interface {
+	// MaxWorkers returns the largest worker count the backend tolerates.
+	MaxWorkers() int
+}
+
+// Source yields the sampler for one trial. rng is the trial's TrialRNG
+// stream, so sources that draw a fresh distribution per trial (the lower
+// bound's averaged adversary) stay deterministic in (seed, trial).
+type Source func(trial int, rng *rand.Rand) (dist.Sampler, error)
+
+// Fixed returns a Source that serves the same sampler on every trial.
+func Fixed(s dist.Sampler) Source {
+	return func(int, *rand.Rand) (dist.Sampler, error) { return s, nil }
+}
+
+// FromDist builds the default (alias-method) sampler for d once and
+// serves it on every trial.
+func FromDist(d dist.Dist) (Source, error) {
+	s, err := dist.NewAliasSampler(d)
+	if err != nil {
+		return nil, err
+	}
+	return Fixed(s), nil
+}
+
+// Options configures the trial driver. The zero value requests
+// GOMAXPROCS workers, 95% confidence and seed 0.
+type Options struct {
+	// Workers is the worker pool size; 0 or negative means GOMAXPROCS.
+	// Results never depend on it: trials, not ranges, are the unit of
+	// scheduling and every trial's randomness derives from (Seed, Trial).
+	Workers int
+	// Confidence is the Wilson interval level for Estimate; 0 means 0.95.
+	Confidence float64
+	// Seed is the base seed all per-trial streams derive from.
+	Seed uint64
+}
+
+// Totals aggregates RoundResult accounting over a run.
+type Totals struct {
+	// Trials is the number of rounds executed.
+	Trials int
+	// Accepts is the number of accepting verdicts.
+	Accepts int
+	// Votes, Stragglers, Retries, Samples and Messages sum the per-round
+	// fields of the same names.
+	Votes, Stragglers, Retries, Samples, Messages int
+	// Wall sums per-round wall time (total backend compute, not elapsed
+	// driver time: rounds overlap across workers).
+	Wall time.Duration
+}
+
+// Result is Estimate's output: the Wilson success estimate plus the
+// per-round results and their aggregate accounting.
+type Result struct {
+	// Estimate is the acceptance-probability estimate.
+	Estimate stats.SuccessEstimate
+	// Rounds holds one RoundResult per trial, in trial order.
+	Rounds []RoundResult
+	// Totals aggregates Rounds.
+	Totals Totals
+}
+
+// Run executes the given number of trials against the backend over a
+// worker pool and returns one RoundResult per trial, in trial order. The
+// first error aborts the run: the shared context is cancelled, queued
+// trials are skipped, and the error of the lowest-indexed failing trial
+// is returned (cancellation casualties of later trials never mask it).
+func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) ([]RoundResult, error) {
+	if b == nil {
+		return nil, fmt.Errorf("engine: nil backend")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("engine: nil source")
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("engine: running %d trials", trials)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if lim, ok := b.(WorkerLimiter); ok {
+		if m := lim.MaxWorkers(); m >= 1 && workers > m {
+			workers = m
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]RoundResult, trials)
+	errs := make([]error, trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				if err := runCtx.Err(); err != nil {
+					errs[t] = err
+					continue
+				}
+				sampler, err := src(t, TrialRNG(opts.Seed, t))
+				if err != nil {
+					errs[t] = fmt.Errorf("engine: trial %d source: %w", t, err)
+					cancel()
+					continue
+				}
+				if sampler == nil {
+					errs[t] = fmt.Errorf("engine: trial %d source returned a nil sampler", t)
+					cancel()
+					continue
+				}
+				res, err := b.RunRound(runCtx, RoundSpec{Trial: t, Seed: opts.Seed, Sampler: sampler})
+				if err != nil {
+					errs[t] = fmt.Errorf("engine: trial %d: %w", t, err)
+					cancel()
+					continue
+				}
+				res.Trial = t
+				results[t] = res
+			}
+		}()
+	}
+feed:
+	for t := 0; t < trials; t++ {
+		select {
+		case jobs <- t:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Surface the lowest-indexed genuine failure; trials that merely died
+	// of the abort's cancellation are symptoms, not causes.
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return results, nil
+}
+
+// Estimate measures Pr[backend accepts] over the source by Monte Carlo
+// with a Wilson confidence interval, returning the per-round accounting
+// alongside.
+func Estimate(ctx context.Context, b Backend, src Source, trials int, opts Options) (Result, error) {
+	rounds, err := Run(ctx, b, src, trials, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	confidence := opts.Confidence
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	var totals Totals
+	for _, r := range rounds {
+		totals.Trials++
+		if r.Verdict {
+			totals.Accepts++
+		}
+		totals.Votes += r.Votes
+		totals.Stragglers += r.Stragglers
+		totals.Retries += r.Retries
+		totals.Samples += r.Samples
+		totals.Messages += r.Messages
+		totals.Wall += r.Wall
+	}
+	ci, err := stats.WilsonInterval(totals.Accepts, trials, confidence)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Estimate: stats.SuccessEstimate{
+			Successes: totals.Accepts,
+			Trials:    trials,
+			P:         float64(totals.Accepts) / float64(trials),
+			CI:        ci,
+		},
+		Rounds: rounds,
+		Totals: totals,
+	}, nil
+}
+
+// Outcome is the three-valued verdict of Separates.
+type Outcome int
+
+// The three outcomes: the interval evidence confirms the separation,
+// refutes it, or straddles the target so the trial budget cannot tell.
+const (
+	// Inconclusive: at least one Wilson interval straddles the target.
+	Inconclusive Outcome = iota
+	// Separated: both guarantees hold at the interval bounds.
+	Separated
+	// NotSeparated: at least one guarantee fails at the interval bounds.
+	NotSeparated
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Separated:
+		return "separated"
+	case NotSeparated:
+		return "not separated"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Separation is Separates's report: the outcome plus both estimates.
+type Separation struct {
+	// Outcome is the three-valued decision.
+	Outcome Outcome
+	// Null is the acceptance estimate under the null source.
+	Null Result
+	// Far is the acceptance estimate under the far source.
+	Far Result
+}
+
+// farSeedSalt decorrelates the far-side estimate from the null side; it
+// matches the pre-engine core.Separates derivation.
+const farSeedSalt = 0x517cc1b727220a95
+
+// Separates checks the paper's two-sided guarantee — accept null and
+// reject far, each with probability at least target — using the Wilson
+// interval bounds rather than the raw point estimates: Separated needs
+// the null interval's lower bound and the far rejection's lower bound to
+// clear the target, NotSeparated needs an upper bound to miss it, and
+// anything in between is Inconclusive instead of flapping with the seed.
+func Separates(ctx context.Context, b Backend, null, far Source, target float64, trials int, opts Options) (Separation, error) {
+	if target <= 0 || target >= 1 {
+		return Separation{}, fmt.Errorf("engine: separation target %v outside (0,1)", target)
+	}
+	en, err := Estimate(ctx, b, null, trials, opts)
+	if err != nil {
+		return Separation{}, err
+	}
+	farOpts := opts
+	farOpts.Seed ^= farSeedSalt
+	ef, err := Estimate(ctx, b, far, trials, farOpts)
+	if err != nil {
+		return Separation{}, err
+	}
+	sep := Separation{Null: en, Far: ef}
+	acceptLow, acceptHigh := en.Estimate.CI.Low, en.Estimate.CI.High
+	rejectLow, rejectHigh := 1-ef.Estimate.CI.High, 1-ef.Estimate.CI.Low
+	switch {
+	case acceptLow >= target && rejectLow >= target:
+		sep.Outcome = Separated
+	case acceptHigh < target || rejectHigh < target:
+		sep.Outcome = NotSeparated
+	default:
+		sep.Outcome = Inconclusive
+	}
+	return sep, nil
+}
+
+// Amplify runs an odd number of rounds and returns the majority verdict
+// with the per-round results — the driver-side counterpart of
+// core.Amplify's protocol-side majority vote.
+func Amplify(ctx context.Context, b Backend, src Source, rounds int, opts Options) (bool, []RoundResult, error) {
+	if rounds < 1 || rounds%2 == 0 {
+		return false, nil, fmt.Errorf("engine: amplification needs an odd positive round count, got %d", rounds)
+	}
+	results, err := Run(ctx, b, src, rounds, opts)
+	if err != nil {
+		return false, nil, err
+	}
+	accepts := 0
+	for _, r := range results {
+		if r.Verdict {
+			accepts++
+		}
+	}
+	return 2*accepts > rounds, results, nil
+}
+
+// Engine bundles a Backend with Options — the facade's handle
+// (dut.NewEngine) for running estimates, separations and amplified
+// sessions over one deployment.
+type Engine struct {
+	backend Backend
+	opts    Options
+}
+
+// New builds an Engine over the backend.
+func New(b Backend, opts Options) (*Engine, error) {
+	if b == nil {
+		return nil, fmt.Errorf("engine: nil backend")
+	}
+	return &Engine{backend: b, opts: opts}, nil
+}
+
+// Backend returns the engine's backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Run executes trials; see the package-level Run.
+func (e *Engine) Run(ctx context.Context, src Source, trials int) ([]RoundResult, error) {
+	return Run(ctx, e.backend, src, trials, e.opts)
+}
+
+// Estimate measures the acceptance probability; see the package-level
+// Estimate.
+func (e *Engine) Estimate(ctx context.Context, src Source, trials int) (Result, error) {
+	return Estimate(ctx, e.backend, src, trials, e.opts)
+}
+
+// Separates checks the two-sided guarantee; see the package-level
+// Separates.
+func (e *Engine) Separates(ctx context.Context, null, far Source, target float64, trials int) (Separation, error) {
+	return Separates(ctx, e.backend, null, far, target, trials, e.opts)
+}
+
+// Amplify majority-votes an odd number of rounds; see the package-level
+// Amplify.
+func (e *Engine) Amplify(ctx context.Context, src Source, rounds int) (bool, []RoundResult, error) {
+	return Amplify(ctx, e.backend, src, rounds, e.opts)
+}

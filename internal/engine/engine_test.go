@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/distributed-uniformity/dut/internal/dist"
+)
+
+// fakeBackend decides each round from the canonical player streams, so
+// its verdicts are a pure function of (seed, trial) and any scheduling
+// nondeterminism in the driver would show up as verdict flips.
+type fakeBackend struct {
+	players  int
+	failAt   int // trial index that errors; -1 disables
+	ran      atomic.Int64
+	maxConc  atomic.Int64
+	curConc  atomic.Int64
+	limit    int // MaxWorkers when > 0
+	mu       sync.Mutex
+	sequence []int // order trials were started in
+}
+
+func (b *fakeBackend) Players() int { return b.players }
+
+func (b *fakeBackend) MaxWorkers() int { return b.limit }
+
+func (b *fakeBackend) RunRound(ctx context.Context, spec RoundSpec) (RoundResult, error) {
+	cur := b.curConc.Add(1)
+	defer b.curConc.Add(-1)
+	for {
+		old := b.maxConc.Load()
+		if cur <= old || b.maxConc.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	b.mu.Lock()
+	b.sequence = append(b.sequence, spec.Trial)
+	b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	if spec.Trial == b.failAt {
+		return RoundResult{}, fmt.Errorf("injected failure at trial %d", spec.Trial)
+	}
+	b.ran.Add(1)
+	accept := PlayerRNG(spec.Seed, spec.Trial, 0).Uint64()&1 == 0
+	return RoundResult{Verdict: accept, Votes: b.players, Samples: b.players}, nil
+}
+
+func uniformSource(t *testing.T, n int) Source {
+	t.Helper()
+	u, err := dist.Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := FromDist(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func verdictsOf(results []RoundResult) []bool {
+	out := make([]bool, len(results))
+	for i, r := range results {
+		out[i] = r.Verdict
+	}
+	return out
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	src := uniformSource(t, 8)
+	const trials = 64
+	var want []bool
+	for _, workers := range []int{1, 2, 4, 9} {
+		b := &fakeBackend{players: 3, failAt: -1}
+		results, err := Run(context.Background(), b, src, trials, Options{Workers: workers, Seed: 7})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := verdictsOf(results)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: verdict %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunFillsTrialIndices(t *testing.T) {
+	b := &fakeBackend{players: 2, failAt: -1}
+	results, err := Run(context.Background(), b, uniformSource(t, 4), 10, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Trial != i {
+			t.Fatalf("results[%d].Trial = %d", i, r.Trial)
+		}
+	}
+}
+
+func TestRunAbortsOnFirstError(t *testing.T) {
+	const trials = 2000
+	b := &fakeBackend{players: 2, failAt: 3}
+	_, err := Run(context.Background(), b, uniformSource(t, 4), trials, Options{Workers: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if want := "injected failure at trial 3"; !errorContains(err, want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+	// The abort must actually skip work: with trial 3 failing almost
+	// immediately, nowhere near all trials may run.
+	if ran := b.ran.Load(); ran >= trials-4 {
+		t.Fatalf("%d of %d trials ran despite the abort", ran, trials)
+	}
+}
+
+func TestRunReportsLowestIndexedError(t *testing.T) {
+	// Every trial fails; the reported error must be a genuine source
+	// failure, not a cancellation casualty of a later trial.
+	failing := func(int, *rand.Rand) (dist.Sampler, error) { return nil, errors.New("boom") }
+	_, err := Run(context.Background(), &fakeBackend{players: 1, failAt: -1}, failing, 50, Options{Workers: 8})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if want := "source"; !errorContains(err, want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation masked the root cause: %v", err)
+	}
+}
+
+func TestRunRespectsWorkerLimiter(t *testing.T) {
+	b := &fakeBackend{players: 1, failAt: -1, limit: 1}
+	results, err := Run(context.Background(), b, uniformSource(t, 4), 20, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.maxConc.Load(); got != 1 {
+		t.Fatalf("observed concurrency %d with MaxWorkers()=1", got)
+	}
+	// A single worker consumes the jobs channel in feed order.
+	for i, trial := range b.sequence {
+		if trial != i {
+			t.Fatalf("serialized run started trial %d at position %d", trial, i)
+		}
+	}
+	if len(results) != 20 {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, &fakeBackend{players: 1, failAt: -1}, uniformSource(t, 4), 5, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	src := uniformSource(t, 4)
+	b := &fakeBackend{players: 1, failAt: -1}
+	if _, err := Run(context.Background(), nil, src, 1, Options{}); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if _, err := Run(context.Background(), b, nil, 1, Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Run(context.Background(), b, src, 0, Options{}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	nilSampler := func(int, *rand.Rand) (dist.Sampler, error) { return nil, nil }
+	if _, err := Run(context.Background(), b, nilSampler, 1, Options{}); err == nil {
+		t.Error("nil sampler from source accepted")
+	}
+}
+
+func TestEstimateAggregates(t *testing.T) {
+	b := &fakeBackend{players: 3, failAt: -1}
+	res, err := Estimate(context.Background(), b, uniformSource(t, 4), 40, Options{Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.Trials != 40 || len(res.Rounds) != 40 {
+		t.Fatalf("trials = %d, rounds = %d", res.Estimate.Trials, len(res.Rounds))
+	}
+	accepts := 0
+	for _, r := range res.Rounds {
+		if r.Verdict {
+			accepts++
+		}
+	}
+	if res.Totals.Accepts != accepts || res.Estimate.Successes != accepts {
+		t.Fatalf("accept accounting: totals %d, estimate %d, recount %d",
+			res.Totals.Accepts, res.Estimate.Successes, accepts)
+	}
+	if res.Totals.Votes != 3*40 || res.Totals.Samples != 3*40 {
+		t.Fatalf("totals = %+v", res.Totals)
+	}
+	if res.Estimate.CI.Low > res.Estimate.P || res.Estimate.CI.High < res.Estimate.P {
+		t.Fatalf("interval [%v, %v] excludes the point estimate %v",
+			res.Estimate.CI.Low, res.Estimate.CI.High, res.Estimate.P)
+	}
+}
+
+// acceptBackend accepts or rejects every trial unconditionally.
+type acceptBackend struct{ accept bool }
+
+func (b *acceptBackend) Players() int { return 1 }
+
+func (b *acceptBackend) RunRound(_ context.Context, _ RoundSpec) (RoundResult, error) {
+	return RoundResult{Verdict: b.accept, Votes: 1}, nil
+}
+
+func TestSeparatesOutcomes(t *testing.T) {
+	src := uniformSource(t, 4)
+	ctx := context.Background()
+	const trials = 200
+
+	// A perfect separator: always accept null, always reject far.
+	sep, err := Separates(ctx, &acceptBackend{accept: true}, src, src, 2.0/3, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sep // the backend ignores the source, so both estimates are 1.0
+	if sep.Outcome != NotSeparated {
+		// accept=1 on both sides: null passes, far fails decisively.
+		t.Fatalf("always-accept backend: outcome %v, want NotSeparated", sep.Outcome)
+	}
+	if sep.Null.Estimate.P != 1 || sep.Far.Estimate.P != 1 {
+		t.Fatalf("estimates %v / %v", sep.Null.Estimate.P, sep.Far.Estimate.P)
+	}
+
+	if _, err := Separates(ctx, &acceptBackend{accept: true}, src, src, 0, trials, Options{}); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := Separates(ctx, &acceptBackend{accept: true}, src, src, 1, trials, Options{}); err == nil {
+		t.Error("target 1 accepted")
+	}
+}
+
+func TestSeparatesInconclusiveNearTarget(t *testing.T) {
+	// With few trials the Wilson interval around even a perfect score
+	// still straddles nothing, but a coin-flip backend near the target
+	// must come out Inconclusive, not flap between verdicts.
+	b := &fakeBackend{players: 1, failAt: -1}
+	src := uniformSource(t, 4)
+	sep, err := Separates(context.Background(), b, src, src, 0.5, 30, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Outcome == Separated {
+		t.Fatalf("coin-flip backend separated at target 0.5 with 30 trials (null %v, far %v)",
+			sep.Null.Estimate.P, sep.Far.Estimate.P)
+	}
+}
+
+func TestAmplify(t *testing.T) {
+	src := uniformSource(t, 4)
+	ctx := context.Background()
+	accept, rounds, err := Amplify(ctx, &acceptBackend{accept: true}, src, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accept || len(rounds) != 5 {
+		t.Fatalf("accept=%v rounds=%d", accept, len(rounds))
+	}
+	accept, _, err = Amplify(ctx, &acceptBackend{accept: false}, src, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept {
+		t.Fatal("always-reject backend amplified to accept")
+	}
+	if _, _, err := Amplify(ctx, &acceptBackend{accept: true}, src, 4, Options{}); err == nil {
+		t.Error("even round count accepted")
+	}
+	if _, _, err := Amplify(ctx, &acceptBackend{accept: true}, src, 0, Options{}); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		Separated:    "separated",
+		NotSeparated: "not separated",
+		Inconclusive: "inconclusive",
+		Outcome(42):  "Outcome(42)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestEngineHandle(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil backend accepted")
+	}
+	b := &fakeBackend{players: 2, failAt: -1}
+	e, err := New(b, Options{Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend() != b {
+		t.Error("Backend() does not round-trip")
+	}
+	src := uniformSource(t, 4)
+	res, err := e.Estimate(context.Background(), src, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Estimate(context.Background(), b, src, 16, Options{Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.P != direct.Estimate.P {
+		t.Fatalf("handle estimate %v != direct %v", res.Estimate.P, direct.Estimate.P)
+	}
+}
+
+func TestRNGStreamsAreDecorrelated(t *testing.T) {
+	// Distinct (seed, trial, player) coordinates must give distinct
+	// streams; equal coordinates identical ones.
+	a := PlayerRNG(1, 2, 3)
+	b := PlayerRNG(1, 2, 3)
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal coordinates, different streams")
+		}
+	}
+	seen := map[uint64]string{}
+	record := func(name string, v uint64) {
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("first draw collision between %s and %s", prev, name)
+		}
+		seen[v] = name
+	}
+	for trial := 0; trial < 4; trial++ {
+		for player := 0; player < 4; player++ {
+			record(fmt.Sprintf("player(0,%d,%d)", trial, player), PlayerRNG(0, trial, player).Uint64())
+		}
+		record(fmt.Sprintf("trial(0,%d)", trial), TrialRNG(0, trial).Uint64())
+	}
+}
+
+func errorContains(err error, substr string) bool {
+	return err != nil && contains(err.Error(), substr)
+}
+
+func contains(s, substr string) bool {
+	for i := 0; i+len(substr) <= len(s); i++ {
+		if s[i:i+len(substr)] == substr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package engine
+
+import "math/rand/v2"
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
+// Flood 2014): a bijective avalanche mix used to derive independent
+// PCG streams from structured (seed, trial, player) coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SharedSeed derives the public-coin seed of one trial from the engine's
+// base seed. Every player of the trial observes this value (it rides in
+// the networked ROUND frame), and all per-player streams derive from it.
+func SharedSeed(seed uint64, trial int) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(trial)))
+}
+
+// NodeRNG derives a player's private generator for a round with the given
+// public-coin seed. The stream is a pure function of (shared, player), so
+// an in-process simulator and a remote node reconstruct identical streams
+// from the round seed alone. The player draws its samples and any private
+// coins from this generator, in that order.
+func NodeRNG(shared uint64, player int) *rand.Rand {
+	a := splitmix64(shared ^ (uint64(player)+1)*0x9e3779b97f4a7c15)
+	b := splitmix64(a ^ 0xd6e8feb86659fd93)
+	return rand.New(rand.NewPCG(a, b))
+}
+
+// PlayerRNG is the composed derivation NodeRNG(SharedSeed(seed, trial),
+// player): the canonical per-(seed, trial, player) stream of the engine.
+func PlayerRNG(seed uint64, trial, player int) *rand.Rand {
+	return NodeRNG(SharedSeed(seed, trial), player)
+}
+
+// TrialRNG derives the per-trial generator handed to a Source, used for
+// randomness above the protocol (e.g. drawing a fresh perturbed
+// distribution for the averaged adversary). Its lane is disjoint from
+// every player stream of the same trial.
+func TrialRNG(seed uint64, trial int) *rand.Rand {
+	s := SharedSeed(seed, trial)
+	a := splitmix64(s ^ 0xa0761d6478bd642f)
+	b := splitmix64(a ^ 0xe7037ed1a0b428db)
+	return rand.New(rand.NewPCG(a, b))
+}

@@ -1,64 +1,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 	"github.com/distributed-uniformity/dut/internal/stats"
 )
 
 // successTarget is the paper's correctness requirement.
 const successTarget = 2.0 / 3
 
-// acceptUniform estimates Pr[protocol accepts] under U_n.
-func acceptUniform(p core.Protocol, n, trials int, opts stats.EstimateOptions) (float64, error) {
-	u, err := dist.Uniform(n)
-	if err != nil {
-		return 0, err
-	}
-	est, err := core.EstimateAcceptance(p, u, trials, opts)
-	if err != nil {
-		return 0, err
-	}
-	return est.P, nil
-}
-
-// acceptHardFamily estimates E_z Pr[protocol accepts nu_z]: every trial
-// draws a fresh perturbation, matching the lower bound's averaged
-// adversary.
-func acceptHardFamily(p core.Protocol, h dist.HardInstance, trials int, opts stats.EstimateOptions) (float64, error) {
-	var first errOnce
-	est, err := stats.EstimateSuccess(trials, func(rng *rand.Rand) bool {
-		nu, _, err := h.RandomPerturbed(rng)
-		if err != nil {
-			first.record(err)
-			return false
-		}
-		sampler, err := dist.NewAliasSampler(nu)
-		if err != nil {
-			first.record(err)
-			return false
-		}
-		ok, err := p.Run(sampler, rng)
-		if err != nil {
-			first.record(err)
-			return false
-		}
-		return ok
-	}, opts)
-	if err != nil {
-		return 0, err
-	}
-	if err := first.get(); err != nil {
-		return 0, err
-	}
-	return est.P, nil
-}
-
-// errOnce keeps the first error recorded across trial goroutines.
+// errOnce keeps the first error recorded across trial goroutines, for
+// experiments still driving stats.EstimateSuccess directly.
 type errOnce struct {
 	mu  sync.Mutex
 	err error
@@ -78,9 +36,65 @@ func (e *errOnce) get() error {
 	return e.err
 }
 
+// engineOptions maps the legacy estimation options onto the engine's.
+func engineOptions(opts stats.EstimateOptions) engine.Options {
+	return engine.Options{
+		Workers:    opts.Parallelism,
+		Confidence: opts.Confidence,
+		Seed:       opts.Seed,
+	}
+}
+
+// acceptUniform estimates Pr[protocol accepts] under U_n via the engine's
+// trial driver.
+func acceptUniform(p core.Protocol, n, trials int, opts stats.EstimateOptions) (float64, error) {
+	u, err := dist.Uniform(n)
+	if err != nil {
+		return 0, err
+	}
+	b, err := core.BackendFor(p)
+	if err != nil {
+		return 0, err
+	}
+	src, err := engine.FromDist(u)
+	if err != nil {
+		return 0, err
+	}
+	res, err := engine.Estimate(context.Background(), b, src, trials, engineOptions(opts))
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate.P, nil
+}
+
+// acceptHardFamily estimates E_z Pr[protocol accepts nu_z]: every trial
+// draws a fresh perturbation from its per-trial stream, matching the
+// lower bound's averaged adversary. Trials run on the engine's worker
+// pool and abort as soon as any perturbation or run errors.
+func acceptHardFamily(p core.Protocol, h dist.HardInstance, trials int, opts stats.EstimateOptions) (float64, error) {
+	b, err := core.BackendFor(p)
+	if err != nil {
+		return 0, err
+	}
+	src := func(_ int, rng *rand.Rand) (dist.Sampler, error) {
+		nu, _, err := h.RandomPerturbed(rng)
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewAliasSampler(nu)
+	}
+	res, err := engine.Estimate(context.Background(), b, src, trials, engineOptions(opts))
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate.P, nil
+}
+
 // worksAt reports whether the protocol meets the paper's guarantee at its
 // current configuration: accepts uniform and rejects the averaged hard
-// family, each with probability >= 2/3.
+// family, each with probability >= 2/3. The search predicates keep the
+// point-estimate semantics (a CI-based decision would turn borderline
+// configurations into search failures rather than boundary noise).
 func worksAt(p core.Protocol, n int, h dist.HardInstance, trials int, opts stats.EstimateOptions) (bool, error) {
 	pu, err := acceptUniform(p, n, trials, opts)
 	if err != nil {

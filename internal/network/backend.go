@@ -1,0 +1,46 @@
+package network
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// clusterBackend runs each engine trial as one full networked round:
+// listener, node goroutines, HELLO/ROUND/VOTE/VERDICT, teardown. The
+// round's public coin is engine.SharedSeed(spec.Seed, spec.Trial), so
+// verdicts are bit-identical to the in-process SMP backend's for the
+// same engine seed.
+type clusterBackend struct {
+	c *Cluster
+}
+
+// NewBackend adapts a Cluster to the engine's Backend interface.
+func NewBackend(c *Cluster) (engine.Backend, error) {
+	if c == nil {
+		return nil, fmt.Errorf("network: nil cluster")
+	}
+	return &clusterBackend{c: c}, nil
+}
+
+// Players implements engine.Backend.
+func (b *clusterBackend) Players() int { return b.c.k }
+
+// RunRound implements engine.Backend.
+func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	shared := engine.SharedSeed(spec.Seed, spec.Trial)
+	accept, rs, err := b.c.RunRoundSeeded(ctx, spec.Sampler, shared)
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	return engine.RoundResult{
+		Verdict:    accept,
+		Votes:      rs.Votes,
+		Stragglers: rs.Stragglers,
+		Retries:    rs.Retries,
+		Messages:   rs.Votes,
+		Samples:    rs.Votes * b.c.q,
+		Wall:       rs.Wall,
+	}, nil
+}

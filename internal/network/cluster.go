@@ -137,28 +137,28 @@ func (c *Cluster) newServer() (*RefereeServer, error) {
 		WithMinVotes(c.minVotes), WithAbsentees(c.absentees))
 }
 
-// buildNodes constructs all k player nodes and their derived generators
-// before any goroutine is spawned: a construction error must not leave
-// already-spawned nodes running against a live listener.
-func (c *Cluster) buildNodes(sampler dist.Sampler, rng *rand.Rand) ([]*PlayerNode, []*rand.Rand, error) {
+// buildNodes constructs all k player nodes before any goroutine is
+// spawned: a construction error must not leave already-spawned nodes
+// running against a live listener. Nodes carry no generator — each derives
+// its randomness per round from the ROUND frame's seed and its id.
+func (c *Cluster) buildNodes(sampler dist.Sampler) ([]*PlayerNode, error) {
 	nodes := make([]*PlayerNode, c.k)
-	rngs := make([]*rand.Rand, c.k)
 	for i := 0; i < c.k; i++ {
 		node, err := NewPlayerNode(uint32(i), c.q, c.rule, sampler, c.timeout)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		node.SetRetryPolicy(c.retries, c.backoff)
 		nodes[i] = node
-		rngs[i] = rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64()))
 	}
-	return nodes, rngs, nil
+	return nodes, nil
 }
 
 // Run implements core.Protocol: it executes one networked round against
-// the sampler and returns the referee's verdict. Each node derives its own
-// private generator from rng, so runs are reproducible for a fixed rng
-// state even though nodes execute concurrently.
+// the sampler and returns the referee's verdict. The round's public-coin
+// seed is drawn from rng; every node derives its private stream from that
+// seed and its id, so runs are reproducible for a fixed rng state even
+// though nodes execute concurrently.
 func (c *Cluster) Run(sampler dist.Sampler, rng *rand.Rand) (bool, error) {
 	return c.RunContext(context.Background(), sampler, rng)
 }
@@ -172,12 +172,21 @@ func (c *Cluster) RunContext(ctx context.Context, sampler dist.Sampler, rng *ran
 // RunStats is RunContext with the round's statistics: votes received,
 // stragglers tolerated, node-side connect retries, and wall time.
 func (c *Cluster) RunStats(ctx context.Context, sampler dist.Sampler, rng *rand.Rand) (bool, RoundStats, error) {
+	if rng == nil {
+		return false, RoundStats{}, fmt.Errorf("network: nil rng")
+	}
+	return c.RunRoundSeeded(ctx, sampler, rng.Uint64())
+}
+
+// RunRoundSeeded executes one networked round with an explicit
+// public-coin seed: the seed rides in the ROUND frame and every node's
+// samples and private coins derive from (seed, id), making the round's
+// verdict bit-identical to the in-process SMP simulator's for the same
+// seed. This is the primitive the engine's cluster backend drives.
+func (c *Cluster) RunRoundSeeded(ctx context.Context, sampler dist.Sampler, seed uint64) (bool, RoundStats, error) {
 	var stats RoundStats
 	if sampler == nil {
 		return false, stats, fmt.Errorf("network: nil sampler")
-	}
-	if rng == nil {
-		return false, stats, fmt.Errorf("network: nil rng")
 	}
 	server, err := c.newServer()
 	if err != nil {
@@ -205,9 +214,7 @@ func (c *Cluster) RunStats(ctx context.Context, sampler dist.Sampler, rng *rand.
 		}
 	}()
 
-	seed := rng.Uint64()
-
-	nodes, rngs, err := c.buildNodes(sampler, rng)
+	nodes, err := c.buildNodes(sampler)
 	if err != nil {
 		return false, stats, err
 	}
@@ -221,14 +228,14 @@ func (c *Cluster) RunStats(ctx context.Context, sampler dist.Sampler, rng *rand.
 	var wg sync.WaitGroup
 	for i := range nodes {
 		wg.Add(1)
-		go func(node *PlayerNode, nodeRng *rand.Rand) {
+		go func(node *PlayerNode) {
 			defer wg.Done()
-			accept, retries, err := node.RunRoundStats(c.tr, listener.Addr(), nodeRng)
+			accept, retries, err := node.RunRoundStats(c.tr, listener.Addr())
 			if err != nil && !c.tolerant() {
 				cancelRound()
 			}
 			nodeResults <- result{accept: accept, retries: retries, err: err}
-		}(nodes[i], rngs[i])
+		}(nodes[i])
 	}
 
 	verdict, stats, refErr := server.RunRoundStats(runCtx, listener, seed)

@@ -304,13 +304,10 @@ func TestPlayerNodeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := node.RunRound(nil, memAddr("x"), testRand(0)); err == nil {
+	if _, err := node.RunRound(nil, memAddr("x")); err == nil {
 		t.Error("nil transport accepted")
 	}
-	if _, err := node.RunRound(NewMemTransport(), memAddr("x"), nil); err == nil {
-		t.Error("nil rng accepted")
-	}
-	if _, err := node.RunRound(NewMemTransport(), memAddr("x"), testRand(0)); err == nil {
+	if _, err := node.RunRound(NewMemTransport(), memAddr("x")); err == nil {
 		t.Error("dial to nowhere succeeded")
 	}
 }

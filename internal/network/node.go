@@ -2,12 +2,12 @@ package network
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"time"
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // Default retry policy for a node's connect (dial + HELLO) phase: enough
@@ -117,13 +117,13 @@ func (p *PlayerNode) connect(tr Transport, addr net.Addr) (net.Conn, int, error)
 
 // RunRoundStats participates in one round over the given transport and
 // returns the referee's verdict as seen by this node, together with the
-// number of connect retries spent.
-func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr, rng *rand.Rand) (bool, int, error) {
+// number of connect retries spent. The node's sampling and private coins
+// derive from the ROUND frame's public-coin seed and its own id
+// (engine.NodeRNG), so a networked round reproduces the in-process SMP
+// round with the same seed bit for bit.
+func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr) (bool, int, error) {
 	if tr == nil {
 		return false, 0, fmt.Errorf("network: nil transport")
-	}
-	if rng == nil {
-		return false, 0, fmt.Errorf("network: nil rng")
 	}
 	conn, retries, err := p.connect(tr, addr)
 	if err != nil {
@@ -139,6 +139,7 @@ func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr, rng *rand.Rand) 
 	if err != nil {
 		return false, retries, fmt.Errorf("network: node %d round: %w", p.id, err)
 	}
+	rng := engine.NodeRNG(round.Seed, int(p.id))
 	samples := dist.SampleN(p.sampler, p.q, rng)
 	msg, err := p.rule.Message(int(p.id), samples, round.Seed, rng)
 	if err != nil {
@@ -161,7 +162,7 @@ func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr, rng *rand.Rand) 
 }
 
 // RunRound is RunRoundStats without the retry count.
-func (p *PlayerNode) RunRound(tr Transport, addr net.Addr, rng *rand.Rand) (bool, error) {
-	accept, _, err := p.RunRoundStats(tr, addr, rng)
+func (p *PlayerNode) RunRound(tr Transport, addr net.Addr) (bool, error) {
+	accept, _, err := p.RunRoundStats(tr, addr)
 	return accept, err
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // This file implements multi-round sessions: the referee keeps the k
@@ -20,75 +21,137 @@ import (
 // long-lived connection and get polled periodically. In quorum mode a
 // slot that dies mid-session (crash, timeout, protocol violation) is
 // excluded from later rounds and counted as a straggler in each round's
-// RoundStats instead of aborting the session.
+// RoundStats instead of aborting the session. The multi-round trial loop
+// itself is the unified engine driver: RunManyStats steps the session
+// through a single-worker engine backend, so the session shares the
+// per-round RoundResult accounting and seed derivation of every other
+// backend.
+
+// session is the referee's live multi-round state: the accepted player
+// slots plus the per-round scratch buffers. It steps one round at a time
+// so callers (the engine's session backend) can interleave bookkeeping.
+type session struct {
+	s     *RefereeServer
+	slots []*playerSlot
+	tr    *connTracker
+	stop  func()
+	votes []core.Message
+	got   []bool
+	start time.Time
+	round int
+}
+
+// startSession accepts the player connections and returns the stepping
+// handle. The caller must call close (and usually finish) when done.
+func (s *RefereeServer) startSession(ctx context.Context, l net.Listener) (*session, error) {
+	if l == nil {
+		return nil, fmt.Errorf("network: nil listener")
+	}
+	tr := &connTracker{}
+	stop := tr.watch(ctx)
+	start := time.Now()
+	slots, err := s.acceptPlayers(ctx, l, tr)
+	if err != nil {
+		stop()
+		tr.closeAll()
+		return nil, err
+	}
+	return &session{
+		s:     s,
+		slots: slots,
+		tr:    tr,
+		stop:  stop,
+		votes: make([]core.Message, s.k),
+		got:   make([]bool, s.k),
+		start: start,
+	}, nil
+}
+
+// runRound executes one ROUND/VOTE/VERDICT exchange with the given
+// public-coin seed. The first round's wall time is charged from the
+// accept phase's start.
+func (sess *session) runRound(ctx context.Context, seed uint64) (bool, RoundStats, error) {
+	var stats RoundStats
+	if err := ctx.Err(); err != nil {
+		return false, stats, err
+	}
+	roundStart := time.Now()
+	if sess.round == 0 {
+		roundStart = sess.start // charge the accept phase to the first round
+	}
+	round := sess.round
+	sess.round++
+	if err := sess.s.gatherVotes(seed, sess.slots, sess.votes, sess.got); err != nil {
+		return false, stats, err
+	}
+	accept, received, err := sess.s.decideVotes(sess.votes, sess.got)
+	stats = RoundStats{
+		Round:      round,
+		Votes:      received,
+		Stragglers: sess.s.k - received,
+		Wall:       time.Since(roundStart),
+		Verdict:    accept,
+	}
+	if err != nil {
+		return false, stats, err
+	}
+	if err := sess.s.broadcastVerdict(sess.slots, accept); err != nil {
+		return false, stats, err
+	}
+	stats.Wall = time.Since(roundStart)
+	return accept, stats, nil
+}
+
+// finish broadcasts FINISH to every live slot, releasing the nodes.
+func (sess *session) finish() error {
+	for _, sl := range sess.slots {
+		if sl.dead {
+			continue
+		}
+		setDeadline(sl.conn, sess.s.timeout)
+		if err := WriteFinish(sl.conn); err != nil {
+			if sess.s.strict() {
+				return fmt.Errorf("network: finish to player %d: %w", sl.player, err)
+			}
+			sl.dead = true
+			_ = sl.conn.Close()
+		}
+	}
+	return nil
+}
+
+// close releases the session's connections and its context watchdog.
+func (sess *session) close() {
+	sess.stop()
+	sess.tr.closeAll()
+}
 
 // RunSessionStats accepts player connections and runs one
 // ROUND/VOTE/VERDICT exchange per seed, then broadcasts FINISH. It
 // returns the per-round verdicts and per-round statistics. Connections
 // are closed before returning; the listener stays open.
 func (s *RefereeServer) RunSessionStats(ctx context.Context, l net.Listener, seeds []uint64) ([]bool, []RoundStats, error) {
-	if l == nil {
-		return nil, nil, fmt.Errorf("network: nil listener")
-	}
 	if len(seeds) == 0 {
 		return nil, nil, fmt.Errorf("network: session with zero rounds")
 	}
-	tr := &connTracker{}
-	defer tr.closeAll()
-	stop := tr.watch(ctx)
-	defer stop()
-
-	start := time.Now()
-	slots, err := s.acceptPlayers(ctx, l, tr)
+	sess, err := s.startSession(ctx, l)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer sess.close()
 
 	verdicts := make([]bool, 0, len(seeds))
 	allStats := make([]RoundStats, 0, len(seeds))
-	votes := make([]core.Message, s.k)
-	got := make([]bool, s.k)
-	for round, seed := range seeds {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		roundStart := time.Now()
-		if round == 0 {
-			roundStart = start // charge the accept phase to the first round
-		}
-		if err := s.gatherVotes(seed, slots, votes, got); err != nil {
-			return nil, nil, err
-		}
-		accept, received, err := s.decideVotes(votes, got)
-		stats := RoundStats{
-			Round:      round,
-			Votes:      received,
-			Stragglers: s.k - received,
-			Wall:       time.Since(roundStart),
-			Verdict:    accept,
-		}
+	for _, seed := range seeds {
+		accept, stats, err := sess.runRound(ctx, seed)
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := s.broadcastVerdict(slots, accept); err != nil {
-			return nil, nil, err
-		}
-		stats.Wall = time.Since(roundStart)
 		verdicts = append(verdicts, accept)
 		allStats = append(allStats, stats)
 	}
-	for _, sl := range slots {
-		if sl.dead {
-			continue
-		}
-		setDeadline(sl.conn, s.timeout)
-		if err := WriteFinish(sl.conn); err != nil {
-			if s.strict() {
-				return nil, nil, fmt.Errorf("network: finish to player %d: %w", sl.player, err)
-			}
-			sl.dead = true
-			_ = sl.conn.Close()
-		}
+	if err := sess.finish(); err != nil {
+		return nil, nil, err
 	}
 	return verdicts, allStats, nil
 }
@@ -104,13 +167,12 @@ func (s *RefereeServer) RunSession(ctx context.Context, l net.Listener, seeds []
 // connects (with retry-with-backoff on dial and HELLO), answers every
 // ROUND with a fresh sample batch and VOTE, records each VERDICT, and
 // exits on FINISH. It returns the verdicts seen and the number of
-// connect retries spent.
-func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, int, error) {
+// connect retries spent. Each round's sampling and private coins derive
+// from that ROUND's public-coin seed and the node id (engine.NodeRNG),
+// exactly like the single-round path.
+func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, error) {
 	if tr == nil {
 		return nil, 0, fmt.Errorf("network: nil transport")
-	}
-	if rng == nil {
-		return nil, 0, fmt.Errorf("network: nil rng")
 	}
 	conn, retries, err := p.connect(tr, addr)
 	if err != nil {
@@ -130,6 +192,7 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr, rng *rand.Rand
 		}
 		switch m := msg.(type) {
 		case Round:
+			rng := engine.NodeRNG(m.Seed, int(p.id))
 			samples := dist.SampleN(p.sampler, p.q, rng)
 			vote, err := p.rule.Message(int(p.id), samples, m.Seed, rng)
 			if err != nil {
@@ -149,9 +212,42 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr, rng *rand.Rand
 }
 
 // RunSession is RunSessionStats without the retry count.
-func (p *PlayerNode) RunSession(tr Transport, addr net.Addr, rng *rand.Rand) ([]bool, error) {
-	verdicts, _, err := p.RunSessionStats(tr, addr, rng)
+func (p *PlayerNode) RunSession(tr Transport, addr net.Addr) ([]bool, error) {
+	verdicts, _, err := p.RunSessionStats(tr, addr)
 	return verdicts, err
+}
+
+// sessionBackend steps one live referee session through the engine
+// driver: trial t maps to the session's round t with public coin
+// engine.SharedSeed(spec.Seed, t). Rounds over one set of connections
+// are inherently ordered, so the backend caps the driver at one worker;
+// the sampler in the RoundSpec is ignored — the nodes hold theirs.
+type sessionBackend struct {
+	sess *session
+	k, q int
+}
+
+// Players implements engine.Backend.
+func (b *sessionBackend) Players() int { return b.k }
+
+// MaxWorkers implements engine.WorkerLimiter: session rounds serialize.
+func (b *sessionBackend) MaxWorkers() int { return 1 }
+
+// RunRound implements engine.Backend.
+func (b *sessionBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	shared := engine.SharedSeed(spec.Seed, spec.Trial)
+	accept, rs, err := b.sess.runRound(ctx, shared)
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	return engine.RoundResult{
+		Verdict:    accept,
+		Votes:      rs.Votes,
+		Stragglers: rs.Stragglers,
+		Messages:   rs.Votes,
+		Samples:    rs.Votes * b.q,
+		Wall:       rs.Wall,
+	}, nil
 }
 
 // RunManyStats runs a multi-round session end to end: one connection per
@@ -159,7 +255,10 @@ func (p *PlayerNode) RunSession(tr Transport, addr net.Addr, rng *rand.Rand) ([]
 // majority of the verdicts is the amplified decision (see core.Amplify).
 // With ClusterConfig.MinVotes set, node failures injected by faults are
 // tolerated down to the quorum; node-side connect retries are summed into
-// the first round's RoundStats.Retries.
+// the first round's RoundStats.Retries. The round loop is the unified
+// engine driver over a single-worker session backend: round seeds derive
+// from (base seed, round) exactly as every other backend's do, so a
+// session's verdict sequence reproduces the in-process SMP backend's.
 func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, []RoundStats, error) {
 	if sampler == nil {
 		return nil, nil, fmt.Errorf("network: nil sampler")
@@ -195,15 +294,12 @@ func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *r
 		}
 	}()
 
-	seeds := make([]uint64, rounds)
-	for i := range seeds {
-		seeds[i] = rng.Uint64()
-	}
+	baseSeed := rng.Uint64()
 
 	// Construct every node before spawning any, so a construction error
 	// cannot leave already-spawned goroutines running against the live
 	// listener.
-	nodes, rngs, err := c.buildNodes(sampler, rng)
+	nodes, err := c.buildNodes(sampler)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,17 +313,17 @@ func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *r
 	var wg sync.WaitGroup
 	for i := range nodes {
 		wg.Add(1)
-		go func(node *PlayerNode, nodeRng *rand.Rand) {
+		go func(node *PlayerNode) {
 			defer wg.Done()
-			v, retries, err := node.RunSessionStats(c.tr, listener.Addr(), nodeRng)
+			v, retries, err := node.RunSessionStats(c.tr, listener.Addr())
 			if err != nil && !c.tolerant() {
 				cancelSession()
 			}
 			results <- nodeResult{verdicts: v, retries: retries, err: err}
-		}(nodes[i], rngs[i])
+		}(nodes[i])
 	}
 
-	verdicts, stats, refErr := server.RunSessionStats(runCtx, listener, seeds)
+	verdicts, stats, refErr := c.runSessionEngine(runCtx, server, listener, baseSeed, rounds)
 
 	nodesDone := make(chan struct{})
 	go func() {
@@ -281,6 +377,52 @@ func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *r
 	}
 	return verdicts, stats, nil
 }
+
+// runSessionEngine drives the referee side of a session through the
+// engine's trial driver and maps the results back to the legacy
+// ([]bool, []RoundStats) shape.
+func (c *Cluster) runSessionEngine(ctx context.Context, server *RefereeServer, l net.Listener, baseSeed uint64, rounds int) ([]bool, []RoundStats, error) {
+	sess, err := server.startSession(ctx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.close()
+
+	backend := &sessionBackend{sess: sess, k: c.k, q: c.q}
+	// The nodes own the samplers in a networked session; the source only
+	// satisfies the driver's contract.
+	src := func(int, *rand.Rand) (dist.Sampler, error) { return nopSampler{}, nil }
+	results, err := engine.Run(ctx, backend, src, rounds, engine.Options{Workers: 1, Seed: baseSeed})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sess.finish(); err != nil {
+		return nil, nil, err
+	}
+	verdicts := make([]bool, len(results))
+	stats := make([]RoundStats, len(results))
+	for i, r := range results {
+		verdicts[i] = r.Verdict
+		stats[i] = RoundStats{
+			Round:      r.Trial,
+			Votes:      r.Votes,
+			Stragglers: r.Stragglers,
+			Wall:       r.Wall,
+			Verdict:    r.Verdict,
+		}
+	}
+	return verdicts, stats, nil
+}
+
+// nopSampler satisfies the engine's non-nil sampler contract for
+// backends whose players sample on their own machines.
+type nopSampler struct{}
+
+// Sample implements dist.Sampler.
+func (nopSampler) Sample(*rand.Rand) int { return 0 }
+
+// N implements dist.Sampler.
+func (nopSampler) N() int { return 1 }
 
 // RunMany is RunManyStats without the statistics.
 func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, error) {
