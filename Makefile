@@ -26,7 +26,9 @@ staticcheck:
 # The default test target vets everything, runs staticcheck when
 # available, and additionally runs the concurrency-heavy packages (the
 # networked referee/nodes and the engine's worker-pool driver) under the
-# race detector.
+# race detector. The plain pass includes the allocation guards
+# (dist.SampleInto, engine.ReusableRNG, and the SMP scratch hot path);
+# they skip themselves in the race pass, whose instrumentation allocates.
 test: vet staticcheck
 	$(GO) test ./...
 	$(GO) test -race ./internal/network/... ./internal/engine/...
@@ -41,10 +43,12 @@ cover:
 	$(GO) test -cover ./...
 
 # Engine throughput: trials/sec per backend (SMP, cluster, CONGEST)
-# under the unified driver, distilled into BENCH_engine.json.
+# under the unified driver, distilled into BENCH_engine.json. The
+# committed report is read first and per-benchmark deltas (trials/sec,
+# B/op, allocs/op) are printed before it is overwritten.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee bench_engine.txt
-	$(GO) run ./cmd/benchjson -o BENCH_engine.json < bench_engine.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json < bench_engine.txt
 	@echo "wrote BENCH_engine.json"
 
 # Every benchmark in the repository (experiments + micro-benchmarks).

@@ -5,9 +5,14 @@
 // BENCH_engine.json so engine-backend throughput can be tracked across
 // commits without parsing the raw bench text again.
 //
+// With -baseline, benchjson first reads a previously committed report
+// and prints per-benchmark deltas (trials/sec, B/op, allocs/op) against
+// it before writing the new file, so `make bench` shows how the run
+// moved relative to the checked-in BENCH_engine.json.
+//
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' ./internal/engine | benchjson -o BENCH_engine.json
+//	go test -bench . -benchmem -run '^$' ./internal/engine | benchjson -baseline BENCH_engine.json -o BENCH_engine.json
 package main
 
 import (
@@ -52,6 +57,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
+	baseline := flag.String("baseline", "", "committed report to diff against (read before -o overwrites it)")
 	flag.Parse()
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -61,6 +67,13 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		if base, err := readReport(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping deltas\n", *baseline, err)
+		} else {
+			printDeltas(os.Stderr, base, report)
+		}
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -77,6 +90,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// readReport loads a previously written benchjson file.
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// printDeltas writes one line per benchmark comparing the fresh run
+// against the baseline report: trials/sec throughput plus the -benchmem
+// pairs, each with its relative change. Benchmarks present on only one
+// side are flagged rather than silently dropped.
+func printDeltas(w io.Writer, base, cur Report) {
+	prev := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	fmt.Fprintln(w, "benchjson: deltas vs baseline")
+	for _, b := range cur.Benchmarks {
+		old, ok := prev[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-16s new benchmark (no baseline entry)\n", b.Name)
+			continue
+		}
+		delete(prev, b.Name)
+		fmt.Fprintf(w, "  %-16s trials/sec %.0f -> %.0f (%+.1f%%)  B/op %d -> %d (%+.1f%%)  allocs/op %d -> %d (%+d)\n",
+			b.Name,
+			old.TrialsPerSec, b.TrialsPerSec, pctChange(old.TrialsPerSec, b.TrialsPerSec),
+			old.BytesPerOp, b.BytesPerOp, pctChange(float64(old.BytesPerOp), float64(b.BytesPerOp)),
+			old.AllocsPerOp, b.AllocsPerOp, b.AllocsPerOp-old.AllocsPerOp)
+	}
+	for name := range prev {
+		fmt.Fprintf(w, "  %-16s missing from this run (baseline only)\n", name)
+	}
+}
+
+// pctChange is the relative change from old to cur in percent; 0 when
+// the baseline value is 0 (no meaningful ratio).
+func pctChange(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (cur - old) / old
 }
 
 // parse reads `go test -bench` text and extracts the result lines.

@@ -60,6 +60,40 @@ func TestParseSkipsNonResultLines(t *testing.T) {
 	}
 }
 
+func TestPrintDeltas(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "EngineSMP", TrialsPerSec: 578369, BytesPerOp: 357, AllocsPerOp: 15},
+		{Name: "EngineGone", TrialsPerSec: 100},
+	}}
+	cur := Report{Benchmarks: []Benchmark{
+		{Name: "EngineSMP", TrialsPerSec: 1156738, BytesPerOp: 40, AllocsPerOp: 3},
+		{Name: "EngineNew", TrialsPerSec: 50},
+	}}
+	var buf strings.Builder
+	printDeltas(&buf, base, cur)
+	out := buf.String()
+	for _, want := range []string{
+		"allocs/op 15 -> 3 (-12)",
+		"trials/sec 578369 -> 1156738 (+100.0%)",
+		"B/op 357 -> 40 (-88.8%)",
+		"EngineNew",
+		"EngineGone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if got := pctChange(0, 5); got != 0 {
+		t.Errorf("pctChange(0, 5) = %v, want 0", got)
+	}
+	if got := pctChange(200, 100); got != -50 {
+		t.Errorf("pctChange(200, 100) = %v, want -50", got)
+	}
+}
+
 func TestParseRejectsMalformedCounts(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX xx 5 ns/op\n")); err == nil {
 		t.Error("bad iteration count accepted")

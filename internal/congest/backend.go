@@ -17,6 +17,8 @@ type testerBackend struct {
 	t *Tester
 }
 
+var _ engine.ScratchBackend = (*testerBackend)(nil)
+
 // NewBackend adapts a Tester to the engine's Backend interface.
 func NewBackend(t *Tester) (engine.Backend, error) {
 	if t == nil {
@@ -28,14 +30,27 @@ func NewBackend(t *Tester) (engine.Backend, error) {
 // Players implements engine.Backend.
 func (b *testerBackend) Players() int { return b.t.Players() }
 
+// NewScratch implements engine.ScratchBackend: per-worker sample buffer,
+// reseedable node generator and program slice.
+func (b *testerBackend) NewScratch() any { return b.t.newScratch() }
+
 // RunRound implements engine.Backend.
 func (b *testerBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	return b.RunRoundScratch(ctx, spec, b.t.newScratch())
+}
+
+// RunRoundScratch implements engine.ScratchBackend.
+func (b *testerBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return engine.RoundResult{}, err
 	}
+	sc, ok := scratch.(*runScratch)
+	if !ok {
+		return engine.RoundResult{}, fmt.Errorf("congest: foreign scratch %T", scratch)
+	}
 	start := time.Now()
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
-	accept, sim, err := b.t.runSeeded(spec.Sampler, shared)
+	accept, sim, err := b.t.runSeededScratch(spec.Sampler, shared, sc)
 	if err != nil {
 		return engine.RoundResult{}, err
 	}

@@ -356,21 +356,49 @@ func (t *Tester) RunSeeded(sampler dist.Sampler, shared uint64) (bool, error) {
 	return verdict, nil
 }
 
+// runScratch is one worker's reusable per-run state: the sample batch
+// buffer, the reseedable per-node generator, and the program slice handed
+// to the simulator. The per-node state machines themselves are rebuilt
+// per run (they are the run's mutable state); the scratch removes the
+// sampling-side allocations around them.
+type runScratch struct {
+	buf      []int
+	rng      *engine.ReusableRNG
+	programs []NodeProgram
+}
+
+// newScratch sizes a runScratch for this tester.
+func (t *Tester) newScratch() *runScratch {
+	return &runScratch{
+		buf:      make([]int, t.q),
+		rng:      engine.NewReusableRNG(),
+		programs: make([]NodeProgram, t.graph.N()),
+	}
+}
+
 // runSeeded is the shared-state-free core of RunSeeded: it returns the
 // simulator so callers (the engine backend) can read per-run statistics
 // without racing on the Tester's last* fields.
 func (t *Tester) runSeeded(sampler dist.Sampler, shared uint64) (bool, *Simulator, error) {
+	return t.runSeededScratch(sampler, shared, t.newScratch())
+}
+
+// runSeededScratch is runSeeded over a caller-owned scratch: node-side
+// sampling goes through the batched dist.SampleInto into the reused
+// buffer, and each node's stream comes from the scratch's reseeded
+// generator — exactly the engine.NodeRNG stream, so scratch runs are
+// bit-identical to allocating ones.
+func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runScratch) (bool, *Simulator, error) {
 	if sampler == nil {
 		return false, nil, fmt.Errorf("congest: nil sampler")
 	}
 	n := t.graph.N()
 	var verdict bool
-	programs := make([]NodeProgram, n)
-	buf := make([]int, t.q)
+	programs := sc.programs
 	for u := 0; u < n; u++ {
-		rng := engine.NodeRNG(shared, u)
-		dist.SampleInto(sampler, buf, rng)
-		msg, err := t.rule.Message(u, buf, shared, rng)
+		rng := sc.rng.SeedNode(shared, u)
+		dist.SampleInto(sampler, sc.buf, rng)
+		msg, err := t.rule.Message(u, sc.buf, shared, rng)
 		if err != nil {
 			return false, nil, fmt.Errorf("congest: node %d vote: %w", u, err)
 		}

@@ -21,28 +21,58 @@ func BackendFor(p Protocol) (engine.Backend, error) {
 		return nil, fmt.Errorf("core: nil protocol")
 	}
 	if smp, ok := p.(*SMP); ok {
-		return &smpBackend{p: smp}, nil
+		return &smpBackend{p: smp, totalSamples: smp.TotalSamples()}, nil
 	}
 	return &protocolBackend{p: p}, nil
 }
 
 // smpBackend is the in-process SMP execution backend: one RunRound is one
-// referee-model round with canonical engine RNG streams.
+// referee-model round with canonical engine RNG streams. It implements
+// engine.ScratchBackend, so driver workers run the zero-allocation batch
+// vote path with per-worker reusable buffers.
 type smpBackend struct {
 	p *SMP
+	// totalSamples is precomputed so the hot path reports accounting
+	// without re-summing per round.
+	totalSamples int
+}
+
+var _ engine.ScratchBackend = (*smpBackend)(nil)
+
+// smpRoundScratch is one worker's reusable round state: the protocol
+// Scratch (sample buffer, bit buffer, reseedable RNG) plus the message
+// slice the referee decides over.
+type smpRoundScratch struct {
+	sc   *Scratch
+	msgs []Message
 }
 
 // Players implements engine.Backend.
 func (b *smpBackend) Players() int { return b.p.Players() }
 
+// NewScratch implements engine.ScratchBackend.
+func (b *smpBackend) NewScratch() any {
+	return &smpRoundScratch{sc: b.p.NewScratch(), msgs: make([]Message, b.p.Players())}
+}
+
 // RunRound implements engine.Backend.
 func (b *smpBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
+	return b.RunRoundScratch(ctx, spec, b.NewScratch())
+}
+
+// RunRoundScratch implements engine.ScratchBackend: one referee-model
+// round, allocation-free in steady state.
+func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return engine.RoundResult{}, err
 	}
+	rs, ok := scratch.(*smpRoundScratch)
+	if !ok {
+		return engine.RoundResult{}, fmt.Errorf("core: foreign scratch %T", scratch)
+	}
 	start := time.Now()
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
-	accept, err := b.p.RunSeeded(spec.Sampler, shared)
+	accept, err := b.p.runSeededScratch(spec.Sampler, shared, rs.msgs, rs.sc)
 	if err != nil {
 		return engine.RoundResult{}, err
 	}
@@ -50,7 +80,7 @@ func (b *smpBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engin
 		Verdict:  accept,
 		Votes:    b.p.Players(),
 		Messages: b.p.Players(),
-		Samples:  b.p.TotalSamples(),
+		Samples:  b.totalSamples,
 		Wall:     time.Since(start),
 	}, nil
 }

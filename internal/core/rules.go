@@ -138,14 +138,29 @@ type BitReferee struct {
 	Rule DecisionRule
 }
 
-var _ Referee = BitReferee{}
+var (
+	_ Referee     = BitReferee{}
+	_ bitsDecider = BitReferee{}
+)
+
+// bitsDecider is the allocation-free referee path the SMP scratch runner
+// probes for: decide into a caller-owned bit buffer instead of a fresh
+// slice per round.
+type bitsDecider interface {
+	decideBits(msgs []Message, bits []bool) (bool, error)
+}
 
 // Decide implements Referee.
 func (r BitReferee) Decide(msgs []Message) (bool, error) {
+	return r.decideBits(msgs, make([]bool, len(msgs)))
+}
+
+// decideBits implements bitsDecider; bits must hold len(msgs) entries.
+func (r BitReferee) decideBits(msgs []Message, bits []bool) (bool, error) {
 	if r.Rule == nil {
 		return false, fmt.Errorf("core: BitReferee with nil rule")
 	}
-	bits := make([]bool, len(msgs))
+	bits = bits[:len(msgs)]
 	for i, m := range msgs {
 		bits[i] = m.Bit()
 	}

@@ -116,22 +116,64 @@ func (p *SMP) RunMessages(sampler dist.Sampler, rng *rand.Rand) ([]Message, erro
 // and a CONGEST node to the broadcast seed — so rounds with equal shared
 // seeds produce identical messages on every backend.
 func (p *SMP) RunMessagesSeeded(sampler dist.Sampler, shared uint64) ([]Message, error) {
-	if sampler == nil {
-		return nil, fmt.Errorf("core: nil sampler")
-	}
 	msgs := make([]Message, len(p.qs))
-	buf := make([]int, p.MaxSamplesPerPlayer())
+	if err := p.runMessagesScratch(sampler, shared, msgs, p.NewScratch()); err != nil {
+		return nil, err
+	}
+	return msgs, nil
+}
+
+// Scratch is one worker's reusable per-round state for the batch vote
+// path: the sample buffer every player's batch lands in and the
+// reseedable per-player generator. One Scratch serves any number of
+// sequential rounds; it must not be shared across goroutines.
+type Scratch struct {
+	buf  []int
+	bits []bool
+	rng  *engine.ReusableRNG
+}
+
+// NewScratch sizes a Scratch for this protocol.
+func (p *SMP) NewScratch() *Scratch {
+	return &Scratch{
+		buf:  make([]int, p.MaxSamplesPerPlayer()),
+		bits: make([]bool, len(p.qs)),
+		rng:  engine.NewReusableRNG(),
+	}
+}
+
+// runMessagesScratch is the batch vote path behind RunMessagesSeeded:
+// every player's samples are drawn in one dist.SampleInto batch into the
+// scratch buffer, and the per-player stream comes from the scratch's
+// reseeded generator — the exact stream engine.NodeRNG would allocate,
+// so scratch rounds are bit-identical to allocating ones.
+func (p *SMP) runMessagesScratch(sampler dist.Sampler, shared uint64, msgs []Message, sc *Scratch) error {
+	if sampler == nil {
+		return fmt.Errorf("core: nil sampler")
+	}
 	for i, q := range p.qs {
-		rng := engine.NodeRNG(shared, i)
-		samples := buf[:q]
+		rng := sc.rng.SeedNode(shared, i)
+		samples := sc.buf[:q]
 		dist.SampleInto(sampler, samples, rng)
 		m, err := p.local.Message(i, samples, shared, rng)
 		if err != nil {
-			return nil, fmt.Errorf("core: player %d: %w", i, err)
+			return fmt.Errorf("core: player %d: %w", i, err)
 		}
 		msgs[i] = m
 	}
-	return msgs, nil
+	return nil
+}
+
+// runSeededScratch is RunSeeded over a reusable Scratch and message
+// slice: zero allocations per round for bit-voting referees.
+func (p *SMP) runSeededScratch(sampler dist.Sampler, shared uint64, msgs []Message, sc *Scratch) (bool, error) {
+	if err := p.runMessagesScratch(sampler, shared, msgs, sc); err != nil {
+		return false, err
+	}
+	if bd, ok := p.referee.(bitsDecider); ok {
+		return bd.decideBits(msgs, sc.bits)
+	}
+	return p.referee.Decide(msgs)
 }
 
 // Run executes one round end to end.

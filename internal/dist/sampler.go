@@ -16,10 +16,28 @@ type Sampler interface {
 	N() int
 }
 
+// BatchSampler is the batched extension of Sampler used on every hot
+// path: one SampleInto fills a caller-owned buffer without allocating,
+// amortizing the interface dispatch over the whole batch.
+//
+// Stream compatibility contract: for any RNG state, SampleInto(dst, rng)
+// must consume exactly the same draws from rng — and therefore produce
+// exactly the same elements — as len(dst) successive Sample(rng) calls.
+// The property tests in sampler_batch_test.go enforce this for every
+// implementation in the package, and the engine's cross-backend
+// bit-identical verdict tests depend on it.
+type BatchSampler interface {
+	Sampler
+	// SampleInto fills dst with iid samples.
+	SampleInto(dst []int, rng *rand.Rand)
+}
+
 // Verify interface compliance.
 var (
-	_ Sampler = (*AliasSampler)(nil)
-	_ Sampler = (*CDFSampler)(nil)
+	_ BatchSampler = (*AliasSampler)(nil)
+	_ BatchSampler = (*CDFSampler)(nil)
+	_ BatchSampler = (*UniformSampler)(nil)
+	_ BatchSampler = NopSampler{}
 )
 
 // AliasSampler draws samples in O(1) time using Vose's alias method, after
@@ -86,6 +104,21 @@ func (a *AliasSampler) Sample(rng *rand.Rand) int {
 	return a.alias[i]
 }
 
+// SampleInto implements BatchSampler. The loop body is Sample's, inlined
+// over the batch so the hot path pays no per-element interface dispatch.
+func (a *AliasSampler) SampleInto(dst []int, rng *rand.Rand) {
+	prob, alias := a.prob, a.alias
+	n := len(prob)
+	for j := range dst {
+		i := rng.IntN(n)
+		if rng.Float64() < prob[i] {
+			dst[j] = i
+		} else {
+			dst[j] = alias[i]
+		}
+	}
+}
+
 // CDFSampler draws samples by binary search over the cumulative distribution
 // in O(log n) time. It serves as the correctness oracle for AliasSampler and
 // as the ablation comparison point in the benchmarks.
@@ -118,17 +151,81 @@ func (c *CDFSampler) Sample(rng *rand.Rand) int {
 	return sort.SearchFloat64s(c.cdf, u)
 }
 
+// SampleInto implements BatchSampler.
+func (c *CDFSampler) SampleInto(dst []int, rng *rand.Rand) {
+	for j := range dst {
+		dst[j] = sort.SearchFloat64s(c.cdf, rng.Float64())
+	}
+}
+
+// UniformSampler is the dedicated fast path for U_n: one IntN per element
+// and no table lookups, roughly halving the RNG draws of an alias-method
+// sampler over the uniform distribution. Note the stream it consumes from
+// an RNG differs from AliasSampler's over U_n (one draw per element
+// instead of two), so swapping sampler kinds under a fixed seed changes
+// downstream verdicts; within the kind, SampleInto ≡ repeated Sample as
+// for every BatchSampler.
+type UniformSampler struct {
+	n int
+}
+
+// NewUniformSampler returns the fast uniform sampler over {0..n-1}.
+func NewUniformSampler(n int) (*UniformSampler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: uniform sampler over %d elements", n)
+	}
+	return &UniformSampler{n: n}, nil
+}
+
+// N returns the domain size.
+func (u *UniformSampler) N() int { return u.n }
+
+// Sample draws one element in O(1).
+func (u *UniformSampler) Sample(rng *rand.Rand) int { return rng.IntN(u.n) }
+
+// SampleInto implements BatchSampler.
+func (u *UniformSampler) SampleInto(dst []int, rng *rand.Rand) {
+	n := u.n
+	for j := range dst {
+		dst[j] = rng.IntN(n)
+	}
+}
+
+// NopSampler is the shared no-op sampler for backends whose players draw
+// their samples elsewhere (e.g. a networked session, where each node owns
+// its real sampler): it satisfies the engine's non-nil sampler contract,
+// consumes no randomness, and always yields element 0 of a size-1 domain.
+type NopSampler struct{}
+
+// Sample implements Sampler.
+func (NopSampler) Sample(*rand.Rand) int { return 0 }
+
+// SampleInto implements BatchSampler.
+func (NopSampler) SampleInto(dst []int, _ *rand.Rand) {
+	for j := range dst {
+		dst[j] = 0
+	}
+}
+
+// N implements Sampler.
+func (NopSampler) N() int { return 1 }
+
 // SampleN draws q iid samples from s into a fresh slice.
 func SampleN(s Sampler, q int, rng *rand.Rand) []int {
 	out := make([]int, q)
-	for i := range out {
-		out[i] = s.Sample(rng)
-	}
+	SampleInto(s, out, rng)
 	return out
 }
 
-// SampleInto fills buf with iid samples, avoiding allocation in hot loops.
+// SampleInto fills buf with iid samples, avoiding allocation in hot
+// loops. Samplers implementing BatchSampler take their batched path;
+// stream compatibility (see BatchSampler) guarantees the dispatch is
+// invisible to callers holding a seeded RNG.
 func SampleInto(s Sampler, buf []int, rng *rand.Rand) {
+	if bs, ok := s.(BatchSampler); ok {
+		bs.SampleInto(buf, rng)
+		return
+	}
 	for i := range buf {
 		buf[i] = s.Sample(rng)
 	}

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// batchSamplers builds one instance of every BatchSampler in the package
+// over a common skewed distribution (uniform for the samplers that fix
+// their own distribution).
+func batchSamplers(t *testing.T, n int) map[string]BatchSampler {
+	t.Helper()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i%7 + 1)
+	}
+	d, err := FromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias, err := NewAliasSampler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := NewCDFSampler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniformSampler(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]BatchSampler{
+		"alias":   alias,
+		"cdf":     cdf,
+		"uniform": uni,
+		"nop":     NopSampler{},
+	}
+}
+
+// TestSampleIntoMatchesSample is the stream-compatibility property test:
+// for every BatchSampler, every seed, and every batch-size split,
+// SampleInto must consume the same RNG draws — and yield the same
+// elements — as repeated Sample.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	const n, total = 23, 257
+	for name, s := range batchSamplers(t, n) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 8; seed++ {
+				seqRNG := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+				want := make([]int, total)
+				for i := range want {
+					want[i] = s.Sample(seqRNG)
+				}
+				// Fill the same total through batches of varying sizes,
+				// exercising empty, single-element, and large batches.
+				for _, chunk := range []int{1, 3, 16, total} {
+					batchRNG := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+					got := make([]int, total)
+					for lo := 0; lo < total; lo += chunk {
+						hi := lo + chunk
+						if hi > total {
+							hi = total
+						}
+						s.SampleInto(got[lo:hi], batchRNG)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d chunk %d: element %d is %d via SampleInto, %d via Sample",
+								seed, chunk, i, got[i], want[i])
+						}
+					}
+					// Both paths must leave the RNG in the same state.
+					if a, b := seqRNG.Uint64(), batchRNG.Uint64(); a != b {
+						t.Fatalf("seed %d chunk %d: RNG states diverge after batch (%d vs %d)", seed, chunk, a, b)
+					}
+					seqRNG = rand.New(rand.NewPCG(seed, seed^0xabcdef))
+					for i := 0; i < total; i++ {
+						s.Sample(seqRNG)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPackageSampleIntoDispatchesBatch checks the package-level helper
+// routes through the batch path and stays stream-compatible with the
+// per-element fallback.
+func TestPackageSampleIntoDispatchesBatch(t *testing.T) {
+	const n, q = 17, 100
+	for name, s := range batchSamplers(t, n) {
+		t.Run(name, func(t *testing.T) {
+			rngA := rand.New(rand.NewPCG(5, 11))
+			rngB := rand.New(rand.NewPCG(5, 11))
+			buf := make([]int, q)
+			SampleInto(s, buf, rngA)
+			for i := range buf {
+				if want := s.Sample(rngB); buf[i] != want {
+					t.Fatalf("element %d: %d, want %d", i, buf[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestUniformSamplerBounds checks range and rough uniformity of the fast
+// path.
+func TestUniformSamplerBounds(t *testing.T) {
+	const n, total = 8, 16000
+	u, err := NewUniformSampler(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != n {
+		t.Fatalf("N() = %d, want %d", u.N(), n)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]int, total)
+	u.SampleInto(buf, rng)
+	counts := make([]int, n)
+	for _, s := range buf {
+		if s < 0 || s >= n {
+			t.Fatalf("sample %d outside [0,%d)", s, n)
+		}
+		counts[s]++
+	}
+	want := float64(total) / n
+	for i, c := range counts {
+		if float64(c) < 0.8*want || float64(c) > 1.2*want {
+			t.Fatalf("element %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+	if _, err := NewUniformSampler(0); err == nil {
+		t.Fatal("NewUniformSampler(0) succeeded")
+	}
+}
+
+// TestNopSampler pins the no-op sampler's contract: domain size 1, always
+// element 0, zero randomness consumed.
+func TestNopSampler(t *testing.T) {
+	s := NopSampler{}
+	if s.N() != 1 {
+		t.Fatalf("N() = %d, want 1", s.N())
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	probe := rand.New(rand.NewPCG(3, 4))
+	buf := []int{9, 9, 9}
+	s.SampleInto(buf, rng)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("element %d = %d, want 0", i, v)
+		}
+	}
+	if s.Sample(rng) != 0 {
+		t.Fatal("Sample != 0")
+	}
+	if rng.Uint64() != probe.Uint64() {
+		t.Fatal("NopSampler consumed randomness")
+	}
+}
+
+// TestSampleIntoNoAllocs guards the zero-allocation contract of the
+// batch path for every sampler kind.
+func TestSampleIntoNoAllocs(t *testing.T) {
+	for name, s := range batchSamplers(t, 64) {
+		rng := rand.New(rand.NewPCG(7, 9))
+		buf := make([]int, 128)
+		s := s
+		allocs := testing.AllocsPerRun(100, func() {
+			SampleInto(s, buf, rng)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: SampleInto allocates %.1f per batch, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkAliasSamplePerElement(b *testing.B) {
+	d, err := Uniform(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewAliasSampler(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]int, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range buf {
+			buf[j] = s.Sample(rng)
+		}
+	}
+}
+
+func BenchmarkAliasSampleInto(b *testing.B) {
+	d, err := Uniform(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewAliasSampler(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]int, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleInto(buf, rng)
+	}
+}
+
+func BenchmarkUniformSampleInto(b *testing.B) {
+	s, err := NewUniformSampler(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]int, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleInto(buf, rng)
+	}
+}

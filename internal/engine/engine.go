@@ -77,9 +77,27 @@ type WorkerLimiter interface {
 	MaxWorkers() int
 }
 
+// ScratchBackend is the optional zero-allocation extension of Backend:
+// the driver calls NewScratch once per worker and threads the returned
+// value through every RunRoundScratch on that worker, so a backend can
+// reuse sample buffers, vote slices and reseedable generators across
+// trials instead of allocating per round. The scratch value is owned by
+// exactly one worker at a time — implementations need no locking inside
+// it — and results must be bit-identical to RunRound's for the same
+// RoundSpec (the batch path is an optimization, never a semantic fork).
+type ScratchBackend interface {
+	Backend
+	// NewScratch allocates one worker's reusable round state.
+	NewScratch() any
+	// RunRoundScratch is RunRound with the worker's scratch.
+	RunRoundScratch(ctx context.Context, spec RoundSpec, scratch any) (RoundResult, error)
+}
+
 // Source yields the sampler for one trial. rng is the trial's TrialRNG
 // stream, so sources that draw a fresh distribution per trial (the lower
-// bound's averaged adversary) stay deterministic in (seed, trial).
+// bound's averaged adversary) stay deterministic in (seed, trial). The
+// rng is only valid for the duration of the call: the driver reseeds one
+// per-worker generator between trials, so a Source must not retain it.
 type Source func(trial int, rng *rand.Rand) (dist.Sampler, error)
 
 // Fixed returns a Source that serves the same sampler on every trial.
@@ -172,17 +190,26 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 	results := make([]RoundResult, trials)
 	errs := make([]error, trials)
 	jobs := make(chan int)
+	sb, hasScratch := b.(ScratchBackend)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker trial state, allocated once and recycled across
+			// trials: the source's generator (reseeded per trial) and the
+			// backend's scratch (sample buffers, vote slices, node RNGs).
+			trialRNG := NewReusableRNG()
+			var scratch any
+			if hasScratch {
+				scratch = sb.NewScratch()
+			}
 			for t := range jobs {
 				if err := runCtx.Err(); err != nil {
 					errs[t] = err
 					continue
 				}
-				sampler, err := src(t, TrialRNG(opts.Seed, t))
+				sampler, err := src(t, trialRNG.SeedTrial(opts.Seed, t))
 				if err != nil {
 					errs[t] = fmt.Errorf("engine: trial %d source: %w", t, err)
 					cancel()
@@ -193,7 +220,13 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 					cancel()
 					continue
 				}
-				res, err := b.RunRound(runCtx, RoundSpec{Trial: t, Seed: opts.Seed, Sampler: sampler})
+				spec := RoundSpec{Trial: t, Seed: opts.Seed, Sampler: sampler}
+				var res RoundResult
+				if hasScratch {
+					res, err = sb.RunRoundScratch(runCtx, spec, scratch)
+				} else {
+					res, err = b.RunRound(runCtx, spec)
+				}
 				if err != nil {
 					errs[t] = fmt.Errorf("engine: trial %d: %w", t, err)
 					cancel()

@@ -19,14 +19,31 @@ func SharedSeed(seed uint64, trial int) uint64 {
 	return splitmix64(seed ^ splitmix64(uint64(trial)))
 }
 
+// nodeSeeds is the PCG seed pair of a player's private stream for a round
+// with the given public-coin seed; NodeRNG and ReusableRNG.SeedNode share
+// it so the reseeding path reproduces the allocating one bit for bit.
+func nodeSeeds(shared uint64, player int) (uint64, uint64) {
+	a := splitmix64(shared ^ (uint64(player)+1)*0x9e3779b97f4a7c15)
+	b := splitmix64(a ^ 0xd6e8feb86659fd93)
+	return a, b
+}
+
+// trialSeeds is the PCG seed pair of the per-trial stream; TrialRNG and
+// ReusableRNG.SeedTrial share it.
+func trialSeeds(seed uint64, trial int) (uint64, uint64) {
+	s := SharedSeed(seed, trial)
+	a := splitmix64(s ^ 0xa0761d6478bd642f)
+	b := splitmix64(a ^ 0xe7037ed1a0b428db)
+	return a, b
+}
+
 // NodeRNG derives a player's private generator for a round with the given
 // public-coin seed. The stream is a pure function of (shared, player), so
 // an in-process simulator and a remote node reconstruct identical streams
 // from the round seed alone. The player draws its samples and any private
 // coins from this generator, in that order.
 func NodeRNG(shared uint64, player int) *rand.Rand {
-	a := splitmix64(shared ^ (uint64(player)+1)*0x9e3779b97f4a7c15)
-	b := splitmix64(a ^ 0xd6e8feb86659fd93)
+	a, b := nodeSeeds(shared, player)
 	return rand.New(rand.NewPCG(a, b))
 }
 
@@ -41,8 +58,38 @@ func PlayerRNG(seed uint64, trial, player int) *rand.Rand {
 // distribution for the averaged adversary). Its lane is disjoint from
 // every player stream of the same trial.
 func TrialRNG(seed uint64, trial int) *rand.Rand {
-	s := SharedSeed(seed, trial)
-	a := splitmix64(s ^ 0xa0761d6478bd642f)
-	b := splitmix64(a ^ 0xe7037ed1a0b428db)
+	a, b := trialSeeds(seed, trial)
 	return rand.New(rand.NewPCG(a, b))
+}
+
+// ReusableRNG is an allocation-free stand-in for NodeRNG/TrialRNG on hot
+// paths: one PCG and one rand.Rand are allocated at construction and
+// reseeded in place per (trial) or per (round, player). Each Seed* call
+// returns the same *rand.Rand positioned at the start of exactly the
+// stream the allocating derivation would produce, so batch paths that
+// reuse one ReusableRNG stay bit-identical to per-call NodeRNG/TrialRNG
+// users. Not safe for concurrent use; give each worker its own.
+type ReusableRNG struct {
+	pcg  *rand.PCG
+	rand *rand.Rand
+}
+
+// NewReusableRNG allocates the generator pair once.
+func NewReusableRNG() *ReusableRNG {
+	pcg := rand.NewPCG(0, 0)
+	return &ReusableRNG{pcg: pcg, rand: rand.New(pcg)}
+}
+
+// SeedNode repositions the generator at the start of NodeRNG(shared,
+// player)'s stream and returns it.
+func (r *ReusableRNG) SeedNode(shared uint64, player int) *rand.Rand {
+	r.pcg.Seed(nodeSeeds(shared, player))
+	return r.rand
+}
+
+// SeedTrial repositions the generator at the start of TrialRNG(seed,
+// trial)'s stream and returns it.
+func (r *ReusableRNG) SeedTrial(seed uint64, trial int) *rand.Rand {
+	r.pcg.Seed(trialSeeds(seed, trial))
+	return r.rand
 }

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestReusableRNGMatchesNodeRNG pins the reseeding contract: a single
+// ReusableRNG stepped through (shared, player) coordinates must emit
+// exactly the streams fresh NodeRNG allocations would.
+func TestReusableRNGMatchesNodeRNG(t *testing.T) {
+	r := NewReusableRNG()
+	for _, shared := range []uint64{0, 1, 0xfeedface, ^uint64(0)} {
+		for player := 0; player < 6; player++ {
+			got := r.SeedNode(shared, player)
+			want := NodeRNG(shared, player)
+			for i := 0; i < 16; i++ {
+				if g, w := got.Uint64(), want.Uint64(); g != w {
+					t.Fatalf("shared %#x player %d draw %d: %d, want %d", shared, player, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestReusableRNGMatchesTrialRNG is the same contract for the per-trial
+// lane.
+func TestReusableRNGMatchesTrialRNG(t *testing.T) {
+	r := NewReusableRNG()
+	for _, seed := range []uint64{0, 42, 0x9e3779b97f4a7c15} {
+		for trial := 0; trial < 6; trial++ {
+			got := r.SeedTrial(seed, trial)
+			want := TrialRNG(seed, trial)
+			for i := 0; i < 16; i++ {
+				if g, w := got.Uint64(), want.Uint64(); g != w {
+					t.Fatalf("seed %#x trial %d draw %d: %d, want %d", seed, trial, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestReusableRNGReseedsCleanly checks that a partially-drained stream
+// leaves no state behind after the next reseed.
+func TestReusableRNGReseedsCleanly(t *testing.T) {
+	r := NewReusableRNG()
+	r.SeedNode(7, 3).Uint64() // drain one draw
+	got := r.SeedNode(9, 1)
+	want := NodeRNG(9, 1)
+	if g, w := got.Uint64(), want.Uint64(); g != w {
+		t.Fatalf("post-reseed draw %d, want %d", g, w)
+	}
+}
+
+// TestReusableRNGSeedsAllocateOnce guards the whole point of the type:
+// reseeding is allocation-free.
+func TestReusableRNGSeedsAllocateOnce(t *testing.T) {
+	r := NewReusableRNG()
+	var sink *rand.Rand
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = r.SeedNode(5, 2)
+		sink = r.SeedTrial(5, 2)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("reseed allocates %.1f per call pair, want 0", allocs)
+	}
+}

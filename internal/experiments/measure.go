@@ -70,7 +70,10 @@ func acceptUniform(p core.Protocol, n, trials int, opts stats.EstimateOptions) (
 // acceptHardFamily estimates E_z Pr[protocol accepts nu_z]: every trial
 // draws a fresh perturbation from its per-trial stream, matching the
 // lower bound's averaged adversary. Trials run on the engine's worker
-// pool and abort as soon as any perturbation or run errors.
+// pool and abort as soon as any perturbation or run errors. The
+// adversary's per-trial alias sampler is a dist.BatchSampler, so the
+// backend's scratch path drains each player's q samples in one batched
+// SampleInto; only the perturbed distribution itself is built per trial.
 func acceptHardFamily(p core.Protocol, h dist.HardInstance, trials int, opts stats.EstimateOptions) (float64, error) {
 	b, err := core.BackendFor(p)
 	if err != nil {

@@ -12,8 +12,23 @@ type Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed uint64
-	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
+	// Parallelism caps worker goroutines; 0 means GOMAXPROCS. Negative
+	// values are rejected by Validate rather than silently passed through
+	// to the estimators (whose "negative means GOMAXPROCS" default would
+	// mask a caller bug such as a miscomputed worker budget).
 	Parallelism int
+}
+
+// Validate rejects configurations no experiment can run meaningfully.
+// Every registered experiment's Run calls it before doing any work.
+func (c Config) Validate() error {
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: negative parallelism %d", c.Parallelism)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("experiments: negative scale %v", c.Scale)
+	}
+	return nil
 }
 
 func (c Config) scale() float64 {
@@ -45,16 +60,30 @@ type Experiment struct {
 	Run func(cfg Config) (*Table, error)
 }
 
-// Registry returns all experiments sorted by ID (numeric order).
+// Registry returns all experiments sorted by ID (numeric order). Every
+// returned experiment's Run validates its Config before executing.
 func Registry() []Experiment {
 	exps := []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(),
 		e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(), e20(),
 	}
+	for i := range exps {
+		exps[i].Run = validated(exps[i].Run)
+	}
 	sort.Slice(exps, func(i, j int) bool {
 		return idNum(exps[i].ID) < idNum(exps[j].ID)
 	})
 	return exps
+}
+
+// validated guards an experiment's Run with Config.Validate.
+func validated(run func(Config) (*Table, error)) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return run(cfg)
+	}
 }
 
 func idNum(id string) int {

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate pins the validation contract: negative Parallelism
+// and negative Scale are rejected, everything else passes.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"explicit parallelism", Config{Parallelism: 4}, true},
+		{"negative parallelism", Config{Parallelism: -1}, false},
+		{"very negative parallelism", Config{Parallelism: -128}, false},
+		{"negative scale", Config{Scale: -0.5}, false},
+		{"smoke scale", Config{Scale: 0.01}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+// TestRegistryRejectsNegativeParallelism is the regression test for the
+// previously unchecked pass-through: every registered experiment must
+// refuse a negative Parallelism before doing any work.
+func TestRegistryRejectsNegativeParallelism(t *testing.T) {
+	for _, e := range Registry() {
+		_, err := e.Run(Config{Scale: 0.01, Parallelism: -3})
+		if err == nil {
+			t.Errorf("%s: ran with Parallelism=-3, want validation error", e.ID)
+			continue
+		}
+		if !strings.Contains(err.Error(), "parallelism") {
+			t.Errorf("%s: error %q does not mention parallelism", e.ID, err)
+		}
+	}
+}

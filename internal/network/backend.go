@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/distributed-uniformity/dut/internal/dist"
 	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
@@ -11,10 +12,15 @@ import (
 // listener, node goroutines, HELLO/ROUND/VOTE/VERDICT, teardown. The
 // round's public coin is engine.SharedSeed(spec.Seed, spec.Trial), so
 // verdicts are bit-identical to the in-process SMP backend's for the
-// same engine seed.
+// same engine seed. It implements engine.ScratchBackend: each driver
+// worker keeps one prebuilt node set (sample buffers and reseedable
+// generators included) and rebinds the trial's sampler instead of
+// constructing k nodes per round.
 type clusterBackend struct {
 	c *Cluster
 }
+
+var _ engine.ScratchBackend = (*clusterBackend)(nil)
 
 // NewBackend adapts a Cluster to the engine's Backend interface.
 func NewBackend(c *Cluster) (engine.Backend, error) {
@@ -27,6 +33,18 @@ func NewBackend(c *Cluster) (engine.Backend, error) {
 // Players implements engine.Backend.
 func (b *clusterBackend) Players() int { return b.c.k }
 
+// NewScratch implements engine.ScratchBackend: one reusable node set per
+// worker. The placeholder sampler is replaced per round.
+func (b *clusterBackend) NewScratch() any {
+	nodes, err := b.c.buildNodes(dist.NopSampler{})
+	if err != nil {
+		// Construction can only fail on invalid cluster config, which
+		// NewCluster already rejected; fall back to the per-round path.
+		return nil
+	}
+	return nodes
+}
+
 // RunRound implements engine.Backend.
 func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
@@ -34,6 +52,32 @@ func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (e
 	if err != nil {
 		return engine.RoundResult{}, err
 	}
+	return b.roundResult(accept, rs), nil
+}
+
+// RunRoundScratch implements engine.ScratchBackend.
+func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
+	nodes, ok := scratch.([]*PlayerNode)
+	if !ok || len(nodes) != b.c.k {
+		return b.RunRound(ctx, spec)
+	}
+	if spec.Sampler == nil {
+		return engine.RoundResult{}, fmt.Errorf("network: nil sampler")
+	}
+	for _, n := range nodes {
+		n.setSampler(spec.Sampler)
+	}
+	shared := engine.SharedSeed(spec.Seed, spec.Trial)
+	accept, rs, err := b.c.runRoundSeededNodes(ctx, nodes, shared)
+	if err != nil {
+		return engine.RoundResult{}, err
+	}
+	return b.roundResult(accept, rs), nil
+}
+
+// roundResult maps a networked round's stats onto the engine's uniform
+// accounting.
+func (b *clusterBackend) roundResult(accept bool, rs RoundStats) engine.RoundResult {
 	return engine.RoundResult{
 		Verdict:    accept,
 		Votes:      rs.Votes,
@@ -42,5 +86,5 @@ func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (e
 		Messages:   rs.Votes,
 		Samples:    rs.Votes * b.c.q,
 		Wall:       rs.Wall,
-	}, nil
+	}
 }

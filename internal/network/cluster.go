@@ -184,10 +184,22 @@ func (c *Cluster) RunStats(ctx context.Context, sampler dist.Sampler, rng *rand.
 // verdict bit-identical to the in-process SMP simulator's for the same
 // seed. This is the primitive the engine's cluster backend drives.
 func (c *Cluster) RunRoundSeeded(ctx context.Context, sampler dist.Sampler, seed uint64) (bool, RoundStats, error) {
-	var stats RoundStats
 	if sampler == nil {
-		return false, stats, fmt.Errorf("network: nil sampler")
+		return false, RoundStats{}, fmt.Errorf("network: nil sampler")
 	}
+	nodes, err := c.buildNodes(sampler)
+	if err != nil {
+		return false, RoundStats{}, err
+	}
+	return c.runRoundSeededNodes(ctx, nodes, seed)
+}
+
+// runRoundSeededNodes is RunRoundSeeded over caller-owned nodes, so the
+// engine's scratch backend can reuse one node set (sample buffers and
+// reseedable generators included) across trials instead of rebuilding k
+// nodes per round.
+func (c *Cluster) runRoundSeededNodes(ctx context.Context, nodes []*PlayerNode, seed uint64) (bool, RoundStats, error) {
+	var stats RoundStats
 	server, err := c.newServer()
 	if err != nil {
 		return false, stats, err
@@ -213,11 +225,6 @@ func (c *Cluster) RunRoundSeeded(ctx context.Context, sampler dist.Sampler, seed
 		case <-watchdogDone:
 		}
 	}()
-
-	nodes, err := c.buildNodes(sampler)
-	if err != nil {
-		return false, stats, err
-	}
 
 	type result struct {
 		accept  bool

@@ -34,6 +34,13 @@ type PlayerNode struct {
 	timeout time.Duration
 	retries int
 	backoff time.Duration
+
+	// Per-round scratch, allocated once at construction: the sample batch
+	// buffer dist.SampleInto fills and the reseedable per-round generator.
+	// A node participates in one round at a time (rounds of a session are
+	// sequential), so the reuse is race-free.
+	buf []int
+	rng *engine.ReusableRNG
 }
 
 // NewPlayerNode builds a node. timeout bounds each frame wait; zero means
@@ -61,8 +68,14 @@ func NewPlayerNode(id uint32, q int, rule core.LocalRule, sampler dist.Sampler, 
 	return &PlayerNode{
 		id: id, q: q, rule: rule, sampler: sampler, timeout: timeout,
 		retries: DefaultDialRetries, backoff: DefaultRetryBackoff,
+		buf: make([]int, q), rng: engine.NewReusableRNG(),
 	}, nil
 }
+
+// setSampler rebinds the node's sampler between rounds; the engine's
+// scratch cluster backend uses it to reuse one node set across trials
+// whose sources serve varying distributions.
+func (p *PlayerNode) setSampler(sampler dist.Sampler) { p.sampler = sampler }
 
 // SetRetryPolicy overrides the connect retry budget: retries is the
 // number of attempts after the first (negative clamps to zero, i.e. fail
@@ -139,9 +152,9 @@ func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr) (bool, int, erro
 	if err != nil {
 		return false, retries, fmt.Errorf("network: node %d round: %w", p.id, err)
 	}
-	rng := engine.NodeRNG(round.Seed, int(p.id))
-	samples := dist.SampleN(p.sampler, p.q, rng)
-	msg, err := p.rule.Message(int(p.id), samples, round.Seed, rng)
+	rng := p.rng.SeedNode(round.Seed, int(p.id))
+	dist.SampleInto(p.sampler, p.buf, rng)
+	msg, err := p.rule.Message(int(p.id), p.buf, round.Seed, rng)
 	if err != nil {
 		return false, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
 	}

@@ -192,9 +192,9 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, 
 		}
 		switch m := msg.(type) {
 		case Round:
-			rng := engine.NodeRNG(m.Seed, int(p.id))
-			samples := dist.SampleN(p.sampler, p.q, rng)
-			vote, err := p.rule.Message(int(p.id), samples, m.Seed, rng)
+			rng := p.rng.SeedNode(m.Seed, int(p.id))
+			dist.SampleInto(p.sampler, p.buf, rng)
+			vote, err := p.rule.Message(int(p.id), p.buf, m.Seed, rng)
 			if err != nil {
 				return nil, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
 			}
@@ -391,7 +391,7 @@ func (c *Cluster) runSessionEngine(ctx context.Context, server *RefereeServer, l
 	backend := &sessionBackend{sess: sess, k: c.k, q: c.q}
 	// The nodes own the samplers in a networked session; the source only
 	// satisfies the driver's contract.
-	src := func(int, *rand.Rand) (dist.Sampler, error) { return nopSampler{}, nil }
+	src := func(int, *rand.Rand) (dist.Sampler, error) { return dist.NopSampler{}, nil }
 	results, err := engine.Run(ctx, backend, src, rounds, engine.Options{Workers: 1, Seed: baseSeed})
 	if err != nil {
 		return nil, nil, err
@@ -413,16 +413,6 @@ func (c *Cluster) runSessionEngine(ctx context.Context, server *RefereeServer, l
 	}
 	return verdicts, stats, nil
 }
-
-// nopSampler satisfies the engine's non-nil sampler contract for
-// backends whose players sample on their own machines.
-type nopSampler struct{}
-
-// Sample implements dist.Sampler.
-func (nopSampler) Sample(*rand.Rand) int { return 0 }
-
-// N implements dist.Sampler.
-func (nopSampler) N() int { return 1 }
 
 // RunMany is RunManyStats without the statistics.
 func (c *Cluster) RunMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, error) {
