@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short test-race cover bench bench-all verify results clean
+# bench regression gate: percent of trials/sec a benchmark may lose vs
+# the committed BENCH_engine.json before `make bench` fails; 0 disables.
+BENCH_MAX_REGRESS ?= 0
+
+.PHONY: all build vet staticcheck lint test test-short test-race cover bench bench-all verify results clean
 
 all: build test
 
@@ -15,13 +19,25 @@ vet:
 
 # Static analysis beyond vet, gated on the binary being installed: the
 # target is a no-op (with a note) where staticcheck is unavailable, so
-# `make test` works on a bare Go toolchain.
+# `make test` works on a bare Go toolchain. In CI (CI=1) a missing
+# binary is an error instead of a note, so the pipeline cannot silently
+# skip the check.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck not installed but CI is set; failing (go install honnef.co/go/tools/cmd/staticcheck@latest)" >&2; \
+		exit 1; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# The repo's own contract analyzers (stdlib-only, no tool install
+# needed): determinism, scratch aliasing, float equality, frame
+# discipline, context propagation, and seed purity. See README "Static
+# analysis" and DESIGN.md section 7.
+lint:
+	$(GO) run ./cmd/dutlint ./...
 
 # The default test target vets everything, runs staticcheck when
 # available, and additionally runs the concurrency-heavy packages (the
@@ -29,7 +45,7 @@ staticcheck:
 # race detector. The plain pass includes the allocation guards
 # (dist.SampleInto, engine.ReusableRNG, and the SMP scratch hot path);
 # they skip themselves in the race pass, whose instrumentation allocates.
-test: vet staticcheck
+test: vet staticcheck lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/network/... ./internal/engine/...
 
@@ -48,7 +64,7 @@ cover:
 # B/op, allocs/op) are printed before it is overwritten.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee bench_engine.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json < bench_engine.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json -max-regress $(BENCH_MAX_REGRESS) < bench_engine.txt
 	@echo "wrote BENCH_engine.json"
 
 # Every benchmark in the repository (experiments + micro-benchmarks).

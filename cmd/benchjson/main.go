@@ -10,9 +10,16 @@
 // it before writing the new file, so `make bench` shows how the run
 // moved relative to the checked-in BENCH_engine.json.
 //
+// With -max-regress P (0 < P <= 100, requires -baseline), benchjson
+// exits non-zero when any benchmark's trials/sec drops more than P
+// percent below its baseline entry, turning the delta report into a
+// regression gate for CI. Benchmarks without a baseline entry never
+// fail the gate (they are new), and the report is still written so the
+// failing run can be inspected.
+//
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' ./internal/engine | benchjson -baseline BENCH_engine.json -o BENCH_engine.json
+//	go test -bench . -benchmem -run '^$' ./internal/engine | benchjson -baseline BENCH_engine.json -o BENCH_engine.json -max-regress 20
 package main
 
 import (
@@ -58,7 +65,17 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
 	baseline := flag.String("baseline", "", "committed report to diff against (read before -o overwrites it)")
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail (exit 1) when trials/sec regresses more than this percentage vs -baseline; 0 disables the gate")
 	flag.Parse()
+	if *maxRegress < 0 || *maxRegress > 100 {
+		fmt.Fprintf(os.Stderr, "benchjson: -max-regress %v outside [0,100]\n", *maxRegress)
+		os.Exit(2)
+	}
+	if *maxRegress > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -max-regress needs -baseline to compare against")
+		os.Exit(2)
+	}
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -68,11 +85,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	var regressions []string
 	if *baseline != "" {
 		if base, err := readReport(*baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping deltas\n", *baseline, err)
 		} else {
 			printDeltas(os.Stderr, base, report)
+			if *maxRegress > 0 {
+				regressions = findRegressions(base, report, *maxRegress)
+			}
 		}
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -90,6 +111,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		os.Exit(1)
+	}
+}
+
+// findRegressions returns one description per benchmark whose trials/sec
+// fell more than maxPct percent below its baseline entry. New benchmarks
+// (absent from the baseline) and baseline entries with zero throughput
+// are skipped.
+func findRegressions(base, cur Report, maxPct float64) []string {
+	prev := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	var out []string
+	for _, b := range cur.Benchmarks {
+		old, ok := prev[b.Name]
+		if !ok || old.TrialsPerSec <= 0 {
+			continue
+		}
+		drop := -pctChange(old.TrialsPerSec, b.TrialsPerSec)
+		if drop > maxPct {
+			out = append(out, fmt.Sprintf("%s trials/sec %.0f -> %.0f (-%.1f%% > allowed %.1f%%)",
+				b.Name, old.TrialsPerSec, b.TrialsPerSec, drop, maxPct))
+		}
+	}
+	return out
 }
 
 // readReport loads a previously written benchjson file.

@@ -102,3 +102,24 @@ func TestParseRejectsMalformedCounts(t *testing.T) {
 		t.Error("bad ns/op accepted")
 	}
 }
+
+func TestFindRegressions(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "Steady", TrialsPerSec: 1000},
+		{Name: "Slower", TrialsPerSec: 1000},
+		{Name: "ZeroBase", TrialsPerSec: 0},
+	}}
+	cur := Report{Benchmarks: []Benchmark{
+		{Name: "Steady", TrialsPerSec: 950},   // -5%: inside a 20% budget
+		{Name: "Slower", TrialsPerSec: 700},   // -30%: over budget
+		{Name: "ZeroBase", TrialsPerSec: 500}, // no meaningful baseline ratio
+		{Name: "Brand", TrialsPerSec: 1},      // new benchmark, never gated
+	}}
+	got := findRegressions(base, cur, 20)
+	if len(got) != 1 || !strings.Contains(got[0], "Slower") {
+		t.Errorf("findRegressions = %v, want exactly the Slower entry", got)
+	}
+	if got := findRegressions(base, cur, 50); len(got) != 0 {
+		t.Errorf("findRegressions with 50%% budget = %v, want none", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Command dutlint runs the repo's contract analyzers (determinism,
+// scratch aliasing, float equality, frame discipline, context
+// propagation, seed purity) over the packages matching the given
+// patterns. Findings print as "file:line:col rule: message"; the exit
+// status is 1 when any finding survives //lint:ignore suppression, 2 on
+// a load or internal error.
+//
+// Usage:
+//
+//	dutlint [-list] [-<rule>=false ...] [packages]
+//
+// Patterns default to ./... relative to the enclosing module root. Each
+// analyzer has a boolean flag named after its rule suffix (for example
+// -nondeterminism=false disables dut/nondeterminism).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/distributed-uniformity/dut/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dutlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	all := lint.Analyzers()
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		short := strings.TrimPrefix(a.Name, "dut/")
+		enabled[a.Name] = fs.Bool(short, true, "enable "+a.Name+" ("+a.Doc+")")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "dutlint: every analyzer is disabled")
+		return 2
+	}
+
+	root, err := lint.ModuleRoot("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dutlint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dutlint:", err)
+		return 2
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dutlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "dutlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

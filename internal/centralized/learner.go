@@ -29,6 +29,7 @@ func NewLearner(n int, lambda float64) (*Learner, error) {
 
 // Learn returns the (smoothed) empirical distribution of the samples.
 func (l *Learner) Learn(samples []int) (dist.Dist, error) {
+	//lint:ignore dut/floateq exact zero-value smoothing sentinel, never a computed float
 	if len(samples) == 0 && l.smooth == 0 {
 		return dist.Dist{}, fmt.Errorf("centralized: learning from no samples without smoothing")
 	}

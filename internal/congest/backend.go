@@ -3,7 +3,6 @@ package congest
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"github.com/distributed-uniformity/dut/internal/engine"
 )
@@ -48,7 +47,7 @@ func (b *testerBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSp
 	if !ok {
 		return engine.RoundResult{}, fmt.Errorf("congest: foreign scratch %T", scratch)
 	}
-	start := time.Now()
+	sw := engine.StartStopwatch()
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
 	accept, sim, err := b.t.runSeededScratch(spec.Sampler, shared, sc)
 	if err != nil {
@@ -61,6 +60,6 @@ func (b *testerBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSp
 		Samples:    n * b.t.q,
 		Messages:   sim.MessagesSent(),
 		CommRounds: sim.Rounds(),
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 	}, nil
 }

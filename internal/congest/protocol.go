@@ -100,7 +100,11 @@ func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool,
 func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 	// 1. Digest the inbox.
 	var exploreFrom []int
-	for from, p := range in {
+	for _, from := range n.neighbors {
+		p, ok := in[from]
+		if !ok {
+			continue
+		}
 		tag, value := decode(p)
 		switch tag {
 		case tagExplore:
@@ -167,7 +171,10 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 		}
 		n.oweChild = false
 	}
-	for v := range n.oweNack {
+	for _, v := range n.neighbors {
+		if !n.oweNack[v] {
+			continue
+		}
 		if err := out.Send(v, encode(tagNack, 0)); err != nil {
 			return false, err
 		}
@@ -175,7 +182,10 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 		delete(n.oweExplore, v)
 	}
 	if n.adopted {
-		for v := range n.oweExplore {
+		for _, v := range n.neighbors {
+			if !n.oweExplore[v] {
+				continue
+			}
 			if err := out.Send(v, encode(tagExplore, 0)); err != nil {
 				return false, err
 			}

@@ -134,7 +134,11 @@ func (s *Simulator) Run(maxRounds int) error {
 			if err != nil {
 				return fmt.Errorf("congest: node %d round %d: %w", u, round, err)
 			}
-			for to, p := range out.msgs {
+			for _, to := range s.graph.adj[u] {
+				p, ok := out.msgs[to]
+				if !ok {
+					continue
+				}
 				next[to][u] = p
 				s.messagesSent++
 				if b := bits.Len64(uint64(p)); b > s.maxBitsInAMsg {

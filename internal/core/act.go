@@ -84,6 +84,7 @@ func feistelPermute(x uint64, m int, seed uint64) uint64 {
 		l := y >> half
 		r := y & mask
 		for round := 0; round < 4; round++ {
+			//lint:ignore dut/seedpurity Feistel round keying, not stream derivation: the permutation must mix the seed into every round function
 			l, r = r, l^(mix64(r^seed^uint64(round)*0x9e3779b97f4a7c15)&mask)
 		}
 		y = l<<half | r

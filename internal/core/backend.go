@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
-	"time"
 
 	"github.com/distributed-uniformity/dut/internal/dist"
 	"github.com/distributed-uniformity/dut/internal/engine"
@@ -70,7 +69,7 @@ func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec,
 	if !ok {
 		return engine.RoundResult{}, fmt.Errorf("core: foreign scratch %T", scratch)
 	}
-	start := time.Now()
+	sw := engine.StartStopwatch()
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
 	accept, err := b.p.runSeededScratch(spec.Sampler, shared, rs.msgs, rs.sc)
 	if err != nil {
@@ -81,7 +80,7 @@ func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec,
 		Votes:    b.p.Players(),
 		Messages: b.p.Players(),
 		Samples:  b.totalSamples,
-		Wall:     time.Since(start),
+		Wall:     sw.Elapsed(),
 	}, nil
 }
 
@@ -106,7 +105,7 @@ func (b *protocolBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (
 	if err := ctx.Err(); err != nil {
 		return engine.RoundResult{}, err
 	}
-	start := time.Now()
+	sw := engine.StartStopwatch()
 	rng := engine.TrialRNG(spec.Seed, spec.Trial)
 	var (
 		accept bool
@@ -128,6 +127,6 @@ func (b *protocolBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (
 		Verdict: accept,
 		Votes:   b.p.Players(),
 		Samples: samples,
-		Wall:    time.Since(start),
+		Wall:    sw.Elapsed(),
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // GroupLearner is a distributed learning protocol for the task of the
@@ -114,7 +115,7 @@ func (g *GroupLearner) EstimateL1Error(truth dist.Dist, trials int, seed uint64)
 	if err != nil {
 		return 0, err
 	}
-	rng := rand.New(rand.NewPCG(seed, seed^0x6c8e9cf570932bd5))
+	rng := engine.TrialRNG(seed, 0)
 	var acc float64
 	for i := 0; i < trials; i++ {
 		est, err := g.Learn(sampler, rng)

@@ -1,0 +1,25 @@
+package engine
+
+import "time"
+
+// Stopwatch is the single sanctioned wall-clock primitive of the
+// deterministic packages. Verdicts must be pure functions of the engine
+// seed, but RoundResult.Wall and the benchmark reports still need real
+// elapsed time; concentrating every time.Now behind this type keeps the
+// dut/nondeterminism analyzer's exemption surface to one file and makes
+// any other wall-clock read in internal/... a lint finding.
+//
+// The zero Stopwatch is not started; use StartStopwatch.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing now.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}

@@ -351,10 +351,6 @@ type Separation struct {
 	Far Result
 }
 
-// farSeedSalt decorrelates the far-side estimate from the null side; it
-// matches the pre-engine core.Separates derivation.
-const farSeedSalt = 0x517cc1b727220a95
-
 // Separates checks the paper's two-sided guarantee — accept null and
 // reject far, each with probability at least target — using the Wilson
 // interval bounds rather than the raw point estimates: Separated needs
@@ -370,7 +366,7 @@ func Separates(ctx context.Context, b Backend, null, far Source, target float64,
 		return Separation{}, err
 	}
 	farOpts := opts
-	farOpts.Seed ^= farSeedSalt
+	farOpts.Seed = FarSeed(opts.Seed)
 	ef, err := Estimate(ctx, b, far, trials, farOpts)
 	if err != nil {
 		return Separation{}, err

@@ -37,6 +37,19 @@ func trialSeeds(seed uint64, trial int) (uint64, uint64) {
 	return a, b
 }
 
+// farSeedSalt decorrelates the far-side estimate stream from the null
+// side; the value matches the pre-engine core.Separates derivation, so
+// existing recorded results replay unchanged.
+const farSeedSalt = 0x517cc1b727220a95
+
+// FarSeed derives the base seed of a far-source estimate from the null
+// side's base seed, keeping both sides of a Separates run on disjoint
+// stream families. This is the only sanctioned seed-vs-seed derivation
+// outside the splitmix64 helpers above.
+func FarSeed(seed uint64) uint64 {
+	return seed ^ farSeedSalt
+}
+
 // NodeRNG derives a player's private generator for a round with the given
 // public-coin seed. The stream is a pure function of (shared, player), so
 // an in-process simulator and a remote node reconstruct identical streams

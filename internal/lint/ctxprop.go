@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCtxProp enforces context propagation in the driver paths
+// (internal/engine, internal/network): inside a function that receives a
+// context.Context, any goroutine spawned and any unconditional blocking
+// loop must reference the context (or a CancelFunc derived from it).
+// A goroutine that ignores the trial context outlives cancelled trials,
+// leaks across --timeout aborts, and can publish results into a trial
+// that already moved on.
+var AnalyzerCtxProp = &Analyzer{
+	Name: "dut/ctxprop",
+	Doc:  "goroutines and unconditional loops that ignore the trial context in driver paths",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(p *Pass) error {
+	if !p.InScope(ctxScope...) {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fd := range funcDecls(f) {
+			if !p.hasContextParam(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GoStmt:
+					if !p.referencesContext(node) {
+						p.Reportf(node.Pos(),
+							"goroutine ignores the trial context; plumb ctx (or its CancelFunc) so cancellation stops it")
+					}
+				case *ast.ForStmt:
+					// An unconditional for {} that never consults the context
+					// cannot be cancelled.
+					if node.Cond == nil && !p.referencesContext(node) {
+						p.Reportf(node.Pos(),
+							"unconditional loop ignores the trial context; select on ctx.Done() or check ctx.Err()")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether fd takes a context.Context parameter.
+func (p *Pass) hasContextParam(fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// referencesContext reports whether any identifier in the subtree is of
+// type context.Context or context.CancelFunc.
+func (p *Pass) referencesContext(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerFloatEq flags == and != between floating-point operands in the
+// numeric packages (internal/stats, internal/lowerbound,
+// internal/centralized). Exact float equality is almost always a rounding
+// hazard; comparisons belong in tolerance helpers. The rare mathematically
+// exact checks (zero-mass guards, degenerate-rate branches, zero-value
+// option sentinels) carry a //lint:ignore with the reason, making every
+// exact comparison a documented decision.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "dut/floateq",
+	Doc:  "==/!= on float operands in the numeric packages outside tolerance helpers",
+	Run:  runFloatEq,
+}
+
+// toleranceHelper reports whether a function name marks an approved
+// comparison helper, where exact float operations are the point.
+func toleranceHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"approx", "almost", "close", "tol", "within"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatEq(p *Pass) error {
+	if !p.InScope(floatScope...) {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fd := range funcDecls(f) {
+			if toleranceHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				tx, ty := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+				if (tx != nil && isFloat(tx)) || (ty != nil && isFloat(ty)) {
+					p.Reportf(be.OpPos,
+						"%s on float operands; use a tolerance helper, or //lint:ignore with the reason the comparison is exact", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

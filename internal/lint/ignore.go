@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment. A directive with
+// Err != "" is malformed and reported instead of applied.
+type ignoreDirective struct {
+	// File and Line locate the directive comment itself.
+	File string
+	Line int
+	Col  int
+	// Target is the line whose diagnostics the directive suppresses: the
+	// directive's own line for trailing comments, otherwise the first
+	// following line that is not itself a whole-line directive (so stacked
+	// directives all reach the same statement).
+	Target int
+	// Rule is the analyzer name being suppressed.
+	Rule string
+	// Reason is the mandatory justification.
+	Reason string
+	// Err describes a parse problem, reported under dut/ignore.
+	Err string
+}
+
+// parseIgnores extracts every //lint:ignore directive of one file. src is
+// the file's source bytes (used to distinguish trailing directives from
+// whole-line ones); known is the accepted rule-name set.
+func parseIgnores(fset *token.FileSet, f *ast.File, src []byte, known map[string]bool) []ignoreDirective {
+	var lines [][]byte
+	if src != nil {
+		lines = bytes.Split(src, []byte("\n"))
+	}
+	var out []ignoreDirective
+	wholeLine := map[int]bool{} // lines that consist solely of a directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := ignoreDirective{File: pos.Filename, Line: pos.Line, Col: pos.Column}
+			d.Rule, d.Reason, d.Err = splitDirective(text, known)
+			trailing := false
+			if lines != nil && pos.Line-1 < len(lines) {
+				before := lines[pos.Line-1]
+				if pos.Column-1 <= len(before) {
+					trailing = len(bytes.TrimSpace(before[:pos.Column-1])) > 0
+				}
+			}
+			if trailing {
+				d.Target = pos.Line
+			} else {
+				wholeLine[pos.Line] = true
+				d.Target = pos.Line + 1
+			}
+			out = append(out, d)
+		}
+	}
+	// Resolve stacking: a whole-line directive whose next line is another
+	// whole-line directive suppresses the first non-directive line below.
+	for i := range out {
+		if out[i].Target == out[i].Line { // trailing
+			continue
+		}
+		for wholeLine[out[i].Target] {
+			out[i].Target++
+		}
+	}
+	return out
+}
+
+// directiveText returns the directive body ("dut/rule reason...") when
+// the comment is a //lint:ignore directive.
+func directiveText(comment string) (string, bool) {
+	text, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // /* */ comments are not directives
+	}
+	// Directive comments, like //go:build, admit no space after the
+	// slashes: "// lint:ignore" is prose.
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. lint:ignoreXYZ
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// splitDirective validates the directive body: a known rule name followed
+// by a non-empty reason.
+func splitDirective(body string, known map[string]bool) (rule, reason, problem string) {
+	if body == "" {
+		return "", "", "malformed //lint:ignore directive: want \"//lint:ignore dut/<rule> reason\""
+	}
+	rule, reason, _ = strings.Cut(body, " ")
+	reason = strings.TrimSpace(reason)
+	if !known[rule] {
+		return rule, reason, "//lint:ignore names unknown rule " + quoteRule(rule)
+	}
+	if reason == "" {
+		return rule, "", "//lint:ignore " + rule + " is missing the mandatory reason"
+	}
+	return rule, reason, ""
+}
+
+// quoteRule quotes a possibly-empty rule name for an error message.
+func quoteRule(s string) string {
+	if s == "" {
+		return `""`
+	}
+	return `"` + s + `"`
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseSrc runs parseIgnores over a synthetic file.
+func parseSrc(t *testing.T, src string) []ignoreDirective {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	known := map[string]bool{"dut/floateq": true, "dut/nondeterminism": true}
+	return parseIgnores(fset, f, []byte(src), known)
+}
+
+func TestParseIgnores(t *testing.T) {
+	type exp struct {
+		rule   string
+		target int
+		errSub string // "" means well-formed
+	}
+	tests := []struct {
+		name string
+		src  string
+		want []exp
+	}{
+		{
+			name: "whole line targets next line",
+			src: `package p
+
+//lint:ignore dut/floateq the comparison is exact
+var x = 1.0
+`,
+			want: []exp{{rule: "dut/floateq", target: 4}},
+		},
+		{
+			name: "trailing targets own line",
+			src: `package p
+
+var x = 1.0 //lint:ignore dut/floateq the comparison is exact
+`,
+			want: []exp{{rule: "dut/floateq", target: 3}},
+		},
+		{
+			name: "stacked directives reach the same statement",
+			src: `package p
+
+//lint:ignore dut/floateq first reason
+//lint:ignore dut/nondeterminism second reason
+var x = 1.0
+`,
+			want: []exp{
+				{rule: "dut/floateq", target: 5},
+				{rule: "dut/nondeterminism", target: 5},
+			},
+		},
+		{
+			name: "wrong rule name",
+			src: `package p
+
+//lint:ignore dut/bogus some reason
+var x = 1.0
+`,
+			want: []exp{{rule: "dut/bogus", target: 4, errSub: `unknown rule "dut/bogus"`}},
+		},
+		{
+			name: "missing reason",
+			src: `package p
+
+//lint:ignore dut/floateq
+var x = 1.0
+`,
+			want: []exp{{rule: "dut/floateq", target: 4, errSub: "missing the mandatory reason"}},
+		},
+		{
+			name: "bare directive",
+			src: `package p
+
+//lint:ignore
+var x = 1.0
+`,
+			want: []exp{{target: 4, errSub: "malformed //lint:ignore directive"}},
+		},
+		{
+			name: "unrelated comments are not directives",
+			src: `package p
+
+// lint:ignore is described in the README; this mention is prose.
+//lint:ignoreXYZ not a directive either
+var x = 1.0
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseSrc(t, tc.src)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d directives %+v, want %d", len(got), got, len(tc.want))
+			}
+			for i, w := range tc.want {
+				d := got[i]
+				if d.Rule != w.rule {
+					t.Errorf("directive %d rule = %q, want %q", i, d.Rule, w.rule)
+				}
+				if d.Target != w.target {
+					t.Errorf("directive %d target = %d, want %d", i, d.Target, w.target)
+				}
+				if w.errSub == "" && d.Err != "" {
+					t.Errorf("directive %d unexpectedly malformed: %s", i, d.Err)
+				}
+				if w.errSub != "" && !strings.Contains(d.Err, w.errSub) {
+					t.Errorf("directive %d err = %q, want substring %q", i, d.Err, w.errSub)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedDirectiveSurfacesAsFinding checks the end-to-end behavior:
+// a malformed directive becomes a dut/ignore diagnostic that no directive
+// can suppress.
+func TestMalformedDirectiveSurfacesAsFinding(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package fixture
+
+//lint:ignore dut/floateq
+func f(x float64) bool { return x == 0 }
+`
+	f, err := parser.ParseFile(fset, "bad.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	tpkg, err := (&types.Config{}).Check("example.com/internal/stats/fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := &Package{
+		Path:  "example.com/internal/stats/fixture",
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Srcs:  map[string][]byte{"bad.go": []byte(src)},
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := RunPackage(syn, []*Analyzer{AnalyzerFloatEq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	// The float comparison is NOT suppressed (the directive is malformed)
+	// and the directive itself is reported.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics (%v), want 2", len(diags), diags)
+	}
+	if rules[0] != "dut/ignore" || rules[1] != "dut/floateq" {
+		t.Errorf("rules = %v, want [dut/ignore dut/floateq]", rules)
+	}
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule: Run inspects a type-checked package via the
+// Pass and reports findings. Analyzers are stateless; the same value is
+// reused across packages.
+type Analyzer struct {
+	// Name is the diagnostic prefix, e.g. "dut/floateq".
+	Name string
+	// Doc is a one-line description shown by `dutlint -list`.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned for "file:line:col rule: message"
+// output.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule is the analyzer name that produced it.
+	Rule string
+	// Message describes the violation.
+	Message string
+}
+
+// String formats the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass hands one type-checked package to an analyzer. PkgPath (not
+// Pkg.Path(), which tests override) decides rule scoping.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Fset positions every node of Files.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (comments included).
+	Files []*ast.File
+	// PkgPath is the import path used for scope decisions.
+	PkgPath string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's object resolution.
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the pass's package path lies under one of the
+// given path segments (segment-boundary match, e.g. "internal/core").
+func (p *Pass) InScope(segments ...string) bool {
+	return pathIn(p.PkgPath, segments...)
+}
+
+// pathIn matches pkgPath against directory segments at path-component
+// boundaries, so "internal/core" never matches "internal/centralized".
+func pathIn(pkgPath string, segments ...string) bool {
+	padded := "/" + pkgPath + "/"
+	for _, s := range segments {
+		if strings.Contains(padded, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileBase returns the basename of the file containing pos.
+func (p *Pass) fileBase(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Scope sets shared by the analyzers. Paths are matched per pathIn.
+var (
+	// deterministicScope holds the packages whose behavior must be a pure
+	// function of the engine seed.
+	deterministicScope = []string{
+		"internal/core", "internal/dist", "internal/engine",
+		"internal/congest", "internal/network",
+	}
+	// floatScope holds the numeric packages checked for float equality.
+	floatScope = []string{"internal/stats", "internal/lowerbound", "internal/centralized"}
+	// frameScope holds the packages that must speak the frame encoder.
+	frameScope = []string{"internal/network", "internal/congest"}
+	// ctxScope holds the driver packages checked for context propagation.
+	ctxScope = []string{"internal/engine", "internal/network"}
+)
+
+// Analyzers returns every analyzer in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerNondeterminism,
+		AnalyzerScratchAlias,
+		AnalyzerFloatEq,
+		AnalyzerFrameDiscipline,
+		AnalyzerCtxProp,
+		AnalyzerSeedPurity,
+	}
+}
+
+// knownRules returns the rule-name set accepted by //lint:ignore.
+func knownRules(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunPackage runs the analyzers over one loaded package, applies
+// //lint:ignore suppression, and returns the surviving diagnostics
+// sorted by position. Malformed directives are reported under the
+// pseudo-rule dut/ignore, which cannot itself be suppressed.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+
+	known := knownRules(analyzers)
+	var directives []ignoreDirective
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		directives = append(directives, parseIgnores(pkg.Fset, f, pkg.Srcs[name], known)...)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, directives) {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		if dir.Err != "" {
+			kept = append(kept, Diagnostic{
+				Pos:     token.Position{Filename: dir.File, Line: dir.Line, Column: dir.Col},
+				Rule:    "dut/ignore",
+				Message: dir.Err,
+			})
+		}
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// suppressed reports whether some well-formed directive covers d.
+func suppressed(d Diagnostic, directives []ignoreDirective) bool {
+	for _, dir := range directives {
+		if dir.Err == "" && dir.Rule == d.Rule && dir.File == d.Pos.Filename && dir.Target == d.Pos.Line {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared AST/type helpers used by the analyzers ----
+
+// calleeFunc resolves a call expression to the function or method object
+// it statically invokes (nil for indirect calls through values).
+// Generic instantiations (f[T](...)) resolve to the generic origin.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(fn.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(fn.X)
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare name a call is spelled with ("SampleInto"
+// for both dist.SampleInto and s.SampleInto), or "".
+func calleeName(call *ast.CallExpr) string {
+	fun := ast.Unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(fn.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(fn.X)
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// exprObj resolves an identifier or field selector to its object, so
+// analyzers can track a variable across uses. Returns nil for anything
+// more complex (index expressions, calls, ...).
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContextType reports whether t is context.Context or context.CancelFunc.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	return obj.Name() == "Context" || obj.Name() == "CancelFunc"
+}
+
+// funcDecls yields every function declaration in the file, so analyzers
+// can reason per enclosing function.
+func funcDecls(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

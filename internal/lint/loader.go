@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked target package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in GoFiles order.
+	Files []*ast.File
+	// Srcs maps each file's absolute path to its source bytes (used by
+	// the suppression parser to detect trailing directives).
+	Srcs map[string][]byte
+	// Types and Info are the type-checker's output.
+	Types *types.Package
+	Info  *types.Info
+
+	// GoFiles, TestGoFiles and IgnoredGoFiles echo `go list`'s file
+	// classification (basenames): IgnoredGoFiles holds sources excluded
+	// by build constraints, so callers can verify tag handling.
+	GoFiles        []string
+	TestGoFiles    []string
+	IgnoredGoFiles []string
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath     string
+	Dir            string
+	Export         string
+	GoFiles        []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	IgnoredGoFiles []string
+	Standard       bool
+	DepOnly        bool
+	Incomplete     bool
+	Error          *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps` for the patterns in dir and
+// decodes the package stream. -export makes the go tool materialize
+// export data for every listed package in the build cache, which the
+// stdlib gc importer can read back — type-checking without any
+// golang.org/x/tools dependency.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot locates the enclosing module's directory for dir ("" means
+// the current directory).
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %w", err)
+	}
+	root := strings.TrimSpace(string(out))
+	if root == "" {
+		return "", fmt.Errorf("lint: no module found from %q", dir)
+	}
+	return root, nil
+}
+
+// exportLookup builds the import-path → export-data resolver used by the
+// gc importer.
+func exportLookup(pkgs []listPackage) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Load discovers the packages matching the patterns from dir (module
+// root; "" means the current directory), parses their non-test sources,
+// and type-checks them against the export data of their dependencies.
+// Only packages named by the patterns are returned; dependencies are
+// used for importing alone.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := exportLookup(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp listPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	srcs := make(map[string][]byte, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		full := filepath.Join(lp.Dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", full, err)
+		}
+		files = append(files, f)
+		srcs[full] = src
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:           lp.ImportPath,
+		Dir:            lp.Dir,
+		Fset:           fset,
+		Files:          files,
+		Srcs:           srcs,
+		Types:          tpkg,
+		Info:           info,
+		GoFiles:        lp.GoFiles,
+		TestGoFiles:    append(append([]string(nil), lp.TestGoFiles...), lp.XTestGoFiles...),
+		IgnoredGoFiles: lp.IgnoredGoFiles,
+	}, nil
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestLoadBuildTagClassification verifies the go list -json loader on a
+// package with a build-tagged file pair: internal/engine ships
+// race_disabled_test.go (//go:build !race) and race_enabled_test.go
+// (//go:build race). The loader shells out to `go list` without -race,
+// so the classification is deterministic: the !race file is an active
+// test file, the race file is constraint-ignored.
+func TestLoadBuildTagClassification(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if !strings.HasSuffix(pkg.Path, "internal/engine") {
+		t.Errorf("path = %q, want suffix internal/engine", pkg.Path)
+	}
+	if !slices.Contains(pkg.TestGoFiles, "race_disabled_test.go") {
+		t.Errorf("TestGoFiles = %v, want race_disabled_test.go present", pkg.TestGoFiles)
+	}
+	if !slices.Contains(pkg.IgnoredGoFiles, "race_enabled_test.go") {
+		t.Errorf("IgnoredGoFiles = %v, want race_enabled_test.go present", pkg.IgnoredGoFiles)
+	}
+	if slices.Contains(pkg.GoFiles, "race_disabled_test.go") || slices.Contains(pkg.GoFiles, "race_enabled_test.go") {
+		t.Errorf("GoFiles = %v, must not contain test files", pkg.GoFiles)
+	}
+	if len(pkg.Files) != len(pkg.GoFiles) {
+		t.Errorf("parsed %d files for %d GoFiles", len(pkg.Files), len(pkg.GoFiles))
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("SharedSeed") == nil {
+		t.Error("type-checked package is missing engine.SharedSeed")
+	}
+}
+
+// TestEngineStaysLintClean runs every analyzer over the real
+// internal/engine package — a canary that the tree keeps its own
+// contracts (the full sweep is `make lint`).
+func TestEngineStaysLintClean(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerSeedPurity enforces the seed-derivation contract: all RNG
+// stream separation flows through the splitmix64-based helpers in
+// internal/engine/rng.go (SharedSeed, NodeRNG, TrialRNG, FarSeed, ...).
+// Ad-hoc arithmetic on a seed value — xor with a magic constant,
+// seed+trial offsets, seed*player mixing — creates correlated streams
+// (splitmix64 exists precisely because adjacent seeds are not
+// independent) and scatters the derivation scheme across packages where
+// replay tooling cannot see it. The analyzer flags binary arithmetic and
+// compound assignment on identifiers that carry seed values inside the
+// deterministic packages, except in the derivation home rng.go itself.
+var AnalyzerSeedPurity = &Analyzer{
+	Name: "dut/seedpurity",
+	Doc:  "ad-hoc arithmetic on seed values outside the engine derivation helpers",
+	Run:  runSeedPurity,
+}
+
+// seedDerivationFiles are the homes of the blessed derivation helpers,
+// where seed arithmetic is the point.
+var seedDerivationFiles = map[string]bool{"rng.go": true}
+
+// seedArithOps are the operators that mix or offset a seed.
+var seedArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.XOR: true, token.AND: true, token.OR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.XOR_ASSIGN: true, token.AND_ASSIGN: true, token.OR_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+// isSeedExpr reports whether e names a seed-carrying variable or field:
+// an identifier or selector whose terminal name mentions "seed".
+func isSeedExpr(e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+func runSeedPurity(p *Pass) error {
+	if !p.InScope(deterministicScope...) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if pathIn(p.PkgPath, "internal/engine") && seedDerivationFiles[p.fileBase(f.Pos())] {
+			continue
+		}
+		for _, fd := range funcDecls(f) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BinaryExpr:
+					if seedArithOps[node.Op] && (isSeedExpr(node.X) || isSeedExpr(node.Y)) {
+						p.Reportf(node.OpPos,
+							"ad-hoc seed arithmetic (%s); derive streams via the engine helpers (SharedSeed/NodeRNG/TrialRNG/FarSeed)", node.Op)
+					}
+				case *ast.AssignStmt:
+					if seedArithOps[node.Tok] && len(node.Lhs) == 1 && isSeedExpr(node.Lhs[0]) {
+						p.Reportf(node.TokPos,
+							"ad-hoc seed arithmetic (%s); derive streams via the engine helpers (SharedSeed/NodeRNG/TrialRNG/FarSeed)", node.Tok)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises dut/ctxprop.
+package fixture
+
+import "context"
+
+func bad(ctx context.Context, ch chan int) {
+	go func() { // want "goroutine ignores the trial context"
+		ch <- 1
+	}()
+	for { // want "unconditional loop ignores the trial context"
+		if len(ch) > 0 {
+			return
+		}
+	}
+}
+
+func good(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+	for {
+		if ctx.Err() != nil { // consults the context: clean
+			return
+		}
+	}
+}
+
+func goodCancel(ctx context.Context, ch chan int) {
+	_, cancel := context.WithCancel(ctx)
+	go func() { // references the CancelFunc: clean
+		defer cancel()
+		ch <- 1
+	}()
+}
+
+func noCtx(ch chan int) {
+	go func() { ch <- 1 }() // no context parameter to propagate: clean
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises dut/floateq.
+package fixture
+
+func bad(x, y float64) bool {
+	if x != y { // want "!= on float operands"
+		return false
+	}
+	return x == 0 // want "== on float operands"
+}
+
+func almostEqual(x, y float64) bool {
+	return x == y // tolerance helper by name: clean
+}
+
+func goodInt(a, b int) bool {
+	return a == b // integer comparison: clean
+}
+
+func sentinel(x float64) bool {
+	//lint:ignore dut/floateq fixture-documented exact comparison
+	return x == 0 // suppressed end to end: clean
+}

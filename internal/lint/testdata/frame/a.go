@@ -1,0 +1,48 @@
+// Package fixture exercises dut/framediscipline.
+package fixture
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"time"
+)
+
+type frame struct{}
+
+func setDeadline(c net.Conn, d time.Duration) {}
+func ReadFrame(c net.Conn) (frame, error)     { return frame{}, nil }
+func WriteVote(c net.Conn, v uint64) error    { return nil }
+func SampleInto(buf []int)                    {}
+
+func badRaw(c net.Conn, w io.Writer, p []byte) {
+	_, _ = c.Write(p)                                // want "raw conn.Write bypasses the validated frame encoder"
+	_, _ = c.Read(p)                                 // want "raw conn.Read bypasses the validated frame encoder"
+	_ = binary.Write(w, binary.BigEndian, uint64(0)) // want "binary.Write writes an unframed stream"
+}
+
+func badRead(c net.Conn) {
+	_, _ = ReadFrame(c) // want "frame read without a deadline"
+}
+
+func badStale(c net.Conn, buf []int) {
+	setDeadline(c, time.Second)
+	SampleInto(buf)
+	_ = WriteVote(c, 1) // want "frame write under a deadline already consumed"
+}
+
+func good(c net.Conn, buf []int) error {
+	setDeadline(c, time.Second)
+	if _, err := ReadFrame(c); err != nil {
+		return err
+	}
+	SampleInto(buf)
+	setDeadline(c, time.Second) // refreshed after sampling: clean
+	return WriteVote(c, 1)
+}
+
+type wrapConn struct{ net.Conn }
+
+func (w *wrapConn) Write(p []byte) (int, error) {
+	return w.Conn.Write(p) // Write wrapper method: clean
+}

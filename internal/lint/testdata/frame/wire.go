@@ -1,0 +1,8 @@
+package fixture
+
+import "net"
+
+func writeFrame(c net.Conn, p []byte) error {
+	_, err := c.Write(p) // the encoder file owns the raw write: clean
+	return err
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises dut/nondeterminism under a deterministic
+// package path.
+package fixture
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func bad(m map[int]int) {
+	_ = time.Now()                   // want "wall-clock read (time.Now)"
+	_ = time.Since(time.Time{})      // want "wall-clock read (time.Since)"
+	_ = rand.Uint64()                // want "global math/rand generator (rand.Uint64)"
+	r := rand.New(rand.NewPCG(1, 2)) // want "ad-hoc rand generator (rand.New)" "ad-hoc rand generator (rand.NewPCG)"
+	_ = r.Uint64()
+	for k := range m { // want "map iteration order is nondeterministic"
+		_ = k
+	}
+}
+
+func good(m map[int]int, r *rand.Rand) []int {
+	_ = r.Uint64() // drawing from an injected generator is fine
+	keys := make([]int, 0, len(m))
+	for k := range m { // key collection feeding a sort: clean
+		keys = append(keys, k)
+	}
+	return keys
+}

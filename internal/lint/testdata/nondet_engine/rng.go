@@ -1,0 +1,14 @@
+// Package fixture exercises the engine blessing rules of
+// dut/nondeterminism: blessed constructor names may build generators,
+// anything else in the same file may not.
+package fixture
+
+import "math/rand/v2"
+
+func NodeRNG(shared uint64, player int) *rand.Rand {
+	return rand.New(rand.NewPCG(shared, uint64(player))) // blessed constructor: clean
+}
+
+func helper(shared uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(shared, 1)) // want "ad-hoc rand generator (rand.New)" "ad-hoc rand generator (rand.NewPCG)"
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises dut/seedpurity.
+package fixture
+
+func bad(seed uint64, trial int) uint64 {
+	mixed := seed ^ 0x9e3779b97f4a7c15 // want "ad-hoc seed arithmetic (^)"
+	seed += uint64(trial)              // want "ad-hoc seed arithmetic (+=)"
+	return mixed
+}
+
+func good(seed uint64, trial int) uint64 {
+	return derive(seed, uint64(trial)) // routing through a helper: clean
+}
+
+func derive(a, b uint64) uint64 {
+	return a ^ b // operands carry no seed name: clean
+}

@@ -1,0 +1,7 @@
+// Package fixture exercises the rng.go exemption of dut/seedpurity: the
+// derivation home may do seed arithmetic.
+package fixture
+
+func FarSeed(seed uint64) uint64 {
+	return seed ^ 0x517cc1b727220a95 // derivation home: clean
+}

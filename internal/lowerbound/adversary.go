@@ -84,6 +84,7 @@ func GreedySecondMomentAdversary(in Instance, start boolfn.Func, maxPasses int) 
 	diffs := make([]float64, len(weights))
 	for idx := 0; idx < inputs; idx++ {
 		table[idx] = start.At(uint64(idx))
+		//lint:ignore dut/floateq boolean table stored as float: entries are exactly 0 or 1 by construction
 		if table[idx] == 1 {
 			for zi := range weights {
 				diffs[zi] += weights[zi][idx]
@@ -105,6 +106,7 @@ func GreedySecondMomentAdversary(in Instance, start boolfn.Func, maxPasses int) 
 			// Delta of sum d^2 when flipping: for each z, d -> d + s*w
 			// with s = +1 if the bit turns on, -1 if it turns off.
 			s := 1.0
+			//lint:ignore dut/floateq boolean table stored as float: entries are exactly 0 or 1 by construction
 			if table[idx] == 1 {
 				s = -1
 			}

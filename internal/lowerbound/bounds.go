@@ -194,6 +194,7 @@ func AsymmetricTau(n int, rates []float64, eps, c float64) (float64, error) {
 		}
 		norm2 += r * r
 	}
+	//lint:ignore dut/floateq a sum of squares is exactly 0 iff every rate is exactly 0
 	if norm2 == 0 {
 		return 0, fmt.Errorf("lowerbound: all rates zero")
 	}

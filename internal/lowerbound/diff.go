@@ -85,6 +85,7 @@ func (e *DiffEvaluator) Diff(z dist.Perturbation) (float64, error) {
 		}
 		for set := 1; set < size; set++ {
 			c := spec[set]
+			//lint:ignore dut/floateq spec coefficients are exact small integers stored as float
 			if c == 0 {
 				continue
 			}
@@ -151,6 +152,7 @@ func (e *DiffEvaluator) ExpectedDiffEvenCover() float64 {
 		xs := e.xs[a]
 		for set := 1; set < size; set++ {
 			c := spec[set]
+			//lint:ignore dut/floateq spec coefficients are exact small integers stored as float
 			if c == 0 {
 				continue
 			}

@@ -203,6 +203,7 @@ func (in Instance) NuZDirect(g boolfn.Func, z dist.Perturbation) (float64, error
 	var acc float64
 	for idx := uint64(0); idx < uint64(g.Len()); idx++ {
 		v := g.At(idx)
+		//lint:ignore dut/floateq gadget entries are exact {-1,0,1} values stored as float
 		if v == 0 {
 			continue
 		}

@@ -160,6 +160,7 @@ func (e *MultiBitEvaluator) MessageKL(z dist.Perturbation) (float64, error) {
 		if p <= 0 {
 			continue
 		}
+		//lint:ignore dut/floateq zero-mass base cell: positive nu_z mass there is an exact support violation
 		if e.base[c] == 0 {
 			return 0, fmt.Errorf("lowerbound: message %d has nu_z mass %v but zero uniform mass", c, p)
 		}

@@ -71,6 +71,7 @@ func (p *ExactProtocol) acceptanceGivenBits(probs []float64) (float64, error) {
 				prob *= 1 - probs[i]
 			}
 		}
+		//lint:ignore dut/floateq a product of probabilities is exactly 0 iff some factor is exactly 0
 		if prob == 0 {
 			continue
 		}

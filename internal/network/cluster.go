@@ -252,6 +252,7 @@ func (c *Cluster) runRoundSeededNodes(ctx context.Context, nodes []*PlayerNode, 
 	// connection is already closed, so it will unwind as soon as the rule
 	// returns.
 	nodesDone := make(chan struct{})
+	//lint:ignore dut/ctxprop wg.Wait has no cancellation hook; the goroutine only closes nodesDone, and the select below honors ctx
 	go func() {
 		wg.Wait()
 		close(nodesDone)

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // This file is the chaos layer of the networked deployment: a Transport
@@ -85,7 +88,13 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) (*FaultTransport, error
 	if inner == nil {
 		return nil, fmt.Errorf("network: fault transport around nil transport")
 	}
-	for player, plan := range cfg.Plans {
+	players := make([]uint32, 0, len(cfg.Plans))
+	for player := range cfg.Plans {
+		players = append(players, player)
+	}
+	sort.Slice(players, func(i, j int) bool { return players[i] < players[j] })
+	for _, player := range players {
+		plan := cfg.Plans[player]
 		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 {
 			return nil, fmt.Errorf("network: negative fault parameter in plan for player %d", player)
 		}
@@ -130,7 +139,7 @@ func (f *FaultTransport) DialPlayer(addr net.Addr, player uint32) (net.Conn, err
 		Conn: conn,
 		tr:   f,
 		plan: plan,
-		rng:  rand.New(rand.NewPCG(f.cfg.Seed^uint64(player), f.cfg.Seed+0x9e3779b97f4a7c15)),
+		rng:  engine.NodeRNG(f.cfg.Seed, int(player)),
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/engine"
 )
 
 // RefereeServer collects one round of votes from k players and broadcasts
@@ -174,6 +175,7 @@ func (s *RefereeServer) acceptPlayers(ctx context.Context, l net.Listener, tr *c
 		if !ok {
 			return nil, fmt.Errorf("network: quorum mode needs a listener with accept deadlines (have %T)", l)
 		}
+		//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds the accept wait, never the verdict
 		_ = dl.SetDeadline(time.Now().Add(s.timeout))
 		defer func() { _ = dl.SetDeadline(time.Time{}) }()
 	}
@@ -358,7 +360,7 @@ func (s *RefereeServer) RunRoundStats(ctx context.Context, l net.Listener, seed 
 	if l == nil {
 		return false, stats, fmt.Errorf("network: nil listener")
 	}
-	start := time.Now()
+	sw := engine.StartStopwatch()
 	tr := &connTracker{}
 	defer tr.closeAll()
 	stop := tr.watch(ctx)
@@ -379,7 +381,7 @@ func (s *RefereeServer) RunRoundStats(ctx context.Context, l net.Listener, seed 
 	accept, received, err := s.decideVotes(votes, got)
 	stats.Votes = received
 	stats.Stragglers = s.k - received
-	stats.Wall = time.Since(start)
+	stats.Wall = sw.Elapsed()
 	if err != nil {
 		return false, stats, err
 	}
@@ -387,7 +389,7 @@ func (s *RefereeServer) RunRoundStats(ctx context.Context, l net.Listener, seed 
 		return false, stats, err
 	}
 	stats.Verdict = accept
-	stats.Wall = time.Since(start)
+	stats.Wall = sw.Elapsed()
 	return accept, stats, nil
 }
 
@@ -401,5 +403,6 @@ func (s *RefereeServer) RunRound(ctx context.Context, l net.Listener, seed uint6
 func setDeadline(conn net.Conn, d time.Duration) {
 	// net.Pipe supports deadlines; failures here are non-fatal (reads will
 	// still error out on close).
+	//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds frame IO waits, never the verdict
 	_ = conn.SetDeadline(time.Now().Add(d))
 }

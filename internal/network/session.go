@@ -6,7 +6,6 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
-	"time"
 
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
@@ -37,7 +36,7 @@ type session struct {
 	stop  func()
 	votes []core.Message
 	got   []bool
-	start time.Time
+	start engine.Stopwatch
 	round int
 }
 
@@ -49,7 +48,7 @@ func (s *RefereeServer) startSession(ctx context.Context, l net.Listener) (*sess
 	}
 	tr := &connTracker{}
 	stop := tr.watch(ctx)
-	start := time.Now()
+	sw := engine.StartStopwatch()
 	slots, err := s.acceptPlayers(ctx, l, tr)
 	if err != nil {
 		stop()
@@ -63,7 +62,7 @@ func (s *RefereeServer) startSession(ctx context.Context, l net.Listener) (*sess
 		stop:  stop,
 		votes: make([]core.Message, s.k),
 		got:   make([]bool, s.k),
-		start: start,
+		start: sw,
 	}, nil
 }
 
@@ -75,9 +74,9 @@ func (sess *session) runRound(ctx context.Context, seed uint64) (bool, RoundStat
 	if err := ctx.Err(); err != nil {
 		return false, stats, err
 	}
-	roundStart := time.Now()
+	roundSW := engine.StartStopwatch()
 	if sess.round == 0 {
-		roundStart = sess.start // charge the accept phase to the first round
+		roundSW = sess.start // charge the accept phase to the first round
 	}
 	round := sess.round
 	sess.round++
@@ -89,7 +88,7 @@ func (sess *session) runRound(ctx context.Context, seed uint64) (bool, RoundStat
 		Round:      round,
 		Votes:      received,
 		Stragglers: sess.s.k - received,
-		Wall:       time.Since(roundStart),
+		Wall:       roundSW.Elapsed(),
 		Verdict:    accept,
 	}
 	if err != nil {
@@ -98,7 +97,7 @@ func (sess *session) runRound(ctx context.Context, seed uint64) (bool, RoundStat
 	if err := sess.s.broadcastVerdict(sess.slots, accept); err != nil {
 		return false, stats, err
 	}
-	stats.Wall = time.Since(roundStart)
+	stats.Wall = roundSW.Elapsed()
 	return accept, stats, nil
 }
 
@@ -198,6 +197,7 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, 
 			if err != nil {
 				return nil, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
 			}
+			setDeadline(conn, p.timeout)
 			if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(vote)}); err != nil {
 				return nil, retries, fmt.Errorf("network: node %d vote: %w", p.id, err)
 			}
@@ -326,6 +326,7 @@ func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *r
 	verdicts, stats, refErr := c.runSessionEngine(runCtx, server, listener, baseSeed, rounds)
 
 	nodesDone := make(chan struct{})
+	//lint:ignore dut/ctxprop wg.Wait has no cancellation hook; the goroutine only closes nodesDone, and the select below honors ctx
 	go func() {
 		wg.Wait()
 		close(nodesDone)

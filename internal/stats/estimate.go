@@ -54,6 +54,7 @@ func EstimateSuccess(trials int, f TrialFunc, opts EstimateOptions) (SuccessEsti
 		workers = trials
 	}
 	confidence := opts.Confidence
+	//lint:ignore dut/floateq exact zero-value Options sentinel, never a computed float
 	if confidence == 0 {
 		confidence = 0.95
 	}

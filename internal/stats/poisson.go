@@ -14,6 +14,7 @@ func PoissonPMF(k int, lambda float64) (float64, error) {
 	if k < 0 {
 		return 0, nil
 	}
+	//lint:ignore dut/floateq degenerate-rate branch: lambda is exactly 0 only when the caller passes it
 	if lambda == 0 {
 		if k == 0 {
 			return 1, nil
@@ -37,6 +38,7 @@ func PoissonUpperTail(k int, lambda float64) (float64, error) {
 	}
 	// Pr[Poisson(lambda) >= k] = P(k, lambda), the regularized lower
 	// incomplete gamma function (a gamma-Poisson duality).
+	//lint:ignore dut/floateq degenerate-rate branch: lambda is exactly 0 only when the caller passes it
 	if lambda == 0 {
 		return 0, nil
 	}

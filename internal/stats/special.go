@@ -16,6 +16,7 @@ func RegularizedGammaP(a, x float64) (float64, error) {
 	if x < 0 {
 		return 0, fmt.Errorf("stats: incomplete gamma with x=%v < 0", x)
 	}
+	//lint:ignore dut/floateq exact boundary of the integral: P(a,0) is identically 0
 	if x == 0 {
 		return 0, nil
 	}
@@ -212,9 +213,11 @@ func BernoulliKL(alpha, beta float64) (float64, error) {
 		return 0, fmt.Errorf("stats: Bernoulli KL with parameters %v, %v", alpha, beta)
 	}
 	term := func(p, q float64) float64 {
+		//lint:ignore dut/floateq KL convention 0*log(0/q)=0 needs the exact zero
 		if p == 0 {
 			return 0
 		}
+		//lint:ignore dut/floateq KL divergence is +inf exactly when q has zero mass and p does not
 		if q == 0 {
 			return math.Inf(1)
 		}
