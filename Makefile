@@ -2,9 +2,21 @@
 
 GO ?= go
 
-# bench regression gate: percent of trials/sec a benchmark may lose vs
-# the committed BENCH_engine.json before `make bench` fails; 0 disables.
+# bench regression gate: percent the gated metric may regress vs the
+# committed BENCH_engine.json before `make bench` fails; 0 disables.
 BENCH_MAX_REGRESS ?= 0
+# Metric the gate compares: trials_per_sec (a drop fails) or
+# allocs_per_op (an increase fails; deterministic, so the right choice
+# on noisy shared runners).
+BENCH_REGRESS_METRIC ?= trials_per_sec
+# Batch geometry of the engine benchmarks: trials per wire frame and
+# batches in flight. Empty uses the in-tree defaults (256/4); 0 turns
+# batching off and benches the classic per-trial protocol.
+BENCH_BATCH ?=
+BENCH_WINDOW ?=
+# Per-benchmark time budget passed to `go test -benchtime`, e.g. 2s or
+# 5000x for a fixed trial count (what CI uses for stable allocs/op).
+BENCH_TIME ?= 1s
 
 .PHONY: all build vet staticcheck lint test test-short test-race cover bench bench-all verify results clean
 
@@ -61,10 +73,14 @@ cover:
 # Engine throughput: trials/sec per backend (SMP, cluster, CONGEST)
 # under the unified driver, distilled into BENCH_engine.json. The
 # committed report is read first and per-benchmark deltas (trials/sec,
-# B/op, allocs/op) are printed before it is overwritten.
+# B/op, allocs/op) are printed before it is overwritten. BENCH_BATCH /
+# BENCH_WINDOW select the wire batch geometry, BENCH_TIME the benchtime,
+# and BENCH_MAX_REGRESS / BENCH_REGRESS_METRIC the regression gate.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee bench_engine.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json -max-regress $(BENCH_MAX_REGRESS) < bench_engine.txt
+	BENCH_BATCH=$(BENCH_BATCH) BENCH_WINDOW=$(BENCH_WINDOW) \
+		$(GO) test -bench . -benchmem -benchtime $(BENCH_TIME) -run '^$$' ./internal/engine | tee bench_engine.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json \
+		-max-regress $(BENCH_MAX_REGRESS) -regress-metric $(BENCH_REGRESS_METRIC) < bench_engine.txt
 	@echo "wrote BENCH_engine.json"
 
 # Every benchmark in the repository (experiments + micro-benchmarks).

@@ -11,10 +11,14 @@
 // moved relative to the checked-in BENCH_engine.json.
 //
 // With -max-regress P (0 < P <= 100, requires -baseline), benchjson
-// exits non-zero when any benchmark's trials/sec drops more than P
-// percent below its baseline entry, turning the delta report into a
-// regression gate for CI. Benchmarks without a baseline entry never
-// fail the gate (they are new), and the report is still written so the
+// exits non-zero when any benchmark regresses more than P percent
+// against its baseline entry, turning the delta report into a
+// regression gate for CI. -regress-metric picks what the gate
+// compares: trials_per_sec (the default; a drop is a regression) or
+// allocs_per_op (an increase is a regression — the stable choice for
+// shared CI runners, where throughput is noisy but allocation counts
+// are deterministic). Benchmarks without a baseline entry never fail
+// the gate (they are new), and the report is still written so the
 // failing run can be inspected.
 //
 // Usage:
@@ -46,8 +50,19 @@ type Benchmark struct {
 	TrialsPerSec float64 `json:"trials_per_sec"`
 	// BytesPerOp is B/op when -benchmem was set (0 otherwise).
 	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
-	// AllocsPerOp is allocs/op when -benchmem was set (0 otherwise).
-	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// AllocsPerOp is allocs/op when -benchmem was set, nil otherwise. A
+	// pointer keeps a genuine zero-allocation benchmark distinguishable
+	// from a run without -benchmem: &0 serializes as "allocs_per_op": 0,
+	// nil omits the field entirely.
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// allocs unpacks the optional allocs/op measurement.
+func (b Benchmark) allocs() (int64, bool) {
+	if b.AllocsPerOp == nil {
+		return 0, false
+	}
+	return *b.AllocsPerOp, true
 }
 
 // Report is the file benchjson writes.
@@ -66,7 +81,9 @@ func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
 	baseline := flag.String("baseline", "", "committed report to diff against (read before -o overwrites it)")
 	maxRegress := flag.Float64("max-regress", 0,
-		"fail (exit 1) when trials/sec regresses more than this percentage vs -baseline; 0 disables the gate")
+		"fail (exit 1) when -regress-metric regresses more than this percentage vs -baseline; 0 disables the gate")
+	regressMetric := flag.String("regress-metric", metricTrialsPerSec,
+		"metric the -max-regress gate compares: trials_per_sec or allocs_per_op")
 	flag.Parse()
 	if *maxRegress < 0 || *maxRegress > 100 {
 		fmt.Fprintf(os.Stderr, "benchjson: -max-regress %v outside [0,100]\n", *maxRegress)
@@ -74,6 +91,11 @@ func main() {
 	}
 	if *maxRegress > 0 && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -max-regress needs -baseline to compare against")
+		os.Exit(2)
+	}
+	if *regressMetric != metricTrialsPerSec && *regressMetric != metricAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchjson: -regress-metric %q: want %s or %s\n",
+			*regressMetric, metricTrialsPerSec, metricAllocsPerOp)
 		os.Exit(2)
 	}
 	report, err := parse(os.Stdin)
@@ -92,7 +114,7 @@ func main() {
 		} else {
 			printDeltas(os.Stderr, base, report)
 			if *maxRegress > 0 {
-				regressions = findRegressions(base, report, *maxRegress)
+				regressions = findRegressions(base, report, *maxRegress, *regressMetric)
 			}
 		}
 	}
@@ -119,11 +141,18 @@ func main() {
 	}
 }
 
-// findRegressions returns one description per benchmark whose trials/sec
-// fell more than maxPct percent below its baseline entry. New benchmarks
-// (absent from the baseline) and baseline entries with zero throughput
-// are skipped.
-func findRegressions(base, cur Report, maxPct float64) []string {
+// Metrics the -max-regress gate can compare.
+const (
+	metricTrialsPerSec = "trials_per_sec"
+	metricAllocsPerOp  = "allocs_per_op"
+)
+
+// findRegressions returns one description per benchmark whose chosen
+// metric regressed more than maxPct percent against its baseline entry:
+// a trials/sec drop, or an allocs/op increase (any increase over a zero
+// baseline counts). New benchmarks (absent from the baseline) and
+// baseline entries without a usable value are skipped.
+func findRegressions(base, cur Report, maxPct float64, metric string) []string {
 	prev := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		prev[b.Name] = b
@@ -131,13 +160,33 @@ func findRegressions(base, cur Report, maxPct float64) []string {
 	var out []string
 	for _, b := range cur.Benchmarks {
 		old, ok := prev[b.Name]
-		if !ok || old.TrialsPerSec <= 0 {
+		if !ok {
 			continue
 		}
-		drop := -pctChange(old.TrialsPerSec, b.TrialsPerSec)
-		if drop > maxPct {
-			out = append(out, fmt.Sprintf("%s trials/sec %.0f -> %.0f (-%.1f%% > allowed %.1f%%)",
-				b.Name, old.TrialsPerSec, b.TrialsPerSec, drop, maxPct))
+		switch metric {
+		case metricAllocsPerOp:
+			oldAllocs, oldOK := old.allocs()
+			newAllocs, newOK := b.allocs()
+			if !oldOK || !newOK {
+				continue // one side ran without -benchmem: nothing to gate
+			}
+			if newAllocs <= oldAllocs {
+				continue
+			}
+			// A zero-alloc baseline tolerates no growth at any budget.
+			if oldAllocs == 0 || pctChange(float64(oldAllocs), float64(newAllocs)) > maxPct {
+				out = append(out, fmt.Sprintf("%s allocs/op %d -> %d (over allowed +%.1f%%)",
+					b.Name, oldAllocs, newAllocs, maxPct))
+			}
+		default:
+			if old.TrialsPerSec <= 0 {
+				continue
+			}
+			drop := -pctChange(old.TrialsPerSec, b.TrialsPerSec)
+			if drop > maxPct {
+				out = append(out, fmt.Sprintf("%s trials/sec %.0f -> %.0f (-%.1f%% > allowed %.1f%%)",
+					b.Name, old.TrialsPerSec, b.TrialsPerSec, drop, maxPct))
+			}
 		}
 	}
 	return out
@@ -173,14 +222,31 @@ func printDeltas(w io.Writer, base, cur Report) {
 			continue
 		}
 		delete(prev, b.Name)
-		fmt.Fprintf(w, "  %-16s trials/sec %.0f -> %.0f (%+.1f%%)  B/op %d -> %d (%+.1f%%)  allocs/op %d -> %d (%+d)\n",
+		fmt.Fprintf(w, "  %-16s trials/sec %.0f -> %.0f (%+.1f%%)  B/op %d -> %d (%+.1f%%)  allocs/op %s\n",
 			b.Name,
 			old.TrialsPerSec, b.TrialsPerSec, pctChange(old.TrialsPerSec, b.TrialsPerSec),
 			old.BytesPerOp, b.BytesPerOp, pctChange(float64(old.BytesPerOp), float64(b.BytesPerOp)),
-			old.AllocsPerOp, b.AllocsPerOp, b.AllocsPerOp-old.AllocsPerOp)
+			allocsDelta(old, b))
 	}
 	for name := range prev {
 		fmt.Fprintf(w, "  %-16s missing from this run (baseline only)\n", name)
+	}
+}
+
+// allocsDelta renders the allocs/op comparison, writing "n/a" for a
+// side that ran without -benchmem rather than conflating it with zero.
+func allocsDelta(old, cur Benchmark) string {
+	oldAllocs, oldOK := old.allocs()
+	newAllocs, newOK := cur.allocs()
+	switch {
+	case oldOK && newOK:
+		return fmt.Sprintf("%d -> %d (%+d)", oldAllocs, newAllocs, newAllocs-oldAllocs)
+	case oldOK:
+		return fmt.Sprintf("%d -> n/a", oldAllocs)
+	case newOK:
+		return fmt.Sprintf("n/a -> %d", newAllocs)
+	default:
+		return "n/a"
 	}
 }
 
@@ -257,7 +323,8 @@ func parseLine(line string) (Benchmark, bool, error) {
 		case "B/op":
 			b.BytesPerOp = v
 		case "allocs/op":
-			b.AllocsPerOp = v
+			v := v
+			b.AllocsPerOp = &v
 		}
 	}
 	return b, true, nil

@@ -64,7 +64,7 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   dut test    [-n N] [-eps E] [-mode collision|chisq|threshold|and] [-k K] [-q Q] [-source uniform|zipf|hard|stdin] [-trials T] [-seed S]
-  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D]
+  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D] [-batch B] [-window W]
   dut bounds  [-n N] [-eps E] [-k K] [-T T] [-r R] [-q Q]
 `)
 }
@@ -293,6 +293,8 @@ func cmdNetDemo(args []string) int {
 		minVotes = fs.Int("minvotes", 0, "quorum: tolerate stragglers down to this many votes (0 = strict)")
 		crash    = fs.Int("crash", 0, "chaos: crash this many nodes at their first vote")
 		delay    = fs.Duration("delay", 0, "chaos: per-frame write delay injected on one node")
+		batch    = fs.Int("batch", 0, "trials per ROUND_BATCH wire frame (0 = classic one-frame-per-round protocol)")
+		window   = fs.Int("window", 1, "batches kept in flight per session (needs -batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -313,6 +315,14 @@ func cmdNetDemo(args []string) int {
 	}
 	if (*crash > 0 || *delay > 0) && *minVotes == 0 {
 		fmt.Fprintln(os.Stderr, "dut netdemo: chaos flags need a quorum; set -minvotes below k")
+		return 2
+	}
+	if *batch < 0 || *window < 1 {
+		fmt.Fprintln(os.Stderr, "dut netdemo: -batch must be non-negative and -window at least 1")
+		return 2
+	}
+	if *batch == 0 && *window > 1 {
+		fmt.Fprintln(os.Stderr, "dut netdemo: -window needs -batch")
 		return 2
 	}
 
@@ -394,12 +404,24 @@ func cmdNetDemo(args []string) int {
 	if *minVotes > 0 {
 		fmt.Printf("quorum: %d of %d votes\n", *minVotes, *k)
 	}
+	if *batch > 0 {
+		fmt.Printf("batched wire protocol: %d trials per frame, %d batches in flight\n", *batch, *window)
+	}
 	start := time.Now()
-	// One session regardless of the round count: RunManyStats routes the
+	// One session regardless of the round count: both paths route the
 	// rounds through the unified engine driver, so a 1-round demo and a
-	// full amplification session exercise the same path.
+	// full amplification session exercise the same path. With -batch the
+	// engine drives the cluster backend's pipelined batch session
+	// (ROUND_BATCH/VOTE_BATCH/VERDICT_BATCH frames) instead of the
+	// classic one-frame-per-round session.
 	var accept bool
-	verdicts, allStats, err := cluster.RunManyStats(context.Background(), sampler, rng, *rounds)
+	var verdicts []bool
+	var allStats []network.RoundStats
+	if *batch > 0 {
+		verdicts, allStats, err = runBatchedDemo(cluster, sampler, rng, *rounds, *batch, *window)
+	} else {
+		verdicts, allStats, err = cluster.RunManyStats(context.Background(), sampler, rng, *rounds)
+	}
 	if err == nil {
 		accept, err = network.MajorityVerdict(verdicts)
 	}
@@ -422,6 +444,40 @@ func cmdNetDemo(args []string) int {
 		fmt.Println("verdict: REJECT (network raised the alarm)")
 	}
 	return 0
+}
+
+// runBatchedDemo drives the cluster through the engine's batched trial
+// driver and maps the per-trial results back to the RoundStats shape the
+// demo prints.
+func runBatchedDemo(cluster *network.Cluster, sampler dist.Sampler, rng *rand.Rand, rounds, batch, window int) ([]bool, []network.RoundStats, error) {
+	backend, err := network.NewBackend(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := func(int, *rand.Rand) (dist.Sampler, error) { return sampler, nil }
+	results, err := engine.Run(context.Background(), backend, src, rounds, engine.Options{
+		Workers: 1,
+		Seed:    rng.Uint64(),
+		Batch:   batch,
+		Window:  window,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	verdicts := make([]bool, len(results))
+	stats := make([]network.RoundStats, len(results))
+	for i, r := range results {
+		verdicts[i] = r.Verdict
+		stats[i] = network.RoundStats{
+			Round:      r.Trial,
+			Votes:      r.Votes,
+			Stragglers: r.Stragglers,
+			Retries:    r.Retries,
+			Wall:       r.Wall,
+			Verdict:    r.Verdict,
+		}
+	}
+	return verdicts, stats, nil
 }
 
 func cmdBounds(args []string) int {

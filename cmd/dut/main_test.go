@@ -124,6 +124,21 @@ func TestCmdNetDemo(t *testing.T) {
 	}
 }
 
+func TestCmdNetDemoBatched(t *testing.T) {
+	if code := cmdNetDemo([]string{"-n", "256", "-k", "4", "-seed", "3", "-rounds", "9", "-batch", "4", "-window", "2"}); code != 0 {
+		t.Errorf("batched mem netdemo exit = %d", code)
+	}
+	if code := cmdNetDemo([]string{"-n", "256", "-k", "4", "-tcp", "-far", "-seed", "4", "-batch", "8"}); code != 0 {
+		t.Errorf("batched tcp netdemo exit = %d", code)
+	}
+	if code := cmdNetDemo([]string{"-n", "256", "-k", "4", "-window", "2"}); code != 2 {
+		t.Errorf("-window without -batch exit = %d", code)
+	}
+	if code := cmdNetDemo([]string{"-n", "256", "-k", "4", "-batch", "-1"}); code != 2 {
+		t.Errorf("negative -batch exit = %d", code)
+	}
+}
+
 func newTestRand() *rand.Rand {
 	return rand.New(rand.NewPCG(7, 11))
 }

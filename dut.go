@@ -315,6 +315,12 @@ type (
 	Backend = engine.Backend
 	// RoundSpec names one trial for a Backend.
 	RoundSpec = engine.RoundSpec
+	// BatchBackend is the optional batched extension of Backend: the
+	// driver hands it whole slices of trials (EngineOptions.Batch /
+	// EngineOptions.Window) so a backend can pack many trials per wire
+	// frame and keep several batches in flight, with verdicts still
+	// bit-identical to the unbatched run.
+	BatchBackend = engine.BatchBackend
 	// RoundResult is the uniform per-round accounting every backend
 	// reports (a superset of the networked RoundStats).
 	RoundResult = engine.RoundResult

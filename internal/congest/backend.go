@@ -16,7 +16,10 @@ type testerBackend struct {
 	t *Tester
 }
 
-var _ engine.ScratchBackend = (*testerBackend)(nil)
+var (
+	_ engine.ScratchBackend = (*testerBackend)(nil)
+	_ engine.BatchBackend   = (*testerBackend)(nil)
+)
 
 // NewBackend adapts a Tester to the engine's Backend interface.
 func NewBackend(t *Tester) (engine.Backend, error) {
@@ -36,6 +39,26 @@ func (b *testerBackend) NewScratch() any { return b.t.newScratch() }
 // RunRound implements engine.Backend.
 func (b *testerBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
 	return b.RunRoundScratch(ctx, spec, b.t.newScratch())
+}
+
+// RunRoundsScratch implements engine.BatchBackend: the scratch path
+// looped, with the per-trial node-program construction and the
+// simulator's round buffers amortized across the whole batch (the
+// scratch holds reset-able node state machines and a reusable
+// simulator). Verdicts are bit-identical to the unbatched path — the
+// per-trial derivations are unchanged, only the allocations moved.
+func (b *testerBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
+	if len(out) != len(specs) {
+		return fmt.Errorf("congest: %d results for %d specs", len(out), len(specs))
+	}
+	for i, spec := range specs {
+		res, err := b.RunRoundScratch(ctx, spec, scratch)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+	}
+	return nil
 }
 
 // RunRoundScratch implements engine.ScratchBackend.

@@ -75,25 +75,46 @@ func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool,
 		id:         id,
 		root:       root,
 		threshold:  threshold,
-		rejects:    rejects,
 		neighbors:  nbrs,
 		status:     make(map[int]neighborStatus, len(nbrs)),
-		parent:     -1,
 		oweNack:    map[int]bool{},
 		oweExplore: map[int]bool{},
-		result:     result,
 	}
-	for _, v := range nbrs {
+	n.reset(rejects, result)
+	return n
+}
+
+// reset rebinds the node for a fresh run — the per-trial inputs (local
+// vote and verdict sink) plus every piece of mutable protocol state —
+// restoring exactly the state a newly-constructed node has. It lets a
+// worker's scratch reuse the node set (sorted neighbor slices and maps
+// included) across trials instead of rebuilding k state machines per
+// round.
+func (n *uniformityNode) reset(rejects bool, result *bool) {
+	n.rejects = rejects
+	n.result = result
+	for _, v := range n.neighbors {
 		n.status[v] = nbUnknown
 	}
-	if root {
+	clear(n.oweNack)
+	clear(n.oweExplore)
+	n.parent = -1
+	n.adopted = false
+	n.waveSent = false
+	n.oweChild = false
+	n.childCount = 0
+	n.reportsIn = 0
+	n.rejectSum = 0
+	n.reportSent = false
+	n.verdict = false
+	n.verdictSeen = false
+	if n.root {
 		n.adopted = true
-		n.parent = id
-		for _, v := range nbrs {
+		n.parent = n.id
+		for _, v := range n.neighbors {
 			n.oweExplore[v] = true
 		}
 	}
-	return n
 }
 
 // Step implements NodeProgram.
@@ -367,14 +388,18 @@ func (t *Tester) RunSeeded(sampler dist.Sampler, shared uint64) (bool, error) {
 }
 
 // runScratch is one worker's reusable per-run state: the sample batch
-// buffer, the reseedable per-node generator, and the program slice handed
-// to the simulator. The per-node state machines themselves are rebuilt
-// per run (they are the run's mutable state); the scratch removes the
-// sampling-side allocations around them.
+// buffer, the reseedable per-node generator, the program slice handed
+// to the simulator, and — amortized across every run on this worker —
+// the per-node state machines and the simulator with its round buffers.
+// Nodes are reset (not rebuilt) per run; reset restores exactly the
+// fresh-construction state, so scratch runs stay bit-identical to
+// allocating ones.
 type runScratch struct {
 	buf      []int
 	rng      *engine.ReusableRNG
 	programs []NodeProgram
+	nodes    []*uniformityNode
+	sim      *Simulator
 }
 
 // newScratch sizes a runScratch for this tester.
@@ -404,6 +429,12 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 	}
 	n := t.graph.N()
 	var verdict bool
+	if sc.nodes == nil {
+		sc.nodes = make([]*uniformityNode, n)
+		for u := range sc.nodes {
+			sc.nodes[u] = newUniformityNode(t.graph, u, u == t.root, t.t, false, nil)
+		}
+	}
 	programs := sc.programs
 	for u := 0; u < n; u++ {
 		rng := sc.rng.SeedNode(shared, u)
@@ -412,17 +443,24 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 		if err != nil {
 			return false, nil, fmt.Errorf("congest: node %d vote: %w", u, err)
 		}
-		programs[u] = newUniformityNode(t.graph, u, u == t.root, t.t, !msg.Bit(), &verdict)
+		node := sc.nodes[u]
+		node.reset(!msg.Bit(), &verdict)
+		programs[u] = node
 	}
-	sim, err := NewSimulator(t.graph, programs)
-	if err != nil {
-		return false, nil, err
+	if sc.sim == nil {
+		sim, err := NewSimulator(t.graph, programs)
+		if err != nil {
+			return false, nil, err
+		}
+		sc.sim = sim
+	} else {
+		sc.sim.Reset()
 	}
 	// BFS + convergecast + broadcast each take O(diameter) rounds; 8D+16
 	// is a generous envelope that still catches deadlocks.
 	maxRounds := 8*n + 16
-	if err := sim.Run(maxRounds); err != nil {
+	if err := sc.sim.Run(maxRounds); err != nil {
 		return false, nil, err
 	}
-	return verdict, sim, nil
+	return verdict, sc.sim, nil
 }

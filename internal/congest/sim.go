@@ -77,7 +77,9 @@ type NodeProgram interface {
 }
 
 // Simulator drives a set of node programs over a graph in synchronous
-// rounds.
+// rounds. Run's round buffers (inboxes, outboxes, termination flags)
+// persist on the struct and are cleared per use, so a Reset-and-rerun
+// loop (the engine's batch scratch path) executes allocation-free.
 type Simulator struct {
 	graph    *Graph
 	programs []NodeProgram
@@ -85,6 +87,12 @@ type Simulator struct {
 	rounds        int
 	messagesSent  int
 	maxBitsInAMsg int
+	// Reusable round buffers (see ensureBuffers). The two inbox
+	// generations are swapped every round; an Inbox handed to Step is
+	// only valid for that call.
+	done    []bool
+	inboxes [2][]Inbox
+	outs    []Outbox
 }
 
 // NewSimulator validates that there is exactly one program per node.
@@ -103,33 +111,68 @@ func NewSimulator(g *Graph, programs []NodeProgram) (*Simulator, error) {
 	return &Simulator{graph: g, programs: programs}, nil
 }
 
+// ensureBuffers allocates the reusable round buffers on first use.
+func (s *Simulator) ensureBuffers(n int) {
+	if len(s.done) == n {
+		return
+	}
+	s.done = make([]bool, n)
+	s.outs = make([]Outbox, n)
+	for g := range s.inboxes {
+		s.inboxes[g] = make([]Inbox, n)
+	}
+	for i := 0; i < n; i++ {
+		s.outs[i] = Outbox{node: i, graph: s.graph, msgs: map[int]Payload{}}
+		for g := range s.inboxes {
+			s.inboxes[g][i] = Inbox{}
+		}
+	}
+}
+
+// Reset prepares the simulator for a fresh run over the same graph and
+// program set: statistics restart at zero while the round buffers stay
+// allocated. The programs themselves must be re-armed by the caller
+// (e.g. uniformityNode.reset); Reset-then-Run is bit-identical to a
+// newly constructed simulator because every round's maps are cleared
+// before use and all iteration is over sorted adjacency slices.
+func (s *Simulator) Reset() {
+	s.rounds, s.messagesSent, s.maxBitsInAMsg = 0, 0, 0
+}
+
 // Run executes rounds until every node has terminated or maxRounds is
-// exhausted (an error: a correct protocol must terminate).
+// exhausted (an error: a correct protocol must terminate). The Inbox a
+// program receives is reused between rounds — valid only inside Step.
 func (s *Simulator) Run(maxRounds int) error {
 	if maxRounds <= 0 {
 		return fmt.Errorf("congest: maxRounds %d", maxRounds)
 	}
 	n := s.graph.N()
-	done := make([]bool, n)
-	inboxes := make([]Inbox, n)
-	for i := range inboxes {
-		inboxes[i] = Inbox{}
+	s.ensureBuffers(n)
+	done := s.done
+	for i := range done {
+		done[i] = false
 	}
+	inboxes := s.inboxes[0]
+	for i := range inboxes {
+		clear(inboxes[i])
+	}
+	nextGen := s.inboxes[1]
 	remaining := n
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			return fmt.Errorf("congest: %d nodes still running after %d rounds", remaining, maxRounds)
 		}
 		s.rounds = round + 1
-		next := make([]Inbox, n)
+		next := nextGen
 		for i := range next {
-			next[i] = Inbox{}
+			clear(next[i])
 		}
 		for u := 0; u < n; u++ {
 			if done[u] {
 				continue
 			}
-			out := &Outbox{node: u, graph: s.graph, msgs: map[int]Payload{}}
+			out := &s.outs[u]
+			clear(out.msgs)
 			finished, err := s.programs[u].Step(round, inboxes[u], out)
 			if err != nil {
 				return fmt.Errorf("congest: node %d round %d: %w", u, round, err)
@@ -150,7 +193,7 @@ func (s *Simulator) Run(maxRounds int) error {
 				remaining--
 			}
 		}
-		inboxes = next
+		inboxes, nextGen = next, inboxes
 	}
 	return nil
 }

@@ -36,7 +36,10 @@ type smpBackend struct {
 	totalSamples int
 }
 
-var _ engine.ScratchBackend = (*smpBackend)(nil)
+var (
+	_ engine.ScratchBackend = (*smpBackend)(nil)
+	_ engine.BatchBackend   = (*smpBackend)(nil)
+)
 
 // smpRoundScratch is one worker's reusable round state: the protocol
 // Scratch (sample buffer, bit buffer, reseedable RNG) plus the message
@@ -82,6 +85,24 @@ func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec,
 		Samples:  b.totalSamples,
 		Wall:     sw.Elapsed(),
 	}, nil
+}
+
+// RunRoundsScratch implements engine.BatchBackend. In-process rounds
+// have no per-round synchronization to amortize, so the batch is simply
+// the scratch path looped — same buffers, same per-trial derivations,
+// bit-identical verdicts.
+func (b *smpBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
+	if len(out) != len(specs) {
+		return fmt.Errorf("core: %d results for %d specs", len(out), len(specs))
+	}
+	for i, spec := range specs {
+		res, err := b.RunRoundScratch(ctx, spec, scratch)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+	}
+	return nil
 }
 
 // contextProtocol is the optional context-aware run surface a Protocol

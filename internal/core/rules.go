@@ -167,6 +167,39 @@ func (r BitReferee) decideBits(msgs []Message, bits []bool) (bool, error) {
 	return r.Rule.Decide(bits)
 }
 
+// ThresholdShape classifies a referee as a T-rejection-threshold rule
+// over k single-bit votes: when ok, the referee's Decide over any full
+// k-vote slate equals "reject iff at least T players reject". All four
+// named rules reduce to this shape (AND is T=1, OR is T=k, Majority is
+// T=k/2+1), which is what lets the networked referee evaluate a whole
+// batch of verdicts word-parallel over packed vote bitsets instead of
+// expanding every trial to a []bool. FuncRule and non-BitReferee
+// referees are opaque and return ok=false.
+func ThresholdShape(r Referee, k int) (t int, ok bool) {
+	if k < 1 {
+		return 0, false
+	}
+	br, isBits := r.(BitReferee)
+	if !isBits {
+		return 0, false
+	}
+	switch rule := br.Rule.(type) {
+	case ANDRule:
+		return 1, true
+	case ORRule:
+		return k, true
+	case MajorityRule:
+		return k/2 + 1, true
+	case ThresholdRule:
+		if rule.T < 1 {
+			return 0, false
+		}
+		return rule.T, true
+	default:
+		return 0, false
+	}
+}
+
 // CountRejections returns the number of false entries, the referee-side
 // statistic of the threshold rule.
 func CountRejections(bits []bool) int {

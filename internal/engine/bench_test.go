@@ -6,6 +6,8 @@ package engine_test
 
 import (
 	"context"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -15,6 +17,27 @@ import (
 	"github.com/distributed-uniformity/dut/internal/engine"
 	"github.com/distributed-uniformity/dut/internal/network"
 )
+
+// Batch geometry of the benchmarks, overridable via BENCH_BATCH /
+// BENCH_WINDOW (0 disables batching). The defaults are the headline
+// configuration BENCH_engine.json records.
+const (
+	benchDefaultBatch  = 256
+	benchDefaultWindow = 4
+)
+
+func benchEnvInt(b *testing.B, name string, def int) int {
+	b.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		b.Fatalf("%s=%q: want a non-negative integer", name, v)
+	}
+	return n
+}
 
 func benchSource(b *testing.B) engine.Source {
 	b.Helper()
@@ -32,9 +55,13 @@ func benchSource(b *testing.B) engine.Source {
 func benchRun(b *testing.B, backend engine.Backend) {
 	b.Helper()
 	src := benchSource(b)
+	opts := engine.Options{
+		Seed:   xbSeed,
+		Batch:  benchEnvInt(b, "BENCH_BATCH", benchDefaultBatch),
+		Window: benchEnvInt(b, "BENCH_WINDOW", benchDefaultWindow),
+	}
 	b.ResetTimer()
-	if _, err := engine.Run(context.Background(), backend, src, b.N,
-		engine.Options{Seed: xbSeed}); err != nil {
+	if _, err := engine.Run(context.Background(), backend, src, b.N, opts); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -85,12 +86,32 @@ type WorkerLimiter interface {
 // exactly one worker at a time — implementations need no locking inside
 // it — and results must be bit-identical to RunRound's for the same
 // RoundSpec (the batch path is an optimization, never a semantic fork).
+// A scratch that also implements io.Closer is closed when its worker
+// retires, so a scratch may hold live resources (the cluster batch
+// scratch keeps an open multi-round session).
 type ScratchBackend interface {
 	Backend
 	// NewScratch allocates one worker's reusable round state.
 	NewScratch() any
 	// RunRoundScratch is RunRound with the worker's scratch.
 	RunRoundScratch(ctx context.Context, spec RoundSpec, scratch any) (RoundResult, error)
+}
+
+// BatchBackend is the optional multi-trial extension of ScratchBackend,
+// engaged when Options.Batch is at least 1: the driver hands each
+// worker a contiguous chunk of Batch*Window trials and the backend
+// executes them in one call. batch is the wire granularity — pipelined
+// backends split specs into ceil(len(specs)/batch) sub-batches and keep
+// them concurrently in flight (the window), in-process backends simply
+// loop their scratch path. out has len(specs) entries, one per spec in
+// order; the driver fills the Trial fields afterwards. The determinism
+// contract is unchanged: the verdict for (seed, trial, player) must be
+// bit-identical to the unbatched path for any batch size and window.
+type BatchBackend interface {
+	ScratchBackend
+	// RunRoundsScratch executes len(specs) consecutive trials with the
+	// worker's scratch, writing one RoundResult per spec into out.
+	RunRoundsScratch(ctx context.Context, scratch any, specs []RoundSpec, batch int, out []RoundResult) error
 }
 
 // Source yields the sampler for one trial. rng is the trial's TrialRNG
@@ -126,6 +147,15 @@ type Options struct {
 	Confidence float64
 	// Seed is the base seed all per-trial streams derive from.
 	Seed uint64
+	// Batch is the number of trials carried per batch frame when the
+	// backend implements BatchBackend; 0 (or a non-batch backend) keeps
+	// the one-trial-per-round path. Batch never changes verdicts — every
+	// trial's randomness still derives from (Seed, Trial) alone.
+	Batch int
+	// Window is the number of batches a pipelined backend keeps in
+	// flight per worker (the sliding window); 0 or 1 means no
+	// pipelining. Ignored unless Batch engages the batch path.
+	Window int
 }
 
 // Totals aggregates RoundResult accounting over a run.
@@ -171,12 +201,28 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sb, hasScratch := b.(ScratchBackend)
+	bb, hasBatch := b.(BatchBackend)
+	// chunk is the scheduling unit: 1 trial on the classic path, a full
+	// window of batches when the backend takes batched rounds.
+	chunk := 1
+	batch := opts.Batch
+	if hasBatch && batch >= 1 {
+		window := opts.Window
+		if window < 1 {
+			window = 1
+		}
+		chunk = batch * window
+	} else {
+		batch = 0
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > trials {
-		workers = trials
+	if nChunks := (trials + chunk - 1) / chunk; workers > nChunks {
+		workers = nChunks
 	}
 	if lim, ok := b.(WorkerLimiter); ok {
 		if m := lim.MaxWorkers(); m >= 1 && workers > m {
@@ -190,7 +236,6 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 	results := make([]RoundResult, trials)
 	errs := make([]error, trials)
 	jobs := make(chan int)
-	sb, hasScratch := b.(ScratchBackend)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -203,44 +248,78 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 			var scratch any
 			if hasScratch {
 				scratch = sb.NewScratch()
+				defer closeScratch(scratch)
 			}
-			for t := range jobs {
+			specs := make([]RoundSpec, 0, chunk)
+			for start := range jobs {
+				end := start + chunk
+				if end > trials {
+					end = trials
+				}
 				if err := runCtx.Err(); err != nil {
-					errs[t] = err
+					for t := start; t < end; t++ {
+						errs[t] = err
+					}
 					continue
 				}
-				sampler, err := src(t, trialRNG.SeedTrial(opts.Seed, t))
-				if err != nil {
-					errs[t] = fmt.Errorf("engine: trial %d source: %w", t, err)
-					cancel()
+				// Build the chunk's specs with the exact per-trial source
+				// derivation of the classic path, so batching can never
+				// change which sampler a trial sees.
+				specs = specs[:0]
+				bad := false
+				for t := start; t < end; t++ {
+					sampler, err := src(t, trialRNG.SeedTrial(opts.Seed, t))
+					if err != nil {
+						errs[t] = fmt.Errorf("engine: trial %d source: %w", t, err)
+						cancel()
+						bad = true
+						break
+					}
+					if sampler == nil {
+						errs[t] = fmt.Errorf("engine: trial %d source returned a nil sampler", t)
+						cancel()
+						bad = true
+						break
+					}
+					specs = append(specs, RoundSpec{Trial: t, Seed: opts.Seed, Sampler: sampler})
+				}
+				if bad {
 					continue
 				}
-				if sampler == nil {
-					errs[t] = fmt.Errorf("engine: trial %d source returned a nil sampler", t)
-					cancel()
-					continue
-				}
-				spec := RoundSpec{Trial: t, Seed: opts.Seed, Sampler: sampler}
-				var res RoundResult
-				if hasScratch {
-					res, err = sb.RunRoundScratch(runCtx, spec, scratch)
+				var err error
+				if batch >= 1 {
+					err = bb.RunRoundsScratch(runCtx, scratch, specs, batch, results[start:end])
+					if err != nil {
+						err = fmt.Errorf("engine: trials %d..%d: %w", start, end-1, err)
+					}
 				} else {
-					res, err = b.RunRound(runCtx, spec)
+					var res RoundResult
+					if hasScratch {
+						res, err = sb.RunRoundScratch(runCtx, specs[0], scratch)
+					} else {
+						res, err = b.RunRound(runCtx, specs[0])
+					}
+					if err != nil {
+						err = fmt.Errorf("engine: trial %d: %w", start, err)
+					} else {
+						results[start] = res
+					}
 				}
 				if err != nil {
-					errs[t] = fmt.Errorf("engine: trial %d: %w", t, err)
+					errs[start] = err
 					cancel()
 					continue
 				}
-				res.Trial = t
-				results[t] = res
+				for t := start; t < end; t++ {
+					results[t].Trial = t
+				}
 			}
 		}()
 	}
 feed:
-	for t := 0; t < trials; t++ {
+	for start := 0; start < trials; start += chunk {
 		select {
-		case jobs <- t:
+		case jobs <- start:
 		case <-runCtx.Done():
 			break feed
 		}
@@ -270,6 +349,16 @@ feed:
 		return nil, cancelled
 	}
 	return results, nil
+}
+
+// closeScratch releases a worker's scratch when it holds live resources
+// (io.Closer — e.g. the cluster batch scratch's open session). Teardown
+// runs after every result of the worker has been validated, so a close
+// failure is not a round failure and is dropped.
+func closeScratch(scratch any) {
+	if c, ok := scratch.(io.Closer); ok {
+		_ = c.Close()
+	}
 }
 
 // Estimate measures Pr[backend accepts] over the source by Monte Carlo

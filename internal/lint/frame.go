@@ -31,6 +31,9 @@ var (
 	deadlineCalls = map[string]bool{
 		"setDeadline": true, "SetDeadline": true,
 		"SetReadDeadline": true, "SetWriteDeadline": true,
+		// The batch session splits the budget between its reader and
+		// writer goroutines through these wrappers.
+		"setReadDeadline": true, "setWriteDeadline": true,
 	}
 	frameReadCalls = map[string]bool{
 		"ReadFrame": true, "readFrame": true, "expectFrame": true,
@@ -38,6 +41,7 @@ var (
 	frameWriteCalls = map[string]bool{
 		"WriteHello": true, "WriteRound": true, "WriteVote": true,
 		"WriteVerdict": true, "WriteFinish": true, "writeFrame": true,
+		"WriteRoundBatch": true, "WriteVoteBatch": true, "WriteVerdictBatch": true,
 	}
 	// consumingCalls can eat an arbitrary slice of the current deadline
 	// budget: batch sampling and user-provided rule evaluation.

@@ -10,10 +10,12 @@ import (
 
 type frame struct{}
 
-func setDeadline(c net.Conn, d time.Duration) {}
-func ReadFrame(c net.Conn) (frame, error)     { return frame{}, nil }
-func WriteVote(c net.Conn, v uint64) error    { return nil }
-func SampleInto(buf []int)                    {}
+func setDeadline(c net.Conn, d time.Duration)        {}
+func setWriteDeadline(c net.Conn, d time.Duration)   {}
+func ReadFrame(c net.Conn) (frame, error)            { return frame{}, nil }
+func WriteVote(c net.Conn, v uint64) error           { return nil }
+func WriteVoteBatch(c net.Conn, bits []uint64) error { return nil }
+func SampleInto(buf []int)                           {}
 
 func badRaw(c net.Conn, w io.Writer, p []byte) {
 	_, _ = c.Write(p)                                // want "raw conn.Write bypasses the validated frame encoder"
@@ -29,6 +31,18 @@ func badStale(c net.Conn, buf []int) {
 	setDeadline(c, time.Second)
 	SampleInto(buf)
 	_ = WriteVote(c, 1) // want "frame write under a deadline already consumed"
+}
+
+func badStaleBatch(c net.Conn, buf []int, bits []uint64) {
+	setWriteDeadline(c, time.Second)
+	SampleInto(buf)
+	_ = WriteVoteBatch(c, bits) // want "frame write under a deadline already consumed"
+}
+
+func goodBatch(c net.Conn, buf []int, bits []uint64) error {
+	SampleInto(buf)
+	setWriteDeadline(c, time.Second) // fresh write budget after sampling: clean
+	return WriteVoteBatch(c, bits)
 }
 
 func good(c net.Conn, buf []int) error {

@@ -20,7 +20,10 @@ type clusterBackend struct {
 	c *Cluster
 }
 
-var _ engine.ScratchBackend = (*clusterBackend)(nil)
+var (
+	_ engine.ScratchBackend = (*clusterBackend)(nil)
+	_ engine.BatchBackend   = (*clusterBackend)(nil)
+)
 
 // NewBackend adapts a Cluster to the engine's Backend interface.
 func NewBackend(c *Cluster) (engine.Backend, error) {
@@ -33,6 +36,27 @@ func NewBackend(c *Cluster) (engine.Backend, error) {
 // Players implements engine.Backend.
 func (b *clusterBackend) Players() int { return b.c.k }
 
+// clusterScratch is one engine worker's reusable cluster state: the
+// prebuilt node set of the per-round path, plus — created lazily on the
+// first batched chunk — a live pipelined batch session reused across
+// every chunk the worker runs. The engine closes it (io.Closer) when
+// the worker exits.
+type clusterScratch struct {
+	nodes []*PlayerNode
+	batch *batchSession
+}
+
+// Close implements io.Closer: it finishes the worker's batch session,
+// if one was started.
+func (s *clusterScratch) Close() error {
+	if s.batch == nil {
+		return nil
+	}
+	err := s.batch.Close()
+	s.batch = nil
+	return err
+}
+
 // NewScratch implements engine.ScratchBackend: one reusable node set per
 // worker. The placeholder sampler is replaced per round.
 func (b *clusterBackend) NewScratch() any {
@@ -42,7 +66,7 @@ func (b *clusterBackend) NewScratch() any {
 		// NewCluster already rejected; fall back to the per-round path.
 		return nil
 	}
-	return nodes
+	return &clusterScratch{nodes: nodes}
 }
 
 // RunRound implements engine.Backend.
@@ -57,22 +81,56 @@ func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (e
 
 // RunRoundScratch implements engine.ScratchBackend.
 func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
-	nodes, ok := scratch.([]*PlayerNode)
-	if !ok || len(nodes) != b.c.k {
+	cs, ok := scratch.(*clusterScratch)
+	if !ok || len(cs.nodes) != b.c.k {
 		return b.RunRound(ctx, spec)
 	}
 	if spec.Sampler == nil {
 		return engine.RoundResult{}, fmt.Errorf("network: nil sampler")
 	}
-	for _, n := range nodes {
+	for _, n := range cs.nodes {
 		n.setSampler(spec.Sampler)
 	}
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
-	accept, rs, err := b.c.runRoundSeededNodes(ctx, nodes, shared)
+	accept, rs, err := b.c.runRoundSeededNodes(ctx, cs.nodes, shared)
 	if err != nil {
 		return engine.RoundResult{}, err
 	}
 	return b.roundResult(accept, rs), nil
+}
+
+// RunRoundsScratch implements engine.BatchBackend: the worker's chunk
+// of trials runs through a persistent pipelined session — ROUND_BATCH
+// frames of up to batch seeds, every batch of the chunk in flight at
+// once, packed VOTE_BATCH gathering and per-batch verdict evaluation.
+// Rules wider than one bit do not pack into vote bitsets, so they (and
+// foreign scratch) fall back to the per-trial scratch path.
+func (b *clusterBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, batch int, out []engine.RoundResult) error {
+	if len(out) != len(specs) {
+		return fmt.Errorf("network: %d results for %d specs", len(out), len(specs))
+	}
+	cs, ok := scratch.(*clusterScratch)
+	if !ok || batch < 1 || b.c.rule.Bits() != 1 {
+		for i, spec := range specs {
+			res, err := b.RunRoundScratch(ctx, spec, scratch)
+			if err != nil {
+				return err
+			}
+			out[i] = res
+		}
+		return nil
+	}
+	if batch > MaxBatchTrials {
+		batch = MaxBatchTrials
+	}
+	if cs.batch == nil {
+		sess, err := newBatchSession(ctx, b.c)
+		if err != nil {
+			return err
+		}
+		cs.batch = sess
+	}
+	return cs.batch.runChunk(ctx, specs, batch, out)
 }
 
 // roundResult maps a networked round's stats onto the engine's uniform

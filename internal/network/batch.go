@@ -1,0 +1,603 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// This file implements the referee side of multi-trial batch pipelining:
+// one long-lived session per engine worker in which ROUND_BATCH frames
+// carry up to MaxBatchTrials public-coin seeds at once, nodes answer
+// with packed VOTE_BATCH bitsets, and the referee evaluates a whole
+// batch of verdicts per synchronization. Each slot gets a dedicated
+// writer goroutine fed by an unbounded frame queue: the in-memory
+// transport's writes are fully synchronous (net.Pipe parks the writer
+// until the peer reads), so queueing the next batches' ROUND_BATCH
+// frames while earlier votes are still being gathered is exactly what
+// keeps a window of batches in flight. Determinism is untouched — every
+// vote derives from (shared seed, player id) exactly as unbatched, and
+// the referee's per-batch evaluation reproduces decideVotes bit for
+// bit (word-parallel when the referee has threshold shape, trial by
+// trial otherwise).
+
+// queuedFrame is one referee frame awaiting its slot's writer.
+type queuedFrame struct {
+	kind    FrameType // FrameRoundBatch, FrameVerdictBatch or FrameFinish
+	round   RoundBatch
+	verdict VerdictBatch
+}
+
+// frameQueue is an unbounded FIFO feeding one slot's writer goroutine.
+// Unbounded is deliberate: the aggregator must never block enqueueing
+// (a bounded queue toward a stalled node could deadlock the window),
+// and memory stays bounded anyway because the aggregator only issues
+// one chunk — batch times window trials — ahead of the gathers.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queuedFrame
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a frame; pushes after close are dropped.
+func (q *frameQueue) push(f queuedFrame) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, f)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop dequeues the next frame, blocking until one arrives or the queue
+// is closed and drained.
+func (q *frameQueue) pop() (queuedFrame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return queuedFrame{}, false
+	}
+	f := q.items[0]
+	q.items = q.items[1:]
+	return f, true
+}
+
+// close marks the queue finished; pending frames still drain.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// batchSlot pairs a referee-side player slot with its writer queue and
+// its own failure state (playerSlot.dead is single-goroutine state of
+// the unbatched path; the batch session's writer, gatherers and
+// aggregator need a locked flag).
+type batchSlot struct {
+	sl         *playerSlot
+	q          *frameQueue
+	writerDone chan struct{}
+
+	mu   sync.Mutex
+	dead bool
+	err  error
+}
+
+func (b *batchSlot) isDead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}
+
+// batchSession is one engine worker's live pipelined session: k node
+// goroutines, the accepted referee slots with their writers, and the
+// per-batch evaluation scratch. It persists across engine chunks (batch
+// ids grow monotonically) until the worker's scratch is closed.
+type batchSession struct {
+	c        *Cluster
+	server   *RefereeServer
+	listener net.Listener
+	sess     *session
+	cancel   context.CancelFunc
+	nodes    []*PlayerNode
+	nodeWG   sync.WaitGroup
+	slots    []*batchSlot
+
+	nextBatch uint32 // aggregator-only
+
+	mu      sync.Mutex
+	nodeErr error
+	retries int // accumulated node connect retries, not yet reported
+
+	// Threshold shape of the referee, when it has one: reject iff at
+	// least shapeT of the k single-bit votes reject. This is what the
+	// word-parallel fast path evaluates.
+	shapeT  int
+	shapeOK bool
+
+	// Per-batch scratch: delivered vote bitsets by player id, and the
+	// bit-sliced rejection counter planes of the fast path.
+	deliv  [][]uint64
+	planes []uint64
+}
+
+// newBatchSession starts the session: listener, k node goroutines, the
+// accept/HELLO phase, and one writer per accepted slot. Strict-mode
+// node failures cancel the session context so a blocked accept unwinds.
+func newBatchSession(ctx context.Context, c *Cluster) (*batchSession, error) {
+	server, err := c.newServer()
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := c.buildNodes(dist.NopSampler{})
+	if err != nil {
+		return nil, err
+	}
+	listener, err := c.tr.Listen()
+	if err != nil {
+		return nil, fmt.Errorf("network: listen: %w", err)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-runCtx.Done()
+		_ = listener.Close()
+	}()
+
+	bs := &batchSession{c: c, server: server, listener: listener, cancel: cancel, nodes: nodes}
+	bs.shapeT, bs.shapeOK = core.ThresholdShape(c.referee, c.k)
+	bs.deliv = make([][]uint64, c.k)
+	bs.planes = make([]uint64, bits.Len(uint(c.k)))
+
+	for _, node := range nodes {
+		bs.nodeWG.Add(1)
+		//lint:ignore dut/ctxprop cancel() closes the listener and session conns, which unwinds connect and runSessionConn; a ctx check here would race the same teardown
+		go func(node *PlayerNode) {
+			defer bs.nodeWG.Done()
+			conn, retries, err := node.connect(c.tr, listener.Addr())
+			bs.addRetries(retries)
+			if err != nil {
+				bs.failNode(err)
+				return
+			}
+			defer func() { _ = conn.Close() }()
+			if _, err := node.runSessionConn(conn, false); err != nil {
+				bs.failNode(err)
+			}
+		}(node)
+	}
+
+	sess, err := server.startSession(runCtx, listener)
+	if err != nil {
+		cancel()
+		bs.nodeWG.Wait()
+		// A strict-mode node failure is the root cause; the referee error
+		// it provokes (cancelled accept) is only a symptom.
+		if nodeErr := bs.peekNodeErr(); nodeErr != nil && !c.tolerant() {
+			return nil, nodeErr
+		}
+		return nil, err
+	}
+	bs.sess = sess
+	bs.slots = make([]*batchSlot, len(sess.slots))
+	for i, sl := range sess.slots {
+		slot := &batchSlot{sl: sl, q: newFrameQueue(), writerDone: make(chan struct{})}
+		bs.slots[i] = slot
+		//lint:ignore dut/ctxprop the writer drains until its frame queue closes (Close always closes it); cancellation reaches it through failSlot closing the conn
+		go bs.slotWriter(slot)
+	}
+	return bs, nil
+}
+
+func (bs *batchSession) addRetries(n int) {
+	bs.mu.Lock()
+	bs.retries += n
+	bs.mu.Unlock()
+}
+
+// takeRetries claims the retries accumulated since the last report, so
+// each retry is counted on exactly one trial's stats.
+func (bs *batchSession) takeRetries() int {
+	bs.mu.Lock()
+	n := bs.retries
+	bs.retries = 0
+	bs.mu.Unlock()
+	return n
+}
+
+// failNode records a node-goroutine error; in strict mode it also tears
+// the session down (any node failure dooms every further trial).
+func (bs *batchSession) failNode(err error) {
+	bs.mu.Lock()
+	if bs.nodeErr == nil {
+		bs.nodeErr = err
+	}
+	bs.mu.Unlock()
+	if !bs.c.tolerant() {
+		bs.cancel()
+	}
+}
+
+func (bs *batchSession) peekNodeErr() error {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.nodeErr
+}
+
+// failSlot marks a slot dead and closes its connection, recording the
+// first error. In quorum mode the slot is simply a straggler from then
+// on; in strict mode the next gather reports it.
+func (bs *batchSession) failSlot(slot *batchSlot, err error) {
+	slot.mu.Lock()
+	already := slot.dead
+	slot.dead = true
+	if slot.err == nil {
+		slot.err = err
+	}
+	slot.mu.Unlock()
+	if !already {
+		_ = slot.sl.conn.Close()
+	}
+}
+
+// slotWriter drains one slot's frame queue onto its connection. Writes
+// use the write deadline only — the gather goroutines own the same
+// connection's read deadline concurrently.
+func (bs *batchSession) slotWriter(slot *batchSlot) {
+	defer close(slot.writerDone)
+	for {
+		f, ok := slot.q.pop()
+		if !ok {
+			return
+		}
+		if slot.isDead() {
+			continue // keep draining; the slot is out of the session
+		}
+		setWriteDeadline(slot.sl.conn, bs.server.timeout)
+		var err error
+		switch f.kind {
+		case FrameRoundBatch:
+			err = WriteRoundBatch(slot.sl.conn, f.round)
+		case FrameVerdictBatch:
+			err = WriteVerdictBatch(slot.sl.conn, f.verdict)
+		default:
+			err = WriteFinish(slot.sl.conn)
+		}
+		if err != nil {
+			bs.failSlot(slot, fmt.Errorf("network: %v to player %d: %w", f.kind, slot.sl.player, err))
+		}
+	}
+}
+
+// runChunk executes one engine chunk: it slices specs into wire batches
+// of at most batch trials, issues every ROUND_BATCH up front (putting
+// the whole window in flight), then gathers and decides batch by batch.
+// out receives one RoundResult per spec.
+func (bs *batchSession) runChunk(ctx context.Context, specs []engine.RoundSpec, batch int, out []engine.RoundResult) error {
+	type flight struct {
+		id           uint32
+		start, count int
+	}
+	var flights []flight
+	for start := 0; start < len(specs); start += batch {
+		count := len(specs) - start
+		if count > batch {
+			count = batch
+		}
+		seeds := make([]uint64, count)
+		samplers := make([]dist.Sampler, count)
+		for j := 0; j < count; j++ {
+			spec := specs[start+j]
+			if spec.Sampler == nil {
+				return fmt.Errorf("network: nil sampler")
+			}
+			seeds[j] = engine.SharedSeed(spec.Seed, spec.Trial)
+			samplers[j] = spec.Sampler
+		}
+		id := bs.nextBatch
+		bs.nextBatch++
+		for _, node := range bs.nodes {
+			node.stageBatch(id, samplers)
+		}
+		frame := queuedFrame{kind: FrameRoundBatch, round: RoundBatch{Batch: id, Seeds: seeds}}
+		for _, slot := range bs.slots {
+			if slot.isDead() {
+				continue
+			}
+			slot.q.push(frame)
+		}
+		flights = append(flights, flight{id: id, start: start, count: count})
+	}
+	retries := bs.takeRetries()
+	for _, fl := range flights {
+		if err := ctx.Err(); err != nil {
+			return bs.chunkErr(err)
+		}
+		sw := engine.StartStopwatch()
+		received := bs.gather(fl.id, fl.count)
+		if bs.server.strict() && received < bs.c.k {
+			return bs.chunkErr(bs.firstSlotErr())
+		}
+		results := out[fl.start : fl.start+fl.count]
+		verdictBits, err := bs.decideBatch(fl.count, received, results)
+		if err != nil {
+			return bs.chunkErr(err)
+		}
+		vb := VerdictBatch{Batch: fl.id, Count: uint32(fl.count), Bits: verdictBits}
+		for _, slot := range bs.slots {
+			if slot.isDead() {
+				continue
+			}
+			slot.q.push(queuedFrame{kind: FrameVerdictBatch, verdict: vb})
+		}
+		// Wall time is shared evenly: the batch synchronized once for
+		// count trials.
+		share := sw.Elapsed() / time.Duration(fl.count)
+		for j := range results {
+			results[j].Wall = share
+		}
+		results[0].Retries = retries
+		retries = 0
+	}
+	return nil
+}
+
+// chunkErr resolves the root cause of a strict-mode failure. A node
+// that dies first (crash, rule error) leaves the referee only a bare
+// transport error — EOF, closed pipe, blown deadline — so in that case
+// the recorded node failure is the story, mirroring the unbatched
+// paths. A descriptive referee-side error (echo-check mismatch, width
+// violation) is itself the root cause: the node's subsequent EOF is the
+// symptom of the referee closing the offending connection.
+func (bs *batchSession) chunkErr(err error) error {
+	if !bs.c.tolerant() {
+		bs.cancel()
+		bs.nodeWG.Wait()
+		if nodeErr := bs.peekNodeErr(); nodeErr != nil && (err == nil || isTransportErr(err)) {
+			return nodeErr
+		}
+	}
+	return err
+}
+
+// isTransportErr reports whether err is a bare IO failure rather than a
+// validated protocol violation.
+func isTransportErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// firstSlotErr reports why a strict-mode gather came up short. A
+// descriptive protocol violation wins over bare transport errors: once
+// one slot is failed the session tears down and every other in-flight
+// gather dies with an EOF that is pure collateral.
+func (bs *batchSession) firstSlotErr() error {
+	var first error
+	for _, slot := range bs.slots {
+		slot.mu.Lock()
+		err := slot.err
+		slot.mu.Unlock()
+		if err == nil {
+			continue
+		}
+		if !isTransportErr(err) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return fmt.Errorf("network: batch gather incomplete with no recorded slot failure")
+}
+
+// gather collects one batch's VOTE_BATCH from every live slot
+// concurrently, validating the player and batch-id echo and the trial
+// count. Delivered bitsets land in bs.deliv by player id (nil = absent);
+// it returns the number of valid deliveries.
+func (bs *batchSession) gather(batchID uint32, count int) int {
+	for i := range bs.deliv {
+		bs.deliv[i] = nil
+	}
+	var wg sync.WaitGroup
+	for _, slot := range bs.slots {
+		if slot.isDead() {
+			continue
+		}
+		wg.Add(1)
+		go func(slot *batchSlot) {
+			defer wg.Done()
+			conn := slot.sl.conn
+			// The vote can lag the node's whole batch of sampling plus a
+			// queued verdict write; budget two timeouts, like every other
+			// cross-phase read.
+			setReadDeadline(conn, 2*bs.server.timeout)
+			vb, err := expectFrame[VoteBatch](conn, FrameVoteBatch)
+			if err != nil {
+				bs.failSlot(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
+				return
+			}
+			if vb.Player != slot.sl.player {
+				bs.failSlot(slot, fmt.Errorf("network: vote batch claims player %d on player %d's connection", vb.Player, slot.sl.player))
+				return
+			}
+			if vb.Batch != batchID {
+				bs.failSlot(slot, fmt.Errorf("network: player %d answered batch %d, expected %d", slot.sl.player, vb.Batch, batchID))
+				return
+			}
+			if int(vb.Count) != count {
+				bs.failSlot(slot, fmt.Errorf("network: player %d voted on %d trials of batch %d, expected %d", slot.sl.player, vb.Count, batchID, count))
+				return
+			}
+			bs.deliv[slot.sl.player] = vb.Bits
+		}(slot)
+	}
+	wg.Wait()
+	received := 0
+	for _, d := range bs.deliv {
+		if d != nil {
+			received++
+		}
+	}
+	return received
+}
+
+// decideBatch evaluates every trial of a gathered batch, filling one
+// RoundResult per trial and returning the packed verdict bits. With all
+// k votes in and a threshold-shaped referee it counts rejections
+// word-parallel; otherwise (partial batches, opaque referees) it
+// reconstructs each trial's vote slate and reuses decideVotes, so
+// quorum checks and absentee policy are identical to the unbatched
+// referee by construction.
+func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResult) ([]uint64, error) {
+	verdictBits := make([]uint64, batchWords(count))
+	k := bs.c.k
+	if received == k && bs.shapeOK {
+		bs.decideBatchThreshold(count, verdictBits)
+		for j := range out {
+			out[j] = engine.RoundResult{
+				Verdict:  verdictBits[j/64]>>(j%64)&1 == 1,
+				Votes:    k,
+				Messages: k,
+				Samples:  k * bs.c.q,
+			}
+		}
+		return verdictBits, nil
+	}
+	votes, got := bs.sess.votes, bs.sess.got
+	for j := 0; j < count; j++ {
+		for i := range votes {
+			votes[i] = 0
+			got[i] = false
+		}
+		for player, d := range bs.deliv {
+			if d == nil {
+				continue
+			}
+			votes[player] = core.Message(d[j/64] >> (j % 64) & 1)
+			got[player] = true
+		}
+		accept, recv, err := bs.server.decideVotes(votes, got)
+		out[j] = engine.RoundResult{
+			Verdict:    accept,
+			Votes:      recv,
+			Stragglers: k - recv,
+			Messages:   recv,
+			Samples:    recv * bs.c.q,
+		}
+		if err != nil {
+			return nil, err
+		}
+		if accept {
+			verdictBits[j/64] |= 1 << (j % 64)
+		}
+	}
+	return verdictBits, nil
+}
+
+// decideBatchThreshold evaluates "reject iff at least shapeT of k
+// rejections" for 64 trials per word: the rejection count of every lane
+// is accumulated into bit-sliced counter planes by ripple-carry
+// addition of each player's inverted vote word, then compared against
+// the threshold in one pass. Padding lanes above count are masked off
+// so the verdict bitset stays wire-legal.
+func (bs *batchSession) decideBatchThreshold(count int, verdictBits []uint64) {
+	planes := bs.planes
+	for w := range verdictBits {
+		for i := range planes {
+			planes[i] = 0
+		}
+		for _, d := range bs.deliv {
+			carry := ^d[w] // 1 = rejection
+			for i := 0; i < len(planes) && carry != 0; i++ {
+				next := planes[i] & carry
+				planes[i] ^= carry
+				carry = next
+			}
+		}
+		verdictBits[w] = ^atLeast(planes, bs.shapeT)
+	}
+	if rem := count % 64; rem != 0 {
+		verdictBits[len(verdictBits)-1] &= 1<<rem - 1
+	}
+}
+
+// atLeast returns a word with bit j set iff lane j's bit-sliced counter
+// is at least t; planes[i] holds bit i of every lane's counter.
+func atLeast(planes []uint64, t int) uint64 {
+	if t <= 0 {
+		return ^uint64(0)
+	}
+	if len(planes) < 63 && t >= 1<<len(planes) {
+		return 0
+	}
+	ge, eq := uint64(0), ^uint64(0)
+	for i := len(planes) - 1; i >= 0; i-- {
+		var tb uint64
+		if t>>i&1 == 1 {
+			tb = ^uint64(0)
+		}
+		ge |= eq & planes[i] &^ tb
+		eq &= ^(planes[i] ^ tb)
+	}
+	return ge | eq
+}
+
+// Close finishes the session: FINISH rides each slot's queue behind any
+// pending verdicts, the writers drain and exit, the nodes unwind, and
+// the connections close.
+func (bs *batchSession) Close() error {
+	for _, slot := range bs.slots {
+		slot.q.push(queuedFrame{kind: FrameFinish})
+		slot.q.close()
+	}
+	for _, slot := range bs.slots {
+		<-slot.writerDone
+	}
+	bs.cancel()
+	bs.nodeWG.Wait()
+	if bs.sess != nil {
+		bs.sess.close()
+	}
+	_ = bs.listener.Close()
+	if !bs.c.tolerant() {
+		return bs.peekNodeErr()
+	}
+	return nil
+}
+
+// setReadDeadline bounds only reads: the batch session's slot writer
+// owns the same connection's write deadline concurrently, and a full
+// SetDeadline from either side would clobber the other's budget.
+func setReadDeadline(conn net.Conn, d time.Duration) {
+	//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds frame IO waits, never the verdict
+	_ = conn.SetReadDeadline(time.Now().Add(d))
+}
+
+// setWriteDeadline is setReadDeadline's write-side counterpart.
+func setWriteDeadline(conn net.Conn, d time.Duration) {
+	//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds frame IO waits, never the verdict
+	_ = conn.SetWriteDeadline(time.Now().Add(d))
+}

@@ -31,13 +31,20 @@ type FaultPlan struct {
 	Delay time.Duration
 	// CorruptFrame corrupts the payload of the player's Nth written frame
 	// (1-based: HELLO is frame 1, the round-r VOTE is frame r+1); zero
-	// corrupts nothing. The last payload byte is XORed with a seeded mask
-	// whose high bit is always set, so single-bit votes become detectably
-	// out of range for the referee's bits enforcement.
+	// corrupts nothing. For single-round frames the last payload byte is
+	// XORed with a seeded mask whose high bit is always set, so
+	// single-bit votes become detectably out of range for the referee's
+	// bits enforcement. A VOTE_BATCH is corrupted in its batch-id field
+	// instead — its tail bytes are real vote bits, where a flip would be
+	// a silent wrong verdict rather than a detectable violation; the
+	// referee's batch-id echo check catches the id corruption
+	// deterministically.
 	CorruptFrame int
 	// CrashAtRound closes the player's connection as it writes the VOTE of
 	// the given round (1-based); zero never crashes. The player behaves
-	// correctly up to round CrashAtRound-1 and then dies mid-protocol.
+	// correctly up to round CrashAtRound-1 and then dies mid-protocol. A
+	// VOTE_BATCH covers as many rounds as its trial count, so a crash
+	// scheduled inside a batch kills the write of the whole batch.
 	CrashAtRound int
 }
 
@@ -167,8 +174,15 @@ type faultConn struct {
 
 	mu     sync.Mutex
 	writes int // frames written on this connection
-	votes  int // VOTE frames among them, i.e. rounds participated in
+	votes  int // rounds voted on, counting a VOTE_BATCH as its trial count
 }
+
+// VOTE_BATCH payload offsets within a written frame (header included):
+// player(4) batch(4) count(4) bitset words.
+const (
+	voteBatchIDOffset    = headerSize + 7 // low byte of the batch id
+	voteBatchCountOffset = headerSize + 8 // trial-count field
+)
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	if c.plan.Delay > 0 {
@@ -178,28 +192,44 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	c.writes++
 	frame := c.writes
-	isVote := len(p) >= headerSize &&
-		binary.BigEndian.Uint16(p[0:2]) == Magic &&
-		FrameType(p[3]) == FrameVote
-	if isVote {
-		c.votes++
+	var kind FrameType
+	if len(p) >= headerSize && binary.BigEndian.Uint16(p[0:2]) == Magic {
+		kind = FrameType(p[3])
 	}
-	round := c.votes
+	rounds := 0
+	switch kind {
+	case FrameVote:
+		rounds = 1
+	case FrameVoteBatch:
+		if len(p) >= voteBatchCountOffset+4 {
+			rounds = int(binary.BigEndian.Uint32(p[voteBatchCountOffset : voteBatchCountOffset+4]))
+		}
+	}
+	c.votes += rounds
+	lastRound := c.votes
 	var mask byte
 	if frame == c.plan.CorruptFrame {
 		mask = byte(c.rng.Uint64()) | 0x80
 	}
 	c.mu.Unlock()
 
-	if c.plan.CrashAtRound > 0 && isVote && round >= c.plan.CrashAtRound {
+	if c.plan.CrashAtRound > 0 && rounds > 0 && lastRound >= c.plan.CrashAtRound {
 		c.tr.count(func(s *FaultStats) { s.Crashes++ })
 		_ = c.Conn.Close()
-		return 0, fmt.Errorf("network: fault: player crashed at round %d", round)
+		return 0, fmt.Errorf("network: fault: player crashed at round %d", c.plan.CrashAtRound)
 	}
 	if mask != 0 && len(p) > headerSize {
 		c.tr.count(func(s *FaultStats) { s.FramesCorrupted++ })
 		q := append([]byte(nil), p...)
-		q[len(q)-1] ^= mask
+		// Corrupt the batch id of a VOTE_BATCH (detected by the referee's
+		// echo check) and the last payload byte of everything else; a batch
+		// frame's tail bytes are genuine vote bits, where a flip would be a
+		// silent wrong verdict instead of a validated protocol error.
+		idx := len(q) - 1
+		if kind == FrameVoteBatch && len(q) > voteBatchIDOffset {
+			idx = voteBatchIDOffset
+		}
+		q[idx] ^= mask
 		n, err := c.Conn.Write(q)
 		if n > len(p) {
 			n = len(p)

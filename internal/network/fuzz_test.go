@@ -2,6 +2,7 @@ package network
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -12,15 +13,17 @@ import (
 // corpus runs as part of the normal test suite.
 func FuzzReadFrame(f *testing.F) {
 	// Seed with every valid frame type plus structural mutations.
-	var hello, round, vote, verdict bytes.Buffer
+	var hello, round, vote, verdict, finish bytes.Buffer
 	_ = WriteHello(&hello, Hello{Player: 3, Bits: 1})
 	_ = WriteRound(&round, Round{Seed: 0xfeedface})
 	_ = WriteVote(&vote, Vote{Player: 3, Message: 99})
 	_ = WriteVerdict(&verdict, Verdict{Accept: true})
+	_ = WriteFinish(&finish)
 	f.Add(hello.Bytes())
 	f.Add(round.Bytes())
 	f.Add(vote.Bytes())
 	f.Add(verdict.Bytes())
+	f.Add(finish.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 0})             // unknown type
 	f.Add([]byte{0x00, 0x00, 1, 1, 0, 0, 0, 0})             // bad magic
@@ -28,6 +31,39 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xD0, 0x7A, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge length
 	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 2})          // VERDICT byte other than 0/1
 	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 0xFF})       // VERDICT byte 0xFF
+
+	// Valid batch frames, including a partial final word and a bitset
+	// spanning two words.
+	var roundBatch, voteBatch, verdictBatch bytes.Buffer
+	_ = WriteRoundBatch(&roundBatch, RoundBatch{Batch: 7, Seeds: []uint64{1, 0xfeedface, 3}})
+	_ = WriteVoteBatch(&voteBatch, VoteBatch{Player: 3, Batch: 7, Count: 3, Bits: []uint64{0b101}})
+	_ = WriteVerdictBatch(&verdictBatch, VerdictBatch{Batch: 7, Count: 65, Bits: []uint64{^uint64(0), 1}})
+	f.Add(roundBatch.Bytes())
+	f.Add(voteBatch.Bytes())
+	f.Add(verdictBatch.Bytes())
+
+	// Malformed batch frames the decoder must reject (never panic on):
+	// length prefixes disagreeing with the count field, counts out of
+	// range, wrong bitset word counts, and non-zero padding bits.
+	f.Add([]byte{0xD0, 0x7A, 1, 6, 0, 0, 0, 8,
+		0, 0, 0, 7, 0, 0, 0, 5}) // ROUND_BATCH count 5, zero seeds
+	f.Add([]byte{0xD0, 0x7A, 1, 6, 0, 0, 0, 8,
+		0, 0, 0, 7, 0, 0, 0, 0}) // ROUND_BATCH count 0
+	f.Add([]byte{0xD0, 0x7A, 1, 6, 0, 0, 0, 12,
+		0, 0, 0, 7, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4}) // ROUND_BATCH huge count
+	f.Add([]byte{0xD0, 0x7A, 1, 7, 0, 0, 0, 20,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2}) // VOTE_BATCH count 1 with padding bit 1 set
+	f.Add([]byte{0xD0, 0x7A, 1, 7, 0, 0, 0, 20,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0}) // VOTE_BATCH count 0
+	f.Add([]byte{0xD0, 0x7A, 1, 7, 0, 0, 0, 12,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 65}) // VOTE_BATCH count 65, zero words
+	f.Add([]byte{0xD0, 0x7A, 1, 8, 0, 0, 0, 24,
+		0, 0, 0, 7, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 0}) // VERDICT_BATCH count 1 with two words
+	f.Add([]byte{0xD0, 0x7A, 1, 8, 0xFF, 0xFF, 0xFF, 0xFF}) // VERDICT_BATCH huge length prefix
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, msg, err := ReadFrame(bytes.NewReader(data))
@@ -53,6 +89,31 @@ func FuzzReadFrame(f *testing.F) {
 			if err := WriteVerdict(&buf, m); err != nil {
 				t.Fatalf("re-encode verdict: %v", err)
 			}
+		case Finish:
+			if err := WriteFinish(&buf); err != nil {
+				t.Fatalf("re-encode finish: %v", err)
+			}
+		case RoundBatch:
+			if len(m.Seeds) == 0 {
+				t.Fatalf("decoder accepted empty ROUND_BATCH: %+v", m)
+			}
+			if err := WriteRoundBatch(&buf, m); err != nil {
+				t.Fatalf("re-encode round batch: %v", err)
+			}
+		case VoteBatch:
+			if err := checkBatchBits(FrameVoteBatch, int(m.Count), m.Bits); err != nil {
+				t.Fatalf("decoder accepted invalid VOTE_BATCH bitset: %v", err)
+			}
+			if err := WriteVoteBatch(&buf, m); err != nil {
+				t.Fatalf("re-encode vote batch: %v", err)
+			}
+		case VerdictBatch:
+			if err := checkBatchBits(FrameVerdictBatch, int(m.Count), m.Bits); err != nil {
+				t.Fatalf("decoder accepted invalid VERDICT_BATCH bitset: %v", err)
+			}
+			if err := WriteVerdictBatch(&buf, m); err != nil {
+				t.Fatalf("re-encode verdict batch: %v", err)
+			}
 		default:
 			t.Fatalf("decoded unknown type %T", msg)
 		}
@@ -60,7 +121,9 @@ func FuzzReadFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode: %v", err)
 		}
-		if typ2 != typ || msg2 != msg {
+		// Batch frames hold bitset slices, so structural equality rather
+		// than ==.
+		if typ2 != typ || !reflect.DeepEqual(msg2, msg) {
 			t.Fatalf("round trip changed frame: (%v, %+v) -> (%v, %+v)", typ, msg, typ2, msg2)
 		}
 	})

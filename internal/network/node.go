@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/distributed-uniformity/dut/internal/core"
@@ -41,6 +42,18 @@ type PlayerNode struct {
 	// sequential), so the reuse is race-free.
 	buf []int
 	rng *engine.ReusableRNG
+
+	// voteBits is the reusable packed-vote buffer for ROUND_BATCH replies;
+	// like buf it is safe to reuse because a node handles one frame at a
+	// time.
+	voteBits []uint64
+
+	// staged holds per-batch sampler overrides keyed by batch id, set by
+	// the referee-side aggregator before it issues the ROUND_BATCH. The
+	// map is the only node state touched from another goroutine (the
+	// aggregator stages while the node loop votes), hence the mutex.
+	stagedMu sync.Mutex
+	staged   map[uint32][]dist.Sampler
 }
 
 // NewPlayerNode builds a node. timeout bounds each frame wait; zero means
@@ -178,4 +191,75 @@ func (p *PlayerNode) RunRoundStats(tr Transport, addr net.Addr) (bool, int, erro
 func (p *PlayerNode) RunRound(tr Transport, addr net.Addr) (bool, error) {
 	accept, _, err := p.RunRoundStats(tr, addr)
 	return accept, err
+}
+
+// stageBatch registers per-trial sampler overrides for an upcoming
+// ROUND_BATCH. The aggregator calls it before issuing the frame; the
+// node loop claims the slice (takeStaged) when the frame arrives. A
+// batch with no staged samplers falls back to the node's own sampler
+// for every trial.
+func (p *PlayerNode) stageBatch(batch uint32, samplers []dist.Sampler) {
+	p.stagedMu.Lock()
+	if p.staged == nil {
+		p.staged = make(map[uint32][]dist.Sampler)
+	}
+	p.staged[batch] = samplers
+	p.stagedMu.Unlock()
+}
+
+// takeStaged claims and removes the sampler overrides staged for a
+// batch id.
+func (p *PlayerNode) takeStaged(batch uint32) ([]dist.Sampler, bool) {
+	p.stagedMu.Lock()
+	s, ok := p.staged[batch]
+	if ok {
+		delete(p.staged, batch)
+	}
+	p.stagedMu.Unlock()
+	return s, ok
+}
+
+// voteBatch computes one vote per seed of a ROUND_BATCH and replies
+// with the packed VOTE_BATCH. Each trial's derivation is exactly the
+// single-round path's — engine.NodeRNG(seed, id) feeding SampleInto and
+// the rule — so bit j of the reply equals the VOTE the node would have
+// sent for seed j unbatched. Only single-bit rules pack into a bitset;
+// a wider rule is a protocol error here (the aggregator never issues
+// batches for one).
+func (p *PlayerNode) voteBatch(conn net.Conn, rb RoundBatch) error {
+	if bits := p.rule.Bits(); bits != 1 {
+		return fmt.Errorf("network: node %d got ROUND_BATCH with a %d-bit rule; batching needs single-bit votes", p.id, bits)
+	}
+	count := len(rb.Seeds)
+	samplers, staged := p.takeStaged(rb.Batch)
+	if staged && len(samplers) != count {
+		return fmt.Errorf("network: node %d staged %d samplers for batch %d of %d trials", p.id, len(samplers), rb.Batch, count)
+	}
+	words := batchWords(count)
+	if cap(p.voteBits) < words {
+		p.voteBits = make([]uint64, words)
+	}
+	voteBits := p.voteBits[:words]
+	for i := range voteBits {
+		voteBits[i] = 0
+	}
+	for j, seed := range rb.Seeds {
+		sampler := p.sampler
+		if staged {
+			sampler = samplers[j]
+		}
+		rng := p.rng.SeedNode(seed, int(p.id))
+		dist.SampleInto(sampler, p.buf, rng)
+		msg, err := p.rule.Message(int(p.id), p.buf, seed, rng)
+		if err != nil {
+			return fmt.Errorf("network: node %d rule: %w", p.id, err)
+		}
+		if msg.Bit() {
+			voteBits[j/64] |= 1 << (j % 64)
+		}
+	}
+	// Refresh the deadline: a large batch of sampling may have consumed
+	// most of the read-phase budget.
+	setDeadline(conn, p.timeout)
+	return WriteVoteBatch(conn, VoteBatch{Player: p.id, Batch: rb.Batch, Count: uint32(count), Bits: voteBits})
 }

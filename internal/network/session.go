@@ -178,7 +178,15 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, 
 		return nil, retries, err
 	}
 	defer func() { _ = conn.Close() }()
+	verdicts, err := p.runSessionConn(conn, true)
+	return verdicts, retries, err
+}
 
+// runSessionConn is the node's frame loop over an established
+// connection: answer ROUND/ROUND_BATCH, record VERDICT/VERDICT_BATCH
+// (only when collect is set — the engine's long-lived batch sessions
+// would otherwise grow the slice without bound), exit on FINISH.
+func (p *PlayerNode) runSessionConn(conn net.Conn, collect bool) ([]bool, error) {
 	var verdicts []bool
 	for {
 		// Referee frames can lag a full referee phase behind — the quorum
@@ -187,7 +195,7 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, 
 		setDeadline(conn, 2*p.timeout)
 		t, msg, err := ReadFrame(conn)
 		if err != nil {
-			return nil, retries, fmt.Errorf("network: node %d read: %w", p.id, err)
+			return nil, fmt.Errorf("network: node %d read: %w", p.id, err)
 		}
 		switch m := msg.(type) {
 		case Round:
@@ -195,18 +203,30 @@ func (p *PlayerNode) RunSessionStats(tr Transport, addr net.Addr) ([]bool, int, 
 			dist.SampleInto(p.sampler, p.buf, rng)
 			vote, err := p.rule.Message(int(p.id), p.buf, m.Seed, rng)
 			if err != nil {
-				return nil, retries, fmt.Errorf("network: node %d rule: %w", p.id, err)
+				return nil, fmt.Errorf("network: node %d rule: %w", p.id, err)
 			}
 			setDeadline(conn, p.timeout)
 			if err := WriteVote(conn, Vote{Player: p.id, Message: uint64(vote)}); err != nil {
-				return nil, retries, fmt.Errorf("network: node %d vote: %w", p.id, err)
+				return nil, fmt.Errorf("network: node %d vote: %w", p.id, err)
+			}
+		case RoundBatch:
+			if err := p.voteBatch(conn, m); err != nil {
+				return nil, err
 			}
 		case Verdict:
-			verdicts = append(verdicts, m.Accept)
+			if collect {
+				verdicts = append(verdicts, m.Accept)
+			}
+		case VerdictBatch:
+			if collect {
+				for j := 0; j < int(m.Count); j++ {
+					verdicts = append(verdicts, m.Bits[j/64]>>(j%64)&1 == 1)
+				}
+			}
 		case Finish:
-			return verdicts, retries, nil
+			return verdicts, nil
 		default:
-			return nil, retries, fmt.Errorf("network: node %d got unexpected %v mid-session", p.id, t)
+			return nil, fmt.Errorf("network: node %d got unexpected %v mid-session", p.id, t)
 		}
 	}
 }

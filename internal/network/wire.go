@@ -12,20 +12,32 @@ const (
 	Magic = uint16(0xD07A)
 	// Version is the wire protocol version.
 	Version = uint8(1)
-	// MaxFrameSize bounds a frame's payload; every legal message is tiny.
+	// MaxFrameSize bounds a single-round frame's payload; every legal
+	// single-round message is tiny. Batch frames have their own bound,
+	// derived from MaxBatchTrials (see maxPayload).
 	MaxFrameSize = 64
+	// MaxBatchTrials bounds the trial count of one batch frame. It caps
+	// the memory a malicious length prefix can make the decoder allocate
+	// while still amortizing the per-frame synchronization well past the
+	// point of diminishing returns.
+	MaxBatchTrials = 1024
 )
 
 // FrameType enumerates the message kinds. Values are wire-stable.
 type FrameType uint8
 
-// Frame types, in round order.
+// Frame types, in round order. The batch frames (6..8) are the
+// multi-trial counterparts of ROUND/VOTE/VERDICT: one frame carries up
+// to MaxBatchTrials trials, identified by a batch id the voter echoes.
 const (
 	FrameHello FrameType = iota + 1
 	FrameRound
 	FrameVote
 	FrameVerdict
 	FrameFinish
+	FrameRoundBatch
+	FrameVoteBatch
+	FrameVerdictBatch
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -41,6 +53,12 @@ func (t FrameType) String() string {
 		return "VERDICT"
 	case FrameFinish:
 		return "FINISH"
+	case FrameRoundBatch:
+		return "ROUND_BATCH"
+	case FrameVoteBatch:
+		return "VOTE_BATCH"
+	case FrameVerdictBatch:
+		return "VERDICT_BATCH"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -71,13 +89,79 @@ type Verdict struct {
 // Finish tells a player the session is over (multi-round sessions only).
 type Finish struct{}
 
+// RoundBatch carries the public-coin seeds of len(Seeds) consecutive
+// trials, identified by a batch id the player echoes in its VOTE_BATCH.
+// Payload layout: batch(4) count(4) seed[0..count)(8 each), big-endian.
+type RoundBatch struct {
+	Batch uint32
+	Seeds []uint64
+}
+
+// VoteBatch carries one player's single-bit votes for every trial of a
+// batch as a packed bitset: trial j of the batch is bit j%64 (LSB
+// first) of word j/64, 1 = accept. Padding bits past Count must be
+// zero — the decoder rejects frames that violate it, so a corrupted
+// tail byte surfaces as a protocol error, never as silent extra votes.
+// Payload layout: player(4) batch(4) count(4) words (8 each).
+type VoteBatch struct {
+	Player uint32
+	Batch  uint32
+	Count  uint32
+	Bits   []uint64
+}
+
+// VerdictBatch carries the referee's verdicts for every trial of a
+// batch, packed exactly like VoteBatch.Bits (1 = accept).
+// Payload layout: batch(4) count(4) words (8 each).
+type VerdictBatch struct {
+	Batch uint32
+	Count uint32
+	Bits  []uint64
+}
+
+// batchWords is the number of 64-bit bitset words covering count trials.
+func batchWords(count int) int { return (count + 63) / 64 }
+
+// checkBatchBits validates a packed bitset against its trial count:
+// exact word count and zero padding bits above count.
+func checkBatchBits(kind FrameType, count int, bits []uint64) error {
+	if count < 1 || count > MaxBatchTrials {
+		return fmt.Errorf("network: %v with %d trials, want 1..%d", kind, count, MaxBatchTrials)
+	}
+	if len(bits) != batchWords(count) {
+		return fmt.Errorf("network: %v with %d bitset words for %d trials, want %d",
+			kind, len(bits), count, batchWords(count))
+	}
+	if rem := count % 64; rem != 0 {
+		if pad := bits[len(bits)-1] &^ (1<<rem - 1); pad != 0 {
+			return fmt.Errorf("network: %v with non-zero padding bits %#x above trial %d", kind, pad, count)
+		}
+	}
+	return nil
+}
+
 // frame layout: magic(2) version(1) type(1) length(4) payload(length).
 const headerSize = 8
 
+// maxPayload is the per-type payload bound: single-round frames stay
+// within MaxFrameSize, batch frames within what MaxBatchTrials implies.
+func maxPayload(t FrameType) int {
+	switch t {
+	case FrameRoundBatch:
+		return 8 + 8*MaxBatchTrials
+	case FrameVoteBatch:
+		return 12 + 8*batchWords(MaxBatchTrials)
+	case FrameVerdictBatch:
+		return 8 + 8*batchWords(MaxBatchTrials)
+	default:
+		return MaxFrameSize
+	}
+}
+
 // writeFrame writes one frame.
 func writeFrame(w io.Writer, t FrameType, payload []byte) error {
-	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("network: payload of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	if limit := maxPayload(t); len(payload) > limit {
+		return fmt.Errorf("network: %v payload of %d bytes exceeds limit %d", t, len(payload), limit)
 	}
 	buf := make([]byte, headerSize+len(payload))
 	binary.BigEndian.PutUint16(buf[0:2], Magic)
@@ -103,8 +187,8 @@ func readFrame(r io.Reader) (FrameType, []byte, error) {
 	}
 	t := FrameType(header[3])
 	size := binary.BigEndian.Uint32(header[4:8])
-	if size > MaxFrameSize {
-		return 0, nil, fmt.Errorf("network: oversized frame of %d bytes", size)
+	if limit := maxPayload(t); size > uint32(limit) {
+		return 0, nil, fmt.Errorf("network: oversized %v frame of %d bytes", t, size)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -150,6 +234,53 @@ func WriteFinish(w io.Writer) error {
 	return writeFrame(w, FrameFinish, nil)
 }
 
+// WriteRoundBatch sends a ROUND_BATCH frame.
+func WriteRoundBatch(w io.Writer, r RoundBatch) error {
+	count := len(r.Seeds)
+	if count < 1 || count > MaxBatchTrials {
+		return fmt.Errorf("network: ROUND_BATCH with %d trials, want 1..%d", count, MaxBatchTrials)
+	}
+	p := make([]byte, 8+8*count)
+	binary.BigEndian.PutUint32(p[0:4], r.Batch)
+	binary.BigEndian.PutUint32(p[4:8], uint32(count))
+	for i, seed := range r.Seeds {
+		binary.BigEndian.PutUint64(p[8+8*i:], seed)
+	}
+	return writeFrame(w, FrameRoundBatch, p)
+}
+
+// WriteVoteBatch sends a VOTE_BATCH frame; the bitset is validated
+// against Count (word count and zero padding) before any byte leaves,
+// so an invalid batch never reaches the wire.
+func WriteVoteBatch(w io.Writer, v VoteBatch) error {
+	if err := checkBatchBits(FrameVoteBatch, int(v.Count), v.Bits); err != nil {
+		return err
+	}
+	p := make([]byte, 12+8*len(v.Bits))
+	binary.BigEndian.PutUint32(p[0:4], v.Player)
+	binary.BigEndian.PutUint32(p[4:8], v.Batch)
+	binary.BigEndian.PutUint32(p[8:12], v.Count)
+	for i, word := range v.Bits {
+		binary.BigEndian.PutUint64(p[12+8*i:], word)
+	}
+	return writeFrame(w, FrameVoteBatch, p)
+}
+
+// WriteVerdictBatch sends a VERDICT_BATCH frame, validated like
+// WriteVoteBatch.
+func WriteVerdictBatch(w io.Writer, v VerdictBatch) error {
+	if err := checkBatchBits(FrameVerdictBatch, int(v.Count), v.Bits); err != nil {
+		return err
+	}
+	p := make([]byte, 8+8*len(v.Bits))
+	binary.BigEndian.PutUint32(p[0:4], v.Batch)
+	binary.BigEndian.PutUint32(p[4:8], v.Count)
+	for i, word := range v.Bits {
+		binary.BigEndian.PutUint64(p[8+8*i:], word)
+	}
+	return writeFrame(w, FrameVerdictBatch, p)
+}
+
 // ReadFrame reads and decodes the next frame into one of the typed
 // structs; the first return carries the type tag.
 func ReadFrame(r io.Reader) (FrameType, any, error) {
@@ -191,6 +322,73 @@ func ReadFrame(r io.Reader) (FrameType, any, error) {
 			return 0, nil, fmt.Errorf("network: FINISH payload of %d bytes", len(payload))
 		}
 		return t, Finish{}, nil
+	case FrameRoundBatch:
+		if len(payload) < 8 {
+			return 0, nil, fmt.Errorf("network: ROUND_BATCH payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[4:8]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: ROUND_BATCH with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		if len(payload) != 8+8*count {
+			return 0, nil, fmt.Errorf("network: ROUND_BATCH payload of %d bytes for %d trials, want %d",
+				len(payload), count, 8+8*count)
+		}
+		seeds := make([]uint64, count)
+		for i := range seeds {
+			seeds[i] = binary.BigEndian.Uint64(payload[8+8*i:])
+		}
+		return t, RoundBatch{Batch: binary.BigEndian.Uint32(payload[0:4]), Seeds: seeds}, nil
+	case FrameVoteBatch:
+		if len(payload) < 12 {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[8:12]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		if len(payload) != 12+8*batchWords(count) {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH payload of %d bytes for %d trials, want %d",
+				len(payload), count, 12+8*batchWords(count))
+		}
+		bits := make([]uint64, batchWords(count))
+		for i := range bits {
+			bits[i] = binary.BigEndian.Uint64(payload[12+8*i:])
+		}
+		v := VoteBatch{
+			Player: binary.BigEndian.Uint32(payload[0:4]),
+			Batch:  binary.BigEndian.Uint32(payload[4:8]),
+			Count:  uint32(count),
+			Bits:   bits,
+		}
+		if err := checkBatchBits(FrameVoteBatch, count, bits); err != nil {
+			return 0, nil, err
+		}
+		return t, v, nil
+	case FrameVerdictBatch:
+		if len(payload) < 8 {
+			return 0, nil, fmt.Errorf("network: VERDICT_BATCH payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[4:8]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: VERDICT_BATCH with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		if len(payload) != 8+8*batchWords(count) {
+			return 0, nil, fmt.Errorf("network: VERDICT_BATCH payload of %d bytes for %d trials, want %d",
+				len(payload), count, 8+8*batchWords(count))
+		}
+		bits := make([]uint64, batchWords(count))
+		for i := range bits {
+			bits[i] = binary.BigEndian.Uint64(payload[8+8*i:])
+		}
+		if err := checkBatchBits(FrameVerdictBatch, count, bits); err != nil {
+			return 0, nil, err
+		}
+		return t, VerdictBatch{
+			Batch: binary.BigEndian.Uint32(payload[0:4]),
+			Count: uint32(count),
+			Bits:  bits,
+		}, nil
 	default:
 		return 0, nil, fmt.Errorf("network: unknown frame type %d", uint8(t))
 	}
