@@ -82,6 +82,9 @@ bench:
 	$(GO) run ./cmd/benchjson -baseline BENCH_engine.json -o BENCH_engine.json \
 		-max-regress $(BENCH_MAX_REGRESS) -regress-metric $(BENCH_REGRESS_METRIC) < bench_engine.txt
 	@echo "wrote BENCH_engine.json"
+	@mkdir -p results/bench
+	@cp BENCH_engine.json "results/bench/$$(git rev-parse --short HEAD 2>/dev/null || echo nogit).json"
+	@echo "archived results/bench/$$(git rev-parse --short HEAD 2>/dev/null || echo nogit).json"
 
 # Every benchmark in the repository (experiments + micro-benchmarks).
 bench-all:

@@ -45,19 +45,39 @@ func (b *testerBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (en
 // looped, with the per-trial node-program construction and the
 // simulator's round buffers amortized across the whole batch (the
 // scratch holds reset-able node state machines and a reusable
-// simulator). Verdicts are bit-identical to the unbatched path — the
-// per-trial derivations are unchanged, only the allocations moved.
+// simulator), and the per-trial overheads (context check, clock reads)
+// hoisted to one per chunk — the chunk's elapsed time is spread over
+// its trials remainder-exactly by engine.SpreadWall. Verdicts are
+// bit-identical to the unbatched path — the per-trial derivations are
+// unchanged, only the allocations moved.
 func (b *testerBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("congest: %d results for %d specs", len(out), len(specs))
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sc, ok := scratch.(*runScratch)
+	if !ok {
+		return fmt.Errorf("congest: foreign scratch %T", scratch)
+	}
+	n := b.t.Players()
+	sw := engine.StartStopwatch()
 	for i, spec := range specs {
-		res, err := b.RunRoundScratch(ctx, spec, scratch)
+		shared := engine.SharedSeed(spec.Seed, spec.Trial)
+		accept, sim, err := b.t.runSeededScratch(spec.Sampler, shared, sc)
 		if err != nil {
 			return err
 		}
-		out[i] = res
+		out[i] = engine.RoundResult{
+			Verdict:    accept,
+			Votes:      n,
+			Samples:    n * b.t.q,
+			Messages:   sim.MessagesSent(),
+			CommRounds: sim.Rounds(),
+		}
 	}
+	engine.SpreadWall(out, sw.Elapsed())
 	return nil
 }
 

@@ -39,22 +39,28 @@ const (
 )
 
 // uniformityNode is the per-node state machine of the tree-aggregation
-// tester.
+// tester. All per-neighbor state is indexed by the neighbor's position
+// in the ascending-sorted neighbor list — the same indexing the
+// simulator's Inbox uses — so a trial's worth of steps allocates
+// nothing (the previous map-backed status/oweNack/oweExplore and the
+// per-step explorer slice were most of the CONGEST backend's per-trial
+// allocations).
 type uniformityNode struct {
 	id        int
 	root      bool
 	threshold int  // referee threshold T (used by the root only)
 	rejects   bool // this node's local vote
 
-	neighbors []int
-	status    map[int]neighborStatus
+	neighbors  []int            // ascending neighbor ids
+	status     []neighborStatus // by position
+	oweNack    []bool           // by position
+	oweExplore []bool           // by position
+	explorers  []int            // per-step scratch: explorer positions
 
-	parent      int
+	parent      int // parent node id (not position); -1 until adopted
 	adopted     bool
 	waveSent    bool
 	oweChild    bool
-	oweNack     map[int]bool
-	oweExplore  map[int]bool
 	childCount  int
 	reportsIn   int
 	rejectSum   uint64
@@ -76,9 +82,10 @@ func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool,
 		root:       root,
 		threshold:  threshold,
 		neighbors:  nbrs,
-		status:     make(map[int]neighborStatus, len(nbrs)),
-		oweNack:    map[int]bool{},
-		oweExplore: map[int]bool{},
+		status:     make([]neighborStatus, len(nbrs)),
+		oweNack:    make([]bool, len(nbrs)),
+		oweExplore: make([]bool, len(nbrs)),
+		explorers:  make([]int, 0, len(nbrs)),
 	}
 	n.reset(rejects, result)
 	return n
@@ -93,9 +100,7 @@ func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool,
 func (n *uniformityNode) reset(rejects bool, result *bool) {
 	n.rejects = rejects
 	n.result = result
-	for _, v := range n.neighbors {
-		n.status[v] = nbUnknown
-	}
+	clear(n.status) // nbUnknown is the zero status
 	clear(n.oweNack)
 	clear(n.oweExplore)
 	n.parent = -1
@@ -111,8 +116,8 @@ func (n *uniformityNode) reset(rejects bool, result *bool) {
 	if n.root {
 		n.adopted = true
 		n.parent = n.id
-		for _, v := range n.neighbors {
-			n.oweExplore[v] = true
+		for pos := range n.oweExplore {
+			n.oweExplore[pos] = true
 		}
 	}
 }
@@ -120,28 +125,28 @@ func (n *uniformityNode) reset(rejects bool, result *bool) {
 // Step implements NodeProgram.
 func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 	// 1. Digest the inbox.
-	var exploreFrom []int
-	for _, from := range n.neighbors {
-		p, ok := in[from]
+	explorers := n.explorers[:0]
+	for pos, from := range n.neighbors {
+		p, ok := in.Get(pos)
 		if !ok {
 			continue
 		}
 		tag, value := decode(p)
 		switch tag {
 		case tagExplore:
-			exploreFrom = append(exploreFrom, from)
+			explorers = append(explorers, pos)
 		case tagChild:
-			if n.status[from] == nbChild {
+			if n.status[pos] == nbChild {
 				return false, fmt.Errorf("duplicate CHILD from %d", from)
 			}
-			n.status[from] = nbChild
+			n.status[pos] = nbChild
 			n.childCount++
-			delete(n.oweExplore, from)
+			n.oweExplore[pos] = false
 		case tagNack:
-			n.status[from] = nbNotChild
-			delete(n.oweExplore, from)
+			n.status[pos] = nbNotChild
+			n.oweExplore[pos] = false
 		case tagReport:
-			if n.status[from] != nbChild {
+			if n.status[pos] != nbChild {
 				return false, fmt.Errorf("REPORT from non-child %d", from)
 			}
 			n.reportsIn++
@@ -156,31 +161,33 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 			return false, fmt.Errorf("unknown tag %d from %d", tag, from)
 		}
 	}
+	n.explorers = explorers // keep the grown capacity for the next step
 
 	// 2. Adoption: pick the smallest explorer as parent; everyone else who
-	// explored is resolved as not-a-child and owed a NACK.
-	sort.Ints(exploreFrom)
-	for _, from := range exploreFrom {
+	// explored is resolved as not-a-child and owed a NACK. explorers holds
+	// positions in ascending order, which is ascending id order — no sort
+	// needed.
+	for _, pos := range explorers {
 		if !n.adopted {
 			n.adopted = true
-			n.parent = from
-			n.status[from] = nbParent
+			n.parent = n.neighbors[pos]
+			n.status[pos] = nbParent
 			n.oweChild = true
-			delete(n.oweExplore, from)
+			n.oweExplore[pos] = false
 			// Schedule the wave to the remaining unknown neighbors.
-			for _, v := range n.neighbors {
+			for v := range n.neighbors {
 				if n.status[v] == nbUnknown {
 					n.oweExplore[v] = true
 				}
 			}
 			continue
 		}
-		if n.status[from] == nbUnknown || n.status[from] == nbNotChild {
+		if n.status[pos] == nbUnknown || n.status[pos] == nbNotChild {
 			// An explorer already has its own parent; it can never be our
 			// child.
-			n.status[from] = nbNotChild
-			n.oweNack[from] = true
-			delete(n.oweExplore, from)
+			n.status[pos] = nbNotChild
+			n.oweNack[pos] = true
+			n.oweExplore[pos] = false
 		}
 	}
 
@@ -192,25 +199,25 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 		}
 		n.oweChild = false
 	}
-	for _, v := range n.neighbors {
-		if !n.oweNack[v] {
+	for pos, v := range n.neighbors {
+		if !n.oweNack[pos] {
 			continue
 		}
 		if err := out.Send(v, encode(tagNack, 0)); err != nil {
 			return false, err
 		}
-		delete(n.oweNack, v)
-		delete(n.oweExplore, v)
+		n.oweNack[pos] = false
+		n.oweExplore[pos] = false
 	}
 	if n.adopted {
-		for _, v := range n.neighbors {
-			if !n.oweExplore[v] {
+		for pos, v := range n.neighbors {
+			if !n.oweExplore[pos] {
 				continue
 			}
 			if err := out.Send(v, encode(tagExplore, 0)); err != nil {
 				return false, err
 			}
-			delete(n.oweExplore, v)
+			n.oweExplore[pos] = false
 		}
 		n.waveSent = true
 	}
@@ -243,8 +250,8 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 		if n.verdict {
 			bit = 1
 		}
-		for _, v := range n.neighbors {
-			if n.status[v] == nbChild {
+		for pos, v := range n.neighbors {
+			if n.status[pos] == nbChild {
 				if err := out.Send(v, encode(tagDecide, bit)); err != nil {
 					return false, err
 				}
@@ -257,8 +264,8 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 
 // allResolved reports whether every incident edge has been classified.
 func (n *uniformityNode) allResolved() bool {
-	for _, v := range n.neighbors {
-		if n.status[v] == nbUnknown {
+	for _, st := range n.status {
+		if st == nbUnknown {
 			return false
 		}
 	}
@@ -400,6 +407,11 @@ type runScratch struct {
 	programs []NodeProgram
 	nodes    []*uniformityNode
 	sim      *Simulator
+	// verdict is the root's result sink. It lives on the scratch (not the
+	// stack of runSeededScratch) because the nodes retain the pointer
+	// across trials — a local would escape to a fresh heap allocation on
+	// every run.
+	verdict bool
 }
 
 // newScratch sizes a runScratch for this tester.
@@ -428,7 +440,7 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 		return false, nil, fmt.Errorf("congest: nil sampler")
 	}
 	n := t.graph.N()
-	var verdict bool
+	sc.verdict = false
 	if sc.nodes == nil {
 		sc.nodes = make([]*uniformityNode, n)
 		for u := range sc.nodes {
@@ -444,7 +456,7 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 			return false, nil, fmt.Errorf("congest: node %d vote: %w", u, err)
 		}
 		node := sc.nodes[u]
-		node.reset(!msg.Bit(), &verdict)
+		node.reset(!msg.Bit(), &sc.verdict)
 		programs[u] = node
 	}
 	if sc.sim == nil {
@@ -462,5 +474,5 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 	if err := sc.sim.Run(maxRounds); err != nil {
 		return false, nil, err
 	}
-	return verdict, sc.sim, nil
+	return sc.verdict, sc.sim, nil
 }

@@ -354,12 +354,11 @@ func TestOutboxEnforcesModel(t *testing.T) {
 		t.Error("double-send not surfaced")
 	}
 	// Send to non-neighbor.
-	out := &Outbox{node: 0, graph: g, msgs: map[int]Payload{}}
+	out := newOutbox(0, []int{1})
 	if err := out.Send(0, 1); err == nil {
 		t.Error("self-send accepted")
 	}
-	g3, _ := Path(3)
-	out3 := &Outbox{node: 0, graph: g3, msgs: map[int]Payload{}}
+	out3 := newOutbox(0, []int{1})
 	if err := out3.Send(2, 1); err == nil {
 		t.Error("non-neighbor send accepted")
 	}

@@ -3,6 +3,8 @@ package congest
 import (
 	"fmt"
 	"math/bits"
+	"slices"
+	"sort"
 )
 
 // MessageBits is the CONGEST bandwidth cap per edge per round. The classic
@@ -20,12 +22,31 @@ func (p Payload) fitsBits(b int) bool {
 	return bits.Len64(uint64(p)) <= b
 }
 
-// Outbox collects a node's messages for the current round, keyed by
-// neighbor.
+// Outbox collects a node's messages for the current round. Slots are
+// indexed by the neighbor's position in the node's ascending-sorted
+// neighbor list — flat slices instead of a per-round map, so a round of
+// sends touches no allocator and no hashing.
 type Outbox struct {
-	node  int
-	graph *Graph
-	msgs  map[int]Payload
+	node      int
+	neighbors []int // ascending neighbor ids
+	msgs      []Payload
+	has       []bool
+}
+
+// newOutbox builds the outbox for a node with the given ascending-sorted
+// neighbor list.
+func newOutbox(node int, neighbors []int) *Outbox {
+	return &Outbox{
+		node:      node,
+		neighbors: neighbors,
+		msgs:      make([]Payload, len(neighbors)),
+		has:       make([]bool, len(neighbors)),
+	}
+}
+
+// reset clears the outbox for a fresh round.
+func (o *Outbox) reset() {
+	clear(o.has)
 }
 
 // Send queues a message to a neighbor; sending twice to the same neighbor
@@ -33,16 +54,17 @@ type Outbox struct {
 // (the simulator is strict so protocol bugs surface as failures, not as
 // silently cheaty behavior).
 func (o *Outbox) Send(to int, p Payload) error {
-	if !o.graph.hasEdge(o.node, to) {
+	pos, ok := slices.BinarySearch(o.neighbors, to)
+	if !ok {
 		return fmt.Errorf("congest: node %d sending to non-neighbor %d", o.node, to)
 	}
-	if _, dup := o.msgs[to]; dup {
+	if o.has[pos] {
 		return fmt.Errorf("congest: node %d sending twice to %d in one round", o.node, to)
 	}
 	if !p.fitsBits(MessageBits) {
 		return fmt.Errorf("congest: message exceeds %d bits", MessageBits)
 	}
-	o.msgs[to] = p
+	o.msgs[pos], o.has[pos] = p, true
 	return nil
 }
 
@@ -50,22 +72,25 @@ func (o *Outbox) Send(to int, p Payload) error {
 // queued this round, letting programs postpone lower-priority traffic
 // instead of violating the one-message-per-edge-per-round rule.
 func (o *Outbox) Queued(to int) bool {
-	_, ok := o.msgs[to]
-	return ok
+	pos, ok := slices.BinarySearch(o.neighbors, to)
+	return ok && o.has[pos]
 }
 
-func (g *Graph) hasEdge(u, v int) bool {
-	for _, w := range g.adj[u] {
-		if w == v {
-			return true
-		}
+// Inbox is the set of messages a node received last round, indexed by the
+// sender's position in the node's ascending-sorted neighbor list.
+type Inbox struct {
+	msgs []Payload
+	has  []bool
+}
+
+// Get returns the message from the neighbor at the given position in the
+// node's sorted neighbor list, and whether one arrived this round.
+func (in Inbox) Get(pos int) (Payload, bool) {
+	if !in.has[pos] {
+		return 0, false
 	}
-	return false
+	return in.msgs[pos], true
 }
-
-// Inbox is the set of messages a node received last round, keyed by
-// sender.
-type Inbox map[int]Payload
 
 // NodeProgram is a synchronous-round state machine. Step is called once
 // per round with the messages received at the start of the round; it
@@ -87,12 +112,18 @@ type Simulator struct {
 	rounds        int
 	messagesSent  int
 	maxBitsInAMsg int
-	// Reusable round buffers (see ensureBuffers). The two inbox
+	// Reusable round buffers (see ensureBuffers). sortedAdj holds each
+	// node's ascending neighbor list (the Graph's own adjacency keeps
+	// insertion order, which BFS parents depend on); edgeBack[u][i] is
+	// the position of u in sortedAdj[v] for v = sortedAdj[u][i], so
+	// delivery is a direct index instead of a map insert. The two inbox
 	// generations are swapped every round; an Inbox handed to Step is
 	// only valid for that call.
-	done    []bool
-	inboxes [2][]Inbox
-	outs    []Outbox
+	done      []bool
+	sortedAdj [][]int
+	edgeBack  [][]int
+	inboxes   [2][]Inbox
+	outs      []*Outbox
 }
 
 // NewSimulator validates that there is exactly one program per node.
@@ -117,14 +148,34 @@ func (s *Simulator) ensureBuffers(n int) {
 		return
 	}
 	s.done = make([]bool, n)
-	s.outs = make([]Outbox, n)
+	s.sortedAdj = make([][]int, n)
+	s.edgeBack = make([][]int, n)
+	s.outs = make([]*Outbox, n)
+	for u := 0; u < n; u++ {
+		adj := s.graph.Neighbors(u)
+		sort.Ints(adj)
+		s.sortedAdj[u] = adj
+	}
+	for u := 0; u < n; u++ {
+		adj := s.sortedAdj[u]
+		back := make([]int, len(adj))
+		for i, v := range adj {
+			pos, ok := slices.BinarySearch(s.sortedAdj[v], u)
+			if !ok {
+				// Graph edges are symmetric by construction; a miss here
+				// would be a Graph invariant violation, not a protocol bug.
+				panic(fmt.Sprintf("congest: edge %d-%d has no reverse entry", u, v))
+			}
+			back[i] = pos
+		}
+		s.edgeBack[u] = back
+		s.outs[u] = newOutbox(u, adj)
+	}
 	for g := range s.inboxes {
 		s.inboxes[g] = make([]Inbox, n)
-	}
-	for i := 0; i < n; i++ {
-		s.outs[i] = Outbox{node: i, graph: s.graph, msgs: map[int]Payload{}}
-		for g := range s.inboxes {
-			s.inboxes[g][i] = Inbox{}
+		for u := 0; u < n; u++ {
+			deg := len(s.sortedAdj[u])
+			s.inboxes[g][u] = Inbox{msgs: make([]Payload, deg), has: make([]bool, deg)}
 		}
 	}
 }
@@ -133,7 +184,7 @@ func (s *Simulator) ensureBuffers(n int) {
 // program set: statistics restart at zero while the round buffers stay
 // allocated. The programs themselves must be re-armed by the caller
 // (e.g. uniformityNode.reset); Reset-then-Run is bit-identical to a
-// newly constructed simulator because every round's maps are cleared
+// newly constructed simulator because every round's buffers are cleared
 // before use and all iteration is over sorted adjacency slices.
 func (s *Simulator) Reset() {
 	s.rounds, s.messagesSent, s.maxBitsInAMsg = 0, 0, 0
@@ -154,7 +205,7 @@ func (s *Simulator) Run(maxRounds int) error {
 	}
 	inboxes := s.inboxes[0]
 	for i := range inboxes {
-		clear(inboxes[i])
+		clear(inboxes[i].has)
 	}
 	nextGen := s.inboxes[1]
 	remaining := n
@@ -165,24 +216,26 @@ func (s *Simulator) Run(maxRounds int) error {
 		s.rounds = round + 1
 		next := nextGen
 		for i := range next {
-			clear(next[i])
+			clear(next[i].has)
 		}
 		for u := 0; u < n; u++ {
 			if done[u] {
 				continue
 			}
-			out := &s.outs[u]
-			clear(out.msgs)
+			out := s.outs[u]
+			out.reset()
 			finished, err := s.programs[u].Step(round, inboxes[u], out)
 			if err != nil {
 				return fmt.Errorf("congest: node %d round %d: %w", u, round, err)
 			}
-			for _, to := range s.graph.adj[u] {
-				p, ok := out.msgs[to]
-				if !ok {
+			adj, back := s.sortedAdj[u], s.edgeBack[u]
+			for pos, to := range adj {
+				if !out.has[pos] {
 					continue
 				}
-				next[to][u] = p
+				p := out.msgs[pos]
+				next[to].msgs[back[pos]] = p
+				next[to].has[back[pos]] = true
 				s.messagesSent++
 				if b := bits.Len64(uint64(p)); b > s.maxBitsInAMsg {
 					s.maxBitsInAMsg = b

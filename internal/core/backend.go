@@ -88,20 +88,38 @@ func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec,
 }
 
 // RunRoundsScratch implements engine.BatchBackend. In-process rounds
-// have no per-round synchronization to amortize, so the batch is simply
-// the scratch path looped — same buffers, same per-trial derivations,
-// bit-identical verdicts.
+// have no per-round synchronization to amortize, so the batch is the
+// scratch path looped — same buffers, same per-trial derivations,
+// bit-identical verdicts — with the per-trial overheads (context check,
+// clock reads) hoisted to one per chunk; the chunk's elapsed time is
+// spread over its trials remainder-exactly by engine.SpreadWall.
 func (b *smpBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("core: %d results for %d specs", len(out), len(specs))
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rs, ok := scratch.(*smpRoundScratch)
+	if !ok {
+		return fmt.Errorf("core: foreign scratch %T", scratch)
+	}
+	k := b.p.Players()
+	sw := engine.StartStopwatch()
 	for i, spec := range specs {
-		res, err := b.RunRoundScratch(ctx, spec, scratch)
+		shared := engine.SharedSeed(spec.Seed, spec.Trial)
+		accept, err := b.p.runSeededScratch(spec.Sampler, shared, rs.msgs, rs.sc)
 		if err != nil {
 			return err
 		}
-		out[i] = res
+		out[i] = engine.RoundResult{
+			Verdict:  accept,
+			Votes:    k,
+			Messages: k,
+			Samples:  b.totalSamples,
+		}
 	}
+	engine.SpreadWall(out, sw.Elapsed())
 	return nil
 }
 

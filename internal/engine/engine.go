@@ -183,6 +183,49 @@ type Result struct {
 	Totals Totals
 }
 
+// SpreadWall distributes one measured elapsed duration over a batch of
+// results: every trial gets the even share and the first trial absorbs
+// the division remainder, so the batch's summed Wall always equals the
+// elapsed time handed in (integer division alone would silently drop up
+// to len(out)-1 nanoseconds per batch).
+func SpreadWall(out []RoundResult, elapsed time.Duration) {
+	if len(out) == 0 {
+		return
+	}
+	share := elapsed / time.Duration(len(out))
+	for i := range out {
+		out[i].Wall = share
+	}
+	out[0].Wall = elapsed - share*time.Duration(len(out)-1)
+}
+
+// workerErrs is one worker's error slot, padded so neighboring workers'
+// slots never share a cache line (the previous shared errs slice made
+// every failing or cancelled trial a cross-core invalidation). Each
+// worker keeps only its lowest-trial genuine error and lowest-trial
+// cancellation casualty, which is all the post-run merge ever reads.
+type workerErrs struct {
+	genuine      error
+	genuineTrial int
+	cancel       error
+	cancelTrial  int
+	_            [80]byte // pad the 48 bytes above to two 64-byte lines
+}
+
+// record files err under trial t, classifying cancellation casualties
+// apart from genuine failures so the merge can prefer the latter.
+func (w *workerErrs) record(t int, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if w.cancel == nil || t < w.cancelTrial {
+			w.cancel, w.cancelTrial = err, t
+		}
+		return
+	}
+	if w.genuine == nil || t < w.genuineTrial {
+		w.genuine, w.genuineTrial = err, t
+	}
+}
+
 // Run executes the given number of trials against the backend over a
 // worker pool and returns one RoundResult per trial, in trial order. The
 // first error aborts the run: the shared context is cancelled, queued
@@ -234,12 +277,12 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 	defer cancel()
 
 	results := make([]RoundResult, trials)
-	errs := make([]error, trials)
+	errs := make([]workerErrs, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(werr *workerErrs) {
 			defer wg.Done()
 			// Per-worker trial state, allocated once and recycled across
 			// trials: the source's generator (reseeded per trial) and the
@@ -257,9 +300,7 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 					end = trials
 				}
 				if err := runCtx.Err(); err != nil {
-					for t := start; t < end; t++ {
-						errs[t] = err
-					}
+					werr.record(start, err)
 					continue
 				}
 				// Build the chunk's specs with the exact per-trial source
@@ -270,13 +311,13 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 				for t := start; t < end; t++ {
 					sampler, err := src(t, trialRNG.SeedTrial(opts.Seed, t))
 					if err != nil {
-						errs[t] = fmt.Errorf("engine: trial %d source: %w", t, err)
+						werr.record(t, fmt.Errorf("engine: trial %d source: %w", t, err))
 						cancel()
 						bad = true
 						break
 					}
 					if sampler == nil {
-						errs[t] = fmt.Errorf("engine: trial %d source returned a nil sampler", t)
+						werr.record(t, fmt.Errorf("engine: trial %d source returned a nil sampler", t))
 						cancel()
 						bad = true
 						break
@@ -306,7 +347,7 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 					}
 				}
 				if err != nil {
-					errs[start] = err
+					werr.record(start, err)
 					cancel()
 					continue
 				}
@@ -314,7 +355,7 @@ func Run(ctx context.Context, b Backend, src Source, trials int, opts Options) (
 					results[t].Trial = t
 				}
 			}
-		}()
+		}(&errs[w])
 	}
 feed:
 	for start := 0; start < trials; start += chunk {
@@ -329,18 +370,19 @@ feed:
 
 	// Surface the lowest-indexed genuine failure; trials that merely died
 	// of the abort's cancellation are symptoms, not causes.
-	var cancelled error
-	for _, err := range errs {
-		if err == nil {
-			continue
+	var genuine, cancelled error
+	genuineTrial, cancelTrial := 0, 0
+	for i := range errs {
+		w := &errs[i]
+		if w.genuine != nil && (genuine == nil || w.genuineTrial < genuineTrial) {
+			genuine, genuineTrial = w.genuine, w.genuineTrial
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			if cancelled == nil {
-				cancelled = err
-			}
-			continue
+		if w.cancel != nil && (cancelled == nil || w.cancelTrial < cancelTrial) {
+			cancelled, cancelTrial = w.cancel, w.cancelTrial
 		}
-		return nil, err
+	}
+	if genuine != nil {
+		return nil, genuine
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

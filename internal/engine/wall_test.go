@@ -1,0 +1,46 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// TestSpreadWallSumsToElapsed pins the remainder accounting: splitting a
+// batch's elapsed time over its trials must conserve every nanosecond
+// (plain integer division drops up to len(out)-1 of them), with the
+// remainder landing on the first trial and every other trial getting the
+// even share.
+func TestSpreadWallSumsToElapsed(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		elapsed time.Duration
+	}{
+		{n: 1, elapsed: 7},
+		{n: 3, elapsed: 10},
+		{n: 4, elapsed: 1000},
+		{n: 7, elapsed: 999999937}, // prime: maximal remainder pressure
+		{n: 64, elapsed: 12345},
+		{n: 5, elapsed: 0},
+		{n: 3, elapsed: 2}, // fewer ns than trials
+	} {
+		out := make([]engine.RoundResult, tc.n)
+		engine.SpreadWall(out, tc.elapsed)
+		share := tc.elapsed / time.Duration(tc.n)
+		var sum time.Duration
+		for i, r := range out {
+			sum += r.Wall
+			if i > 0 && r.Wall != share {
+				t.Errorf("n=%d elapsed=%d: trial %d wall = %d, want even share %d", tc.n, tc.elapsed, i, r.Wall, share)
+			}
+		}
+		if sum != tc.elapsed {
+			t.Errorf("n=%d: summed wall = %d, want elapsed %d", tc.n, sum, tc.elapsed)
+		}
+		if out[0].Wall < share {
+			t.Errorf("n=%d elapsed=%d: first trial wall = %d, below the even share %d", tc.n, tc.elapsed, out[0].Wall, share)
+		}
+	}
+	engine.SpreadWall(nil, 5) // empty batch: must be a no-op, not a panic
+}

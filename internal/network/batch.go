@@ -31,22 +31,22 @@ import (
 // bit (word-parallel when the referee has threshold shape, trial by
 // trial otherwise).
 
-// queuedFrame is one referee frame awaiting its slot's writer.
-type queuedFrame struct {
-	kind    FrameType // FrameRoundBatch, FrameVerdictBatch or FrameFinish
-	round   RoundBatch
-	verdict VerdictBatch
-}
-
-// frameQueue is an unbounded FIFO feeding one slot's writer goroutine.
-// Unbounded is deliberate: the aggregator must never block enqueueing
-// (a bounded queue toward a stalled node could deadlock the window),
-// and memory stays bounded anyway because the aggregator only issues
-// one chunk — batch times window trials — ahead of the gathers.
+// frameQueue is an unbounded FIFO of already-encoded frames feeding one
+// slot's writer goroutine. Unbounded is deliberate: the aggregator must
+// never block enqueueing (a bounded queue toward a stalled node could
+// deadlock the window), and memory stays bounded anyway because the
+// aggregator only issues one chunk — batch times window trials — ahead
+// of the gathers. Frames are appended to a flat byte run and drained
+// wholesale: the writer claims every pending frame in one swap, so the
+// two backing buffers ping-pong at the queue's high-water mark instead
+// of growing with total throughput (the previous queue advanced with
+// items = items[1:], pinning the consumed head of the backing array for
+// the life of the session).
 type frameQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []queuedFrame
+	buf    []byte // pending frames, encoded by the wire.go Append* helpers
+	frames int    // number of frames in buf
 	closed bool
 }
 
@@ -56,30 +56,36 @@ func newFrameQueue() *frameQueue {
 	return q
 }
 
-// push enqueues a frame; pushes after close are dropped.
-func (q *frameQueue) push(f queuedFrame) {
+// push enqueues one encoded frame (the bytes are copied, so the caller
+// may reuse its encode buffer immediately); pushes after close are
+// dropped.
+func (q *frameQueue) push(frame []byte) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, f)
+		q.buf = append(q.buf, frame...)
+		q.frames++
 	}
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// pop dequeues the next frame, blocking until one arrives or the queue
-// is closed and drained.
-func (q *frameQueue) pop() (queuedFrame, bool) {
+// drain blocks until at least one frame is pending (or the queue is
+// closed and empty), then claims the entire pending run in one swap:
+// spare becomes the queue's next accumulation buffer and the caller
+// gets the encoded run plus its frame count. ok is false once the queue
+// is closed and fully drained.
+func (q *frameQueue) drain(spare []byte) (run []byte, frames int, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for len(q.buf) == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
-		return queuedFrame{}, false
+	if len(q.buf) == 0 {
+		return spare[:0], 0, false
 	}
-	f := q.items[0]
-	q.items = q.items[1:]
-	return f, true
+	run, frames = q.buf, q.frames
+	q.buf, q.frames = spare[:0], 0
+	return run, frames, true
 }
 
 // close marks the queue finished; pending frames still drain.
@@ -140,6 +146,26 @@ type batchSession struct {
 	// bit-sliced rejection counter planes of the fast path.
 	deliv  [][]uint64
 	planes []uint64
+
+	// Aggregator-only scratch, reused across chunks. enc is the frame
+	// encode buffer (push copies bytes into the queue, so it is free
+	// again as soon as the pushes return); seeds backs each flight's
+	// ROUND_BATCH payload the same way. samplers is pooled per flight
+	// ordinal within a chunk: staged sampler slices stay referenced by
+	// the nodes until their batch is gathered, and gather waits on every
+	// live slot, so by the time runChunk returns all of them are free.
+	enc         []byte
+	seeds       []uint64
+	samplers    [][]dist.Sampler
+	flights     []batchFlight
+	verdictBits []uint64
+}
+
+// batchFlight is one wire batch of a chunk: its frame id and the spec
+// range it covers.
+type batchFlight struct {
+	id           uint32
+	start, count int
 }
 
 // newBatchSession starts the session: listener, k node goroutines, the
@@ -262,29 +288,27 @@ func (bs *batchSession) failSlot(slot *batchSlot, err error) {
 
 // slotWriter drains one slot's frame queue onto its connection. Writes
 // use the write deadline only — the gather goroutines own the same
-// connection's read deadline concurrently.
+// connection's read deadline concurrently. Each wake-up claims every
+// pending frame and flushes them in a single write under one deadline
+// scaled by the frame count, so a full window of queued frames costs
+// one syscall pair instead of one per frame while each frame keeps its
+// original per-frame time budget. The node reads frame by frame off the
+// same stream, so coalescing is invisible to it.
 func (bs *batchSession) slotWriter(slot *batchSlot) {
 	defer close(slot.writerDone)
+	var spare []byte
 	for {
-		f, ok := slot.q.pop()
+		run, frames, ok := slot.q.drain(spare)
+		spare = run
 		if !ok {
 			return
 		}
 		if slot.isDead() {
 			continue // keep draining; the slot is out of the session
 		}
-		setWriteDeadline(slot.sl.conn, bs.server.timeout)
-		var err error
-		switch f.kind {
-		case FrameRoundBatch:
-			err = WriteRoundBatch(slot.sl.conn, f.round)
-		case FrameVerdictBatch:
-			err = WriteVerdictBatch(slot.sl.conn, f.verdict)
-		default:
-			err = WriteFinish(slot.sl.conn)
-		}
-		if err != nil {
-			bs.failSlot(slot, fmt.Errorf("network: %v to player %d: %w", f.kind, slot.sl.player, err))
+		setWriteDeadline(slot.sl.conn, time.Duration(frames)*bs.server.timeout)
+		if err := writeCoalesced(slot.sl.conn, run); err != nil {
+			bs.failSlot(slot, fmt.Errorf("network: coalesced write of %d frame(s) to player %d: %w", frames, slot.sl.player, err))
 		}
 	}
 }
@@ -294,41 +318,51 @@ func (bs *batchSession) slotWriter(slot *batchSlot) {
 // the whole window in flight), then gathers and decides batch by batch.
 // out receives one RoundResult per spec.
 func (bs *batchSession) runChunk(ctx context.Context, specs []engine.RoundSpec, batch int, out []engine.RoundResult) error {
-	type flight struct {
-		id           uint32
-		start, count int
-	}
-	var flights []flight
+	flights := bs.flights[:0]
 	for start := 0; start < len(specs); start += batch {
-		count := len(specs) - start
-		if count > batch {
-			count = batch
+		count := min(len(specs)-start, batch)
+		seeds := bs.seeds[:0]
+		ord := len(flights)
+		if ord == len(bs.samplers) {
+			bs.samplers = append(bs.samplers, nil)
 		}
-		seeds := make([]uint64, count)
-		samplers := make([]dist.Sampler, count)
+		samplers := bs.samplers[ord][:0]
 		for j := 0; j < count; j++ {
 			spec := specs[start+j]
 			if spec.Sampler == nil {
+				bs.flights = flights
 				return fmt.Errorf("network: nil sampler")
 			}
-			seeds[j] = engine.SharedSeed(spec.Seed, spec.Trial)
-			samplers[j] = spec.Sampler
+			seeds = append(seeds, engine.SharedSeed(spec.Seed, spec.Trial))
+			samplers = append(samplers, spec.Sampler)
 		}
+		bs.seeds, bs.samplers[ord] = seeds, samplers
 		id := bs.nextBatch
 		bs.nextBatch++
 		for _, node := range bs.nodes {
 			node.stageBatch(id, samplers)
 		}
-		frame := queuedFrame{kind: FrameRoundBatch, round: RoundBatch{Batch: id, Seeds: seeds}}
+		enc, err := AppendRoundBatch(bs.enc[:0], RoundBatch{Batch: id, Seeds: seeds})
+		bs.enc = enc
+		if err != nil {
+			bs.flights = flights
+			return err
+		}
 		for _, slot := range bs.slots {
 			if slot.isDead() {
 				continue
 			}
-			slot.q.push(frame)
+			slot.q.push(enc)
 		}
-		flights = append(flights, flight{id: id, start: start, count: count})
+		flights = append(flights, batchFlight{id: id, start: start, count: count})
 	}
-	retries := bs.takeRetries()
+	bs.flights = flights
+	// Claim connect retries only when a flight will carry them; an empty
+	// chunk must leave them accumulated for the next chunk's stats.
+	retries := 0
+	if len(flights) > 0 {
+		retries = bs.takeRetries()
+	}
 	for _, fl := range flights {
 		if err := ctx.Err(); err != nil {
 			return bs.chunkErr(err)
@@ -344,18 +378,21 @@ func (bs *batchSession) runChunk(ctx context.Context, specs []engine.RoundSpec, 
 			return bs.chunkErr(err)
 		}
 		vb := VerdictBatch{Batch: fl.id, Count: uint32(fl.count), Bits: verdictBits}
+		enc, err := AppendVerdictBatch(bs.enc[:0], vb)
+		bs.enc = enc
+		if err != nil {
+			return bs.chunkErr(err)
+		}
 		for _, slot := range bs.slots {
 			if slot.isDead() {
 				continue
 			}
-			slot.q.push(queuedFrame{kind: FrameVerdictBatch, verdict: vb})
+			slot.q.push(enc)
 		}
 		// Wall time is shared evenly: the batch synchronized once for
-		// count trials.
-		share := sw.Elapsed() / time.Duration(fl.count)
-		for j := range results {
-			results[j].Wall = share
-		}
+		// count trials (the division remainder lands on the first trial so
+		// the batch's summed wall time equals its elapsed time).
+		engine.SpreadWall(results, sw.Elapsed())
 		results[0].Retries = retries
 		retries = 0
 	}
@@ -472,7 +509,12 @@ func (bs *batchSession) gather(batchID uint32, count int) int {
 // quorum checks and absentee policy are identical to the unbatched
 // referee by construction.
 func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResult) ([]uint64, error) {
-	verdictBits := make([]uint64, batchWords(count))
+	words := batchWords(count)
+	if cap(bs.verdictBits) < words {
+		bs.verdictBits = make([]uint64, words)
+	}
+	verdictBits := bs.verdictBits[:words]
+	clear(verdictBits)
 	k := bs.c.k
 	if received == k && bs.shapeOK {
 		bs.decideBatchThreshold(count, verdictBits)
@@ -569,8 +611,9 @@ func atLeast(planes []uint64, t int) uint64 {
 // pending verdicts, the writers drain and exit, the nodes unwind, and
 // the connections close.
 func (bs *batchSession) Close() error {
+	finish := AppendFinish(nil)
 	for _, slot := range bs.slots {
-		slot.q.push(queuedFrame{kind: FrameFinish})
+		slot.q.push(finish)
 		slot.q.close()
 	}
 	for _, slot := range bs.slots {

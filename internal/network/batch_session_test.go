@@ -1,0 +1,180 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// White-box coverage of the batch session's queueing and failure
+// accounting: the frame queue's ping-pong buffers must stay at their
+// high-water mark instead of growing with throughput, an empty chunk
+// must leave accumulated connect retries for the next chunk's stats, and
+// a strict-mode window where every slot dies must still surface the
+// recorded node failure rather than the gathers' collateral EOFs.
+
+func strictBatchCluster(t *testing.T, tr Transport) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		K:         4,
+		Q:         1,
+		Rule:      acceptAllRule(),
+		Referee:   andReferee(),
+		Transport: tr,
+		Timeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFrameQueueCapacityBounded cycles far more frames through the queue
+// than its backing buffers could hold if consumed bytes were pinned (the
+// old items[1:] advance) and checks both buffers stay at the per-cycle
+// high-water mark.
+func TestFrameQueueCapacityBounded(t *testing.T) {
+	q := newFrameQueue()
+	frame := AppendFinish(nil)
+	const (
+		cycles   = 10000
+		perCycle = 4
+	)
+	var spare []byte
+	for cycle := 0; cycle < cycles; cycle++ {
+		for i := 0; i < perCycle; i++ {
+			q.push(frame)
+		}
+		run, frames, ok := q.drain(spare)
+		if !ok || frames != perCycle {
+			t.Fatalf("cycle %d: drain = (%d frames, ok=%v), want %d frames", cycle, frames, ok, perCycle)
+		}
+		if len(run) != perCycle*len(frame) {
+			t.Fatalf("cycle %d: drained %d bytes, want %d", cycle, len(run), perCycle*len(frame))
+		}
+		spare = run
+	}
+	// The steady state holds one cycle's worth of frames; allow generous
+	// append-growth slack. cycles*perCycle*len(frame) = 320000 bytes have
+	// passed through, so an unbounded queue would dwarf this.
+	const bound = 1024
+	if cap(q.buf) > bound || cap(spare) > bound {
+		t.Errorf("queue buffers grew to cap %d / %d after %d frames, want <= %d",
+			cap(q.buf), cap(spare), cycles*perCycle, bound)
+	}
+}
+
+// TestFrameQueueCloseSemantics: pending frames drain after close, pushes
+// after close are dropped, and a drained closed queue reports done.
+func TestFrameQueueCloseSemantics(t *testing.T) {
+	q := newFrameQueue()
+	frame := AppendFinish(nil)
+	q.push(frame)
+	q.close()
+	q.push(frame) // dropped: the queue is closed
+	run, frames, ok := q.drain(nil)
+	if !ok || frames != 1 || len(run) != len(frame) {
+		t.Fatalf("drain after close = (%d bytes, %d frames, ok=%v), want the one pending frame", len(run), frames, ok)
+	}
+	if _, _, ok := q.drain(run); ok {
+		t.Error("second drain on a closed empty queue reported ok")
+	}
+}
+
+// TestBatchEmptyChunkPreservesRetries is the regression test for the
+// zero-spec accounting bug: runChunk used to claim accumulated connect
+// retries before checking whether any flight would carry them, silently
+// dropping the count on an empty chunk.
+func TestBatchEmptyChunkPreservesRetries(t *testing.T) {
+	c := strictBatchCluster(t, NewMemTransport())
+	bs, err := newBatchSession(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := bs.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	bs.addRetries(3)
+	if err := bs.runChunk(context.Background(), nil, 4, nil); err != nil {
+		t.Fatalf("empty chunk: %v", err)
+	}
+	specs := []engine.RoundSpec{{Trial: 0, Seed: 5, Sampler: uniformSampler(t, 4)}}
+	out := make([]engine.RoundResult, 1)
+	if err := bs.runChunk(context.Background(), specs, 4, out); err != nil {
+		t.Fatalf("chunk: %v", err)
+	}
+	if out[0].Retries != 3 {
+		t.Errorf("retries after an empty chunk = %d, want 3 (empty chunks must not swallow them)", out[0].Retries)
+	}
+}
+
+// TestBatchStrictAllSlotsCrash kills every player mid-window and checks
+// the strict-mode teardown blames the recorded node crash, not one of
+// the EOFs every concurrent gather dies with once the session unwinds.
+func TestBatchStrictAllSlotsCrash(t *testing.T) {
+	plans := map[uint32]FaultPlan{}
+	for p := uint32(0); p < 4; p++ {
+		plans[p] = FaultPlan{CrashAtRound: 2}
+	}
+	ft, err := NewFaultTransport(NewMemTransport(), FaultConfig{Plans: plans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := strictBatchCluster(t, ft)
+	b, err := NewBackend(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = engine.Run(context.Background(), b, engine.Fixed(uniformSampler(t, 4)), 8,
+		engine.Options{Seed: 5, Workers: 1, Batch: 2, Window: 2})
+	if err == nil {
+		t.Fatal("strict run with every player crashing succeeded")
+	}
+	if !strings.Contains(err.Error(), "crashed") {
+		t.Errorf("err = %v, want the recorded player crash, not a collateral transport error", err)
+	}
+	// The first crash tears the strict session down, so how many of the
+	// remaining players get to crash before their connections close is a
+	// race — at least one must have fired.
+	if fs := ft.Stats(); fs.Crashes < 1 {
+		t.Errorf("crashes = %d, want at least 1", fs.Crashes)
+	}
+}
+
+// TestFirstSlotErr exercises the gather-failure triage directly: a
+// descriptive protocol violation beats collateral transport errors, the
+// first transport error stands when that is all there is, and a gather
+// that came up short with nothing recorded gets the explicit fallback.
+func TestFirstSlotErr(t *testing.T) {
+	eof := fmt.Errorf("network: vote batch from player 0: %w", io.EOF)
+	desc := errors.New("network: player 1 answered batch 7, expected 3")
+	for _, tc := range []struct {
+		name  string
+		slots []*batchSlot
+		want  string
+		exact error
+	}{
+		{name: "descriptive beats transport", slots: []*batchSlot{{err: eof}, {err: desc}}, exact: desc},
+		{name: "transport only", slots: []*batchSlot{{}, {err: eof}}, exact: eof},
+		{name: "nothing recorded", slots: []*batchSlot{{}, {}}, want: "no recorded slot failure"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bs := &batchSession{slots: tc.slots}
+			got := bs.firstSlotErr()
+			if tc.exact != nil && got != tc.exact {
+				t.Errorf("firstSlotErr = %v, want %v", got, tc.exact)
+			}
+			if tc.want != "" && (got == nil || !strings.Contains(got.Error(), tc.want)) {
+				t.Errorf("firstSlotErr = %v, want it to mention %q", got, tc.want)
+			}
+		})
+	}
+}

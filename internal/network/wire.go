@@ -234,6 +234,61 @@ func WriteFinish(w io.Writer) error {
 	return writeFrame(w, FrameFinish, nil)
 }
 
+// appendHeader appends a frame header for a payload of size bytes.
+func appendHeader(buf []byte, t FrameType, size int) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, byte(t))
+	return binary.BigEndian.AppendUint32(buf, uint32(size))
+}
+
+// AppendRoundBatch appends one encoded ROUND_BATCH frame to buf,
+// validated exactly like WriteRoundBatch. The batch session's slot
+// writers encode frame runs with the Append* helpers and flush them
+// through writeCoalesced, so a full window of frames costs one write
+// instead of one per frame.
+func AppendRoundBatch(buf []byte, r RoundBatch) ([]byte, error) {
+	count := len(r.Seeds)
+	if count < 1 || count > MaxBatchTrials {
+		return buf, fmt.Errorf("network: ROUND_BATCH with %d trials, want 1..%d", count, MaxBatchTrials)
+	}
+	buf = appendHeader(buf, FrameRoundBatch, 8+8*count)
+	buf = binary.BigEndian.AppendUint32(buf, r.Batch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(count))
+	for _, seed := range r.Seeds {
+		buf = binary.BigEndian.AppendUint64(buf, seed)
+	}
+	return buf, nil
+}
+
+// AppendVerdictBatch appends one encoded VERDICT_BATCH frame to buf,
+// validated exactly like WriteVerdictBatch.
+func AppendVerdictBatch(buf []byte, v VerdictBatch) ([]byte, error) {
+	if err := checkBatchBits(FrameVerdictBatch, int(v.Count), v.Bits); err != nil {
+		return buf, err
+	}
+	buf = appendHeader(buf, FrameVerdictBatch, 8+8*len(v.Bits))
+	buf = binary.BigEndian.AppendUint32(buf, v.Batch)
+	buf = binary.BigEndian.AppendUint32(buf, v.Count)
+	for _, word := range v.Bits {
+		buf = binary.BigEndian.AppendUint64(buf, word)
+	}
+	return buf, nil
+}
+
+// AppendFinish appends one encoded FINISH frame to buf.
+func AppendFinish(buf []byte) []byte {
+	return appendHeader(buf, FrameFinish, 0)
+}
+
+// writeCoalesced flushes a run of frames already encoded by the Append*
+// helpers in a single write. Living in the encoder file keeps the raw
+// conn write inside the frame-discipline boundary: every byte still
+// originates from a validated encoder.
+func writeCoalesced(w io.Writer, run []byte) error {
+	_, err := w.Write(run)
+	return err
+}
+
 // WriteRoundBatch sends a ROUND_BATCH frame.
 func WriteRoundBatch(w io.Writer, r RoundBatch) error {
 	count := len(r.Seeds)
