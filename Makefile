@@ -83,8 +83,11 @@ bench:
 		-max-regress $(BENCH_MAX_REGRESS) -regress-metric $(BENCH_REGRESS_METRIC) < bench_engine.txt
 	@echo "wrote BENCH_engine.json"
 	@mkdir -p results/bench
-	@cp BENCH_engine.json "results/bench/$$(git rev-parse --short HEAD 2>/dev/null || echo nogit).json"
-	@echo "archived results/bench/$$(git rev-parse --short HEAD 2>/dev/null || echo nogit).json"
+	@sha="$$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"; \
+	dirty=""; \
+	if [ -n "$$(git status --porcelain -- . ':!BENCH_engine.json' ':!bench_engine.txt' ':!results' 2>/dev/null)" ]; then dirty="-dirty"; fi; \
+	cp BENCH_engine.json "results/bench/$$sha$$dirty.json"; \
+	echo "archived results/bench/$$sha$$dirty.json"
 
 # Every benchmark in the repository (experiments + micro-benchmarks).
 bench-all:

@@ -366,3 +366,4 @@ func BenchmarkSessionAmortization(b *testing.B) {
 
 func BenchmarkE19Transfer(b *testing.B)       { benchmarkExperiment(b, "E19") }
 func BenchmarkE20ExactProtocols(b *testing.B) { benchmarkExperiment(b, "E20") }
+func BenchmarkE21RBitDecay(b *testing.B)      { benchmarkExperiment(b, "E21") }

@@ -11,6 +11,8 @@
 //	dut bounds  — print the paper's lower-bound formulas evaluated at the
 //	              given parameters, next to the matching upper-bound
 //	              recommendations.
+//	dut exp     — run one experiment from the registry and print its
+//	              table (default E21, the Theorem 6.4 r-bit decay sweep).
 //	dut verify  — shorthand pointing at cmd/dut-verify.
 package main
 
@@ -28,6 +30,7 @@ import (
 	"github.com/distributed-uniformity/dut/internal/core"
 	"github.com/distributed-uniformity/dut/internal/dist"
 	"github.com/distributed-uniformity/dut/internal/engine"
+	"github.com/distributed-uniformity/dut/internal/experiments"
 	"github.com/distributed-uniformity/dut/internal/lowerbound"
 	"github.com/distributed-uniformity/dut/internal/network"
 )
@@ -48,6 +51,8 @@ func run(args []string) int {
 		return cmdNetDemo(args[1:])
 	case "bounds":
 		return cmdBounds(args[1:])
+	case "exp":
+		return cmdExp(args[1:])
 	case "verify":
 		fmt.Fprintln(os.Stderr, "dut: run `go run ./cmd/dut-verify` for the full lemma verification suite")
 		return 2
@@ -64,8 +69,9 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   dut test    [-n N] [-eps E] [-mode collision|chisq|threshold|and] [-k K] [-q Q] [-source uniform|zipf|hard|stdin] [-trials T] [-seed S]
-  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D] [-batch B] [-window W]
+  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-bits R] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D] [-batch B] [-window W]
   dut bounds  [-n N] [-eps E] [-k K] [-T T] [-r R] [-q Q]
+  dut exp     [-id E21] [-scale S] [-seed S] [-par P] [-list]
 `)
 }
 
@@ -286,6 +292,7 @@ func cmdNetDemo(args []string) int {
 		eps      = fs.Float64("eps", 0.5, "proximity parameter")
 		k        = fs.Int("k", 8, "player nodes")
 		q        = fs.Int("q", 0, "samples per node (0 = recommended)")
+		bits     = fs.Int("bits", 1, "message width r: 1 runs the classic threshold tester, 2..60 the quantized r-bit sum tester")
 		tcp      = fs.Bool("tcp", false, "use TCP loopback instead of in-memory pipes")
 		far      = fs.Bool("far", false, "feed the nodes an eps-far distribution instead of uniform")
 		seed     = fs.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
@@ -326,10 +333,32 @@ func cmdNetDemo(args []string) int {
 		return 2
 	}
 
-	smp, err := core.NewThresholdTester(core.ThresholdTesterConfig{N: *n, K: *k, Q: *q, Eps: *eps})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
-		return 1
+	if *bits < 1 {
+		fmt.Fprintln(os.Stderr, "dut netdemo: -bits must be at least 1")
+		return 2
+	}
+	// The rule's width is pinned on the referee server, so a node
+	// announcing a different width in HELLO fails by name at handshake
+	// time; here both sides are built from the same rule, so the
+	// negotiation always succeeds.
+	var rule core.LocalRule
+	var referee core.Referee
+	if *bits == 1 {
+		smp, err := core.NewThresholdTester(core.ThresholdTesterConfig{N: *n, K: *k, Q: *q, Eps: *eps})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
+			return 1
+		}
+		rule = smp.Local()
+		referee = core.BitReferee{Rule: core.ThresholdRule{T: core.DefaultThresholdT(*k)}}
+	} else {
+		qrule, err := core.NewQuantizedCollisionRule(*n, *q, *bits)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
+			return 1
+		}
+		rule = qrule
+		referee = core.SumThresholdReferee{Bits: *bits, T: core.QuantizedSumThreshold(*n, *k, *q)}
 	}
 	var tr network.Transport = network.NewMemTransport()
 	trName := "in-memory pipes"
@@ -356,8 +385,8 @@ func cmdNetDemo(args []string) int {
 	}
 	cluster, err := network.NewCluster(network.ClusterConfig{
 		K: *k, Q: *q,
-		Rule:      smp.Local(),
-		Referee:   core.BitReferee{Rule: core.ThresholdRule{T: core.DefaultThresholdT(*k)}},
+		Rule:      rule,
+		Referee:   referee,
 		Transport: tr,
 		Timeout:   30 * time.Second,
 		MinVotes:  *minVotes,
@@ -401,6 +430,10 @@ func cmdNetDemo(args []string) int {
 
 	fmt.Printf("referee + %d nodes over %s; n=%d eps=%v q=%d per node; input: %s\n",
 		*k, trName, *n, *eps, *q, source)
+	if *bits > 1 {
+		fmt.Printf("message width: %d bits per vote (quantized collision sum, T=%d)\n",
+			*bits, core.QuantizedSumThreshold(*n, *k, *q))
+	}
 	if *minVotes > 0 {
 		fmt.Printf("quorum: %d of %d votes\n", *minVotes, *k)
 	}
@@ -478,6 +511,38 @@ func runBatchedDemo(cluster *network.Cluster, sampler dist.Sampler, rng *rand.Ra
 		}
 	}
 	return verdicts, stats, nil
+}
+
+func cmdExp(args []string) int {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	var (
+		id    = fs.String("id", "E21", "experiment ID from the registry")
+		list  = fs.Bool("list", false, "list registered experiments and exit")
+		scale = fs.Float64("scale", 1, "trial-count multiplier (smaller = faster smoke run)")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		par   = fs.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s (%s)\n", e.ID, e.Title, e.Reproduces)
+		}
+		return 0
+	}
+	e, ok := experiments.ByID(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dut exp: unknown experiment %q; -list prints the registry\n", *id)
+		return 2
+	}
+	table, err := e.Run(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *par})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dut exp: %v\n", err)
+		return 1
+	}
+	fmt.Println(table.Markdown())
+	return 0
 }
 
 func cmdBounds(args []string) int {

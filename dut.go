@@ -115,6 +115,12 @@ type (
 	MajorityRule = core.MajorityRule
 	// BitReferee lifts a DecisionRule to a Referee.
 	BitReferee = core.BitReferee
+	// QuantizedCollisionRule saturates each player's collision count
+	// into an r-bit message (Theorem 6.4's communication regime).
+	QuantizedCollisionRule = core.QuantizedCollisionRule
+	// SumThresholdReferee accepts iff the sum of r-bit messages is at
+	// most T.
+	SumThresholdReferee = core.SumThresholdReferee
 )
 
 // Distribution constructors.
@@ -194,6 +200,15 @@ var (
 	NewACTTester = core.NewACTTester
 	// NewGroupLearner builds the distributed learning protocol.
 	NewGroupLearner = core.NewGroupLearner
+	// NewQuantizedCollisionRule builds the r-bit saturating collision
+	// rule over [n] with q samples per player.
+	NewQuantizedCollisionRule = core.NewQuantizedCollisionRule
+	// NewQuantizedSumTester wires the quantized rule to a sum-threshold
+	// referee at the recommended threshold.
+	NewQuantizedSumTester = core.NewQuantizedSumTester
+	// QuantizedSumThreshold is that recommended threshold (two standard
+	// deviations above the uniform collision-sum mean).
+	QuantizedSumThreshold = core.QuantizedSumThreshold
 	// RecommendedThresholdSamples is the threshold tester's per-player q
 	// for a 2/3 guarantee.
 	RecommendedThresholdSamples = core.RecommendedThresholdSamples

@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"sort"
 	"sync"
@@ -16,7 +17,7 @@ const (
 	tagExplore Payload = iota + 1 // BFS wave
 	tagChild                      // "I adopted you as parent"
 	tagNack                       // "I will not be your child"
-	tagReport                     // convergecast: subtree rejection count
+	tagReport                     // convergecast: subtree score sum
 	tagDecide                     // broadcast: the verdict bit
 )
 
@@ -48,8 +49,8 @@ const (
 type uniformityNode struct {
 	id        int
 	root      bool
-	threshold int  // referee threshold T (used by the root only)
-	rejects   bool // this node's local vote
+	threshold int    // referee threshold T (used by the root only)
+	score     uint64 // this node's convergecast contribution (see Tester)
 
 	neighbors  []int            // ascending neighbor ids
 	status     []neighborStatus // by position
@@ -63,7 +64,7 @@ type uniformityNode struct {
 	oweChild    bool
 	childCount  int
 	reportsIn   int
-	rejectSum   uint64
+	scoreSum    uint64
 	reportSent  bool
 	verdict     bool
 	verdictSeen bool
@@ -74,7 +75,7 @@ type uniformityNode struct {
 
 var _ NodeProgram = (*uniformityNode)(nil)
 
-func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool, result *bool) *uniformityNode {
+func newUniformityNode(g *Graph, id int, root bool, threshold int, score uint64, result *bool) *uniformityNode {
 	nbrs := g.Neighbors(id)
 	sort.Ints(nbrs)
 	n := &uniformityNode{
@@ -87,18 +88,18 @@ func newUniformityNode(g *Graph, id int, root bool, threshold int, rejects bool,
 		oweExplore: make([]bool, len(nbrs)),
 		explorers:  make([]int, 0, len(nbrs)),
 	}
-	n.reset(rejects, result)
+	n.reset(score, result)
 	return n
 }
 
 // reset rebinds the node for a fresh run — the per-trial inputs (local
-// vote and verdict sink) plus every piece of mutable protocol state —
+// score and verdict sink) plus every piece of mutable protocol state —
 // restoring exactly the state a newly-constructed node has. It lets a
 // worker's scratch reuse the node set (sorted neighbor slices and maps
 // included) across trials instead of rebuilding k state machines per
 // round.
-func (n *uniformityNode) reset(rejects bool, result *bool) {
-	n.rejects = rejects
+func (n *uniformityNode) reset(score uint64, result *bool) {
+	n.score = score
 	n.result = result
 	clear(n.status) // nbUnknown is the zero status
 	clear(n.oweNack)
@@ -109,7 +110,7 @@ func (n *uniformityNode) reset(rejects bool, result *bool) {
 	n.oweChild = false
 	n.childCount = 0
 	n.reportsIn = 0
-	n.rejectSum = 0
+	n.scoreSum = 0
 	n.reportSent = false
 	n.verdict = false
 	n.verdictSeen = false
@@ -150,7 +151,7 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 				return false, fmt.Errorf("REPORT from non-child %d", from)
 			}
 			n.reportsIn++
-			n.rejectSum += value
+			n.scoreSum += value
 		case tagDecide:
 			if from != n.parent {
 				return false, fmt.Errorf("DECIDE from non-parent %d", from)
@@ -227,10 +228,7 @@ func (n *uniformityNode) Step(_ int, in Inbox, out *Outbox) (bool, error) {
 	// round rather than double-send on the edge.
 	if n.adopted && n.waveSent && !n.reportSent && n.allResolved() &&
 		n.reportsIn == n.childCount && (n.root || !out.Queued(n.parent)) {
-		total := n.rejectSum
-		if n.rejects {
-			total++
-		}
+		total := n.scoreSum + n.score
 		if n.root {
 			accept := total < uint64(n.threshold)
 			n.verdict = accept
@@ -275,14 +273,25 @@ func (n *uniformityNode) allResolved() bool {
 // Tester runs distributed uniformity testing in the CONGEST model: the
 // nodes of a connected graph each draw q samples, vote with a shared
 // core.LocalRule, aggregate the votes up a BFS tree rooted at Root, apply
-// the T-threshold rule there, and broadcast the verdict. It implements
+// the threshold rule there, and broadcast the verdict. It implements
 // core.Protocol, so the same measurement harness drives it.
+//
+// The convergecast sums a per-node score. With a single-bit rule (the
+// classic mode) the score is the rejection indicator — 1 iff the node
+// voted reject — and the root rejects iff at least T nodes rejected,
+// matching core.BitReferee{ThresholdRule{T}}. With an r-bit rule the
+// score is the raw message value and the root rejects iff the values
+// sum to at least T, matching core.SumThresholdReferee{Bits: r, T: T};
+// this is how r-bit votes ride the BFS tree without widening any edge
+// beyond the value sum's bit length (validated against MessageBits at
+// construction).
 type Tester struct {
 	graph *Graph
 	root  int
 	q     int
 	rule  core.LocalRule
 	t     int
+	sum   bool
 
 	// Stats from the last run; guarded so concurrent Monte-Carlo
 	// estimation over the same Tester stays race-free.
@@ -302,11 +311,19 @@ type TesterConfig struct {
 	Root int
 	// Q is the per-node sample count.
 	Q int
-	// Rule is the shared single-bit local rule.
+	// Rule is the shared local rule. A single-bit rule aggregates
+	// rejection counts (the classic mode); a wider rule implies Sum.
 	Rule core.LocalRule
-	// T is the rejection threshold applied at the root; 0 selects
-	// core.DefaultThresholdT(k).
+	// T is the threshold applied at the root; 0 selects
+	// core.DefaultThresholdT(k) in the classic mode. Sum mode has no
+	// sensible default and requires an explicit T (see
+	// core.QuantizedSumThreshold for the collision rule's).
 	T int
+	// Sum selects value-sum aggregation: each node's convergecast score
+	// is its raw message value instead of its rejection indicator, and
+	// the root rejects iff the sum is at least T. Implied (and required)
+	// when Rule.Bits() > 1.
+	Sum bool
 }
 
 // NewTester validates the configuration.
@@ -326,17 +343,37 @@ func NewTester(cfg TesterConfig) (*Tester, error) {
 	if cfg.Rule == nil {
 		return nil, fmt.Errorf("congest: nil local rule")
 	}
-	if cfg.Rule.Bits() != 1 {
-		return nil, fmt.Errorf("congest: tree aggregation needs a single-bit rule, got %d bits", cfg.Rule.Bits())
+	msgBits := cfg.Rule.Bits()
+	if msgBits < 1 || msgBits > 64 {
+		return nil, fmt.Errorf("congest: rule uses %d message bits, want 1..64", msgBits)
 	}
+	sum := cfg.Sum || msgBits > 1
+	n := cfg.Graph.N()
 	t := cfg.T
-	if t == 0 {
-		t = core.DefaultThresholdT(cfg.Graph.N())
+	var maxTotal uint64
+	if sum {
+		// Every convergecast value (a subtree's score sum, at most
+		// n*(2^r-1)) must fit the edge bandwidth after the tag shift.
+		if msgBits+bits.Len(uint(n))+tagBits > MessageBits {
+			return nil, fmt.Errorf("congest: score sums over %d nodes of %d-bit values exceed the %d-bit edge bandwidth",
+				n, msgBits, MessageBits)
+		}
+		maxTotal = uint64(n) * (1<<msgBits - 1)
+		if t == 0 {
+			return nil, fmt.Errorf("congest: sum aggregation needs an explicit threshold T")
+		}
+		if t < 1 || uint64(t) > maxTotal+1 {
+			return nil, fmt.Errorf("congest: sum threshold %d outside [1,%d]", t, maxTotal+1)
+		}
+	} else {
+		if t == 0 {
+			t = core.DefaultThresholdT(n)
+		}
+		if t < 1 || t > n {
+			return nil, fmt.Errorf("congest: threshold %d outside [1,%d]", t, n)
+		}
 	}
-	if t < 1 || t > cfg.Graph.N() {
-		return nil, fmt.Errorf("congest: threshold %d outside [1,%d]", t, cfg.Graph.N())
-	}
-	return &Tester{graph: cfg.Graph, root: cfg.Root, q: cfg.Q, rule: cfg.Rule, t: t}, nil
+	return &Tester{graph: cfg.Graph, root: cfg.Root, q: cfg.Q, rule: cfg.Rule, t: t, sum: sum}, nil
 }
 
 // Players implements core.Protocol.
@@ -444,9 +481,10 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 	if sc.nodes == nil {
 		sc.nodes = make([]*uniformityNode, n)
 		for u := range sc.nodes {
-			sc.nodes[u] = newUniformityNode(t.graph, u, u == t.root, t.t, false, nil)
+			sc.nodes[u] = newUniformityNode(t.graph, u, u == t.root, t.t, 0, nil)
 		}
 	}
+	msgBits := t.rule.Bits()
 	programs := sc.programs
 	for u := 0; u < n; u++ {
 		rng := sc.rng.SeedNode(shared, u)
@@ -455,8 +493,17 @@ func (t *Tester) runSeededScratch(sampler dist.Sampler, shared uint64, sc *runSc
 		if err != nil {
 			return false, nil, fmt.Errorf("congest: node %d vote: %w", u, err)
 		}
+		var score uint64
+		if t.sum {
+			if msgBits < 64 && msg >= 1<<msgBits {
+				return false, nil, fmt.Errorf("congest: node %d message %#x wider than the rule's %d bits", u, uint64(msg), msgBits)
+			}
+			score = uint64(msg)
+		} else if !msg.Bit() {
+			score = 1
+		}
 		node := sc.nodes[u]
-		node.reset(!msg.Bit(), &sc.verdict)
+		node.reset(score, &sc.verdict)
 		programs[u] = node
 	}
 	if sc.sim == nil {

@@ -119,7 +119,11 @@ func TestAllNodesLearnTheVerdict(t *testing.T) {
 	programs := make([]NodeProgram, n)
 	nodes := make([]*uniformityNode, n)
 	for u := 0; u < n; u++ {
-		nodes[u] = newUniformityNode(g, u, u == 4, 3, !accepts[u], &rootVerdict)
+		var score uint64
+		if !accepts[u] {
+			score = 1
+		}
+		nodes[u] = newUniformityNode(g, u, u == 4, 3, score, &rootVerdict)
 		programs[u] = nodes[u]
 	}
 	sim, err := NewSimulator(g, programs)

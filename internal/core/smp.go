@@ -128,18 +128,27 @@ func (p *SMP) RunMessagesSeeded(sampler dist.Sampler, shared uint64) ([]Message,
 // reseedable per-player generator. One Scratch serves any number of
 // sequential rounds; it must not be shared across goroutines.
 type Scratch struct {
-	buf  []int
-	bits []bool
-	rng  *engine.ReusableRNG
+	buf   []int
+	bits  []bool
+	slate *Slate
+	rng   *engine.ReusableRNG
 }
 
-// NewScratch sizes a Scratch for this protocol.
+// NewScratch sizes a Scratch for this protocol. When the referee decides
+// over packed r-bit slates (SlateDecider), the scratch owns the slate so
+// multi-bit rounds stay allocation-free like single-bit ones.
 func (p *SMP) NewScratch() *Scratch {
-	return &Scratch{
+	sc := &Scratch{
 		buf:  make([]int, p.MaxSamplesPerPlayer()),
 		bits: make([]bool, len(p.qs)),
 		rng:  engine.NewReusableRNG(),
 	}
+	if _, ok := p.referee.(SlateDecider); ok {
+		// An invalid width surfaces as an error on the allocating
+		// fallback path instead of a panic here.
+		sc.slate, _ = NewSlate(len(p.qs), p.local.Bits())
+	}
+	return sc
 }
 
 // runMessagesScratch is the batch vote path behind RunMessagesSeeded:
@@ -172,6 +181,12 @@ func (p *SMP) runSeededScratch(sampler dist.Sampler, shared uint64, msgs []Messa
 	}
 	if bd, ok := p.referee.(bitsDecider); ok {
 		return bd.decideBits(msgs, sc.bits)
+	}
+	if sd, ok := p.referee.(SlateDecider); ok && sc.slate != nil {
+		if err := sc.slate.SetMessages(msgs); err != nil {
+			return false, err
+		}
+		return sd.DecideSlate(sc.slate)
 	}
 	return p.referee.Decide(msgs)
 }

@@ -42,8 +42,12 @@
 // so a networked node can rebuild it from the ROUND frame alone — no
 // extra wire state — and an SMP round, a cluster round and a CONGEST
 // round with the same rule, player count and sample budget produce
-// bit-identical votes and verdicts. The driver assigns whole trials to
-// workers, so verdict sequences are also independent of Options.Workers.
+// bit-identical votes and verdicts. The contract holds for any message
+// width the rule declares (LocalRule.Bits), not just single-bit votes:
+// an r-bit message is the same uint64 on every backend, whether it
+// rides a VOTE frame, the VOTE_BATCH_R planes, or a CONGEST
+// convergecast. The driver assigns whole trials to workers, so verdict
+// sequences are also independent of Options.Workers.
 //
 // # The trial driver
 //

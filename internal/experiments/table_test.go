@@ -99,8 +99,8 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(reg))
+	if len(reg) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(reg))
 	}
 	seen := map[string]bool{}
 	prev := 0
@@ -118,7 +118,7 @@ func TestRegistryCompleteAndOrdered(t *testing.T) {
 		}
 		prev = n
 	}
-	for i := 1; i <= 20; i++ {
+	for i := 1; i <= 21; i++ {
 		if !seen["E"+FmtInt(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

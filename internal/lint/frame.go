@@ -42,6 +42,7 @@ var (
 		"WriteHello": true, "WriteRound": true, "WriteVote": true,
 		"WriteVerdict": true, "WriteFinish": true, "writeFrame": true,
 		"WriteRoundBatch": true, "WriteVoteBatch": true, "WriteVerdictBatch": true,
+		"WriteVoteBatchR": true,
 		// The batch session's coalesced flush: a run of frames encoded by
 		// the wire.go Append* helpers, written in one call.
 		"writeCoalesced": true,

@@ -102,15 +102,15 @@ func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundS
 // RunRoundsScratch implements engine.BatchBackend: the worker's chunk
 // of trials runs through a persistent pipelined session — ROUND_BATCH
 // frames of up to batch seeds, every batch of the chunk in flight at
-// once, packed VOTE_BATCH gathering and per-batch verdict evaluation.
-// Rules wider than one bit do not pack into vote bitsets, so they (and
-// foreign scratch) fall back to the per-trial scratch path.
+// once, packed VOTE_BATCH / VOTE_BATCH_R gathering and per-batch
+// verdict evaluation for any message width. Foreign scratch (or
+// batching disabled) falls back to the per-trial scratch path.
 func (b *clusterBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, batch int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("network: %d results for %d specs", len(out), len(specs))
 	}
 	cs, ok := scratch.(*clusterScratch)
-	if !ok || batch < 1 || b.c.rule.Bits() != 1 {
+	if !ok || batch < 1 {
 		for i, spec := range specs {
 			res, err := b.RunRoundScratch(ctx, spec, scratch)
 			if err != nil {

@@ -136,14 +136,25 @@ type batchSession struct {
 	nodeErr error
 	retries int // accumulated node connect retries, not yet reported
 
+	// msgBits is the rule's message width r: 1 gathers classic
+	// VOTE_BATCH bitsets, wider rules gather VOTE_BATCH_R plane sets.
+	msgBits int
+
 	// Threshold shape of the referee, when it has one: reject iff at
 	// least shapeT of the k single-bit votes reject. This is what the
 	// word-parallel fast path evaluates.
 	shapeT  int
 	shapeOK bool
 
-	// Per-batch scratch: delivered vote bitsets by player id, and the
-	// bit-sliced rejection counter planes of the fast path.
+	// Sum shape of the referee, when it has one: reject iff the k r-bit
+	// values sum to at least sumT. sumOK additionally requires the
+	// referee's width to match the rule's and the counter planes to fit,
+	// so the word-parallel sum path is only taken when it is exact.
+	sumT  int
+	sumOK bool
+
+	// Per-batch scratch: delivered vote bitsets (r plane sets) by player
+	// id, and the bit-sliced counter planes of the fast paths.
 	deliv  [][]uint64
 	planes []uint64
 
@@ -191,9 +202,22 @@ func newBatchSession(ctx context.Context, c *Cluster) (*batchSession, error) {
 	}()
 
 	bs := &batchSession{c: c, server: server, listener: listener, cancel: cancel, nodes: nodes}
+	bs.msgBits = c.rule.Bits()
 	bs.shapeT, bs.shapeOK = core.ThresholdShape(c.referee, c.k)
+	planeLen := bits.Len(uint(c.k))
+	if sumT, sumBits, ok := core.SumShape(c.referee, c.k); ok && sumBits == bs.msgBits {
+		// The bit-sliced sum counter needs Len(k * (2^r - 1)) planes; cap
+		// it where the lane sums (and atLeast's threshold compare) stay
+		// exact, falling back to per-trial decoding beyond.
+		if need := sumBits + bits.Len(uint(c.k)); need <= 62 {
+			bs.sumT, bs.sumOK = sumT, true
+			if need > planeLen {
+				planeLen = need
+			}
+		}
+	}
 	bs.deliv = make([][]uint64, c.k)
-	bs.planes = make([]uint64, bits.Len(uint(c.k)))
+	bs.planes = make([]uint64, planeLen)
 
 	for _, node := range nodes {
 		bs.nodeWG.Add(1)
@@ -450,10 +474,11 @@ func (bs *batchSession) firstSlotErr() error {
 	return fmt.Errorf("network: batch gather incomplete with no recorded slot failure")
 }
 
-// gather collects one batch's VOTE_BATCH from every live slot
-// concurrently, validating the player and batch-id echo and the trial
-// count. Delivered bitsets land in bs.deliv by player id (nil = absent);
-// it returns the number of valid deliveries.
+// gather collects one batch's VOTE_BATCH (r = 1) or VOTE_BATCH_R
+// (r > 1) from every live slot concurrently, validating the player,
+// batch-id and width echoes and the trial count. Delivered plane sets
+// land in bs.deliv by player id (nil = absent); it returns the number
+// of valid deliveries.
 func (bs *batchSession) gather(batchID uint32, count int) int {
 	for i := range bs.deliv {
 		bs.deliv[i] = nil
@@ -471,10 +496,21 @@ func (bs *batchSession) gather(batchID uint32, count int) int {
 			// queued verdict write; budget two timeouts, like every other
 			// cross-phase read.
 			setReadDeadline(conn, 2*bs.server.timeout)
-			vb, err := expectFrame[VoteBatch](conn, FrameVoteBatch)
-			if err != nil {
-				bs.failSlot(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
-				return
+			var vb VoteBatchR
+			if bs.msgBits == 1 {
+				classic, err := expectFrame[VoteBatch](conn, FrameVoteBatch)
+				if err != nil {
+					bs.failSlot(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
+					return
+				}
+				vb = VoteBatchR{Player: classic.Player, Batch: classic.Batch, Count: classic.Count, Bits: 1, Planes: classic.Bits}
+			} else {
+				wide, err := expectFrame[VoteBatchR](conn, FrameVoteBatchR)
+				if err != nil {
+					bs.failSlot(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
+					return
+				}
+				vb = wide
 			}
 			if vb.Player != slot.sl.player {
 				bs.failSlot(slot, fmt.Errorf("network: vote batch claims player %d on player %d's connection", vb.Player, slot.sl.player))
@@ -488,7 +524,11 @@ func (bs *batchSession) gather(batchID uint32, count int) int {
 				bs.failSlot(slot, fmt.Errorf("network: player %d voted on %d trials of batch %d, expected %d", slot.sl.player, vb.Count, batchID, count))
 				return
 			}
-			bs.deliv[slot.sl.player] = vb.Bits
+			if int(vb.Bits) != bs.msgBits {
+				bs.failSlot(slot, fmt.Errorf("network: player %d sent %d-bit votes, the rule uses %d bits", slot.sl.player, vb.Bits, bs.msgBits))
+				return
+			}
+			bs.deliv[slot.sl.player] = vb.Planes
 		}(slot)
 	}
 	wg.Wait()
@@ -503,9 +543,10 @@ func (bs *batchSession) gather(batchID uint32, count int) int {
 
 // decideBatch evaluates every trial of a gathered batch, filling one
 // RoundResult per trial and returning the packed verdict bits. With all
-// k votes in and a threshold-shaped referee it counts rejections
-// word-parallel; otherwise (partial batches, opaque referees) it
-// reconstructs each trial's vote slate and reuses decideVotes, so
+// k votes in and a threshold-shaped (1-bit) or sum-shaped (r-bit)
+// referee it evaluates the whole batch word-parallel; otherwise
+// (partial batches, opaque referees) it reconstructs each trial's vote
+// slate from the delivered planes and reuses decideVotes, so
 // quorum checks and absentee policy are identical to the unbatched
 // referee by construction.
 func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResult) ([]uint64, error) {
@@ -516,8 +557,12 @@ func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResul
 	verdictBits := bs.verdictBits[:words]
 	clear(verdictBits)
 	k := bs.c.k
-	if received == k && bs.shapeOK {
-		bs.decideBatchThreshold(count, verdictBits)
+	if received == k && (bs.shapeOK || bs.sumOK) {
+		if bs.shapeOK {
+			bs.decideBatchThreshold(count, verdictBits)
+		} else {
+			bs.decideBatchSum(count, verdictBits)
+		}
 		for j := range out {
 			out[j] = engine.RoundResult{
 				Verdict:  verdictBits[j/64]>>(j%64)&1 == 1,
@@ -538,7 +583,11 @@ func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResul
 			if d == nil {
 				continue
 			}
-			votes[player] = core.Message(d[j/64] >> (j % 64) & 1)
+			var msg core.Message
+			for b := 0; b < bs.msgBits; b++ {
+				msg |= core.Message(d[b*words+j/64]>>(j%64)&1) << b
+			}
+			votes[player] = msg
 			got[player] = true
 		}
 		accept, recv, err := bs.server.decideVotes(votes, got)
@@ -580,6 +629,38 @@ func (bs *batchSession) decideBatchThreshold(count int, verdictBits []uint64) {
 			}
 		}
 		verdictBits[w] = ^atLeast(planes, bs.shapeT)
+	}
+	if rem := count % 64; rem != 0 {
+		verdictBits[len(verdictBits)-1] &= 1<<rem - 1
+	}
+}
+
+// decideBatchSum evaluates "reject iff the k r-bit values sum to at
+// least sumT" for 64 trials per word: each player's value planes are
+// accumulated into the bit-sliced counter planes by ripple-carry
+// addition starting at plane b (adding 2^b per set lane of message
+// plane b), then every lane's sum is compared against the threshold in
+// one pass — the r-bit counterpart of decideBatchThreshold. Padding
+// lanes above count are masked off so the verdict bitset stays
+// wire-legal.
+func (bs *batchSession) decideBatchSum(count int, verdictBits []uint64) {
+	planes := bs.planes
+	words := batchWords(count)
+	for w := range verdictBits {
+		for i := range planes {
+			planes[i] = 0
+		}
+		for _, d := range bs.deliv {
+			for b := 0; b < bs.msgBits; b++ {
+				carry := d[b*words+w]
+				for i := b; i < len(planes) && carry != 0; i++ {
+					next := planes[i] & carry
+					planes[i] ^= carry
+					carry = next
+				}
+			}
+		}
+		verdictBits[w] = ^atLeast(planes, bs.sumT)
 	}
 	if rem := count % 64; rem != 0 {
 		verdictBits[len(verdictBits)-1] &= 1<<rem - 1

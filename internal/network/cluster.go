@@ -131,10 +131,13 @@ func (c *Cluster) MaxSamplesPerPlayer() int { return c.q }
 // failures are tolerated down to MinVotes.
 func (c *Cluster) tolerant() bool { return c.minVotes < c.k }
 
-// newServer builds the referee server with the cluster's quorum settings.
+// newServer builds the referee server with the cluster's quorum
+// settings; the rule's message width is pinned so a node announcing a
+// different width in HELLO fails by name at handshake time.
 func (c *Cluster) newServer() (*RefereeServer, error) {
 	return NewRefereeServer(c.k, c.referee, c.timeout,
-		WithMinVotes(c.minVotes), WithAbsentees(c.absentees))
+		WithMinVotes(c.minVotes), WithAbsentees(c.absentees),
+		WithMessageBits(c.rule.Bits()))
 }
 
 // buildNodes constructs all k player nodes before any goroutine is

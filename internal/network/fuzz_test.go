@@ -6,12 +6,13 @@ import (
 	"testing"
 )
 
-// FuzzReadFrame hammers the wire decoder with arbitrary bytes: it must
+// FuzzFrame hammers the wire decoder with arbitrary bytes: it must
 // never panic, and any frame it does accept must re-encode to an
 // equivalent frame (round-trip coherence). Run with `go test -fuzz
-// FuzzReadFrame ./internal/network` for continuous fuzzing; the seed
-// corpus runs as part of the normal test suite.
-func FuzzReadFrame(f *testing.F) {
+// FuzzFrame ./internal/network` for continuous fuzzing; the seed
+// corpus runs as part of the normal test suite, and CI runs a short
+// -fuzztime smoke on every push.
+func FuzzFrame(f *testing.F) {
 	// Seed with every valid frame type plus structural mutations.
 	var hello, round, vote, verdict, finish bytes.Buffer
 	_ = WriteHello(&hello, Hello{Player: 3, Bits: 1})
@@ -65,6 +66,42 @@ func FuzzReadFrame(f *testing.F) {
 		0, 0, 0, 0, 0, 0, 0, 0}) // VERDICT_BATCH count 1 with two words
 	f.Add([]byte{0xD0, 0x7A, 1, 8, 0xFF, 0xFF, 0xFF, 0xFF}) // VERDICT_BATCH huge length prefix
 
+	// Valid r-bit vote batches across the width range: single plane,
+	// two planes, and wide frames whose trial lanes span plane strides.
+	for _, tc := range []struct {
+		bits  uint8
+		count uint32
+	}{{1, 3}, {2, 7}, {7, 65}, {8, 64}} {
+		planes := make([]uint64, int(tc.bits)*batchWords(int(tc.count)))
+		for b := 0; b < int(tc.bits); b++ {
+			for j := uint32(0); j < tc.count; j++ {
+				if (uint32(b)+j)%3 == 0 {
+					planes[b*batchWords(int(tc.count))+int(j)/64] |= 1 << (j % 64)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		_ = WriteVoteBatchR(&buf, VoteBatchR{Player: 3, Batch: 7, Count: tc.count, Bits: tc.bits, Planes: planes})
+		f.Add(buf.Bytes())
+	}
+
+	// Malformed VOTE_BATCH_R frames the decoder must reject: width out
+	// of range, a stride disagreeing with the announced width, and
+	// nonzero padding past the trial count.
+	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 13,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 1, 0}) // bits 0
+	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 13,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 1, 65}) // bits 65
+	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 21,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 1, 2,
+		0, 0, 0, 0, 0, 0, 0, 1}) // bits 2 but a 1-plane stride
+	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 29,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 1, 2,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2}) // count 1 with padding bit set in plane 1
+	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 13,
+		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 0, 1}) // count 0
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, msg, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -106,6 +143,13 @@ func FuzzReadFrame(f *testing.F) {
 			}
 			if err := WriteVoteBatch(&buf, m); err != nil {
 				t.Fatalf("re-encode vote batch: %v", err)
+			}
+		case VoteBatchR:
+			if err := checkBatchPlanes(FrameVoteBatchR, int(m.Count), int(m.Bits), m.Planes); err != nil {
+				t.Fatalf("decoder accepted invalid VOTE_BATCH_R planes: %v", err)
+			}
+			if err := WriteVoteBatchR(&buf, m); err != nil {
+				t.Fatalf("re-encode r-bit vote batch: %v", err)
 			}
 		case VerdictBatch:
 			if err := checkBatchBits(FrameVerdictBatch, int(m.Count), m.Bits); err != nil {

@@ -220,26 +220,25 @@ func (p *PlayerNode) takeStaged(batch uint32) ([]dist.Sampler, bool) {
 }
 
 // voteBatch computes one vote per seed of a ROUND_BATCH and replies
-// with the packed VOTE_BATCH. Each trial's derivation is exactly the
-// single-round path's — engine.NodeRNG(seed, id) feeding SampleInto and
-// the rule — so bit j of the reply equals the VOTE the node would have
-// sent for seed j unbatched. Only single-bit rules pack into a bitset;
-// a wider rule is a protocol error here (the aggregator never issues
-// batches for one).
+// with the packed VOTE_BATCH (single-bit rules) or VOTE_BATCH_R (r-bit
+// rules, one bit-plane per message bit). Each trial's derivation is
+// exactly the single-round path's — engine.NodeRNG(seed, id) feeding
+// SampleInto and the rule — so lane j of the reply equals the VOTE the
+// node would have sent for seed j unbatched. Single-bit rules keep the
+// classic VOTE_BATCH frame, byte-identical to the pre-r protocol.
 func (p *PlayerNode) voteBatch(conn net.Conn, rb RoundBatch) error {
-	if bits := p.rule.Bits(); bits != 1 {
-		return fmt.Errorf("network: node %d got ROUND_BATCH with a %d-bit rule; batching needs single-bit votes", p.id, bits)
-	}
+	msgBits := p.rule.Bits()
 	count := len(rb.Seeds)
 	samplers, staged := p.takeStaged(rb.Batch)
 	if staged && len(samplers) != count {
 		return fmt.Errorf("network: node %d staged %d samplers for batch %d of %d trials", p.id, len(samplers), rb.Batch, count)
 	}
 	words := batchWords(count)
-	if cap(p.voteBits) < words {
-		p.voteBits = make([]uint64, words)
+	need := msgBits * words
+	if cap(p.voteBits) < need {
+		p.voteBits = make([]uint64, need)
 	}
-	voteBits := p.voteBits[:words]
+	voteBits := p.voteBits[:need]
 	for i := range voteBits {
 		voteBits[i] = 0
 	}
@@ -254,12 +253,22 @@ func (p *PlayerNode) voteBatch(conn net.Conn, rb RoundBatch) error {
 		if err != nil {
 			return fmt.Errorf("network: node %d rule: %w", p.id, err)
 		}
-		if msg.Bit() {
-			voteBits[j/64] |= 1 << (j % 64)
+		if msgBits < 64 && msg >= 1<<msgBits {
+			return fmt.Errorf("network: node %d message %#x wider than the rule's %d bits", p.id, uint64(msg), msgBits)
+		}
+		for b := 0; b < msgBits; b++ {
+			if msg>>b&1 == 1 {
+				voteBits[b*words+j/64] |= 1 << (j % 64)
+			}
 		}
 	}
 	// Refresh the deadline: a large batch of sampling may have consumed
 	// most of the read-phase budget.
 	setDeadline(conn, p.timeout)
-	return WriteVoteBatch(conn, VoteBatch{Player: p.id, Batch: rb.Batch, Count: uint32(count), Bits: voteBits})
+	if msgBits == 1 {
+		return WriteVoteBatch(conn, VoteBatch{Player: p.id, Batch: rb.Batch, Count: uint32(count), Bits: voteBits})
+	}
+	return WriteVoteBatchR(conn, VoteBatchR{
+		Player: p.id, Batch: rb.Batch, Count: uint32(count), Bits: uint8(msgBits), Planes: voteBits,
+	})
 }

@@ -26,6 +26,7 @@ type RefereeServer struct {
 	timeout  time.Duration
 	minVotes int
 	policy   core.AbsenteePolicy
+	bits     int
 }
 
 // RefereeOption customizes NewRefereeServer beyond the required
@@ -43,6 +44,15 @@ func WithMinVotes(m int) RefereeOption {
 // core.AbsenteeDefault (the default) defers to the decision rule's advice.
 func WithAbsentees(p core.AbsenteePolicy) RefereeOption {
 	return func(s *RefereeServer) { s.policy = p }
+}
+
+// WithMessageBits pins the message width r the referee's rule decides
+// over: a HELLO announcing any other width is rejected by name instead
+// of being discovered later as a width-violation on some vote. Zero
+// (the default) accepts any legal width, preserving the behavior of
+// directly constructed servers that never negotiate.
+func WithMessageBits(r int) RefereeOption {
+	return func(s *RefereeServer) { s.bits = r }
 }
 
 // NewRefereeServer builds the server. timeout bounds each connection's
@@ -70,6 +80,9 @@ func NewRefereeServer(k int, decide core.Referee, timeout time.Duration, opts ..
 	}
 	if !s.policy.Valid() {
 		return nil, fmt.Errorf("network: unknown absentee policy %d", int(s.policy))
+	}
+	if s.bits < 0 || s.bits > 64 {
+		return nil, fmt.Errorf("network: referee expecting %d message bits, want 1..64 (or 0 for any)", s.bits)
 	}
 	return s, nil
 }
@@ -148,10 +161,15 @@ func (t *connTracker) watch(ctx context.Context) (stop func()) {
 }
 
 // validateHello checks one player's announcement against the protocol
-// rules: bits in [1,64], id in [0,k), no duplicate ids.
+// rules: bits in [1,64] and matching the referee's negotiated width
+// when one is pinned (WithMessageBits), id in [0,k), no duplicate ids.
 func (s *RefereeServer) validateHello(h Hello, seen []bool) error {
 	if h.Bits < 1 || h.Bits > 64 {
 		return fmt.Errorf("network: player %d announced %d message bits", h.Player, h.Bits)
+	}
+	if s.bits != 0 && int(h.Bits) != s.bits {
+		return fmt.Errorf("network: player %d announced %d-bit messages but the referee's rule decides over %d-bit messages",
+			h.Player, h.Bits, s.bits)
 	}
 	if h.Player >= uint32(s.k) {
 		return fmt.Errorf("network: player id %d out of range [0, %d)", h.Player, s.k)

@@ -106,6 +106,34 @@ func TestRefereeEnforcesAnnouncedBits(t *testing.T) {
 	}
 }
 
+func TestRefereeNegotiatesMessageWidth(t *testing.T) {
+	// With the rule's width pinned on the server, a node announcing a
+	// different width in HELLO fails the handshake with a named-player,
+	// named-widths error rather than a generic rejection.
+	m := NewMemTransport()
+	l, err := m.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	server, err := NewRefereeServer(1, andReferee(), time.Second, WithMessageBits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fakePlayer(t, m, l.Addr(), func(conn net.Conn) {
+		_ = WriteHello(conn, Hello{Player: 0, Bits: 7})
+	})
+	_, err = server.RunRound(context.Background(), l, 7)
+	if err == nil {
+		t.Fatal("width mismatch accepted, want handshake error")
+	}
+	for _, want := range []string{"player 0", "7-bit", "2-bit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %v, want it to name %q", err, want)
+		}
+	}
+}
+
 func TestRefereeAcceptsFullWidthMessages(t *testing.T) {
 	// A 64-bit announcement admits any message (no 1<<64 overflow).
 	m := NewMemTransport()

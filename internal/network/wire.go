@@ -29,6 +29,10 @@ type FrameType uint8
 // Frame types, in round order. The batch frames (6..8) are the
 // multi-trial counterparts of ROUND/VOTE/VERDICT: one frame carries up
 // to MaxBatchTrials trials, identified by a batch id the voter echoes.
+// VOTE_BATCH_R (9) is the r-bit generalization of VOTE_BATCH: r packed
+// bit-planes instead of one. VOTE_BATCH remains the canonical encoding
+// for 1-bit rules, so r = 1 sessions are byte-identical to the classic
+// protocol.
 const (
 	FrameHello FrameType = iota + 1
 	FrameRound
@@ -38,6 +42,7 @@ const (
 	FrameRoundBatch
 	FrameVoteBatch
 	FrameVerdictBatch
+	FrameVoteBatchR
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -59,6 +64,8 @@ func (t FrameType) String() string {
 		return "VOTE_BATCH"
 	case FrameVerdictBatch:
 		return "VERDICT_BATCH"
+	case FrameVoteBatchR:
+		return "VOTE_BATCH_R"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -119,6 +126,26 @@ type VerdictBatch struct {
 	Bits  []uint64
 }
 
+// VoteBatchR carries one player's r-bit votes for every trial of a
+// batch as Bits packed bit-planes: plane b holds bit b of every
+// message, with trial j of the batch at bit j%64 (LSB first) of plane
+// word j/64 — plane b occupies words [b*W, (b+1)*W) of Planes for
+// W = batchWords(Count). Plane 0 of a 1-bit frame is therefore exactly
+// a VoteBatch bitset; 1-bit sessions keep sending VOTE_BATCH, and the
+// referee only accepts VOTE_BATCH_R from players that announced Bits >
+// 1 in HELLO. The stride (plane count times word count) and the zero
+// padding above Count in every plane are validated on encode and
+// decode, like checkBatchBits. Verdicts stay single-bit, so
+// VERDICT_BATCH is unchanged for any r.
+// Payload layout: player(4) batch(4) count(4) bits(1) planes (8 each).
+type VoteBatchR struct {
+	Player uint32
+	Batch  uint32
+	Count  uint32
+	Bits   uint8
+	Planes []uint64
+}
+
 // batchWords is the number of 64-bit bitset words covering count trials.
 func batchWords(count int) int { return (count + 63) / 64 }
 
@@ -140,6 +167,32 @@ func checkBatchBits(kind FrameType, count int, bits []uint64) error {
 	return nil
 }
 
+// checkBatchPlanes validates an r-bit plane set against its trial count
+// and message width: exact stride (msgBits planes of batchWords(count)
+// words each) and zero padding bits above count in every plane.
+func checkBatchPlanes(kind FrameType, count, msgBits int, planes []uint64) error {
+	if count < 1 || count > MaxBatchTrials {
+		return fmt.Errorf("network: %v with %d trials, want 1..%d", kind, count, MaxBatchTrials)
+	}
+	if msgBits < 1 || msgBits > 64 {
+		return fmt.Errorf("network: %v with %d message bits, want 1..64", kind, msgBits)
+	}
+	words := batchWords(count)
+	if len(planes) != msgBits*words {
+		return fmt.Errorf("network: %v with %d plane words for %d trials of %d bits, want %d",
+			kind, len(planes), count, msgBits, msgBits*words)
+	}
+	if rem := count % 64; rem != 0 {
+		for b := 0; b < msgBits; b++ {
+			if pad := planes[(b+1)*words-1] &^ (1<<rem - 1); pad != 0 {
+				return fmt.Errorf("network: %v with non-zero padding bits %#x above trial %d in plane %d",
+					kind, pad, count, b)
+			}
+		}
+	}
+	return nil
+}
+
 // frame layout: magic(2) version(1) type(1) length(4) payload(length).
 const headerSize = 8
 
@@ -153,6 +206,8 @@ func maxPayload(t FrameType) int {
 		return 12 + 8*batchWords(MaxBatchTrials)
 	case FrameVerdictBatch:
 		return 8 + 8*batchWords(MaxBatchTrials)
+	case FrameVoteBatchR:
+		return 13 + 8*64*batchWords(MaxBatchTrials)
 	default:
 		return MaxFrameSize
 	}
@@ -321,6 +376,25 @@ func WriteVoteBatch(w io.Writer, v VoteBatch) error {
 	return writeFrame(w, FrameVoteBatch, p)
 }
 
+// WriteVoteBatchR sends a VOTE_BATCH_R frame; the plane set is
+// validated against Count and Bits (exact stride and zero padding in
+// every plane) before any byte leaves, so an invalid batch never
+// reaches the wire.
+func WriteVoteBatchR(w io.Writer, v VoteBatchR) error {
+	if err := checkBatchPlanes(FrameVoteBatchR, int(v.Count), int(v.Bits), v.Planes); err != nil {
+		return err
+	}
+	p := make([]byte, 13+8*len(v.Planes))
+	binary.BigEndian.PutUint32(p[0:4], v.Player)
+	binary.BigEndian.PutUint32(p[4:8], v.Batch)
+	binary.BigEndian.PutUint32(p[8:12], v.Count)
+	p[12] = v.Bits
+	for i, word := range v.Planes {
+		binary.BigEndian.PutUint64(p[13+8*i:], word)
+	}
+	return writeFrame(w, FrameVoteBatchR, p)
+}
+
 // WriteVerdictBatch sends a VERDICT_BATCH frame, validated like
 // WriteVoteBatch.
 func WriteVerdictBatch(w io.Writer, v VerdictBatch) error {
@@ -443,6 +517,37 @@ func ReadFrame(r io.Reader) (FrameType, any, error) {
 			Batch: binary.BigEndian.Uint32(payload[0:4]),
 			Count: uint32(count),
 			Bits:  bits,
+		}, nil
+	case FrameVoteBatchR:
+		if len(payload) < 13 {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH_R payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[8:12]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH_R with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		msgBits := int(payload[12])
+		if msgBits < 1 || msgBits > 64 {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH_R with %d message bits, want 1..64", msgBits)
+		}
+		words := msgBits * batchWords(count)
+		if len(payload) != 13+8*words {
+			return 0, nil, fmt.Errorf("network: VOTE_BATCH_R payload of %d bytes for %d trials of %d bits, want %d",
+				len(payload), count, msgBits, 13+8*words)
+		}
+		planes := make([]uint64, words)
+		for i := range planes {
+			planes[i] = binary.BigEndian.Uint64(payload[13+8*i:])
+		}
+		if err := checkBatchPlanes(FrameVoteBatchR, count, msgBits, planes); err != nil {
+			return 0, nil, err
+		}
+		return t, VoteBatchR{
+			Player: binary.BigEndian.Uint32(payload[0:4]),
+			Batch:  binary.BigEndian.Uint32(payload[4:8]),
+			Count:  uint32(count),
+			Bits:   uint8(msgBits),
+			Planes: planes,
 		}, nil
 	default:
 		return 0, nil, fmt.Errorf("network: unknown frame type %d", uint8(t))
