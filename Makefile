@@ -54,9 +54,13 @@ lint:
 # The default test target vets everything, runs staticcheck when
 # available, and additionally runs the concurrency-heavy packages (the
 # networked referee/nodes and the engine's worker-pool driver) under the
-# race detector. The plain pass includes the allocation guards
-# (dist.SampleInto, engine.ReusableRNG, and the SMP scratch hot path);
-# they skip themselves in the race pass, whose instrumentation allocates.
+# race detector. That race pass covers the cross-topology determinism
+# tests — flat star vs sharded referee tree on a fixed small budget
+# (engine/crosstopology_test.go, network/sharded_test.go) — so a data
+# race anywhere on the aggregation path fails CI. The plain pass
+# includes the allocation guards (dist.SampleInto, engine.ReusableRNG,
+# the SMP scratch hot path, and the L1 reduce/root decide path); they
+# skip themselves in the race pass, whose instrumentation allocates.
 test: vet staticcheck lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/network/... ./internal/engine/...

@@ -367,3 +367,4 @@ func BenchmarkSessionAmortization(b *testing.B) {
 func BenchmarkE19Transfer(b *testing.B)       { benchmarkExperiment(b, "E19") }
 func BenchmarkE20ExactProtocols(b *testing.B) { benchmarkExperiment(b, "E20") }
 func BenchmarkE21RBitDecay(b *testing.B)      { benchmarkExperiment(b, "E21") }
+func BenchmarkE22ShardedScale(b *testing.B)   { benchmarkExperiment(b, "E22") }

@@ -24,6 +24,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/distributed-uniformity/dut/internal/centralized"
@@ -69,7 +70,7 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   dut test    [-n N] [-eps E] [-mode collision|chisq|threshold|and] [-k K] [-q Q] [-source uniform|zipf|hard|stdin] [-trials T] [-seed S]
-  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-bits R] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D] [-batch B] [-window W]
+  dut netdemo [-n N] [-eps E] [-k K] [-q Q] [-bits R] [-tcp] [-seed S] [-rounds R] [-minvotes M] [-crash C] [-delay D] [-batch B] [-window W] [-shards S | -aggregators A] [-aggweights W1,W2,...] [-shardseed S]
   dut bounds  [-n N] [-eps E] [-k K] [-T T] [-r R] [-q Q]
   dut exp     [-id E21] [-scale S] [-seed S] [-par P] [-list]
 `)
@@ -302,6 +303,10 @@ func cmdNetDemo(args []string) int {
 		delay    = fs.Duration("delay", 0, "chaos: per-frame write delay injected on one node")
 		batch    = fs.Int("batch", 0, "trials per ROUND_BATCH wire frame (0 = classic one-frame-per-round protocol)")
 		window   = fs.Int("window", 1, "batches kept in flight per session (needs -batch)")
+		shards   = fs.Int("shards", 0, "L1 aggregator shards between players and root (0 or 1 = flat star)")
+		aggs     = fs.Int("aggregators", 0, "alias for -shards: number of L1 aggregators in the referee tree")
+		aggW     = fs.String("aggweights", "", "comma-separated relative aggregator capacities, one per shard (empty = uniform)")
+		shardS   = fs.Uint64("shardseed", 0, "shuffle players across shards with this seed (0 = contiguous ranges)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -336,6 +341,24 @@ func cmdNetDemo(args []string) int {
 	if *bits < 1 {
 		fmt.Fprintln(os.Stderr, "dut netdemo: -bits must be at least 1")
 		return 2
+	}
+	if *aggs != 0 {
+		if *shards != 0 && *shards != *aggs {
+			fmt.Fprintf(os.Stderr, "dut netdemo: -shards %d and -aggregators %d disagree; they name the same tier\n", *shards, *aggs)
+			return 2
+		}
+		*shards = *aggs
+	}
+	var weights []int
+	if *aggW != "" {
+		for _, field := range strings.Split(*aggW, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dut netdemo: -aggweights %q: %v\n", *aggW, err)
+				return 2
+			}
+			weights = append(weights, w)
+		}
 	}
 	// The rule's width is pinned on the referee server, so a node
 	// announcing a different width in HELLO fails by name at handshake
@@ -387,9 +410,12 @@ func cmdNetDemo(args []string) int {
 		K: *k, Q: *q,
 		Rule:      rule,
 		Referee:   referee,
-		Transport: tr,
-		Timeout:   30 * time.Second,
-		MinVotes:  *minVotes,
+		Transport:         tr,
+		Timeout:           30 * time.Second,
+		MinVotes:          *minVotes,
+		Shards:            *shards,
+		AggregatorWeights: weights,
+		ShardSeed:         *shardS,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
@@ -436,6 +462,16 @@ func cmdNetDemo(args []string) int {
 	}
 	if *minVotes > 0 {
 		fmt.Printf("quorum: %d of %d votes\n", *minVotes, *k)
+	}
+	if *shards > 1 {
+		layout := "contiguous shards"
+		if *shardS != 0 {
+			layout = fmt.Sprintf("shuffled shards (seed %d)", *shardS)
+		}
+		if len(weights) > 0 {
+			layout += fmt.Sprintf(", weights %v", weights)
+		}
+		fmt.Printf("referee tree: %d L1 aggregators, %s\n", *shards, layout)
 	}
 	if *batch > 0 {
 		fmt.Printf("batched wire protocol: %d trials per frame, %d batches in flight\n", *batch, *window)

@@ -65,7 +65,7 @@ type Experiment struct {
 func Registry() []Experiment {
 	exps := []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(),
-		e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(), e20(), e21(),
+		e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(), e20(), e21(), e22(),
 	}
 	for i := range exps {
 		exps[i].Run = validated(exps[i].Run)

@@ -99,8 +99,8 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(reg))
+	if len(reg) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(reg))
 	}
 	seen := map[string]bool{}
 	prev := 0

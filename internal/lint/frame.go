@@ -43,6 +43,9 @@ var (
 		"WriteVerdict": true, "WriteFinish": true, "writeFrame": true,
 		"WriteRoundBatch": true, "WriteVoteBatch": true, "WriteVerdictBatch": true,
 		"WriteVoteBatchR": true,
+		// The referee tree's aggregator frames: handshake, reduced sums,
+		// and forwarded planes.
+		"WriteAggHello": true, "WriteAggSum": true, "WriteAggPlanes": true,
 		// The batch session's coalesced flush: a run of frames encoded by
 		// the wire.go Append* helpers, written in one call.
 		"writeCoalesced": true,

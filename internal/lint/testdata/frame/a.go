@@ -10,12 +10,14 @@ import (
 
 type frame struct{}
 
-func setDeadline(c net.Conn, d time.Duration)        {}
-func setWriteDeadline(c net.Conn, d time.Duration)   {}
-func ReadFrame(c net.Conn) (frame, error)            { return frame{}, nil }
-func WriteVote(c net.Conn, v uint64) error           { return nil }
-func WriteVoteBatch(c net.Conn, bits []uint64) error { return nil }
-func SampleInto(buf []int)                           {}
+func setDeadline(c net.Conn, d time.Duration)          {}
+func setWriteDeadline(c net.Conn, d time.Duration)     {}
+func ReadFrame(c net.Conn) (frame, error)              { return frame{}, nil }
+func WriteVote(c net.Conn, v uint64) error             { return nil }
+func WriteVoteBatch(c net.Conn, bits []uint64) error   { return nil }
+func WriteAggSum(c net.Conn, sums []uint64) error      { return nil }
+func WriteAggHello(c net.Conn, members []uint32) error { return nil }
+func SampleInto(buf []int)                             {}
 
 func badRaw(c net.Conn, w io.Writer, p []byte) {
 	_, _ = c.Write(p)                                // want "raw conn.Write bypasses the validated frame encoder"
@@ -37,6 +39,21 @@ func badStaleBatch(c net.Conn, buf []int, bits []uint64) {
 	setWriteDeadline(c, time.Second)
 	SampleInto(buf)
 	_ = WriteVoteBatch(c, bits) // want "frame write under a deadline already consumed"
+}
+
+func badStaleAgg(c net.Conn, buf []int, sums []uint64) {
+	setWriteDeadline(c, time.Second)
+	SampleInto(buf)
+	_ = WriteAggSum(c, sums) // want "frame write under a deadline already consumed"
+}
+
+func goodAgg(c net.Conn, members []uint32, sums []uint64) error {
+	setWriteDeadline(c, time.Second)
+	if err := WriteAggHello(c, members); err != nil {
+		return err
+	}
+	setWriteDeadline(c, time.Second) // fresh budget per frame: clean
+	return WriteAggSum(c, sums)
 }
 
 func goodBatch(c net.Conn, buf []int, bits []uint64) error {

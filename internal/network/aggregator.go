@@ -1,0 +1,1020 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+)
+
+// This file implements the sharded referee tree: with Topology.Shards
+// s > 1 the flat star becomes a two-tier tree where each of s L1
+// aggregators owns one shard of players, runs the same accept/HELLO and
+// batch-gather logic the root runs against its shard, reduces every
+// gathered VOTE_BATCH / VOTE_BATCH_R locally, and sends one reduced
+// frame per batch upstream. For threshold- and sum-shaped referees the
+// reduction is the bit-sliced partial sum itself (AGG_SUM carries the
+// per-lane rejection/value counters, which compose across shards by
+// lane-wise addition); for opaque referees the aggregator forwards its
+// shard's packed planes in one AGG_PLANES frame, and the root scatters
+// them back into the per-player delivery table so the per-trial
+// decideVotes fallback is reached with exactly the flat referee's
+// inputs. Quorum and absentee accounting compose per shard through the
+// explicit present-counts every reduced frame carries: the root's
+// received count is the sum of shard present-counts, and the shaped
+// decide adjusts its threshold for the absentees exactly as
+// decideVotes would have (see adjustedThreshold), so verdicts are
+// bit-identical to the flat referee for every rule shape, shard count,
+// batch size and presence pattern.
+
+// dialAggregator uses per-aggregator dialing when the transport
+// supports it, so fault-injecting transports can apply per-aggregator
+// plans on the L1 -> root hop.
+func dialAggregator(tr Transport, addr net.Addr, agg uint32) (net.Conn, error) {
+	if ad, ok := tr.(AggregatorDialer); ok {
+		return ad.DialAggregator(addr, agg)
+	}
+	return tr.Dial(addr)
+}
+
+// aggBatch is one pending reduction: the batch id and trial count the
+// aggregator's reader observed on a ROUND_BATCH it relayed downstream.
+type aggBatch struct {
+	id    uint32
+	count int
+}
+
+// aggBatchQueue is an unbounded FIFO of pending reductions feeding the
+// aggregator's reduce loop, mirroring frameQueue's close semantics:
+// pushes after close are dropped, pending items still drain.
+type aggBatchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []aggBatch
+	closed bool
+}
+
+func newAggBatchQueue() *aggBatchQueue {
+	q := &aggBatchQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *aggBatchQueue) push(b aggBatch) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, b)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is pending or the queue is closed and empty.
+func (q *aggBatchQueue) pop() (aggBatch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return aggBatch{}, false
+	}
+	b := q.items[0]
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = q.items[:0:cap(q.items)]
+	}
+	return b, true
+}
+
+func (q *aggBatchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// aggregator is one L1 node of the referee tree: it accepts its shard's
+// players, relays the root's ROUND_BATCH / VERDICT_BATCH / FINISH
+// frames downstream, and reduces each batch's votes into one upstream
+// frame. Its reader and reducer run as separate goroutines so the next
+// batch's relay is never blocked behind the previous batch's gather —
+// the same pipelining the flat session gets from its writer queues.
+type aggregator struct {
+	bs       *batchSession
+	id       uint32
+	members  []uint32 // ascending player ids, from Topology.Partition
+	listener net.Listener
+
+	root  net.Conn
+	slots []*batchSlot // by shard position; nil = absent (quorum mode)
+
+	pending    *aggBatchQueue
+	readerDone chan struct{}
+	done       chan struct{}
+
+	// Reduce scratch, reused per batch so the hot path stays at zero
+	// allocations: deliv holds delivered plane sets by shard position,
+	// col the bit-sliced per-word counters, sums the encoded partial
+	// sums, mask/fwd the AGG_PLANES membership mask and forwarded
+	// planes. enc backs the upstream frame encode, relay the downstream
+	// re-encode of root frames.
+	deliv [][]uint64
+	col   []uint64
+	sums  []uint64
+	mask  []uint64
+	fwd   []uint64
+	enc   []byte
+	relay []byte
+}
+
+func newAggregator(bs *batchSession, id uint32, members []uint32, l net.Listener) *aggregator {
+	return &aggregator{
+		bs:         bs,
+		id:         id,
+		members:    members,
+		listener:   l,
+		pending:    newAggBatchQueue(),
+		readerDone: make(chan struct{}),
+		done:       make(chan struct{}),
+		deliv:      make([][]uint64, len(members)),
+		col:        make([]uint64, len(bs.planes)),
+		mask:       make([]uint64, aggMaskWords(len(members))),
+	}
+}
+
+// runAggregator is the aggregator goroutine: member accept, root
+// connect, then reader (downstream relay) and reducer (upstream
+// reduction) until FINISH or failure. a.done is closed on exit, which
+// is what Close waits on.
+func (bs *batchSession) runAggregator(ctx context.Context, a *aggregator, rootAddr net.Addr) {
+	defer close(a.done)
+	if err := a.setup(ctx, rootAddr); err != nil {
+		bs.failAgg(err)
+		a.closeMembers()
+		return
+	}
+	//lint:ignore dut/ctxprop the reader blocks in deadline-bounded root reads; cancellation reaches it when session teardown closes the root conn and the next read errors out
+	go a.readRoot()
+	a.reduceLoop()
+	<-a.readerDone
+	a.closeMembers()
+	_ = a.root.Close()
+}
+
+// setup runs the aggregator's connect phase: accept the shard's
+// players, start their writers, then dial the root and announce the
+// shard with AGG_HELLO.
+func (a *aggregator) setup(ctx context.Context, rootAddr net.Addr) error {
+	slots, present, err := a.acceptMembers(ctx)
+	if err != nil {
+		return err
+	}
+	a.slots = slots
+	for _, slot := range slots {
+		if slot == nil {
+			continue
+		}
+		//lint:ignore dut/ctxprop the writer drains until its frame queue closes (closeMembers always closes it); cancellation reaches it through failSlot closing the conn
+		go a.bs.slotWriter(slot)
+	}
+	return a.connectRoot(rootAddr, present)
+}
+
+// acceptMembers accepts the shard's players, mirroring the root's
+// acceptPlayers: strict mode blocks until every member registered,
+// quorum mode bounds the phase with an accept deadline and takes
+// whoever made it (the root checks the global quorum against the
+// summed present-counts, so a partial shard is not an error here).
+func (a *aggregator) acceptMembers(ctx context.Context) ([]*batchSlot, uint32, error) {
+	s := a.bs.server
+	if !s.strict() {
+		dl, ok := a.listener.(acceptDeadliner)
+		if !ok {
+			return nil, 0, fmt.Errorf("network: quorum mode needs a listener with accept deadlines (have %T)", a.listener)
+		}
+		//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds the accept wait, never the verdict
+		_ = dl.SetDeadline(time.Now().Add(s.timeout))
+		defer func() { _ = dl.SetDeadline(time.Time{}) }()
+	}
+	slots := make([]*batchSlot, len(a.members))
+	var present uint32
+	for int(present) < len(a.members) {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		conn, err := a.listener.Accept()
+		if err != nil {
+			if !s.strict() && errors.Is(err, os.ErrDeadlineExceeded) {
+				return slots, present, nil
+			}
+			return nil, 0, fmt.Errorf("network: aggregator %d accept: %w", a.id, err)
+		}
+		a.bs.track(conn)
+		setDeadline(conn, s.timeout)
+		hello, err := expectFrame[Hello](conn, FrameHello)
+		if err != nil {
+			if s.strict() {
+				return nil, 0, fmt.Errorf("network: aggregator %d hello: %w", a.id, err)
+			}
+			_ = conn.Close()
+			continue
+		}
+		if err := a.validateMember(hello, slots); err != nil {
+			if s.strict() {
+				return nil, 0, err
+			}
+			_ = conn.Close()
+			continue
+		}
+		pos := a.position(hello.Player)
+		slots[pos] = &batchSlot{
+			sl:         &playerSlot{conn: conn, player: hello.Player, bits: hello.Bits},
+			q:          newFrameQueue(),
+			writerDone: make(chan struct{}),
+		}
+		present++
+	}
+	return slots, present, nil
+}
+
+// validateMember is validateHello against the shard: the player must be
+// one of the aggregator's assigned members, announced once, with the
+// pinned message width.
+func (a *aggregator) validateMember(h Hello, slots []*batchSlot) error {
+	if h.Bits < 1 || h.Bits > 64 {
+		return fmt.Errorf("network: player %d announced %d message bits", h.Player, h.Bits)
+	}
+	if s := a.bs.server; s.bits != 0 && int(h.Bits) != s.bits {
+		return fmt.Errorf("network: player %d announced %d-bit messages but the referee's rule decides over %d-bit messages",
+			h.Player, h.Bits, s.bits)
+	}
+	pos := a.position(h.Player)
+	if pos < 0 {
+		return fmt.Errorf("network: player %d dialed aggregator %d, which does not own it", h.Player, a.id)
+	}
+	if slots[pos] != nil {
+		return fmt.Errorf("network: duplicate player id %d", h.Player)
+	}
+	return nil
+}
+
+// position is the player's index within the shard's ascending member
+// list, or -1 if the shard does not own it.
+func (a *aggregator) position(player uint32) int {
+	j := sort.Search(len(a.members), func(n int) bool { return a.members[n] >= player })
+	if j < len(a.members) && a.members[j] == player {
+		return j
+	}
+	return -1
+}
+
+// connectRoot dials the root with the node-style retry/backoff policy
+// and announces the shard. Retries are accounted like node connect
+// retries, onto the next reported trial's stats.
+func (a *aggregator) connectRoot(addr net.Addr, present uint32) error {
+	c := a.bs.c
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := dialAggregator(c.tr, addr, a.id)
+		if err != nil {
+			lastErr = fmt.Errorf("network: aggregator %d dial: %w", a.id, err)
+			continue
+		}
+		a.bs.track(conn)
+		setDeadline(conn, a.bs.server.timeout)
+		hello := AggHello{Agg: a.id, Bits: uint8(a.bs.msgBits), Present: present, Members: a.members}
+		if err := WriteAggHello(conn, hello); err != nil {
+			_ = conn.Close()
+			lastErr = fmt.Errorf("network: aggregator %d hello: %w", a.id, err)
+			continue
+		}
+		a.bs.addRetries(attempt)
+		a.root = conn
+		return nil
+	}
+	a.bs.addRetries(c.retries)
+	return fmt.Errorf("network: aggregator %d connect failed after %d attempt(s): %w", a.id, c.retries+1, lastErr)
+}
+
+// readRoot relays the root's frames downstream. Every relayed
+// ROUND_BATCH also queues a reduction descriptor for the reduce loop,
+// so relaying batch n+1 never waits on gathering batch n. The pending
+// queue is closed on exit (FINISH or failure), which is what ends the
+// reduce loop.
+func (a *aggregator) readRoot() {
+	defer close(a.readerDone)
+	defer a.pending.close()
+	bs := a.bs
+	for {
+		// A root frame can lag a whole decide phase; budget two timeouts,
+		// like every other cross-phase read.
+		setReadDeadline(a.root, 2*bs.server.timeout)
+		kind, msg, err := ReadFrame(a.root)
+		if err != nil {
+			a.fail(fmt.Errorf("network: aggregator %d read: %w", a.id, err))
+			return
+		}
+		switch m := msg.(type) {
+		case RoundBatch:
+			relay, err := AppendRoundBatch(a.relay[:0], m)
+			a.relay = relay
+			if err != nil {
+				a.fail(fmt.Errorf("network: aggregator %d relay: %w", a.id, err))
+				return
+			}
+			a.broadcast(relay)
+			a.pending.push(aggBatch{id: m.Batch, count: len(m.Seeds)})
+		case VerdictBatch:
+			relay, err := AppendVerdictBatch(a.relay[:0], m)
+			a.relay = relay
+			if err != nil {
+				a.fail(fmt.Errorf("network: aggregator %d relay: %w", a.id, err))
+				return
+			}
+			a.broadcast(relay)
+		case Finish:
+			a.relay = AppendFinish(a.relay[:0])
+			a.broadcast(a.relay)
+			a.closeQueues()
+			return
+		default:
+			a.fail(fmt.Errorf("network: aggregator %d got unexpected %v from the root", a.id, kind))
+			return
+		}
+	}
+}
+
+// broadcast queues one encoded frame to every live member.
+func (a *aggregator) broadcast(frame []byte) {
+	for _, slot := range a.slots {
+		if slot == nil || slot.isDead() {
+			continue
+		}
+		slot.q.push(frame)
+	}
+}
+
+func (a *aggregator) closeQueues() {
+	for _, slot := range a.slots {
+		if slot == nil {
+			continue
+		}
+		slot.q.close()
+	}
+}
+
+// reduceLoop drains pending reductions in FIFO order until the reader
+// closes the queue.
+func (a *aggregator) reduceLoop() {
+	for {
+		b, ok := a.pending.pop()
+		if !ok {
+			return
+		}
+		a.runBatch(b)
+	}
+}
+
+// runBatch gathers one batch from the shard and sends the reduced frame
+// upstream: bit-sliced partial sums (AGG_SUM) when the referee is
+// threshold- or sum-shaped, the packed planes with a membership mask
+// (AGG_PLANES) otherwise. Both encodes reuse the aggregator's scratch,
+// so a settled session reduces at zero allocations per batch.
+func (a *aggregator) runBatch(b aggBatch) {
+	bs := a.bs
+	words := batchWords(b.count)
+	received := a.gather(b.id, b.count)
+	var err error
+	if bs.shapeOK || bs.sumOK {
+		planes := len(bs.planes)
+		need := planes * words
+		if cap(a.sums) < need {
+			a.sums = make([]uint64, need)
+		}
+		sums := a.sums[:need]
+		if bs.shapeOK {
+			reduceThresholdSums(a.deliv, b.count, words, a.col, sums)
+		} else {
+			reduceValueSums(a.deliv, bs.msgBits, words, a.col, sums)
+		}
+		a.enc, err = AppendAggSum(a.enc[:0], AggSum{
+			Agg: a.id, Batch: b.id, Count: uint32(b.count),
+			Bits: uint8(bs.msgBits), Planes: uint8(planes),
+			Present: uint32(received), Sums: sums,
+		})
+	} else {
+		clear(a.mask)
+		a.fwd = a.fwd[:0]
+		stride := bs.msgBits * words
+		for pos, d := range a.deliv {
+			if d == nil {
+				continue
+			}
+			a.mask[pos/64] |= 1 << (pos % 64)
+			a.fwd = append(a.fwd, d[:stride]...)
+		}
+		a.enc, err = AppendAggPlanes(a.enc[:0], AggPlanes{
+			Agg: a.id, Batch: b.id, Count: uint32(b.count), Bits: uint8(bs.msgBits),
+			Members: uint32(len(a.members)), Present: uint32(received),
+			Mask: a.mask, Planes: a.fwd,
+		})
+	}
+	if err != nil {
+		a.fail(fmt.Errorf("network: aggregator %d reduce batch %d: %w", a.id, b.id, err))
+		return
+	}
+	setWriteDeadline(a.root, bs.server.timeout)
+	if err := writeCoalesced(a.root, a.enc); err != nil {
+		a.fail(fmt.Errorf("network: aggregator %d reduced batch %d upstream: %w", a.id, b.id, err))
+	}
+}
+
+// gather collects one batch's votes from every live member, with
+// exactly the root gather's echo checks. Delivered plane sets land in
+// a.deliv by shard position (nil = absent); it returns the number of
+// valid deliveries.
+func (a *aggregator) gather(batchID uint32, count int) int {
+	bs := a.bs
+	for i := range a.deliv {
+		a.deliv[i] = nil
+	}
+	var wg sync.WaitGroup
+	for pos, slot := range a.slots {
+		if slot == nil || slot.isDead() {
+			continue
+		}
+		wg.Add(1)
+		go func(pos int, slot *batchSlot) {
+			defer wg.Done()
+			conn := slot.sl.conn
+			// The vote can lag the node's whole batch of sampling plus a
+			// queued verdict write; budget two timeouts.
+			setReadDeadline(conn, 2*bs.server.timeout)
+			var vb VoteBatchR
+			if bs.msgBits == 1 {
+				classic, err := expectFrame[VoteBatch](conn, FrameVoteBatch)
+				if err != nil {
+					a.failMember(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
+					return
+				}
+				vb = VoteBatchR{Player: classic.Player, Batch: classic.Batch, Count: classic.Count, Bits: 1, Planes: classic.Bits}
+			} else {
+				wide, err := expectFrame[VoteBatchR](conn, FrameVoteBatchR)
+				if err != nil {
+					a.failMember(slot, fmt.Errorf("network: vote batch from player %d: %w", slot.sl.player, err))
+					return
+				}
+				vb = wide
+			}
+			if vb.Player != slot.sl.player {
+				a.failMember(slot, fmt.Errorf("network: vote batch claims player %d on player %d's connection", vb.Player, slot.sl.player))
+				return
+			}
+			if vb.Batch != batchID {
+				a.failMember(slot, fmt.Errorf("network: player %d answered batch %d, expected %d", slot.sl.player, vb.Batch, batchID))
+				return
+			}
+			if int(vb.Count) != count {
+				a.failMember(slot, fmt.Errorf("network: player %d voted on %d trials of batch %d, expected %d", slot.sl.player, vb.Count, batchID, count))
+				return
+			}
+			if int(vb.Bits) != bs.msgBits {
+				a.failMember(slot, fmt.Errorf("network: player %d sent %d-bit votes, the rule uses %d bits", slot.sl.player, vb.Bits, bs.msgBits))
+				return
+			}
+			a.deliv[pos] = vb.Planes
+		}(pos, slot)
+	}
+	wg.Wait()
+	received := 0
+	for _, d := range a.deliv {
+		if d != nil {
+			received++
+		}
+	}
+	return received
+}
+
+// failMember marks one member slot dead; in strict mode a member
+// failure dooms the session, exactly as it would on the flat star.
+func (a *aggregator) failMember(slot *batchSlot, err error) {
+	a.bs.failSlot(slot, err)
+	if a.bs.server.strict() {
+		a.bs.failAgg(err)
+	}
+}
+
+// fail records the aggregator's own failure and closes the upstream
+// connection, so the root's gather observes the loss promptly instead
+// of waiting out its deadline.
+func (a *aggregator) fail(err error) {
+	if a.root != nil {
+		_ = a.root.Close()
+	}
+	a.bs.failAgg(err)
+}
+
+// closeMembers finishes the shard: queues close (pending frames still
+// drain), writers exit, connections close.
+func (a *aggregator) closeMembers() {
+	a.closeQueues()
+	for _, slot := range a.slots {
+		if slot == nil {
+			continue
+		}
+		<-slot.writerDone
+		_ = slot.sl.conn.Close()
+	}
+}
+
+// reduceThresholdSums accumulates the shard's per-lane rejection counts
+// into bit-sliced counter planes: for each trial word, every present
+// member's inverted vote word (1 = rejection) is ripple-carry added
+// into col, and the columns land in sums plane-major (sums[p*words+w]
+// is bit p of every lane in word w). The inversion is masked on the
+// final word so padding lanes stay zero — the flat decide masks its
+// padding only at the verdict, but these counters travel the wire,
+// where AGG_SUM's validation demands zero padding.
+func reduceThresholdSums(deliv [][]uint64, count, words int, col, sums []uint64) {
+	clear(sums)
+	rem := count % 64
+	for w := 0; w < words; w++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for _, d := range deliv {
+			if d == nil {
+				continue
+			}
+			carry := ^d[w]
+			if w == words-1 && rem != 0 {
+				carry &= 1<<rem - 1
+			}
+			for i := 0; i < len(col) && carry != 0; i++ {
+				next := col[i] & carry
+				col[i] ^= carry
+				carry = next
+			}
+		}
+		for p := range col {
+			sums[p*words+w] = col[p]
+		}
+	}
+}
+
+// reduceValueSums is reduceThresholdSums for r-bit sum-shaped referees:
+// message plane b adds 2^b per set lane, so the ripple starts at
+// counter plane b. Value planes are wire-validated to have zero
+// padding, so no masking is needed.
+func reduceValueSums(deliv [][]uint64, msgBits, words int, col, sums []uint64) {
+	clear(sums)
+	for w := 0; w < words; w++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for _, d := range deliv {
+			if d == nil {
+				continue
+			}
+			for b := 0; b < msgBits; b++ {
+				carry := d[b*words+w]
+				for i := b; i < len(col) && carry != 0; i++ {
+					next := col[i] & carry
+					col[i] ^= carry
+					carry = next
+				}
+			}
+		}
+		for p := range col {
+			sums[p*words+w] = col[p]
+		}
+	}
+}
+
+// combineShardSums adds one shard's bit-sliced partial sums into the
+// accumulator, lane-wise: a full adder per counter plane per word. It
+// reports overflow past the top plane, which legitimate totals cannot
+// produce (the planes are sized for all k players), so a true result
+// means a hostile or corrupted counter.
+func combineShardSums(acc, shard []uint64, planes, words int) bool {
+	var overflow uint64
+	for w := 0; w < words; w++ {
+		var carry uint64
+		for p := 0; p < planes; p++ {
+			i := p*words + w
+			a, b := acc[i], shard[i]
+			acc[i] = a ^ b ^ carry
+			carry = a&b | carry&(a^b)
+		}
+		overflow |= carry
+	}
+	return overflow != 0
+}
+
+// track registers a connection with the sharded session's tracker, so
+// context death force-closes it. Flat sessions have no tracker (their
+// session object owns that job).
+func (bs *batchSession) track(conn net.Conn) {
+	if bs.tracker != nil {
+		bs.tracker.track(conn)
+	}
+}
+
+// failAgg records an aggregator failure; in strict mode it also tears
+// the session down, like failNode.
+func (bs *batchSession) failAgg(err error) {
+	bs.mu.Lock()
+	if bs.aggErr == nil {
+		bs.aggErr = err
+	}
+	bs.mu.Unlock()
+	if !bs.c.tolerant() {
+		bs.cancel()
+	}
+}
+
+func (bs *batchSession) peekAggErr() error {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.aggErr
+}
+
+// sharded reports whether this session runs the two-tier tree.
+func (bs *batchSession) sharded() bool { return bs.aggs != nil }
+
+// startSharded builds the aggregator tier: partition the players,
+// spawn one aggregator goroutine per shard (each with its own
+// listener), point every node at its shard's aggregator, and run the
+// root's AGG_HELLO accept phase.
+func (bs *batchSession) startSharded(ctx context.Context, rootListener net.Listener) error {
+	c := bs.c
+	bs.shards = c.topo.Partition(c.k)
+	bs.votes = make([]core.Message, c.k)
+	bs.got = make([]bool, c.k)
+	bs.tracker = &connTracker{}
+	bs.trackStop = bs.tracker.watch(ctx)
+	nShards := len(bs.shards)
+	bs.shardSums = make([][]uint64, nShards)
+	bs.shardPresent = make([]uint32, nShards)
+	bs.shardGot = make([]bool, nShards)
+
+	addrByPlayer := make([]net.Addr, c.k)
+	bs.aggs = make([]*aggregator, nShards)
+	listeners := make([]net.Listener, nShards)
+	bs.aggListeners = listeners
+	go func() {
+		<-ctx.Done()
+		for _, l := range listeners {
+			if l != nil {
+				_ = l.Close()
+			}
+		}
+	}()
+	for i, members := range bs.shards {
+		l, err := c.tr.Listen()
+		if err != nil {
+			return fmt.Errorf("network: aggregator %d listen: %w", i, err)
+		}
+		listeners[i] = l
+		bs.aggs[i] = newAggregator(bs, uint32(i), members, l)
+		for _, p := range members {
+			addrByPlayer[p] = l.Addr()
+		}
+	}
+	for _, a := range bs.aggs {
+		go bs.runAggregator(ctx, a, rootListener.Addr())
+	}
+	for _, node := range bs.nodes {
+		bs.nodeWG.Add(1)
+		//lint:ignore dut/ctxprop cancel() closes the listeners and tracked conns, which unwinds connect and runSessionConn; a ctx check here would race the same teardown
+		go func(node *PlayerNode, addr net.Addr) {
+			defer bs.nodeWG.Done()
+			conn, retries, err := node.connect(c.tr, addr)
+			bs.addRetries(retries)
+			if err != nil {
+				bs.failNode(err)
+				return
+			}
+			defer func() { _ = conn.Close() }()
+			if _, err := node.runSessionConn(conn, false); err != nil {
+				bs.failNode(err)
+			}
+		}(node, addrByPlayer[node.id])
+	}
+	slots, err := bs.acceptAggregators(ctx, rootListener)
+	if err != nil {
+		return err
+	}
+	bs.slots = slots
+	for _, slot := range bs.slots {
+		//lint:ignore dut/ctxprop the writer drains until its frame queue closes (Close always closes it); cancellation reaches it through failSlot closing the conn
+		go bs.slotWriter(slot)
+	}
+	return nil
+}
+
+// acceptAggregators is the root's accept phase on the sharded tree:
+// every shard's AGG_HELLO in strict mode, or whoever made it before
+// the deadline in quorum mode — where the quorum is checked against
+// the summed per-shard present-counts, because one aggregator speaks
+// for a whole shard of players. The deadline is two timeouts: a quorum
+// aggregator holds its own accept phase open for one timeout waiting
+// out stragglers before it dials upstream.
+func (bs *batchSession) acceptAggregators(ctx context.Context, l net.Listener) ([]*batchSlot, error) {
+	s := bs.server
+	nShards := len(bs.shards)
+	if !s.strict() {
+		dl, ok := l.(acceptDeadliner)
+		if !ok {
+			return nil, fmt.Errorf("network: quorum mode needs a listener with accept deadlines (have %T)", l)
+		}
+		//lint:ignore dut/nondeterminism net deadlines need an absolute instant; bounds the accept wait, never the verdict
+		_ = dl.SetDeadline(time.Now().Add(2 * s.timeout))
+		defer func() { _ = dl.SetDeadline(time.Time{}) }()
+	}
+	slots := make([]*batchSlot, 0, nShards)
+	seen := make([]bool, nShards)
+	present := 0
+	for len(slots) < nShards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			if !s.strict() && errors.Is(err, os.ErrDeadlineExceeded) {
+				if present >= s.minVotes {
+					return slots, nil
+				}
+				return nil, fmt.Errorf("network: quorum not met: %d of %d players connected before the accept deadline, need %d",
+					present, s.k, s.minVotes)
+			}
+			return nil, fmt.Errorf("network: accept: %w", err)
+		}
+		bs.track(conn)
+		setDeadline(conn, s.timeout)
+		hello, err := expectFrame[AggHello](conn, FrameAggHello)
+		if err != nil {
+			if s.strict() {
+				return nil, fmt.Errorf("network: aggregator hello: %w", err)
+			}
+			_ = conn.Close()
+			continue
+		}
+		if err := bs.validateAggHello(hello, seen); err != nil {
+			if s.strict() {
+				return nil, err
+			}
+			_ = conn.Close()
+			continue
+		}
+		seen[hello.Agg] = true
+		present += int(hello.Present)
+		slots = append(slots, &batchSlot{
+			sl:         &playerSlot{conn: conn, player: hello.Agg, bits: hello.Bits},
+			q:          newFrameQueue(),
+			writerDone: make(chan struct{}),
+		})
+	}
+	return slots, nil
+}
+
+// validateAggHello checks one aggregator's announcement: a known,
+// unduplicated shard id, the pinned message width, and membership that
+// agrees exactly with the deterministic router — the root never trusts
+// a shard map it did not compute itself.
+func (bs *batchSession) validateAggHello(h AggHello, seen []bool) error {
+	if int(h.Agg) >= len(bs.shards) {
+		return fmt.Errorf("network: aggregator id %d out of range [0, %d)", h.Agg, len(bs.shards))
+	}
+	if seen[h.Agg] {
+		return fmt.Errorf("network: duplicate aggregator id %d", h.Agg)
+	}
+	if s := bs.server; s.bits != 0 && int(h.Bits) != s.bits {
+		return fmt.Errorf("network: aggregator %d announced %d-bit messages but the referee's rule decides over %d-bit messages",
+			h.Agg, h.Bits, s.bits)
+	}
+	want := bs.shards[h.Agg]
+	if len(h.Members) != len(want) {
+		return fmt.Errorf("network: aggregator %d announced %d members, the router assigns it %d", h.Agg, len(h.Members), len(want))
+	}
+	for i := range want {
+		if h.Members[i] != want[i] {
+			return fmt.Errorf("network: aggregator %d announced member %d at position %d, the router assigns %d",
+				h.Agg, h.Members[i], i, want[i])
+		}
+	}
+	if int(h.Present) > len(want) {
+		return fmt.Errorf("network: aggregator %d reports %d present of %d members", h.Agg, h.Present, len(want))
+	}
+	return nil
+}
+
+// gatherShards collects one batch's reduced frames from every live
+// aggregator concurrently, the tree counterpart of gather. Shaped
+// referees land partial sums in shardSums; opaque referees scatter
+// the forwarded planes back into bs.deliv by player id, so the
+// per-trial fallback sees exactly the flat gather's delivery table.
+// It returns the number of player votes the tree received, summed
+// from the per-shard present-counts.
+func (bs *batchSession) gatherShards(batchID uint32, count int) int {
+	for i := range bs.deliv {
+		bs.deliv[i] = nil
+	}
+	for i := range bs.shardGot {
+		bs.shardGot[i] = false
+		bs.shardSums[i] = nil
+		bs.shardPresent[i] = 0
+	}
+	shaped := bs.shapeOK || bs.sumOK
+	words := batchWords(count)
+	var wg sync.WaitGroup
+	for _, slot := range bs.slots {
+		if slot.isDead() {
+			continue
+		}
+		wg.Add(1)
+		go func(slot *batchSlot) {
+			defer wg.Done()
+			conn := slot.sl.conn
+			agg := slot.sl.player
+			// The reduced frame waits on the aggregator's own member gather
+			// (itself budgeted two timeouts) plus the reduction; budget three.
+			setReadDeadline(conn, 3*bs.server.timeout)
+			if shaped {
+				v, err := expectFrame[AggSum](conn, FrameAggSum)
+				if err != nil {
+					bs.failSlot(slot, fmt.Errorf("network: reduced batch from aggregator %d: %w", agg, err))
+					return
+				}
+				if v.Agg != agg {
+					bs.failSlot(slot, fmt.Errorf("network: reduced batch claims aggregator %d on aggregator %d's connection", v.Agg, agg))
+					return
+				}
+				if v.Batch != batchID {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d answered batch %d, expected %d", agg, v.Batch, batchID))
+					return
+				}
+				if int(v.Count) != count {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d reduced %d trials of batch %d, expected %d", agg, v.Count, v.Batch, count))
+					return
+				}
+				if int(v.Bits) != bs.msgBits {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d sent %d-bit sums, the rule uses %d bits", agg, v.Bits, bs.msgBits))
+					return
+				}
+				if int(v.Planes) != len(bs.planes) {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d sent %d counter planes, the referee needs %d", agg, v.Planes, len(bs.planes)))
+					return
+				}
+				if int(v.Present) > len(bs.shards[agg]) {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d reports %d present of %d members", agg, v.Present, len(bs.shards[agg])))
+					return
+				}
+				bs.shardSums[agg] = v.Sums
+				bs.shardPresent[agg] = v.Present
+				bs.shardGot[agg] = true
+			} else {
+				v, err := expectFrame[AggPlanes](conn, FrameAggPlanes)
+				if err != nil {
+					bs.failSlot(slot, fmt.Errorf("network: forwarded batch from aggregator %d: %w", agg, err))
+					return
+				}
+				if v.Agg != agg {
+					bs.failSlot(slot, fmt.Errorf("network: forwarded batch claims aggregator %d on aggregator %d's connection", v.Agg, agg))
+					return
+				}
+				if v.Batch != batchID {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d answered batch %d, expected %d", agg, v.Batch, batchID))
+					return
+				}
+				if int(v.Count) != count {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d forwarded %d trials of batch %d, expected %d", agg, v.Count, v.Batch, count))
+					return
+				}
+				if int(v.Bits) != bs.msgBits {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d sent %d-bit planes, the rule uses %d bits", agg, v.Bits, bs.msgBits))
+					return
+				}
+				members := bs.shards[agg]
+				if int(v.Members) != len(members) {
+					bs.failSlot(slot, fmt.Errorf("network: aggregator %d forwarded %d members, the router assigns it %d", agg, v.Members, len(members)))
+					return
+				}
+				stride := bs.msgBits * words
+				mi := 0
+				for pos, player := range members {
+					if v.Mask[pos/64]>>(pos%64)&1 == 1 {
+						bs.deliv[player] = v.Planes[mi*stride : (mi+1)*stride]
+						mi++
+					}
+				}
+				bs.shardPresent[agg] = v.Present
+				bs.shardGot[agg] = true
+			}
+		}(slot)
+	}
+	wg.Wait()
+	received := 0
+	for i := range bs.shardGot {
+		if bs.shardGot[i] {
+			received += int(bs.shardPresent[i])
+		}
+	}
+	return received
+}
+
+// decideBatchShards evaluates a gathered sharded batch word-parallel:
+// combine every shard's partial sums lane-wise, check the quorum, then
+// compare each lane's total against the presence-adjusted threshold —
+// the same bit-sliced comparator the flat fast path uses, fed by the
+// tree's counters instead of per-player vote words.
+func (bs *batchSession) decideBatchShards(count, received int, verdictBits []uint64) error {
+	words := batchWords(count)
+	planes := len(bs.planes)
+	need := planes * words
+	if cap(bs.aggSums) < need {
+		bs.aggSums = make([]uint64, need)
+	}
+	acc := bs.aggSums[:need]
+	clear(acc)
+	for i := range bs.shardGot {
+		if !bs.shardGot[i] {
+			continue
+		}
+		if combineShardSums(acc, bs.shardSums[i], planes, words) {
+			return fmt.Errorf("network: aggregator %d overflowed the referee's batch counters", i)
+		}
+	}
+	if received < bs.server.minVotes {
+		return fmt.Errorf("network: quorum not met: %d of %d votes, need %d", received, bs.c.k, bs.server.minVotes)
+	}
+	t, err := bs.adjustedThreshold(received)
+	if err != nil {
+		return err
+	}
+	col := bs.planes
+	for w := 0; w < words; w++ {
+		for p := 0; p < planes; p++ {
+			col[p] = acc[p*words+w]
+		}
+		verdictBits[w] = ^atLeast(col, t)
+	}
+	if rem := count % 64; rem != 0 {
+		verdictBits[words-1] &= 1<<rem - 1
+	}
+	return nil
+}
+
+// adjustedThreshold maps the batch's presence onto the rejection- or
+// sum-threshold the flat referee's decideVotes would effectively apply
+// with received of k votes in. Absent players enter the flat decision
+// per the resolved absentee policy: Omit re-shapes the rule at the
+// smaller count (exact for every stock threshold rule — AND stays 1,
+// OR and Majority follow the count, fixed thresholds stay fixed);
+// Accept contributes zero rejections (zero value), leaving the
+// threshold alone for sums and — because the tree's counters only ever
+// count real votes — for thresholds too; Reject contributes one
+// rejection (value zero) per absentee, so the remaining votes need
+// that many fewer rejections.
+func (bs *batchSession) adjustedThreshold(received int) (int, error) {
+	k := bs.c.k
+	if bs.shapeOK {
+		if received == k {
+			return bs.shapeT, nil
+		}
+		switch core.ResolveAbsentee(bs.server.policy, bs.server.decide) {
+		case core.AbsenteeOmit:
+			t, ok := core.ThresholdShape(bs.server.decide, received)
+			if !ok {
+				return 0, fmt.Errorf("network: referee lost its threshold shape at %d votes", received)
+			}
+			return t, nil
+		case core.AbsenteeAccept:
+			return bs.shapeT, nil
+		default: // core.AbsenteeReject: each absentee is one rejection already counted for.
+			return bs.shapeT - (k - received), nil
+		}
+	}
+	if received == k {
+		return bs.sumT, nil
+	}
+	if core.ResolveAbsentee(bs.server.policy, bs.server.decide) == core.AbsenteeAccept {
+		// core.Accept is message value 1, so each absentee adds one to the
+		// flat sum; the tree's counters hold only real votes.
+		return bs.sumT - (k - received), nil
+	}
+	// Omit and Reject both contribute value zero to the sum.
+	return bs.sumT, nil
+}

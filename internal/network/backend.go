@@ -25,10 +25,45 @@ var (
 	_ engine.BatchBackend   = (*clusterBackend)(nil)
 )
 
+// BackendOption adjusts the cluster topology a backend drives, without
+// mutating the caller's Cluster (the backend works on a copy).
+type BackendOption func(*Cluster)
+
+// WithShards sets the number of L1 aggregators in the referee tree;
+// 0 and 1 both select the flat star.
+func WithShards(s int) BackendOption {
+	return func(c *Cluster) { c.topo.Shards = s }
+}
+
+// WithAggregatorWeights sets relative aggregator capacities for
+// heterogeneous placements (must be one weight per shard, each >= 1).
+func WithAggregatorWeights(w []int) BackendOption {
+	return func(c *Cluster) { c.topo.Weights = w }
+}
+
+// WithShardSeed deals players to shards in a deterministically shuffled
+// order instead of contiguous ranges.
+func WithShardSeed(seed uint64) BackendOption {
+	return func(c *Cluster) { c.topo.Seed = seed }
+}
+
 // NewBackend adapts a Cluster to the engine's Backend interface.
-func NewBackend(c *Cluster) (engine.Backend, error) {
+// Options override the cluster's topology for this backend only: the
+// cluster is copied, so the same Cluster can drive a flat and a sharded
+// backend side by side.
+func NewBackend(c *Cluster, opts ...BackendOption) (engine.Backend, error) {
 	if c == nil {
 		return nil, fmt.Errorf("network: nil cluster")
+	}
+	if len(opts) > 0 {
+		copied := *c
+		for _, o := range opts {
+			o(&copied)
+		}
+		if err := copied.topo.validate(copied.k); err != nil {
+			return nil, err
+		}
+		c = &copied
 	}
 	return &clusterBackend{c: c}, nil
 }
@@ -58,8 +93,13 @@ func (s *clusterScratch) Close() error {
 }
 
 // NewScratch implements engine.ScratchBackend: one reusable node set per
-// worker. The placeholder sampler is replaced per round.
+// worker. The placeholder sampler is replaced per round. On a sharded
+// topology the batch session owns node construction, so the scratch
+// starts empty and the session is created lazily on the first chunk.
 func (b *clusterBackend) NewScratch() any {
+	if b.c.topo.enabled() {
+		return &clusterScratch{}
+	}
 	nodes, err := b.c.buildNodes(dist.NopSampler{})
 	if err != nil {
 		// Construction can only fail on invalid cluster config, which
@@ -82,6 +122,17 @@ func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (e
 // RunRoundScratch implements engine.ScratchBackend.
 func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	cs, ok := scratch.(*clusterScratch)
+	if ok && b.c.topo.enabled() {
+		// Sharded rounds run through the tree's batch session as a batch
+		// of one, so the per-trial scratch path exercises the same
+		// topology as the batched one.
+		specs := [1]engine.RoundSpec{spec}
+		var out [1]engine.RoundResult
+		if err := b.RunRoundsScratch(ctx, cs, specs[:], 1, out[:]); err != nil {
+			return engine.RoundResult{}, err
+		}
+		return out[0], nil
+	}
 	if !ok || len(cs.nodes) != b.c.k {
 		return b.RunRound(ctx, spec)
 	}
@@ -110,7 +161,7 @@ func (b *clusterBackend) RunRoundsScratch(ctx context.Context, scratch any, spec
 		return fmt.Errorf("network: %d results for %d specs", len(out), len(specs))
 	}
 	cs, ok := scratch.(*clusterScratch)
-	if !ok || batch < 1 {
+	if !ok || (batch < 1 && !b.c.topo.enabled()) {
 		for i, spec := range specs {
 			res, err := b.RunRoundScratch(ctx, spec, scratch)
 			if err != nil {
@@ -119,6 +170,11 @@ func (b *clusterBackend) RunRoundsScratch(ctx context.Context, scratch any, spec
 			out[i] = res
 		}
 		return nil
+	}
+	if batch < 1 {
+		// A sharded topology always routes through the batch session —
+		// it is the only path that builds the tree — as batches of one.
+		batch = 1
 	}
 	if batch > MaxBatchTrials {
 		batch = MaxBatchTrials

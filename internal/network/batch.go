@@ -170,6 +170,29 @@ type batchSession struct {
 	samplers    [][]dist.Sampler
 	flights     []batchFlight
 	verdictBits []uint64
+
+	// Per-trial fallback scratch: the flat session aliases the referee
+	// session's buffers, the sharded session (which has no session
+	// object) owns its own.
+	votes []core.Message
+	got   []bool
+
+	// Sharded-tree state, nil/empty on the flat star. aggErr (under mu)
+	// records the first aggregator failure; shardSums/shardPresent/
+	// shardGot are the root's per-shard gather table, indexed by shard
+	// id, and aggSums the combined counter accumulator. The tracker
+	// force-closes every tree connection when the session context dies —
+	// the flat path delegates that to its session object.
+	shards       [][]uint32
+	aggs         []*aggregator
+	aggListeners []net.Listener
+	tracker      *connTracker
+	trackStop    func()
+	aggErr       error
+	shardSums    [][]uint64
+	shardPresent []uint32
+	shardGot     []bool
+	aggSums      []uint64
 }
 
 // batchFlight is one wire batch of a chunk: its frame id and the spec
@@ -219,6 +242,25 @@ func newBatchSession(ctx context.Context, c *Cluster) (*batchSession, error) {
 	bs.deliv = make([][]uint64, c.k)
 	bs.planes = make([]uint64, planeLen)
 
+	if c.topo.enabled() {
+		if err := bs.startSharded(runCtx, listener); err != nil {
+			cancel()
+			bs.nodeWG.Wait()
+			// A strict-mode node or aggregator failure is the root cause;
+			// the accept error it provokes is only a symptom.
+			if !c.tolerant() {
+				if nodeErr := bs.peekNodeErr(); nodeErr != nil {
+					return nil, nodeErr
+				}
+				if aggErr := bs.peekAggErr(); aggErr != nil && !isTransportErr(aggErr) {
+					return nil, aggErr
+				}
+			}
+			return nil, err
+		}
+		return bs, nil
+	}
+
 	for _, node := range nodes {
 		bs.nodeWG.Add(1)
 		//lint:ignore dut/ctxprop cancel() closes the listener and session conns, which unwinds connect and runSessionConn; a ctx check here would race the same teardown
@@ -249,6 +291,7 @@ func newBatchSession(ctx context.Context, c *Cluster) (*batchSession, error) {
 		return nil, err
 	}
 	bs.sess = sess
+	bs.votes, bs.got = sess.votes, sess.got
 	bs.slots = make([]*batchSlot, len(sess.slots))
 	for i, sl := range sess.slots {
 		slot := &batchSlot{sl: sl, q: newFrameQueue(), writerDone: make(chan struct{})}
@@ -392,7 +435,12 @@ func (bs *batchSession) runChunk(ctx context.Context, specs []engine.RoundSpec, 
 			return bs.chunkErr(err)
 		}
 		sw := engine.StartStopwatch()
-		received := bs.gather(fl.id, fl.count)
+		var received int
+		if bs.sharded() {
+			received = bs.gatherShards(fl.id, fl.count)
+		} else {
+			received = bs.gather(fl.id, fl.count)
+		}
 		if bs.server.strict() && received < bs.c.k {
 			return bs.chunkErr(bs.firstSlotErr())
 		}
@@ -434,8 +482,17 @@ func (bs *batchSession) chunkErr(err error) error {
 	if !bs.c.tolerant() {
 		bs.cancel()
 		bs.nodeWG.Wait()
+		// A descriptive aggregator-recorded error (a member's protocol
+		// violation escalated by failMember, or the aggregator's own) is a
+		// root cause on par with a node crash.
+		if aggErr := bs.peekAggErr(); aggErr != nil && !isTransportErr(aggErr) && (err == nil || isTransportErr(err)) {
+			return aggErr
+		}
 		if nodeErr := bs.peekNodeErr(); nodeErr != nil && (err == nil || isTransportErr(err)) {
 			return nodeErr
+		}
+		if aggErr := bs.peekAggErr(); aggErr != nil && (err == nil || isTransportErr(err)) {
+			return aggErr
 		}
 	}
 	return err
@@ -454,19 +511,42 @@ func isTransportErr(err error) bool {
 // gather dies with an EOF that is pure collateral.
 func (bs *batchSession) firstSlotErr() error {
 	var first error
+	note := func(err error) error {
+		if err != nil && !isTransportErr(err) {
+			return err
+		}
+		if first == nil && err != nil {
+			first = err
+		}
+		return nil
+	}
 	for _, slot := range bs.slots {
 		slot.mu.Lock()
 		err := slot.err
 		slot.mu.Unlock()
-		if err == nil {
-			continue
+		if root := note(err); root != nil {
+			return root
 		}
-		if !isTransportErr(err) {
-			return err
+	}
+	// On the sharded tree the violation may be a member's, recorded on
+	// its aggregator-side slot (a.slots is published before AGG_HELLO,
+	// which the root read before runChunk could run, so reading it here
+	// is ordered).
+	for _, a := range bs.aggs {
+		for _, slot := range a.slots {
+			if slot == nil {
+				continue
+			}
+			slot.mu.Lock()
+			err := slot.err
+			slot.mu.Unlock()
+			if root := note(err); root != nil {
+				return root
+			}
 		}
-		if first == nil {
-			first = err
-		}
+	}
+	if root := note(bs.peekAggErr()); root != nil {
+		return root
 	}
 	if first != nil {
 		return first
@@ -557,6 +637,24 @@ func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResul
 	verdictBits := bs.verdictBits[:words]
 	clear(verdictBits)
 	k := bs.c.k
+	if bs.sharded() && (bs.shapeOK || bs.sumOK) {
+		// Shaped sharded batches decide from the combined partial sums at
+		// any presence: the adjusted threshold reproduces decideVotes'
+		// absentee accounting exactly, so no per-trial fallback is needed.
+		if err := bs.decideBatchShards(count, received, verdictBits); err != nil {
+			return nil, err
+		}
+		for j := range out {
+			out[j] = engine.RoundResult{
+				Verdict:    verdictBits[j/64]>>(j%64)&1 == 1,
+				Votes:      received,
+				Stragglers: k - received,
+				Messages:   received,
+				Samples:    received * bs.c.q,
+			}
+		}
+		return verdictBits, nil
+	}
 	if received == k && (bs.shapeOK || bs.sumOK) {
 		if bs.shapeOK {
 			bs.decideBatchThreshold(count, verdictBits)
@@ -573,7 +671,7 @@ func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResul
 		}
 		return verdictBits, nil
 	}
-	votes, got := bs.sess.votes, bs.sess.got
+	votes, got := bs.votes, bs.got
 	for j := 0; j < count; j++ {
 		for i := range votes {
 			votes[i] = 0
@@ -700,10 +798,25 @@ func (bs *batchSession) Close() error {
 	for _, slot := range bs.slots {
 		<-slot.writerDone
 	}
+	// Sharded: FINISH is now on the wire to every aggregator; each one
+	// relays it, drains its pending reductions and exits. Wait for them
+	// before cancelling so a clean shutdown never races the force-close.
+	for _, a := range bs.aggs {
+		<-a.done
+	}
 	bs.cancel()
 	bs.nodeWG.Wait()
 	if bs.sess != nil {
 		bs.sess.close()
+	}
+	if bs.trackStop != nil {
+		bs.trackStop()
+		bs.tracker.closeAll()
+	}
+	for _, l := range bs.aggListeners {
+		if l != nil {
+			_ = l.Close()
+		}
 	}
 	_ = bs.listener.Close()
 	if !bs.c.tolerant() {

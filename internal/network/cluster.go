@@ -28,6 +28,7 @@ type Cluster struct {
 	absentees core.AbsenteePolicy
 	retries   int
 	backoff   time.Duration
+	topo      Topology
 }
 
 var _ core.Protocol = (*Cluster)(nil)
@@ -61,6 +62,18 @@ type ClusterConfig struct {
 	// RetryBackoff is the initial node-side backoff between connect
 	// attempts, doubled per retry; zero selects DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// Shards is the number of L1 aggregators in the referee tree; 0 and
+	// 1 both keep the flat star. Sharding only affects the batched
+	// engine paths (RunManyStats and the engine backend); verdicts are
+	// bit-identical to the flat referee by contract.
+	Shards int
+	// AggregatorWeights are relative aggregator capacities for
+	// heterogeneous placements; nil means uniform. Must be len Shards
+	// when set, each weight >= 1.
+	AggregatorWeights []int
+	// ShardSeed, when non-zero, deals players to shards in a
+	// deterministically shuffled order instead of contiguous ranges.
+	ShardSeed uint64
 }
 
 // NewCluster validates the configuration.
@@ -88,6 +101,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.RetryBackoff < 0 {
 		return nil, fmt.Errorf("network: negative retry backoff %v", cfg.RetryBackoff)
+	}
+	topo := Topology{Shards: cfg.Shards, Weights: cfg.AggregatorWeights, Seed: cfg.ShardSeed}
+	if err := topo.validate(cfg.K); err != nil {
+		return nil, err
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -118,6 +135,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		absentees: cfg.Absentees,
 		retries:   retries,
 		backoff:   backoff,
+		topo:      topo,
 	}, nil
 }
 

@@ -56,6 +56,13 @@ type FaultConfig struct {
 	// Plans maps a player id to its fault plan; players without an entry
 	// are passed through untouched.
 	Plans map[uint32]FaultPlan
+	// AggPlans maps an aggregator id to the fault plan applied on its
+	// upstream (aggregator -> root) connection in a sharded referee
+	// tree. CrashAtRound counts the rounds an AGG_SUM / AGG_PLANES
+	// frame reduces, so crashing aggregator a at round r is the tree's
+	// failure-domain analogue of crashing every one of a's players at
+	// round r.
+	AggPlans map[uint32]FaultPlan
 }
 
 // FaultStats counts the faults a FaultTransport actually injected.
@@ -79,15 +86,17 @@ type FaultTransport struct {
 	inner Transport
 	cfg   FaultConfig
 
-	mu    sync.Mutex
-	dials map[uint32]int
-	stats FaultStats
+	mu       sync.Mutex
+	dials    map[uint32]int
+	aggDials map[uint32]int
+	stats    FaultStats
 }
 
 // Verify interface compliance.
 var (
-	_ Transport    = (*FaultTransport)(nil)
-	_ PlayerDialer = (*FaultTransport)(nil)
+	_ Transport        = (*FaultTransport)(nil)
+	_ PlayerDialer     = (*FaultTransport)(nil)
+	_ AggregatorDialer = (*FaultTransport)(nil)
 )
 
 // NewFaultTransport decorates inner with the configured fault plans.
@@ -106,10 +115,22 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) (*FaultTransport, error
 			return nil, fmt.Errorf("network: negative fault parameter in plan for player %d", player)
 		}
 	}
+	aggs := make([]uint32, 0, len(cfg.AggPlans))
+	for agg := range cfg.AggPlans {
+		aggs = append(aggs, agg)
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i] < aggs[j] })
+	for _, agg := range aggs {
+		plan := cfg.AggPlans[agg]
+		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 {
+			return nil, fmt.Errorf("network: negative fault parameter in plan for aggregator %d", agg)
+		}
+	}
 	return &FaultTransport{
-		inner: inner,
-		cfg:   cfg,
-		dials: make(map[uint32]int),
+		inner:    inner,
+		cfg:      cfg,
+		dials:    make(map[uint32]int),
+		aggDials: make(map[uint32]int),
 	}, nil
 }
 
@@ -147,6 +168,37 @@ func (f *FaultTransport) DialPlayer(addr net.Addr, player uint32) (net.Conn, err
 		tr:   f,
 		plan: plan,
 		rng:  engine.NodeRNG(f.cfg.Seed, int(player)),
+	}, nil
+}
+
+// DialAggregator implements AggregatorDialer: the aggregator's plan is
+// applied to its upstream hop exactly as a player plan is to a player
+// connection. The corruption RNG stream is derived from the seed and
+// the ones' complement of the aggregator id, so it never collides with
+// any player's stream.
+func (f *FaultTransport) DialAggregator(addr net.Addr, agg uint32) (net.Conn, error) {
+	plan, planned := f.cfg.AggPlans[agg]
+	if !planned {
+		return f.inner.Dial(addr)
+	}
+	f.mu.Lock()
+	attempt := f.aggDials[agg]
+	f.aggDials[agg]++
+	if attempt < plan.DropDials {
+		f.stats.DialsDropped++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("network: fault: dropped dial %d of aggregator %d", attempt+1, agg)
+	}
+	f.mu.Unlock()
+	conn, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{
+		Conn: conn,
+		tr:   f,
+		plan: plan,
+		rng:  engine.NodeRNG(f.cfg.Seed, -1-int(agg)),
 	}, nil
 }
 
@@ -200,7 +252,9 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	switch kind {
 	case FrameVote:
 		rounds = 1
-	case FrameVoteBatch:
+	case FrameVoteBatch, FrameVoteBatchR, FrameAggSum, FrameAggPlanes:
+		// Every batch-shaped frame carries its trial count at the same
+		// payload offset: player/agg id (4), batch id (4), count (4).
 		if len(p) >= voteBatchCountOffset+4 {
 			rounds = int(binary.BigEndian.Uint32(p[voteBatchCountOffset : voteBatchCountOffset+4]))
 		}
@@ -221,13 +275,17 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	if mask != 0 && len(p) > headerSize {
 		c.tr.count(func(s *FaultStats) { s.FramesCorrupted++ })
 		q := append([]byte(nil), p...)
-		// Corrupt the batch id of a VOTE_BATCH (detected by the referee's
-		// echo check) and the last payload byte of everything else; a batch
-		// frame's tail bytes are genuine vote bits, where a flip would be a
-		// silent wrong verdict instead of a validated protocol error.
+		// Corrupt the batch id of a batch-shaped frame (detected by the
+		// receiver's echo check) and the last payload byte of everything
+		// else; a batch frame's tail bytes are genuine vote bits or
+		// counters, where a flip would be a silent wrong verdict instead
+		// of a validated protocol error.
 		idx := len(q) - 1
-		if kind == FrameVoteBatch && len(q) > voteBatchIDOffset {
-			idx = voteBatchIDOffset
+		switch kind {
+		case FrameVoteBatch, FrameVoteBatchR, FrameAggSum, FrameAggPlanes:
+			if len(q) > voteBatchIDOffset {
+				idx = voteBatchIDOffset
+			}
 		}
 		q[idx] ^= mask
 		n, err := c.Conn.Write(q)

@@ -102,6 +102,62 @@ func FuzzFrame(f *testing.F) {
 	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 13,
 		0, 0, 0, 3, 0, 0, 0, 7, 0, 0, 0, 0, 1}) // count 0
 
+	// Valid aggregator frames: a handshake with a partially-present
+	// shard, a reduced sum batch with a partial final word, and a
+	// forwarded plane batch with an absent member in the mask — plus the
+	// degenerate all-absent plane frame.
+	var aggHello, aggSum, aggPlanes, aggEmpty bytes.Buffer
+	_ = WriteAggHello(&aggHello, AggHello{Agg: 1, Bits: 3, Present: 2, Members: []uint32{2, 5, 9}})
+	_ = WriteAggSum(&aggSum, AggSum{Agg: 1, Batch: 7, Count: 65, Bits: 2, Planes: 3, Present: 4,
+		Sums: []uint64{0xAAAA, 1, 0x5555, 0, 0xF0F0, 1}})
+	_ = WriteAggPlanes(&aggPlanes, AggPlanes{Agg: 1, Batch: 7, Count: 3, Bits: 2, Members: 3, Present: 2,
+		Mask: []uint64{0b101}, Planes: []uint64{0b101, 0b011, 0b110, 0b001}})
+	_ = WriteAggPlanes(&aggEmpty, AggPlanes{Agg: 2, Batch: 7, Count: 3, Bits: 2, Members: 3, Present: 0,
+		Mask: []uint64{0}})
+	f.Add(aggHello.Bytes())
+	f.Add(aggSum.Bytes())
+	f.Add(aggPlanes.Bytes())
+	f.Add(aggEmpty.Bytes())
+
+	// Malformed aggregator frames the decoder must reject: duplicate
+	// members, a present count exceeding the shard, counter strides
+	// disagreeing with the plane count, non-zero padding above the trial
+	// count or the member count, and a present count disagreeing with
+	// the mask popcount.
+	f.Add([]byte{0xD0, 0x7A, 1, 10, 0, 0, 0, 21,
+		0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 2,
+		0, 0, 0, 5, 0, 0, 0, 5}) // AGG_HELLO duplicate member 5
+	f.Add([]byte{0xD0, 0x7A, 1, 10, 0, 0, 0, 21,
+		0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 2,
+		0, 0, 0, 5, 0, 0, 0, 3}) // AGG_HELLO members not ascending
+	f.Add([]byte{0xD0, 0x7A, 1, 10, 0, 0, 0, 17,
+		0, 0, 0, 1, 1, 0, 0, 0, 3, 0, 0, 0, 1,
+		0, 0, 0, 0}) // AGG_HELLO 3 present of 1 member
+	f.Add([]byte{0xD0, 0x7A, 1, 11, 0, 0, 0, 26,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1, 2,
+		0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 0}) // AGG_SUM 2 planes, 1 sum word
+	f.Add([]byte{0xD0, 0x7A, 1, 11, 0, 0, 0, 26,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1, 1,
+		0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 2}) // AGG_SUM padding bit above trial 0
+	f.Add([]byte{0xD0, 0x7A, 1, 11, 0, 0, 0, 18,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1, 0,
+		0, 0, 0, 4}) // AGG_SUM zero planes
+	f.Add([]byte{0xD0, 0x7A, 1, 12, 0, 0, 0, 37,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1,
+		0, 0, 0, 2, 0, 0, 0, 2,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 1}) // AGG_PLANES present 2, mask popcount 1
+	f.Add([]byte{0xD0, 0x7A, 1, 12, 0, 0, 0, 37,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1,
+		0, 0, 0, 1, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2,
+		0, 0, 0, 0, 0, 0, 0, 1}) // AGG_PLANES mask bit above the only member
+	f.Add([]byte{0xD0, 0x7A, 1, 12, 0, 0, 0, 37,
+		0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 1, 1,
+		0, 0, 0, 1, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2}) // AGG_PLANES padding bit above trial 0
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, msg, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -150,6 +206,27 @@ func FuzzFrame(f *testing.F) {
 			}
 			if err := WriteVoteBatchR(&buf, m); err != nil {
 				t.Fatalf("re-encode r-bit vote batch: %v", err)
+			}
+		case AggHello:
+			if err := checkAggHello(m); err != nil {
+				t.Fatalf("decoder accepted invalid AGG_HELLO: %v", err)
+			}
+			if err := WriteAggHello(&buf, m); err != nil {
+				t.Fatalf("re-encode agg hello: %v", err)
+			}
+		case AggSum:
+			if err := checkAggSum(m); err != nil {
+				t.Fatalf("decoder accepted invalid AGG_SUM: %v", err)
+			}
+			if err := WriteAggSum(&buf, m); err != nil {
+				t.Fatalf("re-encode agg sum: %v", err)
+			}
+		case AggPlanes:
+			if err := checkAggPlanes(m); err != nil {
+				t.Fatalf("decoder accepted invalid AGG_PLANES: %v", err)
+			}
+			if err := WriteAggPlanes(&buf, m); err != nil {
+				t.Fatalf("re-encode agg planes: %v", err)
 			}
 		case VerdictBatch:
 			if err := checkBatchBits(FrameVerdictBatch, int(m.Count), m.Bits); err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package network
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count guards skip themselves when it does.
+const raceEnabled = true

@@ -289,6 +289,9 @@ func (c *Cluster) RunManyStats(ctx context.Context, sampler dist.Sampler, rng *r
 	if rounds < 1 {
 		return nil, nil, fmt.Errorf("network: session with %d rounds", rounds)
 	}
+	if c.topo.enabled() {
+		return c.runShardedMany(ctx, sampler, rng, rounds)
+	}
 	server, err := c.newServer()
 	if err != nil {
 		return nil, nil, err
@@ -428,6 +431,47 @@ func (c *Cluster) runSessionEngine(ctx context.Context, server *RefereeServer, l
 			Round:      r.Trial,
 			Votes:      r.Votes,
 			Stragglers: r.Stragglers,
+			Wall:       r.Wall,
+			Verdict:    r.Verdict,
+		}
+	}
+	return verdicts, stats, nil
+}
+
+// runShardedMany is RunManyStats over the two-tier referee tree: the
+// batch session owns the whole topology (aggregators, nodes, root
+// slots), and each round runs as a wire batch of one trial so the
+// round seeds — engine.SharedSeed(baseSeed, round) — match the flat
+// session's exactly. Connect retries (nodes and aggregators) land on
+// the first round's stats, like the flat path's.
+func (c *Cluster) runShardedMany(ctx context.Context, sampler dist.Sampler, rng *rand.Rand, rounds int) ([]bool, []RoundStats, error) {
+	baseSeed := rng.Uint64()
+	bs, err := newBatchSession(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]engine.RoundSpec, rounds)
+	for i := range specs {
+		specs[i] = engine.RoundSpec{Trial: i, Seed: baseSeed, Sampler: sampler}
+	}
+	out := make([]engine.RoundResult, rounds)
+	runErr := bs.runChunk(ctx, specs, 1, out)
+	closeErr := bs.Close()
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	if closeErr != nil {
+		return nil, nil, closeErr
+	}
+	verdicts := make([]bool, rounds)
+	stats := make([]RoundStats, rounds)
+	for i, r := range out {
+		verdicts[i] = r.Verdict
+		stats[i] = RoundStats{
+			Round:      i,
+			Votes:      r.Votes,
+			Stragglers: r.Stragglers,
+			Retries:    r.Retries,
 			Wall:       r.Wall,
 			Verdict:    r.Verdict,
 		}

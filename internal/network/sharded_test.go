@@ -1,0 +1,533 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/distributed-uniformity/dut/internal/core"
+	"github.com/distributed-uniformity/dut/internal/dist"
+	"github.com/distributed-uniformity/dut/internal/engine"
+)
+
+// The sharded suite pins the tree's one contract: for every rule shape,
+// shard count, batch/window shape and message width, the two-tier
+// referee tree decides bit-identically to the flat star — including
+// quorum rounds with absentees and rounds where a whole aggregator
+// dies.
+
+// treeTestRule votes a value folded from every determinism-relevant
+// input — player id, samples, shared seed and the private coin — so any
+// stream divergence between topologies flips verdicts. skew > 0 votes
+// Reject with probability 1/skew (exercises AND without collapsing it
+// to a constant); skew < 0 votes Accept with probability 1/-skew (same
+// for OR); skew = 0 votes a uniform bits-wide value.
+type treeTestRule struct {
+	bits int
+	skew int
+}
+
+func (r treeTestRule) Message(player int, samples []int, shared uint64, private *rand.Rand) (core.Message, error) {
+	h := shared ^ uint64(player)*0x9e3779b97f4a7c15
+	for _, s := range samples {
+		h = h*1099511628211 + uint64(s)
+	}
+	h ^= private.Uint64()
+	switch {
+	case r.skew > 0:
+		if h%uint64(r.skew) == 0 {
+			return core.Reject, nil
+		}
+		return core.Accept, nil
+	case r.skew < 0:
+		if h%uint64(-r.skew) == 0 {
+			return core.Accept, nil
+		}
+		return core.Reject, nil
+	}
+	return core.Message(h & (1<<r.bits - 1)), nil
+}
+
+func (r treeTestRule) Bits() int { return r.bits }
+
+const (
+	treePlayers = 13
+	treeSamples = 3
+	treeTrials  = 12
+	treeSeed    = 0x7ee5eed
+)
+
+// treeResults runs trials through a backend and keeps the fields the
+// determinism contract covers: verdicts and vote accounting.
+type treeResult struct {
+	verdict    bool
+	votes      int
+	stragglers int
+}
+
+func treeResults(t *testing.T, b engine.Backend, sampler dist.Sampler, trials, batch, window int) []treeResult {
+	t.Helper()
+	results, err := engine.Run(context.Background(), b, engine.Fixed(sampler), trials,
+		engine.Options{Seed: treeSeed, Workers: 1, Batch: batch, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]treeResult, len(results))
+	for i, r := range results {
+		out[i] = treeResult{verdict: r.Verdict, votes: r.Votes, stragglers: r.Stragglers}
+	}
+	return out
+}
+
+func assertSameResults(t *testing.T, name string, want, got []treeResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: trial %d = %+v, flat decided %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func treeBackend(t *testing.T, c *Cluster, opts ...BackendOption) engine.Backend {
+	t.Helper()
+	b, err := NewBackend(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedMatchesFlat is the determinism matrix of the referee tree:
+// every rule shape the root can decide — AND, OR, Majority, fixed
+// threshold, an opaque decision function (the AGG_PLANES forwarding
+// path) and r-bit sums for r in {2, 4, 8} — across shard counts
+// {1, 2, 4, 8} and batch/window shapes, against the flat star's
+// unbatched verdicts.
+func TestShardedMatchesFlat(t *testing.T) {
+	parity := core.FuncRule{F: func(votes []bool) bool {
+		odd := false
+		for _, v := range votes {
+			if !v {
+				odd = !odd
+			}
+		}
+		return !odd
+	}, Label: "even-rejections"}
+	cases := []struct {
+		name    string
+		rule    core.LocalRule
+		referee core.Referee
+	}{
+		{"and", treeTestRule{bits: 1, skew: 16}, core.BitReferee{Rule: core.ANDRule{}}},
+		{"or", treeTestRule{bits: 1, skew: -16}, core.BitReferee{Rule: core.ORRule{}}},
+		{"majority", treeTestRule{bits: 1}, core.BitReferee{Rule: core.MajorityRule{}}},
+		{"threshold", treeTestRule{bits: 1}, core.BitReferee{Rule: core.ThresholdRule{T: 6}}},
+		{"opaque", treeTestRule{bits: 1}, core.BitReferee{Rule: parity}},
+		{"sum-r2", treeTestRule{bits: 2}, core.SumThresholdReferee{Bits: 2, T: treePlayers * 3 / 2}},
+		{"sum-r4", treeTestRule{bits: 4}, core.SumThresholdReferee{Bits: 4, T: treePlayers * 15 / 2}},
+		{"sum-r8", treeTestRule{bits: 8}, core.SumThresholdReferee{Bits: 8, T: treePlayers * 255 / 2}},
+	}
+	shapes := []struct{ batch, window int }{
+		{1, 1}, {3, 2}, {64, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c, err := NewCluster(ClusterConfig{
+				K: treePlayers, Q: treeSamples,
+				Rule:    tc.rule,
+				Referee: tc.referee,
+				Timeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampler := uniformSampler(t, 16)
+			want := treeResults(t, treeBackend(t, c), sampler, treeTrials, 0, 0)
+			varied := false
+			for _, r := range want {
+				if r.verdict != want[0].verdict {
+					varied = true
+				}
+			}
+			if !varied {
+				t.Fatalf("flat verdicts are constant; the matrix would not catch a stuck tree")
+			}
+			// Shards = 1 keeps the flat star byte-for-byte: topology
+			// disabled, same code path, same results.
+			assertSameResults(t, "s=1", want,
+				treeResults(t, treeBackend(t, c, WithShards(1)), sampler, treeTrials, 3, 2))
+			for _, s := range []int{2, 4, 8} {
+				for _, shape := range shapes {
+					name := fmt.Sprintf("s=%d/batch=%d/window=%d", s, shape.batch, shape.window)
+					got := treeResults(t, treeBackend(t, c, WithShards(s)), sampler,
+						treeTrials, shape.batch, shape.window)
+					assertSameResults(t, name, want, got)
+				}
+			}
+			// A shuffled placement moves players between aggregators but
+			// must never move a verdict.
+			assertSameResults(t, "s=4/shuffled", want,
+				treeResults(t, treeBackend(t, c, WithShards(4), WithShardSeed(0xdea1)), sampler, treeTrials, 5, 2))
+			// A lopsided placement (one big aggregator, small siblings)
+			// must not either.
+			assertSameResults(t, "s=3/weighted", want,
+				treeResults(t, treeBackend(t, c, WithShards(3), WithAggregatorWeights([]int{4, 1, 1})), sampler, treeTrials, 4, 2))
+		})
+	}
+}
+
+// TestShardedAbsenteePoliciesMatchFlat drives quorum rounds with two
+// players that never connect, under every absentee policy and both
+// decidable shapes: the tree's presence-adjusted thresholds must
+// reproduce the flat referee's absentee accounting exactly.
+func TestShardedAbsenteePoliciesMatchFlat(t *testing.T) {
+	const k, trials = 12, 4
+	referees := []struct {
+		name    string
+		rule    core.LocalRule
+		referee core.Referee
+	}{
+		{"threshold", treeTestRule{bits: 1}, core.BitReferee{Rule: core.ThresholdRule{T: 5}}},
+		{"majority", treeTestRule{bits: 1}, core.BitReferee{Rule: core.MajorityRule{}}},
+		{"sum", treeTestRule{bits: 2}, core.SumThresholdReferee{Bits: 2, T: k * 3 / 2}},
+	}
+	policies := []struct {
+		name   string
+		policy core.AbsenteePolicy
+	}{
+		{"accept", core.AbsenteeAccept},
+		{"reject", core.AbsenteeReject},
+		{"omit", core.AbsenteeOmit},
+	}
+	absent := func() map[uint32]FaultPlan {
+		return map[uint32]FaultPlan{
+			3: {DropDials: 1},
+			9: {DropDials: 1},
+		}
+	}
+	for _, ref := range referees {
+		for _, pol := range policies {
+			t.Run(ref.name+"/"+pol.name, func(t *testing.T) {
+				t.Parallel()
+				cluster := func(s int) *Cluster {
+					ft, err := NewFaultTransport(NewMemTransport(), FaultConfig{Plans: absent()})
+					if err != nil {
+						t.Fatal(err)
+					}
+					c, err := NewCluster(ClusterConfig{
+						K: k, Q: 2,
+						Rule:        ref.rule,
+						Referee:     ref.referee,
+						Transport:   ft,
+						Timeout:     250 * time.Millisecond,
+						MinVotes:    8,
+						Absentees:   pol.policy,
+						DialRetries: -1,
+						Shards:      s,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return c
+				}
+				sampler := uniformSampler(t, 16)
+				want := treeResults(t, treeBackend(t, cluster(0)), sampler, trials, 3, 2)
+				for _, r := range want {
+					if r.stragglers != 2 || r.votes != k-2 {
+						t.Fatalf("flat run counted %+v, want 2 stragglers of %d players", r, k)
+					}
+				}
+				for _, s := range []int{2, 4} {
+					got := treeResults(t, treeBackend(t, cluster(s)), sampler, trials, 3, 2)
+					assertSameResults(t, fmt.Sprintf("s=%d", s), want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedKillAggregatorEqualsShardAbsent is the failure-domain
+// contract: crashing one aggregator mid-session yields the same
+// verdicts and RoundStats as every player of its shard crashing at the
+// same round — on the tree and on the flat star alike.
+func TestShardedKillAggregatorEqualsShardAbsent(t *testing.T) {
+	const (
+		k      = 8
+		shards = 2
+		rounds = 6
+		crash  = 4 // 1-based round of the first missing vote
+	)
+	run := func(t *testing.T, s int, cfg FaultConfig) ([]bool, []RoundStats) {
+		t.Helper()
+		ft, err := NewFaultTransport(NewMemTransport(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCluster(ClusterConfig{
+			K: k, Q: 2,
+			Rule:      parityRule(),
+			Referee:   core.BitReferee{Rule: core.ThresholdRule{T: 3}},
+			Transport: ft,
+			Timeout:   500 * time.Millisecond,
+			MinVotes:  2,
+			Shards:    s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts, stats, err := c.RunManyStats(context.Background(), paritySampler(t, true), testRand(77), rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return verdicts, stats
+	}
+	// Shard 1 of the contiguous 2-way partition owns players 4..7.
+	shardPlans := func() map[uint32]FaultPlan {
+		plans := make(map[uint32]FaultPlan)
+		for _, p := range (Topology{Shards: shards}).Partition(k)[1] {
+			plans[p] = FaultPlan{CrashAtRound: crash}
+		}
+		return plans
+	}
+	aggVerdicts, aggStats := run(t, shards, FaultConfig{
+		AggPlans: map[uint32]FaultPlan{1: {CrashAtRound: crash}},
+	})
+	treeVerdicts, treeStats := run(t, shards, FaultConfig{Plans: shardPlans()})
+	flatVerdicts, flatStats := run(t, 0, FaultConfig{Plans: shardPlans()})
+
+	check := func(name string, verdicts []bool, stats []RoundStats) {
+		t.Helper()
+		for i := 0; i < rounds; i++ {
+			if verdicts[i] != flatVerdicts[i] || verdicts[i] != stats[i].Verdict {
+				t.Errorf("%s: round %d verdict %v, flat decided %v", name, i, verdicts[i], flatVerdicts[i])
+			}
+			if stats[i].Votes != flatStats[i].Votes || stats[i].Stragglers != flatStats[i].Stragglers {
+				t.Errorf("%s: round %d votes/stragglers = %d/%d, flat counted %d/%d",
+					name, i, stats[i].Votes, stats[i].Stragglers, flatStats[i].Votes, flatStats[i].Stragglers)
+			}
+		}
+	}
+	check("killed aggregator", aggVerdicts, aggStats)
+	check("killed shard", treeVerdicts, treeStats)
+	// And the baseline itself is what the plan says: full house before
+	// the crash round, half the players gone from it onward.
+	for i, s := range flatStats {
+		wantVotes := k
+		if i >= crash-1 {
+			wantVotes = k / 2
+		}
+		if s.Votes != wantVotes || s.Stragglers != k-wantVotes {
+			t.Errorf("flat round %d votes/stragglers = %d/%d, want %d/%d",
+				i, s.Votes, s.Stragglers, wantVotes, k-wantVotes)
+		}
+	}
+}
+
+// TestShardedMemberViolationSurfaces pins strict-mode error reporting
+// through the tree: a protocol violation on a player -> aggregator hop
+// must fail the session with the player named, not vanish behind the
+// aggregator.
+func TestShardedMemberViolationSurfaces(t *testing.T) {
+	ft, err := NewFaultTransport(NewMemTransport(), FaultConfig{
+		Seed:  3,
+		Plans: map[uint32]FaultPlan{2: {CorruptFrame: 2}}, // frames: HELLO=1, VOTE_BATCH b0=2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{
+		K: 8, Q: 1,
+		Rule:      acceptAllRule(),
+		Referee:   core.BitReferee{Rule: core.ANDRule{}},
+		Transport: ft,
+		Timeout:   500 * time.Millisecond,
+		Shards:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.RunManyStats(context.Background(), uniformSampler(t, 4), testRand(55), 3)
+	if err == nil || !strings.Contains(err.Error(), "player 2") {
+		t.Errorf("err = %v, want a violation naming player 2", err)
+	}
+}
+
+// TestShardedQuorumNotMet: losing a whole shard's worth of players
+// below MinVotes fails the session with the flat referee's quorum
+// error, not a hang.
+func TestShardedQuorumNotMet(t *testing.T) {
+	plans := make(map[uint32]FaultPlan)
+	for p := uint32(4); p < 8; p++ {
+		plans[p] = FaultPlan{DropDials: 1}
+	}
+	ft, err := NewFaultTransport(NewMemTransport(), FaultConfig{Plans: plans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{
+		K: 8, Q: 1,
+		Rule:        acceptAllRule(),
+		Referee:     core.BitReferee{Rule: core.ThresholdRule{T: 3}},
+		Transport:   ft,
+		Timeout:     250 * time.Millisecond,
+		MinVotes:    5,
+		DialRetries: -1,
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.RunManyStats(context.Background(), uniformSampler(t, 4), testRand(56), 2)
+	if err == nil || !strings.Contains(err.Error(), "quorum not met") {
+		t.Errorf("err = %v, want quorum-not-met error", err)
+	}
+}
+
+func TestBackendOptionValidation(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		K: 4, Q: 1, Rule: acceptAllRule(), Referee: core.BitReferee{Rule: core.ANDRule{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend(c, WithShards(5)); err == nil {
+		t.Error("more shards than players accepted")
+	}
+	if _, err := NewBackend(c, WithShards(2), WithAggregatorWeights([]int{1})); err == nil {
+		t.Error("short weight vector accepted")
+	}
+	if _, err := NewBackend(nil); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	// Options must not leak into the caller's cluster.
+	if _, err := NewBackend(c, WithShards(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.topo.enabled() {
+		t.Error("backend option mutated the shared cluster")
+	}
+	bad := ClusterConfig{
+		K: 4, Q: 1, Rule: acceptAllRule(), Referee: core.BitReferee{Rule: core.ANDRule{}},
+		Shards: 2, AggregatorWeights: []int{0, 1},
+	}
+	if _, err := NewCluster(bad); err == nil {
+		t.Error("zero aggregator weight accepted")
+	}
+}
+
+// TestShardedReduceZeroAllocs guards the hot path of the tree: the L1
+// reduction kernels and the root's combine-and-decide must not allocate
+// per batch. Skipped under the race detector, whose instrumentation
+// allocates.
+func TestShardedReduceZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	const (
+		members = 64
+		count   = 256
+		msgBits = 4
+	)
+	words := batchWords(count)
+	planeCount := bits.Len(uint(members * (1<<msgBits - 1)))
+	deliv := make([][]uint64, members)
+	for i := range deliv {
+		planes := make([]uint64, msgBits*words)
+		for j := range planes {
+			planes[j] = 0xdeadbeefcafef00d * uint64(i+j+1)
+		}
+		deliv[i] = planes
+	}
+	col := make([]uint64, planeCount)
+	sums := make([]uint64, planeCount*words)
+	if n := testing.AllocsPerRun(100, func() {
+		reduceThresholdSums(deliv, count, words, col[:bits.Len(members)], sums[:bits.Len(members)*words])
+	}); n != 0 {
+		t.Errorf("reduceThresholdSums allocates %.1f per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		reduceValueSums(deliv, msgBits, words, col, sums)
+	}); n != 0 {
+		t.Errorf("reduceValueSums allocates %.1f per run", n)
+	}
+	acc := make([]uint64, planeCount*words)
+	if n := testing.AllocsPerRun(100, func() {
+		if combineShardSums(acc, sums, planeCount, words) {
+			clear(acc) // keep repeated runs from saturating into overflow
+		}
+	}); n != 0 {
+		t.Errorf("combineShardSums allocates %.1f per run", n)
+	}
+}
+
+// TestShardedDecideZeroAllocs drives decideBatchShards — the root's
+// whole per-batch decision — over a synthetic session and demands zero
+// allocations once its scratch is warm.
+func TestShardedDecideZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	const (
+		k      = 128
+		shards = 4
+		count  = 256
+	)
+	referee := core.BitReferee{Rule: core.ThresholdRule{T: 40}}
+	server, err := NewRefereeServer(k, referee, time.Second, WithMinVotes(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := batchWords(count)
+	planeCount := bits.Len(uint(k))
+	bs := &batchSession{
+		c:            &Cluster{k: k},
+		server:       server,
+		planes:       make([]uint64, planeCount),
+		shardGot:     make([]bool, shards),
+		shardSums:    make([][]uint64, shards),
+		shardPresent: make([]uint32, shards),
+	}
+	bs.shapeT, bs.shapeOK = core.ThresholdShape(referee, k)
+	if !bs.shapeOK {
+		t.Fatal("threshold referee lost its shape")
+	}
+	for i := range bs.shardSums {
+		bs.shardGot[i] = true
+		bs.shardPresent[i] = k / shards
+		sums := make([]uint64, planeCount*words)
+		for j := 0; j < words; j++ {
+			sums[j] = 0x5555555555555555 // plane 0: 1 rejection per shard per lane
+		}
+		bs.shardSums[i] = sums
+	}
+	verdictBits := make([]uint64, words)
+	// Warm run grows aggSums once; after that the decision is pure
+	// arithmetic on the session's scratch.
+	if err := bs.decideBatchShards(count, k, verdictBits); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := bs.decideBatchShards(count, k, verdictBits); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("decideBatchShards allocates %.1f per run", n)
+	}
+	// The presence-adjusted path (absentees under quorum) is just as
+	// clean.
+	if n := testing.AllocsPerRun(100, func() {
+		if err := bs.decideBatchShards(count, k-8, verdictBits); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("decideBatchShards with absentees allocates %.1f per run", n)
+	}
+}

@@ -25,6 +25,15 @@ type PlayerDialer interface {
 	DialPlayer(addr net.Addr, player uint32) (net.Conn, error)
 }
 
+// AggregatorDialer is the aggregator-tier counterpart of PlayerDialer:
+// transports that fault the L1 -> root hop per aggregator implement it,
+// and the sharded referee tree's aggregators prefer it when dialing the
+// root.
+type AggregatorDialer interface {
+	// DialAggregator connects the identified aggregator to the root.
+	DialAggregator(addr net.Addr, agg uint32) (net.Conn, error)
+}
+
 // acceptDeadliner is the listener extension the quorum-mode referee needs:
 // both *net.TCPListener and memListener provide it.
 type acceptDeadliner interface {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // Protocol constants.
@@ -21,6 +22,17 @@ const (
 	// while still amortizing the per-frame synchronization well past the
 	// point of diminishing returns.
 	MaxBatchTrials = 1024
+	// MaxShardPlayers bounds one aggregator's shard membership (AGG_HELLO
+	// and the presence accounting of the reduced frames). It is the
+	// decoder's allocation cap for membership lists, far above any shard a
+	// balanced tree would produce.
+	MaxShardPlayers = 1 << 17
+	// MaxAggPlaneWords bounds the vote-plane words one AGG_PLANES frame
+	// may carry (present players x message bits x bitset words). Opaque
+	// referees at shard sizes past this cap must shard wider; the bound
+	// keeps the decoder's largest allocation at 8 MiB instead of the
+	// structural gigabyte worst case.
+	MaxAggPlaneWords = 1 << 20
 )
 
 // FrameType enumerates the message kinds. Values are wire-stable.
@@ -33,6 +45,11 @@ type FrameType uint8
 // bit-planes instead of one. VOTE_BATCH remains the canonical encoding
 // for 1-bit rules, so r = 1 sessions are byte-identical to the classic
 // protocol.
+// The aggregator frames (10..12) carry the L1 -> root hop of the
+// two-tier referee tree: AGG_HELLO announces an aggregator's shard
+// membership, AGG_SUM carries a shard's bit-sliced partial rejection /
+// value sums for shaped referees, and AGG_PLANES forwards the shard's
+// packed vote planes verbatim for opaque referees.
 const (
 	FrameHello FrameType = iota + 1
 	FrameRound
@@ -43,6 +60,9 @@ const (
 	FrameVoteBatch
 	FrameVerdictBatch
 	FrameVoteBatchR
+	FrameAggHello
+	FrameAggSum
+	FrameAggPlanes
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -66,6 +86,12 @@ func (t FrameType) String() string {
 		return "VERDICT_BATCH"
 	case FrameVoteBatchR:
 		return "VOTE_BATCH_R"
+	case FrameAggHello:
+		return "AGG_HELLO"
+	case FrameAggSum:
+		return "AGG_SUM"
+	case FrameAggPlanes:
+		return "AGG_PLANES"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -146,8 +172,74 @@ type VoteBatchR struct {
 	Planes []uint64
 }
 
+// AggHello is an L1 aggregator's first frame to the root referee: the
+// aggregator id, the negotiated message width (every shard member's
+// HELLO must match it), the shard membership the aggregator was
+// assigned, and how many of those members actually connected during
+// the accept phase (the root sums Present across shards for its quorum
+// check — zero is legal, a quorum-mode shard whose players all failed
+// still reports). Members must be strictly ascending; the root checks
+// them against its own routing table, so a mis-sharded aggregator
+// fails the handshake instead of corrupting the accounting.
+// Payload layout: agg(4) bits(1) present(4) count(4) ids (4 each).
+type AggHello struct {
+	Agg     uint32
+	Bits    uint8
+	Present uint32
+	Members []uint32
+}
+
+// AggSum carries one shard's reduced votes for every trial of a batch
+// when the referee is threshold- or sum-shaped: Planes bit-sliced
+// counter planes of batchWords(Count) words each, where plane p holds
+// bit p of every trial's partial count with trial j of the batch at
+// bit j%64 (LSB first) of plane word j/64 — the same transposed layout
+// the flat referee's word-parallel decide path ripple-carries over.
+// Present is the shard's per-batch present-member count, carried
+// explicitly so the root's quorum/absentee accounting composes
+// per-shard instead of guessing from frame arrival. Padding bits above
+// Count must be zero in every plane, enforced on encode and decode.
+// Payload layout: agg(4) batch(4) count(4) bits(1) planes(1)
+// present(4) sums (8 each).
+type AggSum struct {
+	Agg     uint32
+	Batch   uint32
+	Count   uint32
+	Bits    uint8
+	Planes  uint8
+	Present uint32
+	Sums    []uint64
+}
+
+// AggPlanes carries one shard's votes verbatim when the referee is
+// opaque and no sound local reduction exists: a presence mask over the
+// shard's AGG_HELLO membership list (bit i set = member i of that list
+// voted this batch, LSB first) followed by the present members' packed
+// vote planes in ascending member order, each laid out exactly like
+// VoteBatchR.Planes (Bits planes of batchWords(Count) words). Present
+// must equal the mask's popcount, the total plane words are capped at
+// MaxAggPlaneWords, and padding above Count in every plane and above
+// Members in the mask must be zero — all enforced on encode and
+// decode.
+// Payload layout: agg(4) batch(4) count(4) bits(1) members(4)
+// present(4) mask (8 each) planes (8 each).
+type AggPlanes struct {
+	Agg     uint32
+	Batch   uint32
+	Count   uint32
+	Bits    uint8
+	Members uint32
+	Present uint32
+	Mask    []uint64
+	Planes  []uint64
+}
+
 // batchWords is the number of 64-bit bitset words covering count trials.
 func batchWords(count int) int { return (count + 63) / 64 }
+
+// aggMaskWords is the number of 64-bit mask words covering a shard of
+// members players.
+func aggMaskWords(members int) int { return (members + 63) / 64 }
 
 // checkBatchBits validates a packed bitset against its trial count:
 // exact word count and zero padding bits above count.
@@ -193,6 +285,119 @@ func checkBatchPlanes(kind FrameType, count, msgBits int, planes []uint64) error
 	return nil
 }
 
+// checkAggHello validates an aggregator handshake: message width in
+// range, member count within the shard bound, strictly ascending
+// member ids (which also rejects duplicates), and a present count that
+// cannot exceed the membership.
+func checkAggHello(h AggHello) error {
+	if h.Bits < 1 || h.Bits > 64 {
+		return fmt.Errorf("network: AGG_HELLO with %d message bits, want 1..64", h.Bits)
+	}
+	if len(h.Members) < 1 || len(h.Members) > MaxShardPlayers {
+		return fmt.Errorf("network: AGG_HELLO with %d members, want 1..%d", len(h.Members), MaxShardPlayers)
+	}
+	for i := 1; i < len(h.Members); i++ {
+		if h.Members[i] <= h.Members[i-1] {
+			return fmt.Errorf("network: AGG_HELLO members not strictly ascending: player %d after %d",
+				h.Members[i], h.Members[i-1])
+		}
+	}
+	if int(h.Present) > len(h.Members) {
+		return fmt.Errorf("network: AGG_HELLO with %d present of %d members", h.Present, len(h.Members))
+	}
+	return nil
+}
+
+// checkAggSum validates a reduced sum frame: trial count, message
+// width and counter plane count in range, exact counter stride, a
+// present count within the shard bound, and zero padding bits above
+// Count in every counter plane. Present zero is legal — every member
+// of a tolerant shard may be absent for a batch.
+func checkAggSum(v AggSum) error {
+	if v.Count < 1 || v.Count > MaxBatchTrials {
+		return fmt.Errorf("network: AGG_SUM with %d trials, want 1..%d", v.Count, MaxBatchTrials)
+	}
+	if v.Bits < 1 || v.Bits > 64 {
+		return fmt.Errorf("network: AGG_SUM with %d message bits, want 1..64", v.Bits)
+	}
+	if v.Planes < 1 || v.Planes > 64 {
+		return fmt.Errorf("network: AGG_SUM with %d counter planes, want 1..64", v.Planes)
+	}
+	if v.Present > MaxShardPlayers {
+		return fmt.Errorf("network: AGG_SUM with %d present players, want at most %d", v.Present, MaxShardPlayers)
+	}
+	words := batchWords(int(v.Count))
+	if len(v.Sums) != int(v.Planes)*words {
+		return fmt.Errorf("network: AGG_SUM with %d sum words for %d trials of %d planes, want %d",
+			len(v.Sums), v.Count, v.Planes, int(v.Planes)*words)
+	}
+	if rem := int(v.Count) % 64; rem != 0 {
+		for p := 0; p < int(v.Planes); p++ {
+			if pad := v.Sums[(p+1)*words-1] &^ (1<<rem - 1); pad != 0 {
+				return fmt.Errorf("network: AGG_SUM with non-zero padding bits %#x above trial %d in plane %d",
+					pad, v.Count, p)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAggPlanes validates a forwarded plane frame: trial count,
+// message width and member count in range, exact mask stride with zero
+// padding above Members, a present count equal to the mask popcount,
+// plane words matching present x bits x batchWords(Count) under the
+// MaxAggPlaneWords cap, and zero padding above Count in every plane of
+// every present member. Present zero (empty mask, no planes) is legal.
+func checkAggPlanes(v AggPlanes) error {
+	if v.Count < 1 || v.Count > MaxBatchTrials {
+		return fmt.Errorf("network: AGG_PLANES with %d trials, want 1..%d", v.Count, MaxBatchTrials)
+	}
+	if v.Bits < 1 || v.Bits > 64 {
+		return fmt.Errorf("network: AGG_PLANES with %d message bits, want 1..64", v.Bits)
+	}
+	if v.Members < 1 || v.Members > MaxShardPlayers {
+		return fmt.Errorf("network: AGG_PLANES with %d members, want 1..%d", v.Members, MaxShardPlayers)
+	}
+	maskWords := aggMaskWords(int(v.Members))
+	if len(v.Mask) != maskWords {
+		return fmt.Errorf("network: AGG_PLANES with %d mask words for %d members, want %d",
+			len(v.Mask), v.Members, maskWords)
+	}
+	if rem := int(v.Members) % 64; rem != 0 {
+		if pad := v.Mask[maskWords-1] &^ (1<<rem - 1); pad != 0 {
+			return fmt.Errorf("network: AGG_PLANES with non-zero mask padding bits %#x above member %d", pad, v.Members)
+		}
+	}
+	pop := 0
+	for _, w := range v.Mask {
+		pop += bits.OnesCount64(w)
+	}
+	if int(v.Present) != pop {
+		return fmt.Errorf("network: AGG_PLANES with present count %d but mask popcount %d", v.Present, pop)
+	}
+	words := batchWords(int(v.Count))
+	stride := int(v.Bits) * words
+	if pop*stride > MaxAggPlaneWords {
+		return fmt.Errorf("network: AGG_PLANES with %d plane words (%d present x %d bits x %d words), want at most %d — shard wider",
+			pop*stride, pop, v.Bits, words, MaxAggPlaneWords)
+	}
+	if len(v.Planes) != pop*stride {
+		return fmt.Errorf("network: AGG_PLANES with %d plane words for %d present players of %d bits, want %d",
+			len(v.Planes), pop, v.Bits, pop*stride)
+	}
+	if rem := int(v.Count) % 64; rem != 0 {
+		for m := 0; m < pop; m++ {
+			for b := 0; b < int(v.Bits); b++ {
+				if pad := v.Planes[m*stride+(b+1)*words-1] &^ (1<<rem - 1); pad != 0 {
+					return fmt.Errorf("network: AGG_PLANES with non-zero padding bits %#x above trial %d in plane %d of present member %d",
+						pad, v.Count, b, m)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // frame layout: magic(2) version(1) type(1) length(4) payload(length).
 const headerSize = 8
 
@@ -208,6 +413,12 @@ func maxPayload(t FrameType) int {
 		return 8 + 8*batchWords(MaxBatchTrials)
 	case FrameVoteBatchR:
 		return 13 + 8*64*batchWords(MaxBatchTrials)
+	case FrameAggHello:
+		return 13 + 4*MaxShardPlayers
+	case FrameAggSum:
+		return 18 + 8*64*batchWords(MaxBatchTrials)
+	case FrameAggPlanes:
+		return 21 + 8*aggMaskWords(MaxShardPlayers) + 8*MaxAggPlaneWords
 	default:
 		return MaxFrameSize
 	}
@@ -410,6 +621,110 @@ func WriteVerdictBatch(w io.Writer, v VerdictBatch) error {
 	return writeFrame(w, FrameVerdictBatch, p)
 }
 
+// WriteAggHello sends an AGG_HELLO frame, validated before any byte
+// leaves the aggregator.
+func WriteAggHello(w io.Writer, h AggHello) error {
+	if err := checkAggHello(h); err != nil {
+		return err
+	}
+	p := make([]byte, 13+4*len(h.Members))
+	binary.BigEndian.PutUint32(p[0:4], h.Agg)
+	p[4] = h.Bits
+	binary.BigEndian.PutUint32(p[5:9], h.Present)
+	binary.BigEndian.PutUint32(p[9:13], uint32(len(h.Members)))
+	for i, id := range h.Members {
+		binary.BigEndian.PutUint32(p[13+4*i:], id)
+	}
+	return writeFrame(w, FrameAggHello, p)
+}
+
+// WriteAggSum sends an AGG_SUM frame, validated like WriteVoteBatchR:
+// an invalid reduction never reaches the wire.
+func WriteAggSum(w io.Writer, v AggSum) error {
+	if err := checkAggSum(v); err != nil {
+		return err
+	}
+	p := make([]byte, 18+8*len(v.Sums))
+	binary.BigEndian.PutUint32(p[0:4], v.Agg)
+	binary.BigEndian.PutUint32(p[4:8], v.Batch)
+	binary.BigEndian.PutUint32(p[8:12], v.Count)
+	p[12] = v.Bits
+	p[13] = v.Planes
+	binary.BigEndian.PutUint32(p[14:18], v.Present)
+	for i, word := range v.Sums {
+		binary.BigEndian.PutUint64(p[18+8*i:], word)
+	}
+	return writeFrame(w, FrameAggSum, p)
+}
+
+// WriteAggPlanes sends an AGG_PLANES frame, validated like
+// WriteAggSum.
+func WriteAggPlanes(w io.Writer, v AggPlanes) error {
+	if err := checkAggPlanes(v); err != nil {
+		return err
+	}
+	p := make([]byte, 21+8*(len(v.Mask)+len(v.Planes)))
+	binary.BigEndian.PutUint32(p[0:4], v.Agg)
+	binary.BigEndian.PutUint32(p[4:8], v.Batch)
+	binary.BigEndian.PutUint32(p[8:12], v.Count)
+	p[12] = v.Bits
+	binary.BigEndian.PutUint32(p[13:17], v.Members)
+	binary.BigEndian.PutUint32(p[17:21], v.Present)
+	off := 21
+	for _, word := range v.Mask {
+		binary.BigEndian.PutUint64(p[off:], word)
+		off += 8
+	}
+	for _, word := range v.Planes {
+		binary.BigEndian.PutUint64(p[off:], word)
+		off += 8
+	}
+	return writeFrame(w, FrameAggPlanes, p)
+}
+
+// AppendAggSum appends one encoded AGG_SUM frame to buf, validated
+// exactly like WriteAggSum. The aggregator's reducer encodes its
+// upstream frames with the Append* helpers into a reused buffer and
+// flushes through writeCoalesced, keeping the hot reduce path
+// allocation-free.
+func AppendAggSum(buf []byte, v AggSum) ([]byte, error) {
+	if err := checkAggSum(v); err != nil {
+		return buf, err
+	}
+	buf = appendHeader(buf, FrameAggSum, 18+8*len(v.Sums))
+	buf = binary.BigEndian.AppendUint32(buf, v.Agg)
+	buf = binary.BigEndian.AppendUint32(buf, v.Batch)
+	buf = binary.BigEndian.AppendUint32(buf, v.Count)
+	buf = append(buf, v.Bits, v.Planes)
+	buf = binary.BigEndian.AppendUint32(buf, v.Present)
+	for _, word := range v.Sums {
+		buf = binary.BigEndian.AppendUint64(buf, word)
+	}
+	return buf, nil
+}
+
+// AppendAggPlanes appends one encoded AGG_PLANES frame to buf,
+// validated exactly like WriteAggPlanes.
+func AppendAggPlanes(buf []byte, v AggPlanes) ([]byte, error) {
+	if err := checkAggPlanes(v); err != nil {
+		return buf, err
+	}
+	buf = appendHeader(buf, FrameAggPlanes, 21+8*(len(v.Mask)+len(v.Planes)))
+	buf = binary.BigEndian.AppendUint32(buf, v.Agg)
+	buf = binary.BigEndian.AppendUint32(buf, v.Batch)
+	buf = binary.BigEndian.AppendUint32(buf, v.Count)
+	buf = append(buf, v.Bits)
+	buf = binary.BigEndian.AppendUint32(buf, v.Members)
+	buf = binary.BigEndian.AppendUint32(buf, v.Present)
+	for _, word := range v.Mask {
+		buf = binary.BigEndian.AppendUint64(buf, word)
+	}
+	for _, word := range v.Planes {
+		buf = binary.BigEndian.AppendUint64(buf, word)
+	}
+	return buf, nil
+}
+
 // ReadFrame reads and decodes the next frame into one of the typed
 // structs; the first return carries the type tag.
 func ReadFrame(r io.Reader) (FrameType, any, error) {
@@ -549,6 +864,118 @@ func ReadFrame(r io.Reader) (FrameType, any, error) {
 			Bits:   uint8(msgBits),
 			Planes: planes,
 		}, nil
+	case FrameAggHello:
+		if len(payload) < 13 {
+			return 0, nil, fmt.Errorf("network: AGG_HELLO payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[9:13]))
+		if count < 1 || count > MaxShardPlayers {
+			return 0, nil, fmt.Errorf("network: AGG_HELLO with %d members, want 1..%d", count, MaxShardPlayers)
+		}
+		if len(payload) != 13+4*count {
+			return 0, nil, fmt.Errorf("network: AGG_HELLO payload of %d bytes for %d members, want %d",
+				len(payload), count, 13+4*count)
+		}
+		members := make([]uint32, count)
+		for i := range members {
+			members[i] = binary.BigEndian.Uint32(payload[13+4*i:])
+		}
+		h := AggHello{
+			Agg:     binary.BigEndian.Uint32(payload[0:4]),
+			Bits:    payload[4],
+			Present: binary.BigEndian.Uint32(payload[5:9]),
+			Members: members,
+		}
+		if err := checkAggHello(h); err != nil {
+			return 0, nil, err
+		}
+		return t, h, nil
+	case FrameAggSum:
+		if len(payload) < 18 {
+			return 0, nil, fmt.Errorf("network: AGG_SUM payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[8:12]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: AGG_SUM with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		planes := int(payload[13])
+		if planes < 1 || planes > 64 {
+			return 0, nil, fmt.Errorf("network: AGG_SUM with %d counter planes, want 1..64", planes)
+		}
+		words := planes * batchWords(count)
+		if len(payload) != 18+8*words {
+			return 0, nil, fmt.Errorf("network: AGG_SUM payload of %d bytes for %d trials of %d planes, want %d",
+				len(payload), count, planes, 18+8*words)
+		}
+		sums := make([]uint64, words)
+		for i := range sums {
+			sums[i] = binary.BigEndian.Uint64(payload[18+8*i:])
+		}
+		v := AggSum{
+			Agg:     binary.BigEndian.Uint32(payload[0:4]),
+			Batch:   binary.BigEndian.Uint32(payload[4:8]),
+			Count:   uint32(count),
+			Bits:    payload[12],
+			Planes:  uint8(planes),
+			Present: binary.BigEndian.Uint32(payload[14:18]),
+			Sums:    sums,
+		}
+		if err := checkAggSum(v); err != nil {
+			return 0, nil, err
+		}
+		return t, v, nil
+	case FrameAggPlanes:
+		if len(payload) < 21 {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[8:12]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		msgBits := int(payload[12])
+		if msgBits < 1 || msgBits > 64 {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES with %d message bits, want 1..64", msgBits)
+		}
+		members := int(binary.BigEndian.Uint32(payload[13:17]))
+		if members < 1 || members > MaxShardPlayers {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES with %d members, want 1..%d", members, MaxShardPlayers)
+		}
+		present := int(binary.BigEndian.Uint32(payload[17:21]))
+		if present > members {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES with %d present of %d members", present, members)
+		}
+		maskWords := aggMaskWords(members)
+		planeWords := present * msgBits * batchWords(count)
+		if planeWords > MaxAggPlaneWords {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES with %d plane words, want at most %d — shard wider",
+				planeWords, MaxAggPlaneWords)
+		}
+		if len(payload) != 21+8*(maskWords+planeWords) {
+			return 0, nil, fmt.Errorf("network: AGG_PLANES payload of %d bytes for %d present members of %d bits over %d trials, want %d",
+				len(payload), present, msgBits, count, 21+8*(maskWords+planeWords))
+		}
+		mask := make([]uint64, maskWords)
+		for i := range mask {
+			mask[i] = binary.BigEndian.Uint64(payload[21+8*i:])
+		}
+		planesBuf := make([]uint64, planeWords)
+		for i := range planesBuf {
+			planesBuf[i] = binary.BigEndian.Uint64(payload[21+8*maskWords+8*i:])
+		}
+		v := AggPlanes{
+			Agg:     binary.BigEndian.Uint32(payload[0:4]),
+			Batch:   binary.BigEndian.Uint32(payload[4:8]),
+			Count:   uint32(count),
+			Bits:    uint8(msgBits),
+			Members: uint32(members),
+			Present: uint32(present),
+			Mask:    mask,
+			Planes:  planesBuf,
+		}
+		if err := checkAggPlanes(v); err != nil {
+			return 0, nil, err
+		}
+		return t, v, nil
 	default:
 		return 0, nil, fmt.Errorf("network: unknown frame type %d", uint8(t))
 	}
