@@ -18,7 +18,7 @@ BENCH_WINDOW ?=
 # 5000x for a fixed trial count (what CI uses for stable allocs/op).
 BENCH_TIME ?= 1s
 
-.PHONY: all build vet staticcheck lint test test-short test-race cover bench bench-all verify results clean
+.PHONY: all build vet staticcheck govulncheck lint lint-json lint-escape test test-short test-race cover bench bench-all verify results clean
 
 all: build test
 
@@ -44,12 +44,42 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# Known-vulnerability scan, gated like staticcheck: a no-op note where
+# govulncheck is unavailable, a hard failure under CI=1 so the pipeline
+# cannot silently skip it.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "govulncheck not installed but CI is set; failing (go install golang.org/x/vuln/cmd/govulncheck@latest)" >&2; \
+		exit 1; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # The repo's own contract analyzers (stdlib-only, no tool install
 # needed): determinism, scratch aliasing, float equality, frame
-# discipline, context propagation, and seed purity. See README "Static
-# analysis" and DESIGN.md section 7.
+# discipline, context propagation, seed purity, and the call-graph-aware
+# hot-path rules (alloc-freedom, atomic discipline, goroutine joins,
+# wire exhaustiveness). One invocation runs every rule over every
+# package against a single cached call-graph Program — the load and
+# graph cost is paid once, and the total analysis wall time prints on
+# stderr. See README "Static analysis" and DESIGN.md sections 7 and 12.
 lint:
 	$(GO) run ./cmd/dutlint ./...
+
+# Machine-readable findings (suppressed included, marked) for CI
+# artifact upload.
+lint-json:
+	$(GO) run ./cmd/dutlint -json ./... > dutlint.json
+
+# Compiler escape-analysis diff: every heap escape `go build
+# -gcflags=-m=2` reports inside a //dut:hotpath-reachable function must
+# be flagged by dut/hotalloc, covered by a documented //lint:ignore, or
+# sit in a cold or guarded-grow block. Fails when the compiler sees an
+# allocation the analyzer has no account of.
+lint-escape:
+	$(GO) run ./cmd/dutlint -escape ./...
 
 # The default test target vets everything, runs staticcheck when
 # available, and additionally runs the concurrency-heavy packages (the
@@ -61,7 +91,10 @@ lint:
 # includes the allocation guards (dist.SampleInto, engine.ReusableRNG,
 # the SMP scratch hot path, and the L1 reduce/root decide path); they
 # skip themselves in the race pass, whose instrumentation allocates.
-test: vet staticcheck lint
+# dutlint runs once here: all ten rules share one cached load and call
+# graph per invocation, so splitting rules across targets would re-pay
+# the load cost per rule for nothing.
+test: vet staticcheck lint lint-escape
 	$(GO) test ./...
 	$(GO) test -race ./internal/network/... ./internal/engine/...
 
@@ -106,4 +139,4 @@ results:
 	$(GO) run ./cmd/dut-bench -scale 1 -seed 1 -out results -csv
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_engine.txt
+	rm -f test_output.txt bench_output.txt bench_engine.txt dutlint.json

@@ -1,24 +1,39 @@
 // Command dutlint runs the repo's contract analyzers (determinism,
 // scratch aliasing, float equality, frame discipline, context
-// propagation, seed purity) over the packages matching the given
-// patterns. Findings print as "file:line:col rule: message"; the exit
-// status is 1 when any finding survives //lint:ignore suppression, 2 on
-// a load or internal error.
+// propagation, seed purity, hot-path alloc-freedom, atomic discipline,
+// goroutine joins, wire exhaustiveness) over the packages matching the
+// given patterns. Findings print as "file:line:col rule: message"; the
+// exit status is 1 when any finding survives //lint:ignore suppression,
+// 2 on a load or internal error.
 //
 // Usage:
 //
-//	dutlint [-list] [-<rule>=false ...] [packages]
+//	dutlint [-list] [-json] [-escape] [-<rule>=false ...] [packages]
 //
 // Patterns default to ./... relative to the enclosing module root. Each
 // analyzer has a boolean flag named after its rule suffix (for example
-// -nondeterminism=false disables dut/nondeterminism).
+// -nondeterminism=false disables dut/nondeterminism). All analyzers of
+// one run share a single call-graph Program, so the load and graph cost
+// is paid once, not once per rule; the total analysis wall time is
+// reported on stderr.
+//
+// -json emits the findings as a JSON array on stdout — suppressed
+// findings included, marked — for CI artifact upload.
+//
+// -escape audits the analyzer against the compiler: it runs `go build
+// -gcflags=-m=2` over every package containing hot-reachable functions
+// and reports each compiler-detected heap escape inside a hot function
+// that dut/hotalloc neither flagged nor a documented suppression covers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"github.com/distributed-uniformity/dut/internal/lint"
 )
@@ -27,9 +42,21 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiagnostic is the machine-readable finding shape emitted by -json.
+type jsonDiagnostic struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("dutlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings (suppressed included) as JSON on stdout")
+	escape := fs.Bool("escape", false, "diff compiler escape analysis against dut/hotalloc over the hot packages")
 	all := lint.Analyzers()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -69,20 +96,84 @@ func run(args []string) int {
 		return 2
 	}
 
-	found := 0
+	// One Program for the whole run: every analyzer of every package
+	// shares the same cached call-graph fragments and derived
+	// reachability, so the graph is built once per package, not once per
+	// rule.
+	started := time.Now()
+	prog := lint.NewProgram(pkgs...)
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunPackage(pkg, analyzers)
+		ds, err := lint.RunPackageAll(prog, pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dutlint:", err)
 			return 2
 		}
-		for _, d := range diags {
+		diags = append(diags, ds...)
+	}
+	elapsed := time.Since(started)
+
+	if *escape {
+		return runEscape(prog, diags, root)
+	}
+
+	found := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !*asJSON {
 			fmt.Println(d)
-			found++
+		}
+		found++
+	}
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Rule: d.Rule, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Message: d.Message, Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dutlint:", err)
+			return 2
 		}
 	}
+	fmt.Fprintf(os.Stderr, "dutlint: %d package(s), %d rule(s) analyzed in %s\n",
+		len(pkgs), len(analyzers), elapsed.Round(time.Millisecond))
 	if found > 0 {
 		fmt.Fprintf(os.Stderr, "dutlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// runEscape executes the compiler-diff audit: build the hot packages
+// with escape-analysis diagnostics enabled and report heap escapes the
+// analyzer has no account of.
+func runEscape(prog *lint.Program, diags []lint.Diagnostic, root string) int {
+	hot := prog.HotPackages()
+	if len(hot) == 0 {
+		fmt.Fprintln(os.Stderr, "dutlint: -escape found no //dut:hotpath roots")
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=2"}, hot...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dutlint: go build -gcflags=-m=2: %v\n%s", err, out)
+		return 2
+	}
+	misses := lint.EscapeAudit(prog, diags, string(out), root)
+	for _, m := range misses {
+		fmt.Println(m)
+	}
+	fmt.Fprintf(os.Stderr, "dutlint: escape audit over %d hot package(s): %d unaccounted escape(s)\n",
+		len(hot), len(misses))
+	if len(misses) > 0 {
 		return 1
 	}
 	return 0

@@ -50,6 +50,8 @@ func (b *testerBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (en
 // its trials remainder-exactly by engine.SpreadWall. Verdicts are
 // bit-identical to the unbatched path — the per-trial derivations are
 // unchanged, only the allocations moved.
+//
+//dut:hotpath
 func (b *testerBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("congest: %d results for %d specs", len(out), len(specs))
@@ -82,6 +84,8 @@ func (b *testerBackend) RunRoundsScratch(ctx context.Context, scratch any, specs
 }
 
 // RunRoundScratch implements engine.ScratchBackend.
+//
+//dut:hotpath
 func (b *testerBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return engine.RoundResult{}, err

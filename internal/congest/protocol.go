@@ -75,6 +75,7 @@ type uniformityNode struct {
 
 var _ NodeProgram = (*uniformityNode)(nil)
 
+//dut:coldpath once-per-node construction; scratch runs reuse the node via reset
 func newUniformityNode(g *Graph, id int, root bool, threshold int, score uint64, result *bool) *uniformityNode {
 	nbrs := g.Neighbors(id)
 	sort.Ints(nbrs)

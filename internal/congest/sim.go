@@ -35,6 +35,8 @@ type Outbox struct {
 
 // newOutbox builds the outbox for a node with the given ascending-sorted
 // neighbor list.
+//
+//dut:coldpath once-per-node construction during ensureBuffers; rounds reuse the outbox
 func newOutbox(node int, neighbors []int) *Outbox {
 	return &Outbox{
 		node:      node,
@@ -127,6 +129,8 @@ type Simulator struct {
 }
 
 // NewSimulator validates that there is exactly one program per node.
+//
+//dut:coldpath once-per-run construction; Run reuses the simulator's buffers across rounds
 func NewSimulator(g *Graph, programs []NodeProgram) (*Simulator, error) {
 	if g == nil {
 		return nil, fmt.Errorf("congest: nil graph")
@@ -143,6 +147,8 @@ func NewSimulator(g *Graph, programs []NodeProgram) (*Simulator, error) {
 }
 
 // ensureBuffers allocates the reusable round buffers on first use.
+//
+//dut:coldpath first-use buffer construction behind a len guard; later rounds return early and reuse
 func (s *Simulator) ensureBuffers(n int) {
 	if len(s.done) == n {
 		return

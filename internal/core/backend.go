@@ -64,6 +64,8 @@ func (b *smpBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engin
 
 // RunRoundScratch implements engine.ScratchBackend: one referee-model
 // round, allocation-free in steady state.
+//
+//dut:hotpath
 func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return engine.RoundResult{}, err
@@ -93,6 +95,8 @@ func (b *smpBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec,
 // bit-identical verdicts — with the per-trial overheads (context check,
 // clock reads) hoisted to one per chunk; the chunk's elapsed time is
 // spread over its trials remainder-exactly by engine.SpreadWall.
+//
+//dut:hotpath
 func (b *smpBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, _ int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("core: %d results for %d specs", len(out), len(specs))

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+)
+
+// AnalyzerAtomicDiscipline enforces the two memory-layout contracts of
+// the driver's shared state. First, mixed access: a variable or field
+// whose address is ever handed to a sync/atomic operation anywhere in
+// the program must never be read or written plainly elsewhere — a plain
+// access next to atomics is a data race the race detector only catches
+// when a test happens to interleave it. The touch set is collected
+// program-wide through the shared call-graph layer, so an atomic store
+// in one package poisons plain loads in another. Second, padding: a
+// struct that carries a blank padding field (the workerErrs pattern —
+// "_ [N]byte" sized to push each element onto its own cache lines) must
+// stay a multiple of the 64-byte line, so growing it cannot silently
+// re-introduce the false sharing the pad was added to kill.
+var AnalyzerAtomicDiscipline = &Analyzer{
+	Name: "dut/atomicdiscipline",
+	Doc:  "plain access to an atomically-accessed field, or a padded struct off cache-line size",
+	Run:  runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(p *Pass) error {
+	p.checkMixedAtomicAccess()
+	p.checkPaddedStructs()
+	return nil
+}
+
+// checkMixedAtomicAccess flags plain uses of program-wide atomically
+// touched objects.
+func (p *Pass) checkMixedAtomicAccess() {
+	touched := p.Prog.atomicTouched()
+	if len(touched) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		// Idents consumed by a sync/atomic call's address argument are the
+		// blessed accesses; collect them before flagging the rest.
+		blessed := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			switch x := ast.Unparen(unary.X).(type) {
+			case *ast.Ident:
+				blessed[x] = true
+			case *ast.SelectorExpr:
+				blessed[x.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || blessed[id] {
+				return true
+			}
+			obj := p.Info.Uses[id] // uses only: the declaration itself is fine
+			if obj == nil {
+				return true
+			}
+			if at, hit := touched[obj]; hit {
+				p.Reportf(id.Pos(), "%s is accessed via sync/atomic (e.g. %s:%d) but read/written plainly here; mixed access races", id.Name, at.Filename, at.Line)
+			}
+			return true
+		})
+	}
+}
+
+// checkPaddedStructs verifies every struct with a blank byte-array pad
+// field still sizes to a whole number of 64-byte cache lines.
+func (p *Pass) checkPaddedStructs() {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !hasPadField(p.Info, st) {
+				return true
+			}
+			t := p.Info.TypeOf(ts.Type)
+			if t == nil {
+				return true
+			}
+			size := sizes.Sizeof(t)
+			if size%64 != 0 {
+				p.Reportf(ts.Pos(), "padded struct %s is %d bytes, not a multiple of the 64-byte cache line; its elements share lines again — resize the pad", ts.Name.Name, size)
+			}
+			return true
+		})
+	}
+}
+
+// hasPadField reports whether the struct declares a blank byte-array
+// padding field.
+func hasPadField(info *types.Info, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		blank := false
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				blank = true
+			}
+		}
+		if !blank {
+			continue
+		}
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			if b, ok := arr.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}

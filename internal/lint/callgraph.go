@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathMarker introduces a hot-path root declaration. Like //go:build
+// and //lint:ignore, the marker admits no space after the slashes; an
+// optional trailing description is allowed ("//dut:hotpath L1 reduce").
+const hotpathMarker = "dut:hotpath"
+
+// coldpathMarker declares the opposite boundary: a function whose body
+// is once-per-session setup or failure teardown, amortized across every
+// operation the session serves. Hot-path reachability stops at a
+// coldpath function — it is neither checked nor descended into — so the
+// marker must carry a written justification, reviewed like a
+// //lint:ignore reason.
+const coldpathMarker = "dut:coldpath"
+
+// funcNode is one function in the program call graph. Function literals
+// have no node of their own: their calls are attributed to the enclosing
+// declaration, so reachability follows closures and goroutine bodies.
+type funcNode struct {
+	// fn is the canonical object; its FullName is the node key.
+	fn *types.Func
+	// decl/file/pkg locate the body for analyzers walking hot functions.
+	decl *ast.FuncDecl
+	file *ast.File
+	pkg  *Package
+	// hot marks a declared //dut:hotpath root.
+	hot bool
+	// cold marks a declared //dut:coldpath boundary: reachability does
+	// not enter the function, so nothing below it is hot-checked.
+	cold bool
+	// callees holds the FullName keys of every statically-resolved call
+	// in the body, deduplicated, in stable order.
+	callees []string
+}
+
+// pkgGraph is the cached call-graph fragment of one package.
+type pkgGraph struct {
+	// nodes is keyed by types.Func.FullName.
+	nodes map[string]*funcNode
+}
+
+// Program is the shared analysis state of one dutlint run: every loaded
+// package plus lazily-built, per-package-cached call-graph fragments and
+// the derived cross-package reachability. One Program is built per run
+// and handed to every analyzer through the Pass, so the graph is
+// constructed once, not once per rule.
+type Program struct {
+	pkgs  map[string]*Package
+	order []string // registration order, for deterministic iteration
+
+	frags map[string]*pkgGraph
+
+	// Derived caches, dropped whenever any fragment is invalidated.
+	hotFrom map[string]string // node key -> sample hot root short name
+	atomics map[types.Object]token.Position
+}
+
+// NewProgram registers the packages of one run. Fragments are built on
+// first use and cached per package.
+func NewProgram(pkgs ...*Package) *Program {
+	p := &Program{
+		pkgs:  make(map[string]*Package, len(pkgs)),
+		frags: make(map[string]*pkgGraph, len(pkgs)),
+	}
+	for _, pkg := range pkgs {
+		p.AddPackage(pkg)
+	}
+	return p
+}
+
+// AddPackage registers (or replaces) one package, invalidating any
+// cached fragment for its path.
+func (p *Program) AddPackage(pkg *Package) {
+	if _, ok := p.pkgs[pkg.Path]; !ok {
+		p.order = append(p.order, pkg.Path)
+	}
+	p.pkgs[pkg.Path] = pkg
+	p.Invalidate(pkg.Path)
+}
+
+// Invalidate drops the cached fragment of one package path (and every
+// derived cross-package cache) without touching other fragments, so an
+// incremental caller re-pays graph construction only for the package
+// that changed.
+func (p *Program) Invalidate(path string) {
+	delete(p.frags, path)
+	p.hotFrom = nil
+	p.atomics = nil
+}
+
+// fragment returns the package's call-graph fragment, building it on
+// first use.
+func (p *Program) fragment(pkg *Package) *pkgGraph {
+	if g, ok := p.frags[pkg.Path]; ok {
+		return g
+	}
+	g := &pkgGraph{nodes: map[string]*funcNode{}}
+	for _, f := range pkg.Files {
+		for _, fd := range funcDecls(f) {
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{
+				fn:   fn,
+				decl: fd,
+				file: f,
+				pkg:  pkg,
+				hot:  hasDocMarker(fd, hotpathMarker),
+				cold: hasDocMarker(fd, coldpathMarker),
+			}
+			seen := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pkg.Info, call); callee != nil {
+					if key := callee.FullName(); !seen[key] {
+						seen[key] = true
+						node.callees = append(node.callees, key)
+					}
+				}
+				return true
+			})
+			sort.Strings(node.callees)
+			g.nodes[fn.FullName()] = node
+		}
+	}
+	p.frags[pkg.Path] = g
+	return g
+}
+
+// node resolves a FullName key to its funcNode across every registered
+// package (nil when the function has no source here, e.g. stdlib).
+func (p *Program) node(key string) *funcNode {
+	for _, path := range p.order {
+		if n, ok := p.fragment(p.pkgs[path]).nodes[key]; ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// hotReachable returns the set of functions reachable from //dut:hotpath
+// roots, mapping each node key to the short name of one root it is
+// reachable from (for diagnostics). The result is cached until a
+// fragment is invalidated.
+func (p *Program) hotReachable() map[string]string {
+	if p.hotFrom != nil {
+		return p.hotFrom
+	}
+	reach := map[string]string{}
+	var queue []string
+	for _, path := range p.order {
+		g := p.fragment(p.pkgs[path])
+		keys := make([]string, 0, len(g.nodes))
+		for key := range g.nodes {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if n := g.nodes[key]; n.hot {
+				reach[key] = n.fn.Name()
+				queue = append(queue, key)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		n := p.node(key)
+		if n == nil {
+			continue
+		}
+		for _, callee := range n.callees {
+			if _, ok := reach[callee]; ok {
+				continue
+			}
+			cn := p.node(callee)
+			if cn == nil {
+				continue // no source: boxing/alloc checks happen at the call site
+			}
+			if cn.cold {
+				continue // declared //dut:coldpath boundary: setup/teardown, amortized
+			}
+			reach[callee] = reach[key]
+			queue = append(queue, callee)
+		}
+	}
+	p.hotFrom = reach
+	return reach
+}
+
+// hasDocMarker reports whether the declaration's doc comment carries the
+// given //dut:* marker line.
+func hasDocMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		rest, ok := strings.CutPrefix(text, marker)
+		if !ok {
+			continue
+		}
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTouched returns every variable or field whose address is passed
+// to a sync/atomic operation anywhere in the program, keyed by object
+// with the position of one such touch. Cached until invalidation.
+func (p *Program) atomicTouched() map[types.Object]token.Position {
+	if p.atomics != nil {
+		return p.atomics
+	}
+	touched := map[types.Object]token.Position{}
+	for _, path := range p.order {
+		pkg := p.pkgs[path]
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					return true
+				}
+				if obj := exprObj(pkg.Info, unary.X); obj != nil {
+					if _, dup := touched[obj]; !dup {
+						touched[obj] = pkg.Fset.Position(call.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+	p.atomics = touched
+	return touched
+}

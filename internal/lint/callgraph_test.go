@@ -1,0 +1,66 @@
+package lint
+
+import "testing"
+
+// TestProgramCacheInvalidation pins the per-package granularity of the
+// call-graph cache: invalidating one package rebuilds only that
+// package's fragment, while untouched fragments keep pointer identity —
+// so an incremental caller never re-pays whole-program construction.
+func TestProgramCacheInvalidation(t *testing.T) {
+	hot := loadFixture(t, "hotalloc", "example.com/internal/network/fixture")
+	goro := loadFixture(t, "goroleak", "example.com/internal/engine/fixture")
+	prog := NewProgram(hot, goro)
+
+	hotFrag := prog.fragment(hot)
+	goroFrag := prog.fragment(goro)
+	if len(hotFrag.nodes) == 0 || len(goroFrag.nodes) == 0 {
+		t.Fatalf("fragments empty: hot=%d goro=%d", len(hotFrag.nodes), len(goroFrag.nodes))
+	}
+	if len(prog.hotReachable()) == 0 {
+		t.Fatal("no hot-reachable functions despite a //dut:hotpath root")
+	}
+
+	prog.Invalidate(goro.Path)
+	if got := prog.fragment(hot); got != hotFrag {
+		t.Error("invalidating one package rebuilt another package's fragment")
+	}
+	if got := prog.fragment(goro); got == goroFrag {
+		t.Error("invalidated fragment was served from cache")
+	}
+	// Derived cross-package caches must drop on any invalidation.
+	if prog.hotFrom != nil {
+		t.Error("hotFrom cache survived Invalidate")
+	}
+	if len(prog.hotReachable()) == 0 {
+		t.Error("hot reachability lost after rebuild")
+	}
+}
+
+// TestColdpathBoundary pins the marker semantics: reachability descends
+// through unmarked callees but stops at a //dut:coldpath function.
+func TestColdpathBoundary(t *testing.T) {
+	hot := loadFixture(t, "hotalloc", "example.com/internal/network/fixture")
+	prog := NewProgram(hot)
+	reach := prog.hotReachable()
+	var keys []string
+	for k := range reach {
+		keys = append(keys, k)
+	}
+	has := func(sub string) bool {
+		for _, k := range keys {
+			if k == sub || len(k) > len(sub) && k[len(k)-len(sub)-1:] == "."+sub {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("fill") {
+		t.Errorf("fill not hot-reachable; reach=%v", keys)
+	}
+	if has("newWorker") {
+		t.Errorf("//dut:coldpath newWorker is hot-reachable; reach=%v", keys)
+	}
+	if has("orphan") {
+		t.Errorf("unreachable orphan is hot-reachable; reach=%v", keys)
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapeLine(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+		root string
+		ok   bool
+		file string
+		ln   int
+		text string
+	}{
+		{
+			name: "relative path resolves against root",
+			line: "internal/network/wire.go:432:13: make([]byte, 8) escapes to heap",
+			root: "/repo",
+			ok:   true,
+			file: "/repo/internal/network/wire.go",
+			ln:   432,
+			text: "make([]byte, 8) escapes to heap",
+		},
+		{
+			name: "absolute path kept as is",
+			line: "/abs/wire.go:10:2: x escapes to heap",
+			root: "/repo",
+			ok:   true,
+			file: "/abs/wire.go",
+			ln:   10,
+			text: "x escapes to heap",
+		},
+		{
+			name: "non-go file rejected",
+			line: "notes.txt:10:2: escapes to heap",
+			ok:   false,
+		},
+		{
+			name: "prose line rejected",
+			line: "# github.com/distributed-uniformity/dut/internal/network",
+			ok:   false,
+		},
+		{
+			name: "non-numeric position rejected",
+			line: "wire.go:x:y: escapes to heap",
+			ok:   false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pos, text, ok := parseEscapeLine(tc.line, tc.root)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if pos.Filename != tc.file || pos.Line != tc.ln || text != tc.text {
+				t.Errorf("got %s:%d %q, want %s:%d %q", pos.Filename, pos.Line, text, tc.file, tc.ln, tc.text)
+			}
+		})
+	}
+}
+
+// parseBody extracts the first function body of a snippet.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "grow.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in snippet")
+	return nil
+}
+
+func TestAmortizedGrowRanges(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "cap guard with make is amortized",
+			src: `package p
+func f(x []uint64, need int) []uint64 {
+	if cap(x) < need {
+		x = make([]uint64, need)
+	}
+	return x[:need]
+}`,
+			want: 1,
+		},
+		{
+			name: "nil guard lazy init is amortized",
+			src: `package p
+func f(m map[int]int) map[int]int {
+	if m == nil {
+		m = make(map[int]int)
+	}
+	return m
+}`,
+			want: 1,
+		},
+		{
+			name: "len guard is amortized",
+			src: `package p
+func f(x []bool, n int) []bool {
+	if len(x) != n {
+		x = make([]bool, n)
+	}
+	return x
+}`,
+			want: 1,
+		},
+		{
+			name: "unguarded make is not amortized",
+			src: `package p
+func f(flag bool) []uint64 {
+	if flag {
+		return make([]uint64, 8)
+	}
+	return nil
+}`,
+			want: 0,
+		},
+		{
+			name: "guard without make is not a grow block",
+			src: `package p
+func f(x []uint64) int {
+	if cap(x) == 0 {
+		return -1
+	}
+	return cap(x)
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := amortizedGrowRanges(parseBody(t, tc.src))
+			if len(got) != tc.want {
+				t.Errorf("got %d amortized ranges, want %d", len(got), tc.want)
+			}
+		})
+	}
+}
+
+// TestEscapeAudit drives the compiler-diff over the hotalloc fixture
+// with synthetic -m=2 output: escapes in covered hot functions, behind
+// coldpath boundaries, and in unreachable functions are accounted for;
+// an escape in an uncovered hot function is the one miss.
+func TestEscapeAudit(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc", "example.com/internal/network/fixture")
+	prog := NewProgram(pkg)
+	diags, err := RunPackageAll(prog, pkg, []*Analyzer{AnalyzerHotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const file = "testdata/hotalloc/hotalloc.go"
+	buildOutput := strings.Join([]string{
+		// sink (line 65) is hot-reachable but carries no diagnostic or
+		// directive: the only legitimate miss. Repeated to pin dedup.
+		file + ":65:15: v escapes to heap:",
+		file + ":65:15: v escapes to heap:",
+		// RunScratch carries diagnostics, so the whole function counts as
+		// reviewed.
+		file + ":26:10: map[string]int{...} escapes to heap:",
+		// newWorker is behind a //dut:coldpath boundary.
+		file + ":75:12: map[string]int{...} escapes to heap:",
+		// orphan is unreachable from any root.
+		file + ":82:7: map[int]int{...} escapes to heap:",
+		// Not an allocation note.
+		file + ":56:11: xs does not escape",
+		"# example.com/internal/network/fixture",
+	}, "\n")
+	misses := EscapeAudit(prog, diags, buildOutput, "")
+	if len(misses) != 1 {
+		t.Fatalf("got %d misses %v, want exactly 1", len(misses), misses)
+	}
+	m := misses[0]
+	if m.Fn != "sink" || m.Pos.Line != 65 {
+		t.Errorf("miss = %v, want the line-65 escape in sink", m)
+	}
+}

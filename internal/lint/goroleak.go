@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroScope holds the concurrency-heavy packages whose goroutines must
+// provably rejoin the session that spawned them.
+var goroScope = []string{"internal/network", "internal/engine"}
+
+// AnalyzerGoroLeak requires every go statement in the driver packages to
+// carry a provable join: the spawned body must signal completion through
+// a sync.WaitGroup.Done, a channel send or close, or block on a
+// ctx-done select, so teardown can wait for it. Fire-and-forget
+// goroutines — the pattern behind the all-slots-die teardown bug the
+// chaos suite once caught at runtime — are flagged at compile time. A
+// go statement invoking a named same-package function is checked
+// through that function's body via the shared call graph; spawns the
+// analyzer cannot resolve (interface methods, function values) are
+// flagged for an explicit //lint:ignore justification.
+var AnalyzerGoroLeak = &Analyzer{
+	Name: "dut/goroleak",
+	Doc:  "go statement without a provable join (WaitGroup, channel signal, or ctx-done select)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) error {
+	if !p.InScope(goroScope...) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			p.checkGoStmt(gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt resolves the spawned body and verifies a join signal.
+func (p *Pass) checkGoStmt(gs *ast.GoStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if !p.joinProof(lit.Body) {
+			p.Reportf(gs.Pos(), "goroutine body has no provable join: no WaitGroup.Done, channel send/close, or ctx-done select")
+		}
+		return
+	}
+	fn := calleeFunc(p.Info, gs.Call)
+	if fn == nil {
+		p.Reportf(gs.Pos(), "go statement spawns a function value the analyzer cannot resolve; joins are unprovable")
+		return
+	}
+	node := p.Prog.node(fn.FullName())
+	if node == nil {
+		p.Reportf(gs.Pos(), "go statement spawns %s, whose body is outside the analyzed program; joins are unprovable", fn.Name())
+		return
+	}
+	if !p.joinProof(node.decl.Body) {
+		p.Reportf(gs.Pos(), "goroutine %s has no provable join: no WaitGroup.Done, channel send/close, or ctx-done select in its body", fn.Name())
+	}
+}
+
+// joinProof reports whether the spawned body contains a completion
+// signal a joiner can wait on.
+func (p *Pass) joinProof(body *ast.BlockStmt) bool {
+	proven := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if proven {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			proven = true
+		case *ast.UnaryExpr:
+			// <-ctx.Done() — directly or as a select case — blocks the
+			// goroutine on cancellation, bounding its lifetime.
+			if node.Op == token.ARROW && p.isCtxDoneCall(node.X) {
+				proven = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "close" &&
+				p.Info.Uses[id] == types.Universe.Lookup("close") {
+				proven = true
+				return false
+			}
+			if fn := calleeFunc(p.Info, node); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				proven = true
+			}
+		}
+		return !proven
+	})
+	return proven
+}
+
+// isCtxDoneCall matches a context.Context Done() call.
+func (p *Pass) isCtxDoneCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Done"
+}

@@ -26,7 +26,8 @@ import (
 // fixtureImports are the stdlib packages fixtures may import; their
 // export data (plus transitive deps) is materialized once per test run.
 var fixtureImports = []string{
-	"context", "encoding/binary", "io", "math/rand/v2", "net", "time",
+	"context", "encoding/binary", "fmt", "io", "math/rand/v2", "net",
+	"sync", "sync/atomic", "time",
 }
 
 var (
@@ -70,6 +71,11 @@ func loadFixture(t *testing.T, dir, pkgPath string) *Package {
 	var files []*ast.File
 	srcs := map[string][]byte{}
 	for _, name := range names {
+		// Like the real loader, test files stay outside the type-checked
+		// package; dut/wireexhaustive reads them syntactically from Dir.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
 		src, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatal(err)
@@ -120,11 +126,11 @@ func fixtureWants(pkg *Package) map[string][]string {
 	return wants
 }
 
-// checkFixture runs one analyzer over the fixture and matches the
+// checkFixture runs the analyzers over the fixture and matches the
 // diagnostics against the want annotations.
-func checkFixture(t *testing.T, pkg *Package, a *Analyzer) {
+func checkFixture(t *testing.T, pkg *Package, analyzers ...*Analyzer) {
 	t.Helper()
-	diags, err := RunPackage(pkg, []*Analyzer{a})
+	diags, err := RunPackage(pkg, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +185,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"ctxprop", "ctxprop", "example.com/internal/engine/fixture", AnalyzerCtxProp},
 		{"seedpurity", "seed", "example.com/internal/core/fixture", AnalyzerSeedPurity},
 		{"seedpurity-engine-exemption", "seed_engine", "example.com/internal/engine", AnalyzerSeedPurity},
+		{"hotalloc", "hotalloc", "example.com/internal/network/fixture", AnalyzerHotAlloc},
+		{"goroleak", "goroleak", "example.com/internal/network/fixture", AnalyzerGoroLeak},
+		{"atomicdiscipline", "atomicdiscipline", "example.com/internal/core/fixture", AnalyzerAtomicDiscipline},
+		{"wireexhaustive", "wireexhaustive", "example.com/internal/network/fixture", AnalyzerWireExhaustive},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -190,12 +200,50 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 // TestAnalyzerScoping verifies that a package outside an analyzer's scope
 // produces no findings even when the code would violate the rule.
 func TestAnalyzerScoping(t *testing.T) {
-	pkg := loadFixture(t, "floateq", "example.com/cmd/tool")
-	diags, err := RunPackage(pkg, []*Analyzer{AnalyzerFloatEq})
+	tests := []struct {
+		name     string
+		dir      string
+		analyzer *Analyzer
+	}{
+		{"floateq", "floateq", AnalyzerFloatEq},
+		{"goroleak", "goroleak", AnalyzerGoroLeak},
+		{"wireexhaustive", "wireexhaustive", AnalyzerWireExhaustive},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.dir, "example.com/cmd/tool")
+			diags, err := RunPackage(pkg, []*Analyzer{tc.analyzer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != 0 {
+				t.Errorf("out-of-scope package produced %d findings: %v", len(diags), diags)
+			}
+		})
+	}
+}
+
+// TestSuppressionInterplay runs two rules together over one fixture:
+// trailing and stacked //lint:ignore forms suppress their targets, while
+// malformed directives (unknown rule, blank-line separation) escalate to
+// dut/ignore instead of suppressing anything.
+func TestSuppressionInterplay(t *testing.T) {
+	pkg := loadFixture(t, "interplay", "example.com/internal/network/fixture")
+	checkFixture(t, pkg, AnalyzerHotAlloc, AnalyzerGoroLeak)
+
+	// The same run, unfiltered: the suppressed findings must still exist,
+	// marked, for structured output.
+	all, err := RunPackageAll(NewProgram(pkg), pkg, []*Analyzer{AnalyzerHotAlloc, AnalyzerGoroLeak})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 0 {
-		t.Errorf("out-of-scope package produced %d findings: %v", len(diags), diags)
+	suppressedByRule := map[string]int{}
+	for _, d := range all {
+		if d.Suppressed {
+			suppressedByRule[d.Rule]++
+		}
+	}
+	if suppressedByRule["dut/goroleak"] != 2 || suppressedByRule["dut/hotalloc"] != 1 {
+		t.Errorf("suppressed counts = %v, want dut/goroleak:2 dut/hotalloc:1", suppressedByRule)
 	}
 }

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerHotAlloc proves alloc-freedom on the declared hot paths: the
+// call graph is seeded at every function carrying a //dut:hotpath
+// marker (scratch runners, the reduce/decide kernels, slot writers) and
+// every statically-detectable allocation reachable from a root is
+// flagged — append whose result is not assigned back to the slice it
+// grows, map literals and make(map), interface boxing at call sites
+// (including fmt/errors argument boxing), function literals that
+// capture variables and escape, and string<->[]byte conversions.
+//
+// Two shapes are exempt by design. Grow-to-cap scratch (make of a
+// slice) is the repo's blessed reuse idiom, so plain make([]T, n) is
+// never flagged. And allocations inside an early-return branch — a
+// block, other than the function body itself, whose last statement is a
+// return — sit on the failure/edge path: the steady state falls
+// through, and AllocsPerRun guards measure the steady state. Everything
+// else needs a fix or a reasoned //lint:ignore.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "dut/hotalloc",
+	Doc:  "statically-detectable allocation reachable from a //dut:hotpath root",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) error {
+	pkg, ok := p.Prog.pkgs[p.PkgPath]
+	if !ok {
+		return nil
+	}
+	reach := p.Prog.hotReachable()
+	if len(reach) == 0 {
+		return nil
+	}
+	g := p.Prog.fragment(pkg)
+	for key, node := range g.nodes {
+		if root, hot := reach[key]; hot {
+			p.checkHotFunc(node, root)
+		}
+	}
+	return nil
+}
+
+// checkHotFunc flags the statically-detectable allocations of one
+// hot-reachable function body. root names the //dut:hotpath root the
+// function is reachable from, for the diagnostic.
+func (p *Pass) checkHotFunc(node *funcNode, root string) {
+	body := node.decl.Body
+
+	// First pass: appends whose result feeds back into the slice they
+	// grow (x = append(x, ...), including x = append(x[:0], ...)) reuse
+	// the backing array and are the blessed idiom.
+	okAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) || !isBuiltinAppend(p.Info, call) || len(call.Args) == 0 {
+				continue
+			}
+			dst := sliceBaseObj(p.Info, as.Lhs[i])
+			src := sliceBaseObj(p.Info, call.Args[0])
+			if dst != nil && dst == src {
+				okAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	cold := newColdBlocks(body)
+	walkWithParents(body, func(n ast.Node, parents []ast.Node) {
+		if cold.in(n) {
+			return
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(node, okAppend, root)
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(node); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(node.Pos(), "map literal allocates on the hot path (reachable from %s)", root)
+				}
+			}
+		case *ast.FuncLit:
+			p.checkHotFuncLit(node, parents, root)
+		}
+	})
+}
+
+// checkHotCall flags allocation at one call site of a hot function:
+// non-reused appends, make(map), interface-boxing arguments, and
+// string<->[]byte conversions.
+func (p *Pass) checkHotCall(call *ast.CallExpr, okAppend map[*ast.CallExpr]bool, root string) {
+	// Conversions: T(x) where the callee is a type, not a function.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, p.Info.TypeOf(call.Args[0])
+		if isStringBytesConv(to, from) {
+			p.Reportf(call.Pos(), "string<->[]byte conversion copies its operand on the hot path (reachable from %s)", root)
+		}
+		return
+	}
+	if isBuiltinAppend(p.Info, call) {
+		if !okAppend[call] {
+			p.Reportf(call.Pos(), "append result is not assigned back to the slice it grows; a reallocation forks the buffer on the hot path (reachable from %s)", root)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && p.Info.Uses[id] == types.Universe.Lookup("make") {
+		if t := p.Info.TypeOf(call); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(call.Pos(), "make(map) allocates on the hot path (reachable from %s)", root)
+			}
+		}
+		return
+	}
+
+	// Interface boxing at ordinary call sites: a concrete non-pointer
+	// argument passed to an interface parameter is heap-boxed.
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	stdFmt := fn.Pkg() != nil && (fn.Pkg().Path() == "fmt" || fn.Pkg().Path() == "errors")
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		// A type parameter's underlying type is its constraint interface,
+		// but generic instantiation is static dispatch, not boxing.
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || !boxes(at) {
+			continue
+		}
+		if stdFmt {
+			p.Reportf(arg.Pos(), "%s.%s boxes a %s argument on the hot path (reachable from %s)", fn.Pkg().Name(), fn.Name(), types.TypeString(at, types.RelativeTo(p.Pkg)), root)
+		} else {
+			p.Reportf(arg.Pos(), "%s argument boxes into an interface parameter of %s on the hot path (reachable from %s)", types.TypeString(at, types.RelativeTo(p.Pkg)), fn.Name(), root)
+		}
+	}
+}
+
+// checkHotFuncLit flags a capturing function literal in an escaping
+// position: a closure handed to a go statement, returned, sent, stored
+// beyond a local, or passed as an argument must be heap-allocated along
+// with its by-reference captures. Immediately-invoked and deferred
+// literals stay on the stack and pass.
+func (p *Pass) checkHotFuncLit(lit *ast.FuncLit, parents []ast.Node, root string) {
+	if !escapingLit(lit, parents) || !capturesOuter(p.Info, lit) {
+		return
+	}
+	p.Reportf(lit.Pos(), "escaping closure captures outer variables, heap-allocating them on the hot path (reachable from %s)", root)
+}
+
+// escapingLit reports whether the literal's syntactic position makes it
+// escape. parents runs from the root to the literal's parent.
+func escapingLit(lit *ast.FuncLit, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return true
+	}
+	parent := parents[len(parents)-1]
+	switch pn := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(pn.Fun) == lit {
+			// Immediately invoked (or via go/defer). go func(){}() escapes
+			// with the goroutine; defer and plain invocation do not.
+			if len(parents) >= 2 {
+				if _, isGo := parents[len(parents)-2].(*ast.GoStmt); isGo {
+					return true
+				}
+			}
+			return false
+		}
+		return true // passed as an argument
+	case *ast.AssignStmt:
+		for i, rhs := range pn.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(pn.Lhs) {
+				continue
+			}
+			if _, isIdent := ast.Unparen(pn.Lhs[i]).(*ast.Ident); isIdent {
+				return false // a local binding; later escape is out of static reach
+			}
+		}
+		return true
+	case *ast.ValueSpec:
+		return false
+	}
+	return true
+}
+
+// capturesOuter reports whether the literal references variables
+// declared outside itself (the captures that force heap allocation).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// coldBlocks records the early-return branches of one function body:
+// every block or case clause, other than the top-level body, whose last
+// statement is a return. Allocations there are failure/edge-path work.
+type coldBlocks struct {
+	ranges [][2]token.Pos
+}
+
+func newColdBlocks(body *ast.BlockStmt) *coldBlocks {
+	// A function literal's own body is a top-level body, not a branch:
+	// collect them first so "go func() { ...; return }" does not turn a
+	// whole goroutine cold.
+	topLevel := map[*ast.BlockStmt]bool{body: true}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			topLevel[lit.Body] = true
+		}
+		return true
+	})
+	c := &coldBlocks{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			if topLevel[b] {
+				return true
+			}
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			return true
+		}
+		if len(stmts) > 0 && terminatesCold(stmts[len(stmts)-1]) {
+			c.ranges = append(c.ranges, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return c
+}
+
+// terminatesCold reports whether stmt ends its branch off the steady
+// state: a return or a panic call.
+func terminatesCold(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// in reports whether the node lies inside a cold range.
+func (c *coldBlocks) in(n ast.Node) bool {
+	for _, r := range c.ranges {
+		if n.Pos() >= r[0] && n.End() <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithParents visits every node with its ancestor chain (root
+// first, immediate parent last).
+func walkWithParents(root ast.Node, visit func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether the call invokes the universe append.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append" && info.Uses[id] == types.Universe.Lookup("append")
+}
+
+// sliceBaseObj resolves the variable or field underlying a slice
+// expression, unwrapping reslices: buf, bs.buf, buf[:0], bs.buf[a:b]
+// all resolve to the same object.
+func sliceBaseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return exprObj(info, e)
+		}
+	}
+}
+
+// paramType returns the type of parameter i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// boxes reports whether storing a value of type t into an interface
+// heap-allocates: concrete, non-pointer-shaped types do.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}
+
+// isStringBytesConv reports a string([]byte) or []byte(string)
+// conversion, both of which copy.
+func isStringBytesConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringT(to) && isByteSlice(from)) || (isByteSlice(to) && isStringT(from))
+}
+
+func isStringT(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

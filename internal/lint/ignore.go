@@ -67,12 +67,24 @@ func parseIgnores(fset *token.FileSet, f *ast.File, src []byte, known map[string
 	}
 	// Resolve stacking: a whole-line directive whose next line is another
 	// whole-line directive suppresses the first non-directive line below.
+	// Resolution is adjacent-line-only: a directive separated from its
+	// statement by a blank line is malformed, not silently inert — the
+	// old parser accepted that shape while suppressing nothing, which
+	// read as an applied suppression in review.
 	for i := range out {
 		if out[i].Target == out[i].Line { // trailing
 			continue
 		}
 		for wholeLine[out[i].Target] {
 			out[i].Target++
+		}
+		if out[i].Err != "" || lines == nil {
+			continue
+		}
+		if out[i].Target > len(lines) {
+			out[i].Err = "//lint:ignore directive at end of file annotates nothing"
+		} else if len(bytes.TrimSpace(lines[out[i].Target-1])) == 0 {
+			out[i].Err = "//lint:ignore directive is separated from its statement by a blank line; it must be adjacent"
 		}
 	}
 	return out

@@ -90,6 +90,42 @@ var x = 1.0
 			want: []exp{{target: 4, errSub: "malformed //lint:ignore directive"}},
 		},
 		{
+			// Regression: the old parser resolved a blank-separated
+			// directive to the blank line itself — well-formed, targeting
+			// nothing — so the suppression read as applied but never was.
+			name: "blank line between directive and statement is malformed",
+			src: `package p
+
+//lint:ignore dut/floateq a reasoned but detached suppression
+
+var x = 1.0
+`,
+			want: []exp{{rule: "dut/floateq", target: 4, errSub: "separated from its statement by a blank line"}},
+		},
+		{
+			name: "stacked directives may not skip a blank line either",
+			src: `package p
+
+//lint:ignore dut/floateq first reason
+//lint:ignore dut/nondeterminism second reason
+
+var x = 1.0
+`,
+			want: []exp{
+				{rule: "dut/floateq", target: 5, errSub: "separated from its statement by a blank line"},
+				{rule: "dut/nondeterminism", target: 5, errSub: "separated from its statement by a blank line"},
+			},
+		},
+		{
+			name: "directive at end of file annotates nothing",
+			src: `package p
+
+var x = 1.0
+
+//lint:ignore dut/floateq dangling`,
+			want: []exp{{rule: "dut/floateq", target: 6, errSub: "annotates nothing"}},
+		},
+		{
 			name: "unrelated comments are not directives",
 			src: `package p
 

@@ -31,6 +31,10 @@ type Diagnostic struct {
 	Rule string
 	// Message describes the violation.
 	Message string
+	// Suppressed marks a finding covered by a well-formed //lint:ignore
+	// directive. RunPackage drops suppressed findings; RunPackageAll
+	// keeps them for structured (-json) output.
+	Suppressed bool
 }
 
 // String formats the diagnostic in the canonical file:line:col form.
@@ -53,6 +57,9 @@ type Pass struct {
 	Pkg *types.Package
 	// Info carries the type-checker's object resolution.
 	Info *types.Info
+	// Prog is the shared program state (call graph, hot-path
+	// reachability) built once per run across every loaded package.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -114,6 +121,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerFrameDiscipline,
 		AnalyzerCtxProp,
 		AnalyzerSeedPurity,
+		AnalyzerHotAlloc,
+		AnalyzerAtomicDiscipline,
+		AnalyzerGoroLeak,
+		AnalyzerWireExhaustive,
 	}
 }
 
@@ -129,8 +140,29 @@ func knownRules(analyzers []*Analyzer) map[string]bool {
 // RunPackage runs the analyzers over one loaded package, applies
 // //lint:ignore suppression, and returns the surviving diagnostics
 // sorted by position. Malformed directives are reported under the
-// pseudo-rule dut/ignore, which cannot itself be suppressed.
+// pseudo-rule dut/ignore, which cannot itself be suppressed. The
+// package is analyzed as a program of its own; use RunPackageAll with a
+// shared Program for cross-package reachability.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunPackageAll(NewProgram(pkg), pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunPackageAll runs the analyzers over one package of the given shared
+// Program and returns every diagnostic — suppressed findings are kept
+// and marked rather than dropped, so structured output can report them.
+// Malformed //lint:ignore directives surface under the unsuppressable
+// pseudo-rule dut/ignore.
+func RunPackageAll(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -140,6 +172,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			PkgPath:  pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
@@ -153,23 +186,20 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		name := pkg.Fset.Position(f.Pos()).Filename
 		directives = append(directives, parseIgnores(pkg.Fset, f, pkg.Srcs[name], known)...)
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !suppressed(d, directives) {
-			kept = append(kept, d)
-		}
+	for i := range diags {
+		diags[i].Suppressed = suppressed(diags[i], directives)
 	}
 	for _, dir := range directives {
 		if dir.Err != "" {
-			kept = append(kept, Diagnostic{
+			diags = append(diags, Diagnostic{
 				Pos:     token.Position{Filename: dir.File, Line: dir.Line, Column: dir.Col},
 				Rule:    "dut/ignore",
 				Message: dir.Err,
 			})
 		}
 	}
-	sortDiagnostics(kept)
-	return kept, nil
+	sortDiagnostics(diags)
+	return diags, nil
 }
 
 // suppressed reports whether some well-formed directive covers d.

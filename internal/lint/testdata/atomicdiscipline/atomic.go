@@ -1,0 +1,47 @@
+// Package fixture exercises dut/atomicdiscipline: a field touched via
+// sync/atomic anywhere must never be accessed plainly, and a struct
+// carrying a blank padding field must stay a whole number of 64-byte
+// cache lines.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1) // blessed: the touch that poisons plain access
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n) // blessed: atomic read
+}
+
+func (c *counter) racyRead() uint64 {
+	return c.n // want "n is accessed via sync/atomic"
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want "n is accessed via sync/atomic"
+}
+
+func (c *counter) auditedRead() uint64 {
+	return c.n //lint:ignore dut/atomicdiscipline fixture: reader runs strictly after the joining Wait, no concurrent writer
+}
+
+// padSlot is the workerErrs pattern: the pad pushes each slot onto its
+// own cache lines, 16 bytes of error interface + 48 pad = 64.
+type padSlot struct {
+	err error
+	_   [48]byte
+}
+
+// skewSlot's pad no longer reaches a line boundary: 8 + 40 = 48 bytes.
+type skewSlot struct { // want "not a multiple of the 64-byte cache line"
+	val uint64
+	_   [40]byte
+}
+
+var _ = padSlot{}
+var _ = skewSlot{}

@@ -1,0 +1,57 @@
+// Package fixture exercises dut/goroleak: every go statement must carry
+// a provable join — a WaitGroup.Done, a channel send or close, or a
+// ctx-done select — and spawns the analyzer cannot resolve are flagged
+// for an explicit justification.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) spawnAll(ctx context.Context, done chan struct{}, out chan int) {
+	s.wg.Add(1)
+	go func() { // joined: WaitGroup.Done
+		defer s.wg.Done()
+		work()
+	}()
+	go func() { // joined: close signals completion
+		defer close(done)
+		work()
+	}()
+	go func() { // joined: channel send
+		out <- 1
+	}()
+	go func() { // joined: blocks on ctx-done select
+		select {
+		case <-ctx.Done():
+		case v := <-out:
+			_ = v
+		}
+	}()
+	go s.drain(out) // joined: the named body closes its channel
+	go work()       // want "goroutine work has no provable join"
+	go func() {     // want "goroutine body has no provable join"
+		work()
+	}()
+	go time.Sleep(0) // want "whose body is outside the analyzed program"
+}
+
+// spawnValue launches a function value; the analyzer cannot see its body.
+func spawnValue(fn func()) {
+	go fn() // want "function value the analyzer cannot resolve"
+}
+
+// drain is a named spawn target whose body proves its own join.
+func (s *server) drain(out chan int) {
+	for range out {
+	}
+	close(out)
+}
+
+func work() {}

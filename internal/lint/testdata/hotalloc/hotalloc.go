@@ -1,0 +1,84 @@
+// Package fixture exercises dut/hotalloc: statically-detectable
+// allocations reachable from a //dut:hotpath root are flagged, while
+// the blessed shapes — reused appends, grow-to-cap make, cold branches,
+// generic calls, coldpath boundaries — pass.
+package fixture
+
+import "fmt"
+
+type worker struct {
+	buf []byte
+	out []byte
+}
+
+// RunScratch is the declared hot root; everything it reaches is checked.
+//
+//dut:hotpath
+func (w *worker) RunScratch(vals []uint32) error {
+	if len(vals) == 0 {
+		return fmt.Errorf("empty batch of %d values", len(vals)) // exempt: early-return branch is cold
+	}
+	w.buf = append(w.buf[:0], 1, 2, 3)   // exempt: append feeds its own slice back
+	scratch := make([]uint32, len(vals)) // exempt: grow-to-cap make of a slice
+	copy(scratch, vals)
+	forked := append(w.buf, 4) // want "append result is not assigned back to the slice it grows"
+	_ = forked
+	meta := map[string]int{"k": 1} // want "map literal allocates on the hot path"
+	_ = meta
+	idx := make(map[uint32]int, len(vals)) // want "make(map) allocates on the hot path"
+	_ = idx
+	name := string(w.buf) // want "string<->[]byte conversion copies its operand"
+	_ = name
+	_ = fmt.Sprintf("batch %d", len(vals)) // want "fmt.Sprintf boxes a int argument"
+	sink(vals[0])                          // want "uint32 argument boxes into an interface parameter of sink"
+	_ = keep(vals[0])                      // exempt: a type parameter is static dispatch, not boxing
+	total := fill(scratch)
+	lim := func() int { return total } // exempt: bound to a local, stays on the stack
+	_ = lim()
+	defer func() { total = 0 }() // exempt: deferred literals do not escape
+	go func() {                  // want "escaping closure captures outer variables"
+		total++
+	}()
+	if total < 0 {
+		panic(fmt.Sprintf("negative total %d", total)) // exempt: panic branch is cold
+	}
+	//lint:ignore dut/hotalloc whole-line form: the index is rebuilt deliberately here
+	rebuilt := make(map[int]int)
+	_ = rebuilt
+	spare := map[int]int{} //lint:ignore dut/hotalloc trailing form: scratch map for the fixture only
+	_ = spare
+	_ = newWorker()
+	return nil
+}
+
+// fill is reached transitively from the root, so its allocations are hot
+// too and carry the root's name.
+func fill(xs []uint32) int {
+	seen := make(map[uint32]bool, len(xs)) // want "make(map) allocates on the hot path (reachable from RunScratch)"
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// sink's interface parameter boxes concrete arguments at the call site.
+func sink(v any) { _ = v }
+
+// keep is generic: instantiation is static dispatch, never boxing.
+func keep[T any](x T) T { return x }
+
+// newWorker is construction; the coldpath boundary keeps its allocations
+// out of hot reach.
+//
+//dut:coldpath once-per-session construction, amortized across the run
+func newWorker() *worker {
+	labels := map[string]int{"fresh": 1} // exempt: behind the coldpath boundary
+	_ = labels
+	return &worker{buf: make([]byte, 0, 64)}
+}
+
+// orphan is reachable from no root, so its allocations are not hot.
+func orphan() map[int]int {
+	m := map[int]int{1: 1} // exempt: unreachable from any //dut:hotpath root
+	return m
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises suppression interplay across the v2 rules:
+// trailing directives bind to their own line, stacked whole-line
+// directives for different rules reach the same statement, malformed
+// directives escalate to dut/ignore instead of silently suppressing,
+// and a blank line between directive and statement is an error.
+package fixture
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+//dut:hotpath
+func (p *pool) Run(n int) {
+	go p.work() //lint:ignore dut/goroleak trailing form: the pool is torn down with the process in this fixture
+
+	//lint:ignore dut/goroleak stacked form: reaches past the next directive to the go statement
+	//lint:ignore dut/hotalloc stacked form: the capture is deliberate, one closure per run
+	go func() { p.consume(n) }()
+}
+
+// work has no join signal; the trailing directive above covers its spawn.
+func (p *pool) work() {}
+
+func (p *pool) consume(n int) { _ = n }
+
+//lint:ignore dut/nosuchrule bogus // want "names unknown rule"
+func unknownRuleTarget() {}
+
+//lint:ignore dut/goroleak separated on purpose // want "separated from its statement by a blank line"
+
+func separatedTarget() {}

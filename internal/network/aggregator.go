@@ -192,6 +192,8 @@ func (a *aggregator) setup(ctx context.Context, rootAddr net.Addr) error {
 // quorum mode bounds the phase with an accept deadline and takes
 // whoever made it (the root checks the global quorum against the
 // summed present-counts, so a partial shard is not an error here).
+//
+//dut:coldpath once-per-session member accept and handshake validation
 func (a *aggregator) acceptMembers(ctx context.Context) ([]*batchSlot, uint32, error) {
 	s := a.bs.server
 	if !s.strict() {
@@ -278,6 +280,8 @@ func (a *aggregator) position(player uint32) int {
 // connectRoot dials the root with the node-style retry/backoff policy
 // and announces the shard. Retries are accounted like node connect
 // retries, onto the next reported trial's stats.
+//
+//dut:coldpath once-per-session upstream dial with retry/backoff
 func (a *aggregator) connectRoot(addr net.Addr, present uint32) error {
 	c := a.bs.c
 	backoff := c.backoff
@@ -313,6 +317,8 @@ func (a *aggregator) connectRoot(addr net.Addr, present uint32) error {
 // so relaying batch n+1 never waits on gathering batch n. The pending
 // queue is closed on exit (FINISH or failure), which is what ends the
 // reduce loop.
+//
+//dut:hotpath per-batch downstream relay loop
 func (a *aggregator) readRoot() {
 	defer close(a.readerDone)
 	defer a.pending.close()
@@ -377,6 +383,8 @@ func (a *aggregator) closeQueues() {
 
 // reduceLoop drains pending reductions in FIFO order until the reader
 // closes the queue.
+//
+//dut:hotpath per-batch reduce driver
 func (a *aggregator) reduceLoop() {
 	for {
 		b, ok := a.pending.pop()
@@ -437,6 +445,7 @@ func (a *aggregator) runBatch(b aggBatch) {
 	}
 	setWriteDeadline(a.root, bs.server.timeout)
 	if err := writeCoalesced(a.root, a.enc); err != nil {
+		//lint:ignore dut/hotalloc failure path: fail tears the session down, so the error allocation is the last thing this batch does
 		a.fail(fmt.Errorf("network: aggregator %d reduced batch %d upstream: %w", a.id, b.id, err))
 	}
 }
@@ -456,6 +465,7 @@ func (a *aggregator) gather(batchID uint32, count int) int {
 			continue
 		}
 		wg.Add(1)
+		//lint:ignore dut/hotalloc one reader goroutine per live member per batch, amortized across the batch's trials
 		go func(pos int, slot *batchSlot) {
 			defer wg.Done()
 			conn := slot.sl.conn
@@ -547,6 +557,8 @@ func (a *aggregator) closeMembers() {
 // final word so padding lanes stay zero — the flat decide masks its
 // padding only at the verdict, but these counters travel the wire,
 // where AGG_SUM's validation demands zero padding.
+//
+//dut:hotpath
 func reduceThresholdSums(deliv [][]uint64, count, words int, col, sums []uint64) {
 	clear(sums)
 	rem := count % 64
@@ -578,6 +590,8 @@ func reduceThresholdSums(deliv [][]uint64, count, words int, col, sums []uint64)
 // message plane b adds 2^b per set lane, so the ripple starts at
 // counter plane b. Value planes are wire-validated to have zero
 // padding, so no masking is needed.
+//
+//dut:hotpath
 func reduceValueSums(deliv [][]uint64, msgBits, words int, col, sums []uint64) {
 	clear(sums)
 	for w := 0; w < words; w++ {
@@ -608,6 +622,8 @@ func reduceValueSums(deliv [][]uint64, msgBits, words int, col, sums []uint64) {
 // reports overflow past the top plane, which legitimate totals cannot
 // produce (the planes are sized for all k players), so a true result
 // means a hostile or corrupted counter.
+//
+//dut:hotpath
 func combineShardSums(acc, shard []uint64, planes, words int) bool {
 	var overflow uint64
 	for w := 0; w < words; w++ {
@@ -658,6 +674,8 @@ func (bs *batchSession) sharded() bool { return bs.aggs != nil }
 // spawn one aggregator goroutine per shard (each with its own
 // listener), point every node at its shard's aggregator, and run the
 // root's AGG_HELLO accept phase.
+//
+//dut:coldpath once-per-session tree construction; shard planning, aggregator spawn and member dialing are amortized across every batch
 func (bs *batchSession) startSharded(ctx context.Context, rootListener net.Listener) error {
 	c := bs.c
 	bs.shards = c.topo.Partition(c.k)
@@ -845,6 +863,7 @@ func (bs *batchSession) gatherShards(batchID uint32, count int) int {
 			continue
 		}
 		wg.Add(1)
+		//lint:ignore dut/hotalloc one reader goroutine per live member per batch, amortized across the batch's trials
 		go func(slot *batchSlot) {
 			defer wg.Done()
 			conn := slot.sl.conn
@@ -940,6 +959,8 @@ func (bs *batchSession) gatherShards(batchID uint32, count int) int {
 // compare each lane's total against the presence-adjusted threshold —
 // the same bit-sliced comparator the flat fast path uses, fed by the
 // tree's counters instead of per-player vote words.
+//
+//dut:hotpath
 func (bs *batchSession) decideBatchShards(count, received int, verdictBits []uint64) error {
 	words := batchWords(count)
 	planes := len(bs.planes)

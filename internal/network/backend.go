@@ -110,6 +110,8 @@ func (b *clusterBackend) NewScratch() any {
 }
 
 // RunRound implements engine.Backend.
+//
+//dut:coldpath foreign-scratch fallback: builds nodes and a referee session per round by design
 func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (engine.RoundResult, error) {
 	shared := engine.SharedSeed(spec.Seed, spec.Trial)
 	accept, rs, err := b.c.RunRoundSeeded(ctx, spec.Sampler, shared)
@@ -120,6 +122,8 @@ func (b *clusterBackend) RunRound(ctx context.Context, spec engine.RoundSpec) (e
 }
 
 // RunRoundScratch implements engine.ScratchBackend.
+//
+//dut:hotpath
 func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundSpec, scratch any) (engine.RoundResult, error) {
 	cs, ok := scratch.(*clusterScratch)
 	if ok && b.c.topo.enabled() {
@@ -156,6 +160,8 @@ func (b *clusterBackend) RunRoundScratch(ctx context.Context, spec engine.RoundS
 // once, packed VOTE_BATCH / VOTE_BATCH_R gathering and per-batch
 // verdict evaluation for any message width. Foreign scratch (or
 // batching disabled) falls back to the per-trial scratch path.
+//
+//dut:hotpath
 func (b *clusterBackend) RunRoundsScratch(ctx context.Context, scratch any, specs []engine.RoundSpec, batch int, out []engine.RoundResult) error {
 	if len(out) != len(specs) {
 		return fmt.Errorf("network: %d results for %d specs", len(out), len(specs))

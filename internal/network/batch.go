@@ -205,6 +205,8 @@ type batchFlight struct {
 // newBatchSession starts the session: listener, k node goroutines, the
 // accept/HELLO phase, and one writer per accepted slot. Strict-mode
 // node failures cancel the session context so a blocked accept unwinds.
+//
+//dut:coldpath once-per-session construction; node build, dial and handshake are amortized across every batch the session serves
 func newBatchSession(ctx context.Context, c *Cluster) (*batchSession, error) {
 	server, err := c.newServer()
 	if err != nil {
@@ -361,6 +363,8 @@ func (bs *batchSession) failSlot(slot *batchSlot, err error) {
 // one syscall pair instead of one per frame while each frame keeps its
 // original per-frame time budget. The node reads frame by frame off the
 // same stream, so coalescing is invisible to it.
+//
+//dut:hotpath
 func (bs *batchSession) slotWriter(slot *batchSlot) {
 	defer close(slot.writerDone)
 	var spare []byte
@@ -375,6 +379,7 @@ func (bs *batchSession) slotWriter(slot *batchSlot) {
 		}
 		setWriteDeadline(slot.sl.conn, time.Duration(frames)*bs.server.timeout)
 		if err := writeCoalesced(slot.sl.conn, run); err != nil {
+			//lint:ignore dut/hotalloc failure path: failSlot drops the player, so the error allocation never recurs on a live slot
 			bs.failSlot(slot, fmt.Errorf("network: coalesced write of %d frame(s) to player %d: %w", frames, slot.sl.player, err))
 		}
 	}
@@ -569,6 +574,7 @@ func (bs *batchSession) gather(batchID uint32, count int) int {
 			continue
 		}
 		wg.Add(1)
+		//lint:ignore dut/hotalloc one reader goroutine per live member per batch, amortized across the batch's trials
 		go func(slot *batchSlot) {
 			defer wg.Done()
 			conn := slot.sl.conn
@@ -712,6 +718,8 @@ func (bs *batchSession) decideBatch(count, received int, out []engine.RoundResul
 // addition of each player's inverted vote word, then compared against
 // the threshold in one pass. Padding lanes above count are masked off
 // so the verdict bitset stays wire-legal.
+//
+//dut:hotpath
 func (bs *batchSession) decideBatchThreshold(count int, verdictBits []uint64) {
 	planes := bs.planes
 	for w := range verdictBits {
@@ -741,6 +749,8 @@ func (bs *batchSession) decideBatchThreshold(count int, verdictBits []uint64) {
 // one pass — the r-bit counterpart of decideBatchThreshold. Padding
 // lanes above count are masked off so the verdict bitset stays
 // wire-legal.
+//
+//dut:hotpath
 func (bs *batchSession) decideBatchSum(count int, verdictBits []uint64) {
 	planes := bs.planes
 	words := batchWords(count)

@@ -219,6 +219,8 @@ func (c *Cluster) RunRoundSeeded(ctx context.Context, sampler dist.Sampler, seed
 // engine's scratch backend can reuse one node set (sample buffers and
 // reseedable generators included) across trials instead of rebuilding k
 // nodes per round.
+//
+//dut:coldpath classic per-trial protocol: one referee session per round by design; the zero-alloc contract covers the batch path
 func (c *Cluster) runRoundSeededNodes(ctx context.Context, nodes []*PlayerNode, seed uint64) (bool, RoundStats, error) {
 	var stats RoundStats
 	server, err := c.newServer()

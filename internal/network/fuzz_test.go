@@ -26,12 +26,15 @@ func FuzzFrame(f *testing.F) {
 	f.Add(verdict.Bytes())
 	f.Add(finish.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{0xD0, 0x7A, 1, 9, 0, 0, 0, 0})             // unknown type
-	f.Add([]byte{0x00, 0x00, 1, 1, 0, 0, 0, 0})             // bad magic
-	f.Add([]byte{0xD0, 0x7A, 9, 1, 0, 0, 0, 0})             // bad version
-	f.Add([]byte{0xD0, 0x7A, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge length
-	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 2})          // VERDICT byte other than 0/1
-	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 0xFF})       // VERDICT byte 0xFF
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 0})               // unknown type
+	f.Add([]byte{0x00, 0x00, 1, 1, 0, 0, 0, 0})                // bad magic
+	f.Add([]byte{0xD0, 0x7A, 9, 1, 0, 0, 0, 0})                // bad version
+	f.Add([]byte{0xD0, 0x7A, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF})    // huge length
+	f.Add([]byte{0xD0, 0x7A, 1, 2, 0, 0, 0, 4, 1, 2, 3, 4})    // ROUND payload of 4 bytes, want 8
+	f.Add([]byte{0xD0, 0x7A, 1, 3, 0, 0, 0, 5, 1, 2, 3, 4, 5}) // VOTE payload of 5 bytes, want 12
+	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 2})             // VERDICT byte other than 0/1
+	f.Add([]byte{0xD0, 0x7A, 1, 4, 0, 0, 0, 1, 0xFF})          // VERDICT byte 0xFF
+	f.Add([]byte{0xD0, 0x7A, 1, 5, 0, 0, 0, 1, 0})             // FINISH with a payload byte
 
 	// Valid batch frames, including a partial final word and a bitset
 	// spanning two words.

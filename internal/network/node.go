@@ -201,6 +201,7 @@ func (p *PlayerNode) RunRound(tr Transport, addr net.Addr) (bool, error) {
 func (p *PlayerNode) stageBatch(batch uint32, samplers []dist.Sampler) {
 	p.stagedMu.Lock()
 	if p.staged == nil {
+		//lint:ignore dut/hotalloc lazy once-per-node map initialization, reused for every later batch
 		p.staged = make(map[uint32][]dist.Sampler)
 	}
 	p.staged[batch] = samplers
@@ -226,6 +227,8 @@ func (p *PlayerNode) takeStaged(batch uint32) ([]dist.Sampler, bool) {
 // SampleInto and the rule — so lane j of the reply equals the VOTE the
 // node would have sent for seed j unbatched. Single-bit rules keep the
 // classic VOTE_BATCH frame, byte-identical to the pre-r protocol.
+//
+//dut:hotpath per-batch node sampling and vote encode
 func (p *PlayerNode) voteBatch(conn net.Conn, rb RoundBatch) error {
 	msgBits := p.rule.Bits()
 	count := len(rb.Seeds)

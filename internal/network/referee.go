@@ -323,6 +323,7 @@ func (s *RefereeServer) decideVotes(votes []core.Message, got []bool) (bool, int
 				}
 			}
 		case core.AbsenteeAccept:
+			//lint:ignore dut/hotalloc degraded-quorum branch (received < k); the steady received==k path above is allocation-free, and the copy is deliberate so the caller's votes stay unmutated
 			msgs = append([]core.Message(nil), votes...)
 			for i, g := range got {
 				if !g {
@@ -330,6 +331,7 @@ func (s *RefereeServer) decideVotes(votes []core.Message, got []bool) (bool, int
 				}
 			}
 		default: // core.AbsenteeReject
+			//lint:ignore dut/hotalloc degraded-quorum branch (received < k); the steady received==k path above is allocation-free, and the copy is deliberate so the caller's votes stay unmutated
 			msgs = append([]core.Message(nil), votes...)
 			for i, g := range got {
 				if !g {

@@ -429,6 +429,7 @@ func writeFrame(w io.Writer, t FrameType, payload []byte) error {
 	if limit := maxPayload(t); len(payload) > limit {
 		return fmt.Errorf("network: %v payload of %d bytes exceeds limit %d", t, len(payload), limit)
 	}
+	//lint:ignore dut/hotalloc one frame buffer per frame; hot batch paths send one frame per batch, amortized across the batch's trials, and the coalesced writers bypass this helper entirely
 	buf := make([]byte, headerSize+len(payload))
 	binary.BigEndian.PutUint16(buf[0:2], Magic)
 	buf[2] = Version
@@ -441,6 +442,7 @@ func writeFrame(w io.Writer, t FrameType, payload []byte) error {
 
 // readFrame reads one frame, validating magic, version and size.
 func readFrame(r io.Reader) (FrameType, []byte, error) {
+	//lint:ignore dut/hotalloc the 8-byte header escapes through the io.Reader interface; one read per frame, one frame per batch on the hot gather path
 	var header [headerSize]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return 0, nil, err
@@ -456,6 +458,7 @@ func readFrame(r io.Reader) (FrameType, []byte, error) {
 	if limit := maxPayload(t); size > uint32(limit) {
 		return 0, nil, fmt.Errorf("network: oversized %v frame of %d bytes", t, size)
 	}
+	//lint:ignore dut/hotalloc one payload buffer per received frame; the batch protocol receives one frame per batch, amortized across the batch's trials
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
@@ -577,6 +580,7 @@ func WriteVoteBatch(w io.Writer, v VoteBatch) error {
 	if err := checkBatchBits(FrameVoteBatch, int(v.Count), v.Bits); err != nil {
 		return err
 	}
+	//lint:ignore dut/hotalloc one encode buffer per VOTE_BATCH frame; a node sends one such frame per batch covering Count trials
 	p := make([]byte, 12+8*len(v.Bits))
 	binary.BigEndian.PutUint32(p[0:4], v.Player)
 	binary.BigEndian.PutUint32(p[4:8], v.Batch)
@@ -595,6 +599,7 @@ func WriteVoteBatchR(w io.Writer, v VoteBatchR) error {
 	if err := checkBatchPlanes(FrameVoteBatchR, int(v.Count), int(v.Bits), v.Planes); err != nil {
 		return err
 	}
+	//lint:ignore dut/hotalloc one encode buffer per VOTE_BATCH_R frame; a node sends one such frame per batch covering Count trials
 	p := make([]byte, 13+8*len(v.Planes))
 	binary.BigEndian.PutUint32(p[0:4], v.Player)
 	binary.BigEndian.PutUint32(p[4:8], v.Batch)
