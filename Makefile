@@ -18,7 +18,7 @@ BENCH_WINDOW ?=
 # 5000x for a fixed trial count (what CI uses for stable allocs/op).
 BENCH_TIME ?= 1s
 
-.PHONY: all build vet staticcheck govulncheck lint lint-json lint-escape test test-short test-race cover bench bench-all verify results clean
+.PHONY: all build vet staticcheck govulncheck lint lint-json lint-escape test test-short test-race cover bench bench-all bench-history verify results clean
 
 all: build test
 
@@ -129,6 +129,13 @@ bench:
 # Every benchmark in the repository (experiments + micro-benchmarks).
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Per-benchmark trend table over the archived `make bench` reports:
+# trials/sec and allocs/op per commit, rendered to
+# results/bench/TREND.md. CI regenerates and uploads it next to
+# BENCH_engine.json after the bench gate.
+bench-history:
+	$(GO) run ./cmd/benchjson -history results/bench
 
 # Numeric verification of every lemma/claim (exhaustive small instances).
 verify:

@@ -406,10 +406,19 @@ func cmdNetDemo(args []string) int {
 		tr = ft
 		trName += " + fault injection"
 	}
+	// The counter is the outermost decorator so it sees exactly the
+	// bytes that cross the (possibly fault-injected) transport; netdemo
+	// runs a single worker, so its tier attribution is valid.
+	counter, err := network.NewCountingTransport(tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dut netdemo: %v\n", err)
+		return 1
+	}
+	tr = counter
 	cluster, err := network.NewCluster(network.ClusterConfig{
 		K: *k, Q: *q,
-		Rule:      rule,
-		Referee:   referee,
+		Rule:              rule,
+		Referee:           referee,
 		Transport:         tr,
 		Timeout:           30 * time.Second,
 		MinVotes:          *minVotes,
@@ -505,6 +514,16 @@ func cmdNetDemo(args []string) int {
 		}
 		fmt.Printf("round %d: verdict=%s votes=%d/%d stragglers=%d retries=%d wall=%v\n",
 			s.Round, verdict, s.Votes, *k, s.Stragglers, s.Retries, s.Wall.Round(time.Microsecond))
+	}
+	rootC, aggC := counter.Snapshot()
+	if *shards > 1 {
+		fmt.Printf("frames root -> aggregators:    %s\n", network.FormatFrameCounts(rootC.Down))
+		fmt.Printf("frames aggregators -> root:    %s\n", network.FormatFrameCounts(rootC.Up))
+		fmt.Printf("frames aggregators -> players: %s\n", network.FormatFrameCounts(aggC.Down))
+		fmt.Printf("frames players -> aggregators: %s\n", network.FormatFrameCounts(aggC.Up))
+	} else {
+		fmt.Printf("frames root -> players: %s\n", network.FormatFrameCounts(rootC.Down))
+		fmt.Printf("frames players -> root: %s\n", network.FormatFrameCounts(rootC.Up))
 	}
 	fmt.Printf("session completed in %v\n", time.Since(start).Round(time.Microsecond))
 	if accept {

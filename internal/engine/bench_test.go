@@ -132,6 +132,38 @@ func BenchmarkEngineClusterSharded(b *testing.B) {
 	benchRunWorkers(b, backend, 2)
 }
 
+// BenchmarkEngineClusterSharded100k is the broadcast-wall row: 100,000
+// players behind 32 L1 aggregators. At this width the root's verdict
+// fan-out is the line the tree either breaks or holds — with the
+// AGG_VERDICT relay the root writes 32 frames per batch (one per
+// aggregator, encoded once) while the aggregators re-expand them to the
+// 100k per-player VERDICT_BATCHes in parallel. A single pinned worker
+// owns the whole 100k-node session: the session's goroutine count
+// already saturates the host, and pinning keeps allocs/op — the
+// CI-gated metric, archived per commit in results/bench/<sha>.json —
+// host-independent.
+func BenchmarkEngineClusterSharded100k(b *testing.B) {
+	const (
+		shardedK    = 100_000
+		shardedAggs = 32
+	)
+	c, err := network.NewCluster(network.ClusterConfig{
+		K: shardedK, Q: xbSamples,
+		Rule:      xbRule(),
+		Referee:   core.BitReferee{Rule: core.ThresholdRule{T: 2 * shardedK / 5}},
+		Transport: network.NewMemTransport(),
+		Timeout:   120 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := network.NewBackend(c, network.WithShards(shardedAggs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRunWorkers(b, backend, 1)
+}
+
 func BenchmarkEngineCONGEST(b *testing.B) {
 	graph, err := congest.Complete(xbPlayers)
 	if err != nil {

@@ -46,6 +46,7 @@ var (
 		// The referee tree's aggregator frames: handshake, reduced sums,
 		// and forwarded planes.
 		"WriteAggHello": true, "WriteAggSum": true, "WriteAggPlanes": true,
+		"WriteAggVerdict": true,
 		// The batch session's coalesced flush: a run of frames encoded by
 		// the wire.go Append* helpers, written in one call.
 		"writeCoalesced": true,

@@ -454,8 +454,21 @@ func (bs *batchSession) runChunk(ctx context.Context, specs []engine.RoundSpec, 
 		if err != nil {
 			return bs.chunkErr(err)
 		}
-		vb := VerdictBatch{Batch: fl.id, Count: uint32(fl.count), Bits: verdictBits}
-		enc, err := AppendVerdictBatch(bs.enc[:0], vb)
+		// Verdict fan-out mirrors the gather's shape: on the tree the root
+		// encodes one AGG_VERDICT — verdict bitset plus the per-shard
+		// present accounting it just decided with — and queues the same
+		// bytes to every aggregator, so its downstream work is
+		// O(aggregators) regardless of player count; each aggregator
+		// re-expands it into the VERDICT_BATCH its shard expects. The flat
+		// star keeps pushing VERDICT_BATCH to every player directly.
+		var enc []byte
+		if bs.sharded() {
+			av := AggVerdict{Batch: fl.id, Count: uint32(fl.count), Present: bs.shardPresent, Bits: verdictBits}
+			enc, err = AppendAggVerdict(bs.enc[:0], av)
+		} else {
+			vb := VerdictBatch{Batch: fl.id, Count: uint32(fl.count), Bits: verdictBits}
+			enc, err = AppendVerdictBatch(bs.enc[:0], vb)
+		}
 		bs.enc = enc
 		if err != nil {
 			return bs.chunkErr(err)

@@ -46,6 +46,18 @@ type FaultPlan struct {
 	// VOTE_BATCH covers as many rounds as its trial count, so a crash
 	// scheduled inside a batch kills the write of the whole batch.
 	CrashAtRound int
+	// DropVerdict kills the connection as the Nth AGG_VERDICT frame
+	// (1-based) arrives on its read side; zero never drops. Meaningful in
+	// AggPlans: verdicts flow downstream, so the fault models an
+	// aggregator dying mid-relay — its shard votes through round N and is
+	// absent from round N+1 on, exactly as if every member had crashed at
+	// round N+1.
+	DropVerdict int
+	// CorruptVerdict corrupts the batch id of the Nth AGG_VERDICT frame
+	// (1-based) read off the connection; zero corrupts nothing. The
+	// aggregator's echo audit rejects the mismatched id deterministically,
+	// so the observable failure domain is identical to DropVerdict's.
+	CorruptVerdict int
 }
 
 // FaultConfig configures NewFaultTransport.
@@ -75,6 +87,12 @@ type FaultStats struct {
 	FramesCorrupted int
 	// Crashes counts connections killed by CrashAtRound.
 	Crashes int
+	// VerdictsDropped counts connections killed by DropVerdict on an
+	// AGG_VERDICT's arrival.
+	VerdictsDropped int
+	// VerdictsCorrupted counts AGG_VERDICT frames corrupted in flight by
+	// CorruptVerdict.
+	VerdictsCorrupted int
 }
 
 // FaultTransport wraps any Transport and injects the configured faults on
@@ -111,7 +129,8 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) (*FaultTransport, error
 	sort.Slice(players, func(i, j int) bool { return players[i] < players[j] })
 	for _, player := range players {
 		plan := cfg.Plans[player]
-		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 {
+		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 ||
+			plan.DropVerdict < 0 || plan.CorruptVerdict < 0 {
 			return nil, fmt.Errorf("network: negative fault parameter in plan for player %d", player)
 		}
 	}
@@ -122,7 +141,8 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) (*FaultTransport, error
 	sort.Slice(aggs, func(i, j int) bool { return aggs[i] < aggs[j] })
 	for _, agg := range aggs {
 		plan := cfg.AggPlans[agg]
-		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 {
+		if plan.DropDials < 0 || plan.Delay < 0 || plan.CorruptFrame < 0 || plan.CrashAtRound < 0 ||
+			plan.DropVerdict < 0 || plan.CorruptVerdict < 0 {
 			return nil, fmt.Errorf("network: negative fault parameter in plan for aggregator %d", agg)
 		}
 	}
@@ -227,6 +247,19 @@ type faultConn struct {
 	mu     sync.Mutex
 	writes int // frames written on this connection
 	votes  int // rounds voted on, counting a VOTE_BATCH as its trial count
+
+	// Read-side frame cursor for the verdict faults: the downstream
+	// AGG_VERDICT stream arrives on this connection's reads, possibly
+	// split or coalesced, so the scanner tracks where in the current
+	// header or payload the stream is.
+	rd struct {
+		hdr  [headerSize]byte
+		have int  // header bytes collected
+		rem  int  // payload bytes left in the current frame
+		plen int  // payload length of the current frame
+		seen int  // AGG_VERDICT frames observed so far
+		mask byte // pending batch-id corruption for the current frame
+	}
 }
 
 // VOTE_BATCH payload offsets within a written frame (header included):
@@ -235,6 +268,81 @@ const (
 	voteBatchIDOffset    = headerSize + 7 // low byte of the batch id
 	voteBatchCountOffset = headerSize + 8 // trial-count field
 )
+
+// AGG_VERDICT carries its batch id first, so its low byte sits at
+// payload offset 3 (the read-side scanner walks payload positions, not
+// whole-frame offsets).
+const aggVerdictIDPayloadOffset = 3
+
+// Read applies the read-side verdict faults. Write faults model a
+// player (or an aggregator's upstream hop) misbehaving; the verdict
+// faults model the downstream relay dying, and AGG_VERDICT arrives on
+// the aggregator's dialed connection as a read. Plans without verdict
+// faults pass straight through.
+func (c *faultConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if c.plan.DropVerdict == 0 && c.plan.CorruptVerdict == 0 {
+		return n, err
+	}
+	if keep, kerr := c.scanVerdicts(p[:n]); kerr != nil {
+		return keep, kerr
+	}
+	return n, err
+}
+
+// scanVerdicts walks the read stream's frame structure and applies the
+// verdict faults in place. It returns how many leading bytes the reader
+// may keep and a non-nil error when the connection was killed on the
+// target verdict's arrival.
+func (c *faultConn) scanVerdicts(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := 0
+	for i < len(p) {
+		if c.rd.rem > 0 {
+			n := min(c.rd.rem, len(p)-i)
+			if c.rd.mask != 0 {
+				if off := aggVerdictIDPayloadOffset - (c.rd.plen - c.rd.rem); off >= 0 && off < n {
+					p[i+off] ^= c.rd.mask
+					c.rd.mask = 0
+					c.tr.count(func(s *FaultStats) { s.VerdictsCorrupted++ })
+				}
+			}
+			c.rd.rem -= n
+			i += n
+			continue
+		}
+		startedHere := c.rd.have == 0
+		start := i
+		n := copy(c.rd.hdr[c.rd.have:], p[i:])
+		c.rd.have += n
+		i += n
+		if c.rd.have < headerSize {
+			return len(p), nil
+		}
+		c.rd.have = 0
+		c.rd.plen = int(binary.BigEndian.Uint32(c.rd.hdr[4:8]))
+		c.rd.rem = c.rd.plen
+		c.rd.mask = 0
+		if FrameType(c.rd.hdr[3]) != FrameAggVerdict {
+			continue
+		}
+		c.rd.seen++
+		if c.rd.seen == c.plan.DropVerdict {
+			c.tr.count(func(s *FaultStats) { s.VerdictsDropped++ })
+			_ = c.Conn.Close()
+			keep := 0
+			if startedHere {
+				keep = start
+			}
+			return keep, fmt.Errorf("network: fault: connection killed on verdict %d's arrival", c.rd.seen)
+		}
+		if c.rd.seen == c.plan.CorruptVerdict {
+			c.rd.mask = byte(c.rng.Uint64()) | 0x80
+		}
+	}
+	return len(p), nil
+}
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	if c.plan.Delay > 0 {

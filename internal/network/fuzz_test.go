@@ -26,7 +26,7 @@ func FuzzFrame(f *testing.F) {
 	f.Add(verdict.Bytes())
 	f.Add(finish.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 0})               // unknown type
+	f.Add([]byte{0xD0, 0x7A, 1, 14, 0, 0, 0, 0})               // unknown type
 	f.Add([]byte{0x00, 0x00, 1, 1, 0, 0, 0, 0})                // bad magic
 	f.Add([]byte{0xD0, 0x7A, 9, 1, 0, 0, 0, 0})                // bad version
 	f.Add([]byte{0xD0, 0x7A, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF})    // huge length
@@ -122,6 +122,14 @@ func FuzzFrame(f *testing.F) {
 	f.Add(aggPlanes.Bytes())
 	f.Add(aggEmpty.Bytes())
 
+	// Valid downstream verdict fan-out frames: a multi-shard accounting
+	// vector with an absent shard, and a bitset spanning two words.
+	var aggVerdict, aggVerdictWide bytes.Buffer
+	_ = WriteAggVerdict(&aggVerdict, AggVerdict{Batch: 7, Count: 3, Present: []uint32{2, 0, 5}, Bits: []uint64{0b101}})
+	_ = WriteAggVerdict(&aggVerdictWide, AggVerdict{Batch: 7, Count: 65, Present: []uint32{9}, Bits: []uint64{^uint64(0), 1}})
+	f.Add(aggVerdict.Bytes())
+	f.Add(aggVerdictWide.Bytes())
+
 	// Malformed aggregator frames the decoder must reject: duplicate
 	// members, a present count exceeding the shard, counter strides
 	// disagreeing with the plane count, non-zero padding above the trial
@@ -160,6 +168,27 @@ func FuzzFrame(f *testing.F) {
 		0, 0, 0, 1, 0, 0, 0, 1,
 		0, 0, 0, 0, 0, 0, 0, 1,
 		0, 0, 0, 0, 0, 0, 0, 2}) // AGG_PLANES padding bit above trial 0
+
+	// Malformed AGG_VERDICT frames the decoder must reject: an empty
+	// shard accounting vector, a bitset stride disagreeing with the trial
+	// count, non-zero padding above the count, and a present echo larger
+	// than any shard can hold.
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 12,
+		0, 0, 0, 7, 0, 0, 0, 1, 0, 0, 0, 0}) // AGG_VERDICT zero shards
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 32,
+		0, 0, 0, 7, 0, 0, 0, 1, 0, 0, 0, 1,
+		0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 0}) // AGG_VERDICT count 1 with two words
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 24,
+		0, 0, 0, 7, 0, 0, 0, 1, 0, 0, 0, 1,
+		0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2}) // AGG_VERDICT padding bit above trial 0
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0, 0, 0, 24,
+		0, 0, 0, 7, 0, 0, 0, 1, 0, 0, 0, 1,
+		0xFF, 0xFF, 0xFF, 0xFF,
+		0, 0, 0, 0, 0, 0, 0, 1}) // AGG_VERDICT present over the shard cap
+	f.Add([]byte{0xD0, 0x7A, 1, 13, 0xFF, 0xFF, 0xFF, 0xFF}) // AGG_VERDICT huge length prefix
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, msg, err := ReadFrame(bytes.NewReader(data))
@@ -230,6 +259,13 @@ func FuzzFrame(f *testing.F) {
 			}
 			if err := WriteAggPlanes(&buf, m); err != nil {
 				t.Fatalf("re-encode agg planes: %v", err)
+			}
+		case AggVerdict:
+			if err := checkAggVerdict(m); err != nil {
+				t.Fatalf("decoder accepted invalid AGG_VERDICT: %v", err)
+			}
+			if err := WriteAggVerdict(&buf, m); err != nil {
+				t.Fatalf("re-encode agg verdict: %v", err)
 			}
 		case VerdictBatch:
 			if err := checkBatchBits(FrameVerdictBatch, int(m.Count), m.Bits); err != nil {

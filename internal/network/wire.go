@@ -33,6 +33,11 @@ const (
 	// keeps the decoder's largest allocation at 8 MiB instead of the
 	// structural gigabyte worst case.
 	MaxAggPlaneWords = 1 << 20
+	// MaxAggShards bounds the shard count an AGG_VERDICT's present-count
+	// echo vector may cover: the decoder's allocation cap for the vector,
+	// far above any tree a root could usefully fan out to (the bench
+	// ceiling is 32 aggregators over 100k players).
+	MaxAggShards = 1 << 10
 )
 
 // FrameType enumerates the message kinds. Values are wire-stable.
@@ -45,11 +50,15 @@ type FrameType uint8
 // bit-planes instead of one. VOTE_BATCH remains the canonical encoding
 // for 1-bit rules, so r = 1 sessions are byte-identical to the classic
 // protocol.
-// The aggregator frames (10..12) carry the L1 -> root hop of the
-// two-tier referee tree: AGG_HELLO announces an aggregator's shard
-// membership, AGG_SUM carries a shard's bit-sliced partial rejection /
-// value sums for shaped referees, and AGG_PLANES forwards the shard's
-// packed vote planes verbatim for opaque referees.
+// The aggregator frames (10..13) carry the two hops of the two-tier
+// referee tree: AGG_HELLO announces an aggregator's shard membership,
+// AGG_SUM carries a shard's bit-sliced partial rejection / value sums
+// for shaped referees, AGG_PLANES forwards the shard's packed vote
+// planes verbatim for opaque referees, and AGG_VERDICT is the root ->
+// L1 mirror of VERDICT_BATCH: one strictly-validated frame per
+// aggregator per batch, carrying the packed verdicts plus the root's
+// per-shard present-count accounting for the aggregator to audit
+// before it relays the verdicts to its shard.
 const (
 	FrameHello FrameType = iota + 1
 	FrameRound
@@ -63,6 +72,7 @@ const (
 	FrameAggHello
 	FrameAggSum
 	FrameAggPlanes
+	FrameAggVerdict
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -92,6 +102,8 @@ func (t FrameType) String() string {
 		return "AGG_SUM"
 	case FrameAggPlanes:
 		return "AGG_PLANES"
+	case FrameAggVerdict:
+		return "AGG_VERDICT"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -232,6 +244,26 @@ type AggPlanes struct {
 	Present uint32
 	Mask    []uint64
 	Planes  []uint64
+}
+
+// AggVerdict carries the root's verdicts for one batch down the tree:
+// the batch id, trial count and packed verdict bitset (laid out exactly
+// like VerdictBatch.Bits, 1 = accept) plus the root's per-shard
+// present-count accounting for the batch — Present[a] is the number of
+// player votes the root credited to shard a when it decided, zero for
+// an absent shard. The vector is indexed by aggregator id and covers
+// every shard, so the root encodes one frame per batch and queues the
+// same bytes to every aggregator; each aggregator checks its own entry
+// against the present count it sent upstream, so a corrupted, replayed
+// or mis-accounted verdict surfaces as a protocol error at the tier
+// that can still stop it instead of fanning out to the shard.
+// Payload layout: batch(4) count(4) shards(4) present (4 each)
+// words (8 each).
+type AggVerdict struct {
+	Batch   uint32
+	Count   uint32
+	Present []uint32
+	Bits    []uint64
 }
 
 // batchWords is the number of 64-bit bitset words covering count trials.
@@ -398,6 +430,25 @@ func checkAggPlanes(v AggPlanes) error {
 	return nil
 }
 
+// checkAggVerdict validates a downstream verdict frame: at least one
+// shard (a zero-shard tree has nobody to relay to, so an empty vector
+// is a malformed frame, not a degenerate legal one) within the shard
+// bound, per-shard present counts within the per-shard player bound,
+// and the verdict bitset validated exactly like VERDICT_BATCH (exact
+// word count, zero padding above Count).
+func checkAggVerdict(v AggVerdict) error {
+	if len(v.Present) < 1 || len(v.Present) > MaxAggShards {
+		return fmt.Errorf("network: AGG_VERDICT with %d shards, want 1..%d", len(v.Present), MaxAggShards)
+	}
+	for i, p := range v.Present {
+		if p > MaxShardPlayers {
+			return fmt.Errorf("network: AGG_VERDICT with %d present players in shard %d, want at most %d",
+				p, i, MaxShardPlayers)
+		}
+	}
+	return checkBatchBits(FrameAggVerdict, int(v.Count), v.Bits)
+}
+
 // frame layout: magic(2) version(1) type(1) length(4) payload(length).
 const headerSize = 8
 
@@ -419,6 +470,8 @@ func maxPayload(t FrameType) int {
 		return 18 + 8*64*batchWords(MaxBatchTrials)
 	case FrameAggPlanes:
 		return 21 + 8*aggMaskWords(MaxShardPlayers) + 8*MaxAggPlaneWords
+	case FrameAggVerdict:
+		return 12 + 4*MaxAggShards + 8*batchWords(MaxBatchTrials)
 	default:
 		return MaxFrameSize
 	}
@@ -685,6 +738,50 @@ func WriteAggPlanes(w io.Writer, v AggPlanes) error {
 		off += 8
 	}
 	return writeFrame(w, FrameAggPlanes, p)
+}
+
+// WriteAggVerdict sends an AGG_VERDICT frame, validated like
+// WriteVerdictBatch: an invalid verdict never reaches the wire.
+func WriteAggVerdict(w io.Writer, v AggVerdict) error {
+	if err := checkAggVerdict(v); err != nil {
+		return err
+	}
+	p := make([]byte, 12+4*len(v.Present)+8*len(v.Bits))
+	binary.BigEndian.PutUint32(p[0:4], v.Batch)
+	binary.BigEndian.PutUint32(p[4:8], v.Count)
+	binary.BigEndian.PutUint32(p[8:12], uint32(len(v.Present)))
+	off := 12
+	for _, n := range v.Present {
+		binary.BigEndian.PutUint32(p[off:], n)
+		off += 4
+	}
+	for _, word := range v.Bits {
+		binary.BigEndian.PutUint64(p[off:], word)
+		off += 8
+	}
+	return writeFrame(w, FrameAggVerdict, p)
+}
+
+// AppendAggVerdict appends one encoded AGG_VERDICT frame to buf,
+// validated exactly like WriteAggVerdict. The root encodes each batch's
+// verdict once into reused scratch and queues the same bytes to every
+// aggregator slot, so the downstream fan-out costs O(aggregators)
+// writes and zero allocations at the root regardless of player count.
+func AppendAggVerdict(buf []byte, v AggVerdict) ([]byte, error) {
+	if err := checkAggVerdict(v); err != nil {
+		return buf, err
+	}
+	buf = appendHeader(buf, FrameAggVerdict, 12+4*len(v.Present)+8*len(v.Bits))
+	buf = binary.BigEndian.AppendUint32(buf, v.Batch)
+	buf = binary.BigEndian.AppendUint32(buf, v.Count)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Present)))
+	for _, n := range v.Present {
+		buf = binary.BigEndian.AppendUint32(buf, n)
+	}
+	for _, word := range v.Bits {
+		buf = binary.BigEndian.AppendUint64(buf, word)
+	}
+	return buf, nil
 }
 
 // AppendAggSum appends one encoded AGG_SUM frame to buf, validated
@@ -978,6 +1075,41 @@ func ReadFrame(r io.Reader) (FrameType, any, error) {
 			Planes:  planesBuf,
 		}
 		if err := checkAggPlanes(v); err != nil {
+			return 0, nil, err
+		}
+		return t, v, nil
+	case FrameAggVerdict:
+		if len(payload) < 12 {
+			return 0, nil, fmt.Errorf("network: AGG_VERDICT payload of %d bytes", len(payload))
+		}
+		count := int(binary.BigEndian.Uint32(payload[4:8]))
+		if count < 1 || count > MaxBatchTrials {
+			return 0, nil, fmt.Errorf("network: AGG_VERDICT with %d trials, want 1..%d", count, MaxBatchTrials)
+		}
+		shards := int(binary.BigEndian.Uint32(payload[8:12]))
+		if shards < 1 || shards > MaxAggShards {
+			return 0, nil, fmt.Errorf("network: AGG_VERDICT with %d shards, want 1..%d", shards, MaxAggShards)
+		}
+		words := batchWords(count)
+		if len(payload) != 12+4*shards+8*words {
+			return 0, nil, fmt.Errorf("network: AGG_VERDICT payload of %d bytes for %d trials over %d shards, want %d",
+				len(payload), count, shards, 12+4*shards+8*words)
+		}
+		present := make([]uint32, shards)
+		for i := range present {
+			present[i] = binary.BigEndian.Uint32(payload[12+4*i:])
+		}
+		bits := make([]uint64, words)
+		for i := range bits {
+			bits[i] = binary.BigEndian.Uint64(payload[12+4*shards+8*i:])
+		}
+		v := AggVerdict{
+			Batch:   binary.BigEndian.Uint32(payload[0:4]),
+			Count:   uint32(count),
+			Present: present,
+			Bits:    bits,
+		}
+		if err := checkAggVerdict(v); err != nil {
 			return 0, nil, err
 		}
 		return t, v, nil
